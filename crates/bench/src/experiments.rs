@@ -1,0 +1,511 @@
+//! The experiments of DESIGN.md §6, one function per table.
+//!
+//! Every function is deterministic (fixed seeds) and returns a [`Table`] so
+//! the harness binary, the tests and EXPERIMENTS.md all see the same numbers.
+
+use crate::table::Table;
+use mdst::core::distributed::MdstNode;
+use mdst::prelude::*;
+use std::time::Instant;
+
+fn fmt_f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// E1 — messages vs the paper's `O((k − k*)·m)` budget on G(n, p) sweeps and
+/// on the star-plus-path worst case.
+pub fn e1_message_scaling() -> Table {
+    let mut table = Table::new(
+        "E1: message complexity vs (k - k* + 1) * m",
+        &["workload", "n", "m", "k", "k*", "rounds", "messages", "budget", "ratio"],
+    );
+    let mut workloads: Vec<(String, Graph)> = Vec::new();
+    for &n in &[32usize, 64, 128] {
+        for &p in &[0.05f64, 0.15] {
+            workloads.push((
+                format!("gnp({n},{p})"),
+                generators::gnp_connected(n, p, 1000 + n as u64).unwrap(),
+            ));
+        }
+        workloads.push((
+            format!("star+path({n})"),
+            generators::star_with_leaf_edges(n).unwrap(),
+        ));
+    }
+    for (name, graph) in workloads {
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let k = initial.max_degree();
+        let k_star = run.final_tree.max_degree();
+        let budget = ((k - k_star + 1) * graph.edge_count()) as u64;
+        table.add_row(vec![
+            name,
+            graph.node_count().to_string(),
+            graph.edge_count().to_string(),
+            k.to_string(),
+            k_star.to_string(),
+            run.rounds.to_string(),
+            run.metrics.messages_total.to_string(),
+            budget.to_string(),
+            fmt_f(run.metrics.messages_total as f64 / budget as f64),
+        ]);
+    }
+    table
+}
+
+/// E2 — time (causal/quiescence under unit delays) vs the paper's
+/// `O((k − k*)·n)` budget.
+pub fn e2_time_scaling() -> Table {
+    let mut table = Table::new(
+        "E2: time complexity vs (k - k* + 1) * n",
+        &["workload", "n", "k", "k*", "time", "budget", "ratio"],
+    );
+    for &n in &[16usize, 32, 64, 128] {
+        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let k = initial.max_degree();
+        let k_star = run.final_tree.max_degree();
+        let budget = ((k - k_star + 1) * n) as u64;
+        table.add_row(vec![
+            format!("star+path({n})"),
+            n.to_string(),
+            k.to_string(),
+            k_star.to_string(),
+            run.metrics.quiescence_time.to_string(),
+            budget.to_string(),
+            fmt_f(run.metrics.quiescence_time as f64 / budget as f64),
+        ]);
+    }
+    table
+}
+
+/// E3 — per-round message breakdown by kind (the per-step cost table of §4.2).
+pub fn e3_round_breakdown() -> Table {
+    let mut table = Table::new(
+        "E3: messages by kind, total and per round (star+path(32), greedy-hub seed)",
+        &["kind", "total", "per round", "paper per-round bound"],
+    );
+    let graph = generators::star_with_leaf_edges(32).unwrap();
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+    let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+    let rounds = run.rounds as f64;
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let bound = |kind: &str| -> String {
+        match kind {
+            "SearchInit" | "DegreeReport" | "MoveRoot" | "Update" | "UpdateDone" | "Stop" => {
+                format!("n-1 = {}", n - 1)
+            }
+            "BFS" | "BFSReply" | "Cut" | "BFSBack" => format!("2m = {}", 2 * m),
+            "Child" | "ChildAck" => "1".to_string(),
+            _ => String::new(),
+        }
+    };
+    for (kind, count) in &run.metrics.messages_by_kind {
+        table.add_row(vec![
+            kind.clone(),
+            count.to_string(),
+            fmt_f(*count as f64 / rounds),
+            bound(kind),
+        ]);
+    }
+    table.add_row(vec![
+        "TOTAL".to_string(),
+        run.metrics.messages_total.to_string(),
+        fmt_f(run.metrics.messages_total as f64 / rounds),
+        format!("O(m + n), m = {m}, n = {n}"),
+    ]);
+    table
+}
+
+/// E4 — message size (bits) vs n: the `O(log n)` claim.
+pub fn e4_message_size() -> Table {
+    let mut table = Table::new(
+        "E4: message size vs n (bits; paper: O(log n), at most ~4 identities)",
+        &["n", "log2(n)", "max bits", "mean bits"],
+    );
+    for &n in &[8usize, 16, 32, 64, 128, 256] {
+        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        table.add_row(vec![
+            n.to_string(),
+            ((n as f64).log2().ceil() as usize).to_string(),
+            run.metrics.bits_max.to_string(),
+            fmt_f(run.metrics.bits_mean()),
+        ]);
+    }
+    table
+}
+
+/// E5 — approximation quality: distributed result vs exact optimum (small
+/// instances) and vs the combinatorial lower bound (larger ones).
+pub fn e5_approximation_quality() -> Table {
+    let mut table = Table::new(
+        "E5: approximation quality (final degree vs optimum / lower bound)",
+        &["workload", "n", "initial k", "final", "optimum", "LB", "gap to opt"],
+    );
+    let small: Vec<(String, Graph)> = vec![
+        ("complete(10)".into(), generators::complete(10).unwrap()),
+        ("star+path(12)".into(), generators::star_with_leaf_edges(12).unwrap()),
+        ("wheel(10)".into(), generators::wheel(10).unwrap()),
+        ("K(3,7)".into(), generators::complete_bipartite(3, 7).unwrap()),
+        ("petersen".into(), generators::petersen().unwrap()),
+        ("broom(4,2)".into(), generators::high_optimum(4, 2).unwrap()),
+        ("gnp(12,0.25)#1".into(), generators::gnp_connected(12, 0.25, 1).unwrap()),
+        ("gnp(12,0.25)#2".into(), generators::gnp_connected(12, 0.25, 2).unwrap()),
+        ("gnp(12,0.25)#3".into(), generators::gnp_connected(12, 0.25, 3).unwrap()),
+    ];
+    for (name, graph) in small {
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let optimum = exact_min_degree(&graph).unwrap();
+        let final_degree = run.final_tree.max_degree();
+        table.add_row(vec![
+            name,
+            graph.node_count().to_string(),
+            initial.max_degree().to_string(),
+            final_degree.to_string(),
+            optimum.to_string(),
+            degree_lower_bound(&graph).to_string(),
+            (final_degree - optimum).to_string(),
+        ]);
+    }
+    // Larger instances: exact is out of reach, report against the lower bound.
+    for &n in &[64usize, 128] {
+        let graph = generators::gnp_connected(n, 0.08, 5).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        table.add_row(vec![
+            format!("gnp({n},0.08)"),
+            n.to_string(),
+            initial.max_degree().to_string(),
+            run.final_tree.max_degree().to_string(),
+            "-".to_string(),
+            degree_lower_bound(&graph).to_string(),
+            "-".to_string(),
+        ]);
+    }
+    table
+}
+
+/// E6 — messages on complete graphs vs the Korach–Moran–Zaks Ω(n²/k) bound.
+pub fn e6_kmz_comparison() -> Table {
+    let mut table = Table::new(
+        "E6: complete graphs, messages vs the KMZ lower bound n^2/k",
+        &["n", "m", "k*", "messages", "n^2/k*", "ratio"],
+    );
+    for &n in &[8usize, 16, 32, 64] {
+        let graph = generators::complete(n).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let k_star = run.final_tree.max_degree();
+        let bound = kmz_message_lower_bound(n, k_star);
+        table.add_row(vec![
+            n.to_string(),
+            graph.edge_count().to_string(),
+            k_star.to_string(),
+            run.metrics.messages_total.to_string(),
+            fmt_f(bound),
+            fmt_f(kmz_ratio(run.metrics.messages_total, n, k_star)),
+        ]);
+    }
+    table
+}
+
+/// E7 — sensitivity to the initial spanning tree: rounds and messages per
+/// construction on the same graph.
+pub fn e7_initial_tree_sensitivity() -> Table {
+    let mut table = Table::new(
+        "E7: initial-tree sensitivity (gnp(48, 0.1), same graph, every construction)",
+        &["initial tree", "k", "k*", "rounds", "improve msgs", "construct msgs"],
+    );
+    let graph = generators::gnp_connected(48, 0.1, 77).unwrap();
+    for kind in InitialTreeKind::all(9) {
+        let config = PipelineConfig {
+            initial: kind,
+            root: NodeId(0),
+            sim: SimConfig::default(),
+        };
+        let report = run_pipeline(&graph, &config).unwrap();
+        table.add_row(vec![
+            kind.label(),
+            report.initial_degree.to_string(),
+            report.final_degree.to_string(),
+            report.rounds.to_string(),
+            report.improvement_metrics.messages_total.to_string(),
+            report
+                .construction_metrics
+                .map(|m| m.messages_total.to_string())
+                .unwrap_or_else(|| "0 (centralized)".to_string()),
+        ]);
+    }
+    table
+}
+
+/// A1 — distributed protocol vs the sequential baselines on shared instances.
+pub fn a1_algorithm_comparison() -> Table {
+    let mut table = Table::new(
+        "A1: distributed vs sequential baselines (final degree)",
+        &["workload", "initial k", "distributed", "paper rule (seq)", "FR (seq)", "LB"],
+    );
+    let workloads: Vec<(String, Graph)> = vec![
+        ("complete(24)".into(), generators::complete(24).unwrap()),
+        ("star+path(24)".into(), generators::star_with_leaf_edges(24).unwrap()),
+        ("grid(5x5)".into(), generators::grid(5, 5).unwrap()),
+        ("hypercube(5)".into(), generators::hypercube(5).unwrap()),
+        ("gnp(40,0.1)".into(), generators::gnp_connected(40, 0.1, 13).unwrap()),
+        ("geometric(40)".into(), generators::random_geometric_connected(40, 0.25, 13).unwrap()),
+    ];
+    for (name, graph) in workloads {
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let dist = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let paper = paper_local_search(&graph, &initial).unwrap();
+        let fr = furer_raghavachari(&graph, &initial, true).unwrap();
+        table.add_row(vec![
+            name,
+            initial.max_degree().to_string(),
+            dist.final_tree.max_degree().to_string(),
+            paper.tree.max_degree().to_string(),
+            fr.tree.max_degree().to_string(),
+            degree_lower_bound(&graph).to_string(),
+        ]);
+    }
+    table
+}
+
+/// A2 — delay-model sensitivity: the outcome is identical, only the
+/// (simulated) completion clock changes.
+pub fn a2_delay_sensitivity() -> Table {
+    let mut table = Table::new(
+        "A2: delay-model sensitivity (gnp(32, 0.12), greedy-hub seed)",
+        &["delay model", "final degree", "messages", "quiescence clock"],
+    );
+    let graph = generators::gnp_connected(32, 0.12, 8).unwrap();
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+    let models: Vec<(String, DelayModel)> = vec![
+        ("unit".into(), DelayModel::Unit),
+        (
+            "uniform[1,10] seed 1".into(),
+            DelayModel::UniformRandom { min: 1, max: 10, seed: 1 },
+        ),
+        (
+            "uniform[1,10] seed 2".into(),
+            DelayModel::UniformRandom { min: 1, max: 10, seed: 2 },
+        ),
+        (
+            "per-link[1,25] seed 1".into(),
+            DelayModel::PerLinkFixed { min: 1, max: 25, seed: 1 },
+        ),
+    ];
+    for (name, delay) in models {
+        let config = SimConfig {
+            delay,
+            ..Default::default()
+        };
+        let run = run_distributed_mdst(&graph, &initial, config).unwrap();
+        table.add_row(vec![
+            name,
+            run.final_tree.max_degree().to_string(),
+            run.metrics.messages_total.to_string(),
+            run.metrics.quiescence_time.to_string(),
+        ]);
+    }
+    table
+}
+
+/// A3 — the strict paper rule vs the Fürer–Raghavachari extension that also
+/// improves blocking degree-(k−1) vertices.
+pub fn a3_improvement_policy() -> Table {
+    let mut table = Table::new(
+        "A3: strict paper rule vs FR blocking-set extension (sequential)",
+        &["workload", "initial k", "strict", "with blocking", "optimum"],
+    );
+    let workloads: Vec<(String, Graph)> = (0..6u64)
+        .map(|seed| {
+            (
+                format!("gnp(14,0.2)#{seed}"),
+                generators::gnp_connected(14, 0.2, seed).unwrap(),
+            )
+        })
+        .collect();
+    for (name, graph) in workloads {
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let strict = furer_raghavachari(&graph, &initial, false).unwrap();
+        let blocking = furer_raghavachari(&graph, &initial, true).unwrap();
+        let optimum = exact_min_degree(&graph).unwrap();
+        table.add_row(vec![
+            name,
+            initial.max_degree().to_string(),
+            strict.tree.max_degree().to_string(),
+            blocking.tree.max_degree().to_string(),
+            optimum.to_string(),
+        ]);
+    }
+    table
+}
+
+/// A4 — the discrete-event simulator vs the threaded crossbeam runtime: same
+/// messages, different wall time.
+pub fn a4_runtime_comparison() -> Table {
+    let mut table = Table::new(
+        "A4: simulator vs threaded runtime (same protocol, same seeds)",
+        &["n", "sim messages", "thread messages", "same tree", "sim wall ms", "thread wall ms"],
+    );
+    for &n in &[16usize, 32, 64] {
+        let graph = generators::gnp_connected(n, 0.12, 3).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let t0 = Instant::now();
+        let sim = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let sim_wall = t0.elapsed();
+        let nodes = MdstNode::from_tree(&initial);
+        let threaded = ThreadedRuntime::run(&graph, |id, _| nodes[id.index()].clone());
+        let thr_tree = collect_tree(&threaded.nodes).unwrap();
+        let same = thr_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect::<std::collections::BTreeSet<_>>()
+            == sim
+                .final_tree
+                .edges()
+                .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+                .collect::<std::collections::BTreeSet<_>>();
+        table.add_row(vec![
+            n.to_string(),
+            sim.metrics.messages_total.to_string(),
+            threaded.metrics.messages_total.to_string(),
+            same.to_string(),
+            fmt_f(sim_wall.as_secs_f64() * 1e3),
+            fmt_f(threaded.wall_time.as_secs_f64() * 1e3),
+        ]);
+    }
+    table
+}
+
+/// F1 — Figure 1 as a table: the exchange performed on the figure's instance.
+pub fn f1_figure1() -> Table {
+    let mut table = Table::new(
+        "F1: Figure 1 (single exchange on the figure's 6-node instance)",
+        &["quantity", "value"],
+    );
+    let mut builder = GraphBuilder::new(6);
+    for (u, v) in [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (3, 5)] {
+        builder.add_edge(NodeId(u), NodeId(v)).unwrap();
+    }
+    let graph = builder.build();
+    let parents = vec![
+        None,
+        Some(NodeId(0)),
+        Some(NodeId(0)),
+        Some(NodeId(0)),
+        Some(NodeId(0)),
+        Some(NodeId(1)),
+    ];
+    let initial = RootedTree::from_parents(NodeId(0), parents).unwrap();
+    let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+    table.add_row(vec!["initial max degree".into(), initial.max_degree().to_string()]);
+    table.add_row(vec!["final max degree".into(), run.final_tree.max_degree().to_string()]);
+    table.add_row(vec![
+        "added edge (the figure's Add)".into(),
+        format!("(v3, v5) in tree: {}", run.final_tree.has_edge(NodeId(3), NodeId(5))),
+    ]);
+    table.add_row(vec![
+        "deleted edge (the figure's Delete)".into(),
+        format!("(v0, v1) in tree: {}", run.final_tree.has_edge(NodeId(0), NodeId(1))),
+    ]);
+    table.add_row(vec!["exchanges".into(), run.improvements.to_string()]);
+    table
+}
+
+/// F2 — Figure 2 as a table: the BFS wave statistics of one round.
+pub fn f2_figure2() -> Table {
+    let mut table = Table::new(
+        "F2: Figure 2 (BFS wave and cousin-edge discovery on a 10-node instance)",
+        &["quantity", "value"],
+    );
+    let mut builder = GraphBuilder::new(10);
+    let tree_edges = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 4),
+        (4, 7),
+        (2, 5),
+        (5, 8),
+        (3, 6),
+        (6, 9),
+    ];
+    for (u, v) in tree_edges {
+        builder.add_edge(NodeId(u), NodeId(v)).unwrap();
+    }
+    builder.add_edge(NodeId(7), NodeId(8)).unwrap();
+    builder.add_edge(NodeId(8), NodeId(9)).unwrap();
+    let graph = builder.build();
+    let initial = RootedTree::from_edges(
+        10,
+        NodeId(0),
+        &tree_edges.map(|(u, v)| (NodeId(u), NodeId(v))),
+    )
+    .unwrap();
+    let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+    table.add_row(vec!["initial max degree".into(), initial.max_degree().to_string()]);
+    table.add_row(vec!["final max degree".into(), run.final_tree.max_degree().to_string()]);
+    table.add_row(vec!["BFS wave messages".into(), run.metrics.count_of("BFS").to_string()]);
+    table.add_row(vec![
+        "cousin replies (outgoing edges seen)".into(),
+        run.metrics.count_of("BFSReply").to_string(),
+    ]);
+    table.add_row(vec!["BFSBack convergecast".into(), run.metrics.count_of("BFSBack").to_string()]);
+    table
+}
+
+/// All experiments in DESIGN.md order.
+pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("f1", f1_figure1 as fn() -> Table),
+        ("f2", f2_figure2),
+        ("e1", e1_message_scaling),
+        ("e2", e2_time_scaling),
+        ("e3", e3_round_breakdown),
+        ("e4", e4_message_size),
+        ("e5", e5_approximation_quality),
+        ("e6", e6_kmz_comparison),
+        ("e7", e7_initial_tree_sensitivity),
+        ("a1", a1_algorithm_comparison),
+        ("a2", a2_delay_sensitivity),
+        ("a3", a3_improvement_policy),
+        ("a4", a4_runtime_comparison),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_produces_a_non_empty_table() {
+        // Run only the cheap ones exhaustively here; the expensive sweeps are
+        // covered by the harness smoke test in CI-style runs.
+        for (id, run) in [
+            ("f1", f1_figure1 as fn() -> Table),
+            ("f2", f2_figure2),
+            ("e4", e4_message_size),
+            ("e6", e6_kmz_comparison),
+            ("a2", a2_delay_sensitivity),
+            ("a3", a3_improvement_policy),
+        ] {
+            let table = run();
+            assert!(!table.is_empty(), "{id}");
+            assert!(table.render().contains('|'), "{id}");
+        }
+    }
+
+    #[test]
+    fn experiment_registry_is_complete_and_unique() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 13);
+        let ids: std::collections::BTreeSet<&str> = all.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), all.len());
+    }
+}

@@ -1,0 +1,20 @@
+//! # mdst-bench
+//!
+//! Experiment harness of the reproduction. The paper contains no measured
+//! tables (it is a theory paper), so each experiment here turns one of its
+//! analytical claims or illustrative figures into a measurable series; the
+//! mapping is documented in DESIGN.md §6 and the recorded results in
+//! EXPERIMENTS.md.
+//!
+//! The `harness` binary prints the tables (`cargo run -p mdst-bench --release
+//! --bin harness -- all`); the Criterion benches under `benches/` measure the
+//! wall-clock cost of representative configurations of the same experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;
+pub use table::Table;

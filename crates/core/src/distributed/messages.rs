@@ -1,0 +1,369 @@
+//! Message alphabet of the distributed MDegST protocol.
+//!
+//! The paper lists eight message kinds (SearchDegree, MoveRoot, Cut, BFS,
+//! BFSBack, Update, Child, Stop) and argues every message carries at most four
+//! identities/degrees, i.e. `O(log n)` bits. The enum below follows that
+//! inventory; two bookkeeping messages are added (`ChildAck`, `UpdateDone`) to
+//! give the coordinator the "round is terminated" signal the paper mentions
+//! but does not spell out, and the cousin reply of §3.2.4 is a separate
+//! `BfsReply` kind so the per-kind experiment table can distinguish wave
+//! traffic from convergecast traffic.
+
+use mdst_graph::NodeId;
+use mdst_netsim::message::bits::message_bits;
+use mdst_netsim::NetMessage;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a fragment: the improving node `p` and the child of `p` whose
+/// subtree forms the fragment. Ordered lexicographically, exactly the order
+/// §3.2.4 uses to decide which side of an outgoing edge answers.
+pub type FragmentId = (NodeId, NodeId);
+
+/// An admissible outgoing edge discovered by the BFS wave.
+///
+/// `u` is the endpoint inside the reporting (smaller-identity) fragment, `v`
+/// the endpoint in the other fragment; both tree degrees are carried so the
+/// coordinator can apply the paper's choice rule ("the outgoing edge whose
+/// maximal degree of its extremities is minimal").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Endpoint in the fragment that reports the edge.
+    pub u: NodeId,
+    /// Endpoint in the other fragment.
+    pub v: NodeId,
+    /// Tree degree of `u` at discovery time.
+    pub deg_u: usize,
+    /// Tree degree of `v` at discovery time.
+    pub deg_v: usize,
+}
+
+impl Candidate {
+    /// The paper's selection key: smallest maximum endpoint degree first,
+    /// identities as the deterministic tie break.
+    pub fn score(&self) -> (usize, NodeId, NodeId) {
+        (self.deg_u.max(self.deg_v), self.u, self.v)
+    }
+
+    /// Whether this candidate beats `other` (strictly better score).
+    pub fn beats(&self, other: &Candidate) -> bool {
+        self.score() < other.score()
+    }
+
+    /// Merges an optional better candidate into `best`, returning `true` when
+    /// `best` changed.
+    pub fn merge_into(best: &mut Option<Candidate>, candidate: Candidate) -> bool {
+        match best {
+            None => {
+                *best = Some(candidate);
+                true
+            }
+            Some(current) if candidate.beats(current) => {
+                *best = Some(candidate);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Messages of the distributed MDegST protocol.
+///
+/// Every variant carries `n` (the network size) purely so the wire size of the
+/// message can be accounted as `O(log n)` bits without the runtime having to
+/// know the protocol; `n` is never used by the receiving automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MdstMsg {
+    /// Round `round`: the root asks the tree for its maximum degree (§3.2.1).
+    SearchInit {
+        /// Round number.
+        round: u32,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Convergecast reply: best `(degree, identity)` seen in the sender's
+    /// subtree (§3.2.1).
+    DegreeReport {
+        /// Round number.
+        round: u32,
+        /// Maximum tree degree in the subtree.
+        best_deg: usize,
+        /// Identity attaining it (minimum identity on ties).
+        best_id: NodeId,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Root movement toward the maximum-degree node (§3.2.2).
+    MoveRoot {
+        /// Round number.
+        round: u32,
+        /// The maximum degree `k` found by SearchDegree.
+        k: usize,
+        /// The node the root is moving to.
+        target: NodeId,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// The coordinator virtually cuts the link to this child (§3.2.3).
+    Cut {
+        /// Round number.
+        round: u32,
+        /// The maximum degree `k`.
+        k: usize,
+        /// The coordinator's identity (`p`).
+        root: NodeId,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Fragment BFS wave (§3.2.4): carries the fragment identity `(root, frag)`.
+    Bfs {
+        /// Round number.
+        round: u32,
+        /// The maximum degree `k`.
+        k: usize,
+        /// The coordinator's identity (`p`).
+        root: NodeId,
+        /// The fragment root (child of `p`).
+        frag: NodeId,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Cousin reply of §3.2.4: sent back over an outgoing edge to the
+    /// smaller-identity fragment, carrying the responder's tree degree.
+    BfsReply {
+        /// Round number.
+        round: u32,
+        /// Tree degree of the responder.
+        responder_degree: usize,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Convergecast of the best admissible outgoing edge of a subtree
+    /// (§3.2.4 "BFS-Back").
+    BfsBack {
+        /// Round number.
+        round: u32,
+        /// Best candidate of the subtree, if any.
+        candidate: Option<Candidate>,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// The coordinator's chosen exchange, routed toward the owner of the
+    /// outgoing edge (§3.2.5).
+    Update {
+        /// Round number.
+        round: u32,
+        /// Owner endpoint of the chosen edge (inside the cut fragment).
+        u: NodeId,
+        /// Far endpoint of the chosen edge.
+        v: NodeId,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Attachment across the chosen edge: the sender becomes a child of the
+    /// receiver (§3.2.5).
+    Child {
+        /// Round number.
+        round: u32,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Acknowledgement of `Child`, so the round-completion signal only travels
+    /// once the new tree edge is installed on both sides.
+    ChildAck {
+        /// Round number.
+        round: u32,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Round-completion signal routed back to the coordinator.
+    UpdateDone {
+        /// Round number.
+        round: u32,
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+    /// Termination broadcast: the tree is final (§3.2.5 / §3.2.6).
+    Stop {
+        /// Network size (bit accounting only).
+        n: usize,
+    },
+}
+
+impl MdstMsg {
+    /// Round number carried by the message (`None` for `Stop`, which is not
+    /// round-scoped).
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            MdstMsg::SearchInit { round, .. }
+            | MdstMsg::DegreeReport { round, .. }
+            | MdstMsg::MoveRoot { round, .. }
+            | MdstMsg::Cut { round, .. }
+            | MdstMsg::Bfs { round, .. }
+            | MdstMsg::BfsReply { round, .. }
+            | MdstMsg::BfsBack { round, .. }
+            | MdstMsg::Update { round, .. }
+            | MdstMsg::Child { round, .. }
+            | MdstMsg::ChildAck { round, .. }
+            | MdstMsg::UpdateDone { round, .. } => Some(*round),
+            MdstMsg::Stop { .. } => None,
+        }
+    }
+}
+
+impl NetMessage for MdstMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            MdstMsg::SearchInit { .. } => "SearchInit",
+            MdstMsg::DegreeReport { .. } => "DegreeReport",
+            MdstMsg::MoveRoot { .. } => "MoveRoot",
+            MdstMsg::Cut { .. } => "Cut",
+            MdstMsg::Bfs { .. } => "BFS",
+            MdstMsg::BfsReply { .. } => "BFSReply",
+            MdstMsg::BfsBack { .. } => "BFSBack",
+            MdstMsg::Update { .. } => "Update",
+            MdstMsg::Child { .. } => "Child",
+            MdstMsg::ChildAck { .. } => "ChildAck",
+            MdstMsg::UpdateDone { .. } => "UpdateDone",
+            MdstMsg::Stop { .. } => "Stop",
+        }
+    }
+
+    fn encoded_bits(&self) -> usize {
+        // Number of identity/degree-sized fields per message kind; the round
+        // counter is bounded by n (at most n − 2 improvement rounds), so it
+        // also counts as one O(log n) field.
+        match self {
+            MdstMsg::SearchInit { n, .. } => message_bits(*n, 1),
+            MdstMsg::DegreeReport { n, .. } => message_bits(*n, 3),
+            MdstMsg::MoveRoot { n, .. } => message_bits(*n, 3),
+            MdstMsg::Cut { n, .. } => message_bits(*n, 3),
+            MdstMsg::Bfs { n, .. } => message_bits(*n, 4),
+            MdstMsg::BfsReply { n, .. } => message_bits(*n, 2),
+            MdstMsg::BfsBack { n, candidate, .. } => {
+                message_bits(*n, 1 + if candidate.is_some() { 4 } else { 0 })
+            }
+            MdstMsg::Update { n, .. } => message_bits(*n, 3),
+            MdstMsg::Child { n, .. } => message_bits(*n, 1),
+            MdstMsg::ChildAck { n, .. } => message_bits(*n, 1),
+            MdstMsg::UpdateDone { n, .. } => message_bits(*n, 1),
+            MdstMsg::Stop { n } => message_bits(*n, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(u: usize, v: usize, du: usize, dv: usize) -> Candidate {
+        Candidate {
+            u: NodeId(u),
+            v: NodeId(v),
+            deg_u: du,
+            deg_v: dv,
+        }
+    }
+
+    #[test]
+    fn candidate_score_prefers_low_maximum_degree() {
+        let a = cand(5, 6, 1, 2);
+        let b = cand(1, 2, 3, 1);
+        assert!(a.beats(&b));
+        assert!(!b.beats(&a));
+    }
+
+    #[test]
+    fn candidate_score_breaks_ties_by_identity() {
+        let a = cand(1, 9, 2, 2);
+        let b = cand(2, 3, 2, 2);
+        assert!(a.beats(&b));
+    }
+
+    #[test]
+    fn merge_into_keeps_the_best() {
+        let mut best = None;
+        assert!(Candidate::merge_into(&mut best, cand(4, 5, 3, 3)));
+        assert!(!Candidate::merge_into(&mut best, cand(6, 7, 3, 3)));
+        assert!(Candidate::merge_into(&mut best, cand(6, 7, 1, 1)));
+        assert_eq!(best.unwrap().u, NodeId(6));
+    }
+
+    #[test]
+    fn message_kinds_cover_the_papers_inventory() {
+        let n = 16;
+        let msgs = vec![
+            MdstMsg::SearchInit { round: 1, n },
+            MdstMsg::DegreeReport {
+                round: 1,
+                best_deg: 3,
+                best_id: NodeId(2),
+                n,
+            },
+            MdstMsg::MoveRoot {
+                round: 1,
+                k: 3,
+                target: NodeId(2),
+                n,
+            },
+            MdstMsg::Cut {
+                round: 1,
+                k: 3,
+                root: NodeId(2),
+                n,
+            },
+            MdstMsg::Bfs {
+                round: 1,
+                k: 3,
+                root: NodeId(2),
+                frag: NodeId(4),
+                n,
+            },
+            MdstMsg::BfsReply {
+                round: 1,
+                responder_degree: 1,
+                n,
+            },
+            MdstMsg::BfsBack {
+                round: 1,
+                candidate: None,
+                n,
+            },
+            MdstMsg::Update {
+                round: 1,
+                u: NodeId(5),
+                v: NodeId(6),
+                n,
+            },
+            MdstMsg::Child { round: 1, n },
+            MdstMsg::ChildAck { round: 1, n },
+            MdstMsg::UpdateDone { round: 1, n },
+            MdstMsg::Stop { n },
+        ];
+        let kinds: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len(), "kinds must be distinct");
+        for m in &msgs {
+            // "All messages are of size O(log n) … at most four numbers or
+            // identities by message" (§4.2): tag + at most 5 log-sized fields.
+            assert!(m.encoded_bits() <= 4 + 5 * 4, "{:?}", m);
+            if !matches!(m, MdstMsg::Stop { .. }) {
+                assert_eq!(m.round(), Some(1));
+            }
+        }
+        assert_eq!(MdstMsg::Stop { n }.round(), None);
+    }
+
+    #[test]
+    fn bfsback_with_candidate_is_larger_than_without() {
+        let with = MdstMsg::BfsBack {
+            round: 1,
+            candidate: Some(cand(0, 1, 1, 1)),
+            n: 64,
+        };
+        let without = MdstMsg::BfsBack {
+            round: 1,
+            candidate: None,
+            n: 64,
+        };
+        assert!(with.encoded_bits() > without.encoded_bits());
+    }
+}

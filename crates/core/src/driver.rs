@@ -1,0 +1,217 @@
+//! Experiment pipeline: initial tree → distributed improvement → report.
+//!
+//! The driver mirrors the way the paper composes its system: a spanning-tree
+//! construction runs first (any of the `mdst-spanning` substrates), then the
+//! improvement protocol runs on the resulting tree. Both phases execute on the
+//! discrete-event simulator and their metrics are reported separately and
+//! combined, so every experiment table can show construction cost and
+//! improvement cost side by side.
+
+use crate::distributed::MdstNode;
+use mdst_graph::{GraphError, NodeId, RootedTree};
+use mdst_graph::Graph;
+use mdst_netsim::{Metrics, SimConfig, Simulator};
+use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
+use serde::{Deserialize, Serialize};
+
+/// Result of running the distributed improvement on one initial tree.
+#[derive(Debug, Clone)]
+pub struct MdstRun {
+    /// The improved spanning tree.
+    pub final_tree: RootedTree,
+    /// Metrics of the improvement protocol (messages, bits, causal time).
+    pub metrics: Metrics,
+    /// Number of rounds executed (SearchDegree broadcasts), including the
+    /// final round that detects local optimality.
+    pub rounds: u32,
+    /// Number of edge exchanges performed (one per improving round).
+    pub improvements: u32,
+}
+
+/// Configuration of a full pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Which initial spanning-tree construction to use.
+    pub initial: InitialTreeKind,
+    /// The designated root / initiator of the construction.
+    pub root: NodeId,
+    /// Simulator configuration (delays, start schedule, event cap) used for
+    /// the improvement protocol (and for the construction when it is a
+    /// distributed one).
+    pub sim: SimConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            initial: InitialTreeKind::GreedyHub,
+            root: NodeId(0),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Everything an experiment needs to report about one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Number of nodes of the input graph.
+    pub n: usize,
+    /// Number of edges of the input graph.
+    pub m: usize,
+    /// The initial spanning tree handed to the improvement protocol.
+    pub initial_tree: RootedTree,
+    /// Maximum degree `k` of the initial tree.
+    pub initial_degree: usize,
+    /// The improved tree.
+    pub final_tree: RootedTree,
+    /// Maximum degree `k*` of the improved tree (the Locally Optimal Tree).
+    pub final_degree: usize,
+    /// Metrics of the initial construction (`None` for centralized seeds).
+    pub construction_metrics: Option<Metrics>,
+    /// Metrics of the improvement protocol.
+    pub improvement_metrics: Metrics,
+    /// Rounds executed by the improvement protocol.
+    pub rounds: u32,
+    /// Edge exchanges performed.
+    pub improvements: u32,
+}
+
+impl PipelineReport {
+    /// `k − k*`: the quantity the paper's complexity bounds are expressed in.
+    pub fn degree_drop(&self) -> usize {
+        self.initial_degree.saturating_sub(self.final_degree)
+    }
+
+    /// The paper's message budget for this run, `(k − k* + 1) · m`, against
+    /// which the measured message count is compared in experiment E1.
+    pub fn paper_message_budget(&self) -> u64 {
+        (self.degree_drop() as u64 + 1) * self.m as u64
+    }
+
+    /// The paper's time budget for this run, `(k − k* + 1) · n` (experiment E2).
+    pub fn paper_time_budget(&self) -> u64 {
+        (self.degree_drop() as u64 + 1) * self.n as u64
+    }
+}
+
+/// Runs the distributed improvement protocol on `graph`, starting from
+/// `initial` (which must be a spanning tree of `graph`).
+pub fn run_distributed_mdst(
+    graph: &Graph,
+    initial: &RootedTree,
+    sim_config: SimConfig,
+) -> Result<MdstRun, GraphError> {
+    initial.validate_against(graph)?;
+    let nodes = MdstNode::from_tree(initial);
+    let mut sim = Simulator::new(graph, sim_config, |id, _| nodes[id.index()].clone());
+    sim.run()
+        .map_err(|e| GraphError::NotASpanningTree(format!("protocol did not quiesce: {e}")))?;
+    if !sim.all_terminated() {
+        return Err(GraphError::NotASpanningTree(
+            "a node never received Stop".to_string(),
+        ));
+    }
+    let final_tree = collect_tree(sim.nodes())?;
+    final_tree.validate_against(graph)?;
+    let rounds = sim.nodes().iter().map(|p| p.round()).max().unwrap_or(0);
+    let improvements = sim.nodes().iter().map(|p| p.improvements_made()).sum();
+    let (_, metrics, _) = sim.into_parts();
+    Ok(MdstRun {
+        final_tree,
+        metrics,
+        rounds,
+        improvements,
+    })
+}
+
+/// Runs the full pipeline (construction + improvement) and assembles the
+/// experiment report.
+pub fn run_pipeline(graph: &Graph, config: &PipelineConfig) -> Result<PipelineReport, GraphError> {
+    let (initial_tree, construction_metrics) =
+        build_initial_tree(graph, config.root, config.initial)?;
+    let run = run_distributed_mdst(graph, &initial_tree, config.sim.clone())?;
+    Ok(PipelineReport {
+        n: graph.node_count(),
+        m: graph.edge_count(),
+        initial_degree: initial_tree.max_degree(),
+        final_degree: run.final_tree.max_degree(),
+        initial_tree,
+        final_tree: run.final_tree,
+        construction_metrics,
+        improvement_metrics: run.metrics,
+        rounds: run.rounds,
+        improvements: run.improvements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::generators;
+
+    #[test]
+    fn pipeline_report_carries_consistent_numbers() {
+        let g = generators::star_with_leaf_edges(12).unwrap();
+        let report = run_pipeline(&g, &PipelineConfig::default()).unwrap();
+        assert_eq!(report.n, 12);
+        assert_eq!(report.m, g.edge_count());
+        assert_eq!(report.initial_degree, 11);
+        assert!(report.final_degree <= 3);
+        assert_eq!(
+            report.degree_drop(),
+            report.initial_degree - report.final_degree
+        );
+        assert!(report.rounds as usize >= report.degree_drop());
+        assert_eq!(report.improvements + 1, report.rounds);
+        assert!(report.construction_metrics.is_none());
+        assert!(report.improvement_metrics.messages_total > 0);
+    }
+
+    #[test]
+    fn paper_budgets_scale_with_degree_drop() {
+        let g = generators::complete(9).unwrap();
+        let report = run_pipeline(&g, &PipelineConfig::default()).unwrap();
+        assert_eq!(
+            report.paper_message_budget(),
+            (report.degree_drop() as u64 + 1) * report.m as u64
+        );
+        assert_eq!(
+            report.paper_time_budget(),
+            (report.degree_drop() as u64 + 1) * report.n as u64
+        );
+    }
+
+    #[test]
+    fn distributed_initial_trees_report_construction_metrics() {
+        let g = generators::gnp_connected(24, 0.2, 9).unwrap();
+        let config = PipelineConfig {
+            initial: InitialTreeKind::DistributedFlooding,
+            ..Default::default()
+        };
+        let report = run_pipeline(&g, &config).unwrap();
+        assert!(report.construction_metrics.unwrap().messages_total > 0);
+        assert!(report.final_degree <= report.initial_degree);
+    }
+
+    #[test]
+    fn rejects_initial_trees_that_do_not_span_the_graph() {
+        let g = generators::path(4).unwrap();
+        let other = generators::star(4).unwrap();
+        let t = mdst_graph::algorithms::bfs_tree(&other, NodeId(0)).unwrap();
+        assert!(run_distributed_mdst(&g, &t, SimConfig::default()).is_err());
+    }
+
+    #[test]
+    fn every_initial_kind_runs_through_the_pipeline() {
+        let g = generators::gnp_connected(20, 0.25, 5).unwrap();
+        for kind in InitialTreeKind::all(7) {
+            let config = PipelineConfig {
+                initial: kind,
+                ..Default::default()
+            };
+            let report = run_pipeline(&g, &config).unwrap();
+            assert!(report.final_degree <= report.initial_degree, "{}", kind.label());
+            assert!(report.final_tree.is_spanning_tree_of(&g), "{}", kind.label());
+        }
+    }
+}

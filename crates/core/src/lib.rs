@@ -1,0 +1,32 @@
+//! # mdst-core
+//!
+//! The primary contribution of Blin & Butelle's paper — the first distributed
+//! approximation algorithm for the Minimum Degree Spanning Tree problem on
+//! general graphs — together with everything needed to evaluate it:
+//!
+//! * [`distributed`] — the message-driven node automaton implementing the
+//!   paper's rounds (SearchDegree, MoveRoot, Cut, BFS, BFSBack, Choose,
+//!   Update/Child, Stop), runnable on the `mdst-netsim` simulator or threaded
+//!   runtime.
+//! * [`driver`] — the experiment pipeline: build an initial spanning tree
+//!   (any `mdst-spanning` construction), run the distributed improvement, and
+//!   report degrees, rounds and message/time complexities.
+//! * [`sequential`] — centralized baselines: the paper's improvement rule as a
+//!   sequential mirror (used for cross-validation of the distributed run), a
+//!   Fürer–Raghavachari-style local search, and an exact branch-and-bound
+//!   solver for small instances.
+//! * [`verify`] — spanning-tree validity and local-optimality certificates.
+//! * [`bounds`] — the Korach–Moran–Zaks message lower bound and degree lower
+//!   bounds used by the experiment tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod distributed;
+pub mod driver;
+pub mod sequential;
+pub mod verify;
+
+pub use distributed::{Candidate, MdstMsg, MdstNode};
+pub use driver::{run_distributed_mdst, run_pipeline, MdstRun, PipelineConfig, PipelineReport};

@@ -1,0 +1,166 @@
+//! Exact minimum-degree spanning tree for small instances.
+//!
+//! The problem is NP-hard (it generalises the Hamiltonian path problem), so
+//! the exact solver is only meant for the small graphs of the
+//! approximation-quality experiment (E5) and the property tests. It answers
+//! the decision problem "does `G` have a spanning tree of maximum degree at
+//! most `d`?" by backtracking over the edge list with union–find pruning, and
+//! finds `Δ*` by increasing `d` from a combinatorial lower bound.
+
+use crate::bounds::degree_lower_bound;
+use mdst_graph::algorithms::{is_connected, DisjointSet};
+use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
+
+/// Finds a spanning tree of `graph` whose maximum degree is at most `d`, if
+/// one exists.
+pub fn spanning_tree_with_max_degree(graph: &Graph, d: usize) -> Option<RootedTree> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return RootedTree::from_parents(NodeId(0), vec![None]).ok();
+    }
+    if d == 0 || !is_connected(graph) {
+        return None;
+    }
+    let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+    let mut chosen: Vec<(NodeId, NodeId)> = Vec::with_capacity(n - 1);
+    let mut degrees = vec![0usize; n];
+    let dsu = DisjointSet::new(n);
+    if search(&edges, 0, n, d, &mut chosen, &mut degrees, dsu) {
+        RootedTree::from_edges(n, NodeId(0), &chosen).ok()
+    } else {
+        None
+    }
+}
+
+/// Backtracking over the edge list: at index `i`, either take the edge (if it
+/// joins two components and respects the degree cap) or skip it. Prunes when
+/// the remaining edges cannot connect the remaining components.
+fn search(
+    edges: &[(NodeId, NodeId)],
+    index: usize,
+    n: usize,
+    cap: usize,
+    chosen: &mut Vec<(NodeId, NodeId)>,
+    degrees: &mut Vec<usize>,
+    dsu: DisjointSet,
+) -> bool {
+    if chosen.len() == n - 1 {
+        return true;
+    }
+    let needed = n - 1 - chosen.len();
+    if edges.len() - index < needed {
+        return false;
+    }
+    let (u, v) = edges[index];
+    // Branch 1: take the edge if it is useful and legal.
+    {
+        let mut dsu_taken = dsu.clone();
+        if degrees[u.index()] < cap
+            && degrees[v.index()] < cap
+            && dsu_taken.union(u.index(), v.index())
+        {
+            chosen.push((u, v));
+            degrees[u.index()] += 1;
+            degrees[v.index()] += 1;
+            if search(edges, index + 1, n, cap, chosen, degrees, dsu_taken) {
+                return true;
+            }
+            degrees[u.index()] -= 1;
+            degrees[v.index()] -= 1;
+            chosen.pop();
+        }
+    }
+    // Branch 2: skip the edge.
+    search(edges, index + 1, n, cap, chosen, degrees, dsu)
+}
+
+/// The optimum degree `Δ*` of a minimum-degree spanning tree of `graph`.
+///
+/// Errors when the graph is empty or disconnected (no spanning tree exists).
+pub fn exact_min_degree(graph: &Graph) -> Result<usize, GraphError> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Err(GraphError::EmptyGraph);
+    }
+    if n == 1 {
+        return Ok(0);
+    }
+    if !is_connected(graph) {
+        return Err(GraphError::Disconnected);
+    }
+    let mut d = degree_lower_bound(graph).max(1);
+    loop {
+        if spanning_tree_with_max_degree(graph, d).is_some() {
+            return Ok(d);
+        }
+        d += 1;
+        debug_assert!(d < n, "a spanning tree of degree n − 1 always exists");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::generators;
+
+    #[test]
+    fn known_optima_of_structured_families() {
+        assert_eq!(exact_min_degree(&generators::path(6).unwrap()).unwrap(), 2);
+        assert_eq!(exact_min_degree(&generators::cycle(7).unwrap()).unwrap(), 2);
+        assert_eq!(exact_min_degree(&generators::complete(7).unwrap()).unwrap(), 2);
+        assert_eq!(exact_min_degree(&generators::star(6).unwrap()).unwrap(), 5);
+        assert_eq!(exact_min_degree(&generators::hypercube(3).unwrap()).unwrap(), 2);
+        // A 3×3 grid has a Hamiltonian path (boustrophedon).
+        assert_eq!(exact_min_degree(&generators::grid(3, 3).unwrap()).unwrap(), 2);
+        // The star-plus-leaf-path graph has a Hamiltonian path as well.
+        assert_eq!(
+            exact_min_degree(&generators::star_with_leaf_edges(8).unwrap()).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn forced_hub_instances_have_high_optima() {
+        let g = generators::high_optimum(4, 2).unwrap();
+        assert_eq!(exact_min_degree(&g).unwrap(), 4);
+        let g = generators::high_optimum(6, 1).unwrap();
+        assert_eq!(exact_min_degree(&g).unwrap(), 6);
+    }
+
+    #[test]
+    fn decision_procedure_matches_optimum() {
+        let g = generators::gnp_connected(10, 0.3, 4).unwrap();
+        let opt = exact_min_degree(&g).unwrap();
+        assert!(spanning_tree_with_max_degree(&g, opt).is_some());
+        if opt > 1 {
+            assert!(spanning_tree_with_max_degree(&g, opt - 1).is_none());
+        }
+        let tree = spanning_tree_with_max_degree(&g, opt).unwrap();
+        assert!(tree.is_spanning_tree_of(&g));
+        assert!(tree.max_degree() <= opt);
+    }
+
+    #[test]
+    fn witness_trees_respect_the_cap() {
+        let g = generators::complete_bipartite(3, 5).unwrap();
+        let opt = exact_min_degree(&g).unwrap();
+        let tree = spanning_tree_with_max_degree(&g, opt).unwrap();
+        assert!(tree.max_degree() <= opt);
+        // K_{3,5}: the 5-side has 5 leaves-to-be; the optimum is ceil((8-1)/3)=3.
+        assert_eq!(opt, 3);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(exact_min_degree(&generators::path(2).unwrap()).unwrap(), 1);
+        assert!(exact_min_degree(&Graph::empty(0)).is_err());
+        assert_eq!(exact_min_degree(&Graph::empty(1)).unwrap(), 0);
+        assert!(exact_min_degree(&Graph::empty(3)).is_err());
+        assert!(spanning_tree_with_max_degree(&generators::path(4).unwrap(), 0).is_none());
+    }
+
+    use mdst_graph::Graph;
+}

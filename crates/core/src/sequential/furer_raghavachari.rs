@@ -1,0 +1,167 @@
+//! Sequential Fürer–Raghavachari-style local search.
+//!
+//! The heuristic the paper distributes: start from any spanning tree and, as
+//! long as some maximum-degree vertex lies on the tree cycle of a non-tree
+//! edge whose endpoints both have degree at most `k − 2`, swap that edge in
+//! and a cycle edge incident to the high-degree vertex out. When no such swap
+//! exists, optionally try the same move on degree-(k−1) vertices (the blocking
+//! set `B` of Theorem 1) with endpoints of degree at most `k − 3`; this
+//! unblocks situations the paper's strict rule leaves behind and is the
+//! configuration compared in ablation A3.
+//!
+//! Both variants strictly decrease the potential `Σ_v 3^{deg(v)}` at every
+//! swap, so they terminate.
+
+use super::local_search::LocalSearchOutcome;
+use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
+
+/// Runs the Fürer–Raghavachari-style local search.
+///
+/// With `improve_blocking = false` only maximum-degree vertices are improved
+/// (the paper's rule generalised from one target vertex to all of them); with
+/// `improve_blocking = true` degree-(k−1) vertices are also improved when that
+/// is possible without creating new degree-(k−1) vertices, which empirically
+/// brings the result to within one of the optimum on every tested instance.
+pub fn furer_raghavachari(
+    graph: &Graph,
+    initial: &RootedTree,
+    improve_blocking: bool,
+) -> Result<LocalSearchOutcome, GraphError> {
+    initial.validate_against(graph)?;
+    let mut tree = initial.clone();
+    let mut rounds = 0usize;
+    let mut improvements = 0usize;
+    loop {
+        rounds += 1;
+        let k = tree.max_degree();
+        if k <= 2 {
+            break;
+        }
+        if let Some((u, v, w)) = find_swap(graph, &tree, k) {
+            apply_swap(&mut tree, u, v, w)?;
+            improvements += 1;
+            continue;
+        }
+        if improve_blocking && k >= 4 {
+            if let Some((u, v, w)) = find_swap(graph, &tree, k - 1) {
+                apply_swap(&mut tree, u, v, w)?;
+                improvements += 1;
+                continue;
+            }
+        }
+        break;
+    }
+    Ok(LocalSearchOutcome {
+        tree,
+        rounds,
+        improvements,
+    })
+}
+
+/// Finds a non-tree edge `(u, v)` with both endpoint degrees at most `d − 2`
+/// whose tree path contains a vertex `w` of degree exactly `d`. Returns the
+/// lexicographically smallest such `(u, v)` (by the same score the distributed
+/// protocol uses) for determinism.
+fn find_swap(graph: &Graph, tree: &RootedTree, d: usize) -> Option<(NodeId, NodeId, NodeId)> {
+    let mut best: Option<((usize, NodeId, NodeId), NodeId, NodeId, NodeId)> = None;
+    for (a, b) in graph.edges() {
+        if tree.has_edge(a, b) {
+            continue;
+        }
+        let (da, db) = (tree.degree(a), tree.degree(b));
+        if da + 2 > d || db + 2 > d {
+            continue;
+        }
+        let path = tree.path_between(a, b);
+        let Some(&w) = path.iter().find(|&&x| tree.degree(x) == d) else {
+            continue;
+        };
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        let score = (da.max(db), u, v);
+        if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+            best = Some((score, u, v, w));
+        }
+    }
+    best.map(|(_, u, v, w)| (u, v, w))
+}
+
+/// Applies the swap: adds `(u, v)` and removes the tree-path edge between `w`
+/// and its path neighbour on the `u` side.
+fn apply_swap(tree: &mut RootedTree, u: NodeId, v: NodeId, w: NodeId) -> Result<(), GraphError> {
+    let path = tree.path_between(u, v);
+    let pos = path
+        .iter()
+        .position(|&x| x == w)
+        .expect("w lies on the tree path between u and v");
+    debug_assert!(pos > 0 && pos + 1 < path.len(), "w is interior to the path");
+    let toward_u = path[pos - 1];
+    // Remove the edge (w, toward_u); the side containing `toward_u` also
+    // contains `u`, so the replacement edge (u, v) re-crosses the cut.
+    let (cut_parent, cut_child) = if tree.parent(toward_u) == Some(w) {
+        (w, toward_u)
+    } else {
+        (toward_u, w)
+    };
+    tree.exchange(cut_parent, cut_child, u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::exact::exact_min_degree;
+    use mdst_graph::{algorithms, generators};
+
+    #[test]
+    fn within_one_of_optimal_on_hamiltonian_instances() {
+        // The graph has a Hamiltonian path (Δ* = 2); the heuristic guarantee is
+        // Δ* + 1, and it must get there all the way from the degree-8 star.
+        let g = generators::star_with_leaf_edges(9).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+        assert_eq!(initial.max_degree(), 8);
+        let out = furer_raghavachari(&g, &initial, true).unwrap();
+        assert!(out.tree.max_degree() <= 3, "got degree {}", out.tree.max_degree());
+        assert!(out.tree.is_spanning_tree_of(&g));
+        assert!(out.improvements >= 5);
+    }
+
+    #[test]
+    fn blocking_improvements_never_hurt() {
+        for seed in 0..6u64 {
+            let g = generators::gnp_connected(24, 0.12, seed).unwrap();
+            let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+            let strict = furer_raghavachari(&g, &initial, false).unwrap();
+            let blocking = furer_raghavachari(&g, &initial, true).unwrap();
+            assert!(
+                blocking.tree.max_degree() <= strict.tree.max_degree(),
+                "seed {seed}"
+            );
+            assert!(blocking.tree.is_spanning_tree_of(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn within_one_of_the_optimum_on_small_random_graphs() {
+        for seed in 0..8u64 {
+            let g = generators::gnp_connected(12, 0.25, seed).unwrap();
+            let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+            let out = furer_raghavachari(&g, &initial, true).unwrap();
+            let optimum = exact_min_degree(&g).unwrap();
+            assert!(out.tree.max_degree() >= optimum, "seed {seed}");
+            assert!(
+                out.tree.max_degree() <= optimum + 1,
+                "seed {seed}: got {} with optimum {optimum}",
+                out.tree.max_degree()
+            );
+        }
+    }
+
+    #[test]
+    fn respects_forced_high_degree_optima() {
+        // Every spanning tree of the broom must keep the centre at degree 5.
+        let g = generators::high_optimum(5, 3).unwrap();
+        let initial = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let out = furer_raghavachari(&g, &initial, true).unwrap();
+        assert_eq!(out.tree.max_degree(), 5);
+        assert_eq!(out.improvements, 0);
+    }
+}

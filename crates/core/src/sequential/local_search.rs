@@ -1,0 +1,144 @@
+//! Centralized mirror of the paper's improvement rule.
+//!
+//! Used as the reference model for the distributed protocol: both must make
+//! identical decisions (same target node, same chosen edge, same exchange)
+//! because the decision rule is a deterministic function of the tree and the
+//! graph. The mirror is also orders of magnitude faster, so the larger
+//! parameter sweeps of the experiment harness use it to predict `k*` before
+//! running the message-level simulation.
+
+use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
+
+/// Result of a sequential improvement run.
+#[derive(Debug, Clone)]
+pub struct LocalSearchOutcome {
+    /// The improved tree.
+    pub tree: RootedTree,
+    /// Rounds executed, counting the final round that finds no improvement
+    /// (mirrors the distributed round counter).
+    pub rounds: usize,
+    /// Number of edge exchanges performed.
+    pub improvements: usize,
+}
+
+/// Runs the paper's improvement rule to a Locally Optimal Tree.
+///
+/// Each round targets the maximum-degree node of minimum identity `p`, splits
+/// `T − p` into the subtrees of `p`'s children (the fragments), and looks for
+/// a graph edge joining two different fragments whose endpoints both have tree
+/// degree at most `k − 2`. The best such edge (smallest maximum endpoint
+/// degree, identities as tie break) is exchanged against the tree edge from
+/// `p` to the fragment that reported it. The loop stops when `k ≤ 2` or no
+/// admissible edge exists.
+pub fn paper_local_search(
+    graph: &Graph,
+    initial: &RootedTree,
+) -> Result<LocalSearchOutcome, GraphError> {
+    initial.validate_against(graph)?;
+    let mut tree = initial.clone();
+    let n = graph.node_count();
+    let mut rounds = 0usize;
+    let mut improvements = 0usize;
+    loop {
+        rounds += 1;
+        let k = tree.max_degree();
+        if k <= 2 {
+            break;
+        }
+        let p = tree
+            .max_degree_min_id()
+            .expect("a non-empty tree has a maximum-degree node");
+        tree.reroot(p)?;
+
+        // Fragment of every node: the child of `p` whose subtree contains it.
+        let mut fragment_of: Vec<Option<NodeId>> = vec![None; n];
+        for &child in tree.children(p) {
+            for x in tree.subtree(child) {
+                fragment_of[x.index()] = Some(child);
+            }
+        }
+
+        // Best admissible outgoing edge, scored exactly like the distributed
+        // protocol: (max endpoint degree, smaller-fragment endpoint, other).
+        let mut best: Option<((usize, NodeId, NodeId), NodeId, NodeId, NodeId)> = None;
+        for (a, b) in graph.edges() {
+            if a == p || b == p {
+                continue;
+            }
+            let (fa, fb) = (fragment_of[a.index()], fragment_of[b.index()]);
+            let (fa, fb) = match (fa, fb) {
+                (Some(fa), Some(fb)) if fa != fb => (fa, fb),
+                _ => continue,
+            };
+            let (da, db) = (tree.degree(a), tree.degree(b));
+            if da + 2 > k || db + 2 > k {
+                continue;
+            }
+            // The endpoint in the smaller-identity fragment reports the edge.
+            let (u, v, cut_child) = if fa < fb { (a, b, fa) } else { (b, a, fb) };
+            let score = (da.max(db), u, v);
+            if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+                best = Some((score, u, v, cut_child));
+            }
+        }
+
+        match best {
+            None => break,
+            Some((_, u, v, cut_child)) => {
+                tree.exchange(p, cut_child, u, v)?;
+                improvements += 1;
+            }
+        }
+    }
+    Ok(LocalSearchOutcome {
+        tree,
+        rounds,
+        improvements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::{algorithms, generators};
+
+    #[test]
+    fn improves_the_star_seed_to_a_low_degree_tree() {
+        let g = generators::star_with_leaf_edges(10).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+        let out = paper_local_search(&g, &initial).unwrap();
+        assert!(out.tree.is_spanning_tree_of(&g));
+        assert!(out.tree.max_degree() <= 3);
+        assert_eq!(out.rounds, out.improvements + 1);
+        assert!(out.improvements >= initial.max_degree() - out.tree.max_degree());
+    }
+
+    #[test]
+    fn already_optimal_trees_are_left_alone() {
+        let g = generators::cycle(9).unwrap();
+        let initial = algorithms::dfs_tree(&g, NodeId(0)).unwrap();
+        let out = paper_local_search(&g, &initial).unwrap();
+        assert_eq!(out.improvements, 0);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.tree.max_degree(), 2);
+    }
+
+    #[test]
+    fn degree_is_monotonically_non_increasing() {
+        for seed in 0..8u64 {
+            let g = generators::gnp_connected(30, 0.15, seed).unwrap();
+            let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+            let out = paper_local_search(&g, &initial).unwrap();
+            assert!(out.tree.max_degree() <= initial.max_degree(), "seed {seed}");
+            assert!(out.tree.is_spanning_tree_of(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_foreign_initial_trees() {
+        let g = generators::path(5).unwrap();
+        let other = generators::star(5).unwrap();
+        let t = algorithms::bfs_tree(&other, NodeId(0)).unwrap();
+        assert!(paper_local_search(&g, &t).is_err());
+    }
+}

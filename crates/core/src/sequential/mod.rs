@@ -1,0 +1,24 @@
+//! Centralized baselines and oracles.
+//!
+//! Three sequential algorithms accompany the distributed protocol:
+//!
+//! * [`local_search::paper_local_search`] — a centralized mirror of the
+//!   paper's improvement rule (fragments around the minimum-identity
+//!   maximum-degree node, endpoints of degree at most `k − 2`, best edge by
+//!   smallest maximum endpoint degree). Because the distributed protocol's
+//!   decisions depend only on the tree structure and deterministic tie
+//!   breaking, the mirror must produce *the same sequence of trees*; the
+//!   cross-validation tests rely on that.
+//! * [`furer_raghavachari::furer_raghavachari`] — the sequential heuristic the
+//!   paper distributes ([3] in its bibliography), in a local-search
+//!   formulation that can also improve blocking degree-(k−1) vertices.
+//! * [`exact::exact_min_degree`] — branch-and-bound optimum for small
+//!   instances, the ground truth of the approximation-quality experiment (E5).
+
+pub mod exact;
+pub mod furer_raghavachari;
+pub mod local_search;
+
+pub use exact::{exact_min_degree, spanning_tree_with_max_degree};
+pub use furer_raghavachari::furer_raghavachari;
+pub use local_search::{paper_local_search, LocalSearchOutcome};

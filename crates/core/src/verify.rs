@@ -1,0 +1,126 @@
+//! Verification of protocol results.
+//!
+//! The correctness statement of the paper has two parts: the result is a
+//! spanning tree, and it is a *Locally Optimal Tree* — no outgoing edge
+//! between the fragments around the targeted maximum-degree node can lower the
+//! maximum degree (Theorem 1's condition restricted to the node the algorithm
+//! got stuck on). The functions here check both parts on the centralized
+//! snapshot of the final tree; they are used by the integration tests, the
+//! property tests and the experiment harness.
+
+use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
+
+/// Checks that `tree` is a spanning tree of `graph` (right node set, every
+/// tree edge a graph edge, connected and acyclic by construction of
+/// [`RootedTree`]).
+pub fn verify_spanning_tree(graph: &Graph, tree: &RootedTree) -> Result<(), GraphError> {
+    tree.validate_against(graph)
+}
+
+/// Whether no admissible exchange can lower the degree of `w`.
+///
+/// `w`'s removal splits the tree into fragments (one per tree neighbour of
+/// `w`); an admissible exchange needs a graph edge between two different
+/// fragments whose endpoints both have tree degree at most `k − 2`, where `k`
+/// is the maximum degree of the tree. Returns `true` when no such edge exists
+/// — the paper's stopping condition for the improvement of `w`.
+pub fn is_locally_optimal_for(graph: &Graph, tree: &RootedTree, w: NodeId) -> bool {
+    let k = tree.max_degree();
+    let fragments = tree.fragments_around(w);
+    let n = tree.node_count();
+    // fragment index per node; usize::MAX = the node w itself.
+    let mut fragment_of = vec![usize::MAX; n];
+    for (index, (_, members)) in fragments.iter().enumerate() {
+        for node in members {
+            fragment_of[node.index()] = index;
+        }
+    }
+    for (a, b) in graph.edges() {
+        if a == w || b == w {
+            continue;
+        }
+        if fragment_of[a.index()] == fragment_of[b.index()] {
+            continue;
+        }
+        if tree.degree(a) + 2 <= k && tree.degree(b) + 2 <= k {
+            return false;
+        }
+    }
+    true
+}
+
+/// The maximum-degree nodes of `tree` that are locally optimal (blocked).
+pub fn blocked_max_degree_nodes(graph: &Graph, tree: &RootedTree) -> Vec<NodeId> {
+    tree.max_degree_nodes()
+        .into_iter()
+        .filter(|&w| is_locally_optimal_for(graph, tree, w))
+        .collect()
+}
+
+/// The termination certificate of the distributed algorithm: either the tree
+/// already has the unimprovable degree 2 (or fewer nodes than that requires),
+/// or the maximum-degree node of minimum identity — the node the final round
+/// targeted — admits no improving exchange.
+pub fn verify_termination_certificate(graph: &Graph, tree: &RootedTree) -> bool {
+    let k = tree.max_degree();
+    if k <= 2 {
+        return true;
+    }
+    let p = tree
+        .max_degree_min_id()
+        .expect("a non-empty tree has a maximum-degree node");
+    is_locally_optimal_for(graph, tree, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::{algorithms, generators};
+
+    #[test]
+    fn star_tree_on_star_plus_path_is_not_locally_optimal() {
+        let g = generators::star_with_leaf_edges(8).unwrap();
+        let star = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+        assert!(!is_locally_optimal_for(&g, &star, NodeId(0)));
+        assert!(!verify_termination_certificate(&g, &star));
+    }
+
+    #[test]
+    fn star_tree_on_pure_star_is_locally_optimal() {
+        let g = generators::star(8).unwrap();
+        let star = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        assert!(is_locally_optimal_for(&g, &star, NodeId(0)));
+        assert!(verify_termination_certificate(&g, &star));
+        assert_eq!(blocked_max_degree_nodes(&g, &star), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn chains_are_always_certified() {
+        let g = generators::cycle(10).unwrap();
+        let chain = algorithms::dfs_tree(&g, NodeId(0)).unwrap();
+        assert!(verify_termination_certificate(&g, &chain));
+    }
+
+    #[test]
+    fn paper_local_search_results_are_certified() {
+        for seed in 0..6u64 {
+            let g = generators::gnp_connected(22, 0.2, seed).unwrap();
+            let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+            let out = crate::sequential::paper_local_search(&g, &initial).unwrap();
+            assert!(
+                verify_termination_certificate(&g, &out.tree),
+                "seed {seed}: result of the paper rule must be blocked"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_spanning_tree_rejects_foreign_trees() {
+        let g = generators::path(5).unwrap();
+        let other = generators::star(5).unwrap();
+        let t = algorithms::bfs_tree(&other, NodeId(0)).unwrap();
+        assert!(verify_spanning_tree(&g, &t).is_err());
+        let ok = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        assert!(verify_spanning_tree(&g, &ok).is_ok());
+    }
+}

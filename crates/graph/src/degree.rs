@@ -1,0 +1,97 @@
+//! Degree statistics helpers used when reporting experiment tables.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::tree::RootedTree;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a degree sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of nodes the statistics cover.
+    pub node_count: usize,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of nodes attaining the maximum degree.
+    pub max_count: usize,
+    /// Number of leaves (degree-1 nodes).
+    pub leaf_count: usize,
+}
+
+impl DegreeStats {
+    /// Statistics of an explicit degree sequence.
+    pub fn from_degrees(degrees: &[usize]) -> Self {
+        let n = degrees.len();
+        if n == 0 {
+            return DegreeStats {
+                node_count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                max_count: 0,
+                leaf_count: 0,
+            };
+        }
+        let min = *degrees.iter().min().unwrap();
+        let max = *degrees.iter().max().unwrap();
+        let sum: usize = degrees.iter().sum();
+        DegreeStats {
+            node_count: n,
+            min,
+            max,
+            mean: sum as f64 / n as f64,
+            max_count: degrees.iter().filter(|&&d| d == max).count(),
+            leaf_count: degrees.iter().filter(|&&d| d == 1).count(),
+        }
+    }
+
+    /// Degree statistics of a graph.
+    pub fn of_graph(g: &Graph) -> Self {
+        let degrees: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+        Self::from_degrees(&degrees)
+    }
+
+    /// Tree-degree statistics of a rooted tree.
+    pub fn of_tree(t: &RootedTree) -> Self {
+        let degrees: Vec<usize> = (0..t.node_count()).map(|u| t.degree(NodeId(u))).collect();
+        Self::from_degrees(&degrees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_sequence() {
+        let s = DegreeStats::from_degrees(&[]);
+        assert_eq!(s.node_count, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn star_graph_stats() {
+        let g = generators::star(6).unwrap();
+        let s = DegreeStats::of_graph(&g);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max_count, 1);
+        assert_eq!(s.leaf_count, 5);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_stats_match_graph_stats_of_same_structure() {
+        let g = generators::path(7).unwrap();
+        let t = crate::algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let sg = DegreeStats::of_graph(&g);
+        let st = DegreeStats::of_tree(&t);
+        assert_eq!(sg, st);
+    }
+}

@@ -1,0 +1,76 @@
+//! Graphviz DOT export.
+//!
+//! Used for debugging protocol runs and for rendering the reproduction of the
+//! paper's Figures 1 and 2 (tree edges are drawn solid, non-tree graph edges
+//! dashed, the improving edge highlighted).
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::tree::RootedTree;
+use std::fmt::Write as _;
+
+/// Renders the graph alone.
+pub fn graph_to_dot(g: &Graph) -> String {
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for u in g.nodes() {
+        let _ = writeln!(out, "  {};", u.index());
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {} -- {};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the graph with a spanning tree overlaid: tree edges solid and bold,
+/// the remaining graph edges dashed, the root drawn as a double circle and
+/// `highlight` edges (if any) drawn in a distinct style.
+pub fn overlay_to_dot(g: &Graph, t: &RootedTree, highlight: &[(NodeId, NodeId)]) -> String {
+    let is_highlighted = |u: NodeId, v: NodeId| {
+        highlight
+            .iter()
+            .any(|&(a, b)| (a == u && b == v) || (a == v && b == u))
+    };
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    let _ = writeln!(out, "  {} [shape=doublecircle];", t.root().index());
+    for (u, v) in g.edges() {
+        let style = if is_highlighted(u, v) {
+            "[style=bold, color=red, penwidth=2]"
+        } else if t.has_edge(u, v) {
+            "[style=solid, penwidth=2]"
+        } else {
+            "[style=dashed, color=gray]"
+        };
+        let _ = writeln!(out, "  {} -- {} {};", u.index(), v.index(), style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::bfs_tree;
+    use crate::generators;
+
+    #[test]
+    fn graph_dot_contains_all_edges() {
+        let g = generators::cycle(4).unwrap();
+        let dot = graph_to_dot(&g);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("0 -- 3"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn overlay_marks_tree_and_highlight_edges() {
+        let g = generators::complete(4).unwrap();
+        let t = bfs_tree(&g, NodeId(0)).unwrap();
+        let dot = overlay_to_dot(&g, &t, &[(NodeId(1), NodeId(2))]);
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("penwidth=2"));
+    }
+}

@@ -1,0 +1,550 @@
+//! Graph families used by the experiments.
+//!
+//! The paper evaluates nothing empirically, so the experiment harness needs
+//! its own workloads. The families below cover the cases the paper reasons
+//! about analytically:
+//!
+//! * [`complete`] graphs — the Korach–Moran–Zaks lower-bound comparison (E6);
+//! * [`gnp`] Erdős–Rényi graphs — the message/time scaling sweeps (E1/E2);
+//! * [`star_with_leaf_edges`] — the worst case the complexity analysis cites
+//!   (initial spanning tree of degree `n − 1` that can be improved down to a
+//!   small degree);
+//! * structured topologies (grid, hypercube, wheel, cycle, caterpillar,
+//!   barbell, lollipop, complete bipartite, Petersen) — the topology sweep of
+//!   example `topology_sweep` and experiment E7;
+//! * [`random_connected`] — property tests on arbitrary connected graphs.
+//!
+//! Every random generator takes an explicit seed so experiment tables are
+//! reproducible run to run.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::NodeId;
+use crate::Result;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Result<Graph> {
+    require(n >= 1, "complete graph needs at least one node")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(NodeId(u), NodeId(v))?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The path `P_n` (`0 – 1 – … – n−1`).
+pub fn path(n: usize) -> Result<Graph> {
+    require(n >= 1, "path needs at least one node")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(NodeId(u - 1), NodeId(u))?;
+    }
+    Ok(b.build())
+}
+
+/// The cycle `C_n` (requires `n ≥ 3`).
+pub fn cycle(n: usize) -> Result<Graph> {
+    require(n >= 3, "cycle needs at least three nodes")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(NodeId(u), NodeId((u + 1) % n))?;
+    }
+    Ok(b.build())
+}
+
+/// The star `S_{n−1}`: node 0 linked to every other node.
+pub fn star(n: usize) -> Result<Graph> {
+    require(n >= 2, "star needs at least two nodes")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(NodeId(0), NodeId(u))?;
+    }
+    Ok(b.build())
+}
+
+/// The wheel `W_n`: a cycle on nodes `1..n` plus a hub (node 0) linked to all.
+pub fn wheel(n: usize) -> Result<Graph> {
+    require(n >= 4, "wheel needs at least four nodes")?;
+    let mut b = GraphBuilder::new(n);
+    let rim = n - 1;
+    for i in 0..rim {
+        let u = 1 + i;
+        let v = 1 + (i + 1) % rim;
+        b.add_edge_idempotent(NodeId(u), NodeId(v))?;
+        b.add_edge(NodeId(0), NodeId(u))?;
+    }
+    Ok(b.build())
+}
+
+/// The star on `n` nodes augmented with a cycle through the leaves.
+///
+/// This is the canonical worst case for the algorithm's round count: any
+/// spanning-tree construction that picks the star (degree `n − 1`) forces the
+/// improvement loop to run roughly `n` rounds before reaching the
+/// Hamiltonian-path-like optimum of degree 2.
+pub fn star_with_leaf_edges(n: usize) -> Result<Graph> {
+    require(n >= 4, "star with leaf edges needs at least four nodes")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(NodeId(0), NodeId(u))?;
+    }
+    for u in 1..n - 1 {
+        b.add_edge(NodeId(u), NodeId(u + 1))?;
+    }
+    Ok(b.build())
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
+    require(rows >= 1 && cols >= 1, "grid needs positive dimensions")?;
+    let idx = |r: usize, c: usize| NodeId(r * cols + c);
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1))?;
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+pub fn hypercube(d: usize) -> Result<Graph> {
+    require(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20")?;
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(NodeId(u), NodeId(v))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// The complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b_: usize) -> Result<Graph> {
+    require(a >= 1 && b_ >= 1, "both sides of K_{a,b} must be non-empty")?;
+    let mut b = GraphBuilder::new(a + b_);
+    for u in 0..a {
+        for v in 0..b_ {
+            b.add_edge(NodeId(u), NodeId(a + v))?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// The Petersen graph (10 nodes, 15 edges, 3-regular).
+pub fn petersen() -> Result<Graph> {
+    let mut b = GraphBuilder::new(10);
+    for u in 0..5 {
+        // Outer pentagon.
+        b.add_edge(NodeId(u), NodeId((u + 1) % 5))?;
+        // Spokes.
+        b.add_edge(NodeId(u), NodeId(u + 5))?;
+        // Inner pentagram.
+        b.add_edge(NodeId(5 + u), NodeId(5 + (u + 2) % 5))?;
+    }
+    Ok(b.build())
+}
+
+/// A complete binary tree on `n` nodes (heap indexing) with `extra` additional
+/// random non-tree edges, seeded.
+pub fn binary_tree_plus(n: usize, extra: usize, seed: u64) -> Result<Graph> {
+    require(n >= 1, "binary tree needs at least one node")?;
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(NodeId(u), NodeId((u - 1) / 2))?;
+    }
+    add_random_extra_edges(&mut b, extra, seed)?;
+    Ok(b.build())
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each spine node carrying
+/// `legs` pendant leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
+    require(spine >= 1, "caterpillar needs a non-empty spine")?;
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(NodeId(s - 1), NodeId(s))?;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(NodeId(s), NodeId(spine + s * legs + l))?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// A barbell: two cliques of size `k` joined by a path of `bridge` nodes.
+pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
+    require(k >= 2, "barbell cliques need at least two nodes")?;
+    let n = 2 * k + bridge;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(NodeId(u), NodeId(v))?;
+            b.add_edge(NodeId(k + bridge + u), NodeId(k + bridge + v))?;
+        }
+    }
+    // Path through the bridge nodes, attached to one node of each clique.
+    let mut prev = NodeId(k - 1);
+    for i in 0..bridge {
+        let cur = NodeId(k + i);
+        b.add_edge(prev, cur)?;
+        prev = cur;
+    }
+    b.add_edge(prev, NodeId(k + bridge))?;
+    Ok(b.build())
+}
+
+/// A lollipop: a clique of size `k` with a path of `tail` nodes hanging off it.
+pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
+    require(k >= 2, "lollipop clique needs at least two nodes")?;
+    let n = k + tail;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(NodeId(u), NodeId(v))?;
+        }
+    }
+    let mut prev = NodeId(k - 1);
+    for i in 0..tail {
+        let cur = NodeId(k + i);
+        b.add_edge(prev, cur)?;
+        prev = cur;
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair is linked independently with probability
+/// `p`. The result may be disconnected; use [`gnp_connected`] when the
+/// experiment needs a connected network.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph> {
+    require(n >= 1, "G(n,p) needs at least one node")?;
+    require((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]")?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(NodeId(u), NodeId(v))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, p)` conditioned on connectivity: a uniform random
+/// spanning tree (random Prüfer-like attachment) is inserted first and the
+/// remaining pairs are sampled with probability `p`.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph> {
+    require(n >= 1, "G(n,p) needs at least one node")?;
+    require((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]")?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    insert_random_spanning_tree(&mut b, &mut rng)?;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !b.has_edge(NodeId(u), NodeId(v)) && rng.gen::<f64>() < p {
+                b.add_edge(NodeId(u), NodeId(v))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A random geometric graph: `n` points in the unit square, linked when their
+/// Euclidean distance is below `radius`, made connected by adding a random
+/// spanning tree of the points in left-to-right order.
+pub fn random_geometric_connected(n: usize, radius: f64, seed: u64) -> Result<Graph> {
+    require(n >= 1, "geometric graph needs at least one node")?;
+    require(radius > 0.0, "radius must be positive")?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if (dx * dx + dy * dy).sqrt() <= radius {
+                b.add_edge(NodeId(u), NodeId(v))?;
+            }
+        }
+    }
+    // Connect by chaining points in x order (a plausible backbone).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &c| points[a].0.partial_cmp(&points[c].0).unwrap());
+    for w in order.windows(2) {
+        b.add_edge_idempotent(NodeId(w[0]), NodeId(w[1]))?;
+    }
+    Ok(b.build())
+}
+
+/// A random connected graph: a random spanning tree plus `extra` additional
+/// random edges (deduplicated, so the result has at most `n − 1 + extra`
+/// edges).
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Result<Graph> {
+    require(n >= 1, "random connected graph needs at least one node")?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    insert_random_spanning_tree(&mut b, &mut rng)?;
+    add_random_extra_edges(&mut b, extra, rng.gen())?;
+    Ok(b.build())
+}
+
+/// A random graph whose *every* spanning tree has high degree: a "broom"
+/// family where one cut vertex must carry many subtrees. Used by the
+/// approximation-quality experiment to exercise instances with Δ* well above 2.
+pub fn high_optimum(branches: usize, branch_len: usize) -> Result<Graph> {
+    require(branches >= 2, "high_optimum needs at least two branches")?;
+    require(branch_len >= 1, "branches must be non-empty")?;
+    let n = 1 + branches * branch_len;
+    let mut b = GraphBuilder::new(n);
+    for br in 0..branches {
+        let base = 1 + br * branch_len;
+        b.add_edge(NodeId(0), NodeId(base))?;
+        for i in 1..branch_len {
+            b.add_edge(NodeId(base + i - 1), NodeId(base + i))?;
+        }
+    }
+    Ok(b.build())
+}
+
+fn require(cond: bool, msg: &str) -> Result<()> {
+    if cond {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidParameter(msg.to_string()))
+    }
+}
+
+/// Inserts a uniform-ish random spanning tree into `b`: nodes are shuffled and
+/// each node (after the first) attaches to a uniformly random earlier node.
+fn insert_random_spanning_tree(b: &mut GraphBuilder, rng: &mut SmallRng) -> Result<()> {
+    let n = b.node_count();
+    if n <= 1 {
+        return Ok(());
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge_idempotent(NodeId(order[i]), NodeId(order[j]))?;
+    }
+    Ok(())
+}
+
+/// Adds up to `extra` random non-tree edges (sampling with rejection, bounded
+/// attempts so dense graphs cannot loop forever).
+fn add_random_extra_edges(b: &mut GraphBuilder, extra: usize, seed: u64) -> Result<()> {
+    let n = b.node_count();
+    if n < 2 {
+        return Ok(());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let max_edges = n * (n - 1) / 2;
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && b.edge_count() < max_edges && attempts < 20 * extra + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        if b.add_edge_idempotent(NodeId(u), NodeId(v))? {
+            added += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = path(5).unwrap();
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.max_degree(), 2);
+        assert_eq!(p.min_degree(), 1);
+        let c = cycle(5).unwrap();
+        assert_eq!(c.edge_count(), 5);
+        assert_eq!(c.max_degree(), 2);
+        assert_eq!(c.min_degree(), 2);
+    }
+
+    #[test]
+    fn star_and_wheel_shapes() {
+        let s = star(7).unwrap();
+        assert_eq!(s.degree(NodeId(0)), 6);
+        assert_eq!(s.edge_count(), 6);
+        let w = wheel(7).unwrap();
+        assert_eq!(w.degree(NodeId(0)), 6);
+        assert_eq!(w.edge_count(), 12);
+        for u in 1..7 {
+            assert_eq!(w.degree(NodeId(u)), 3);
+        }
+    }
+
+    #[test]
+    fn star_with_leaf_edges_is_connected_and_has_ham_path() {
+        let g = star_with_leaf_edges(8).unwrap();
+        assert!(algorithms::is_connected(&g));
+        assert_eq!(g.degree(NodeId(0)), 7);
+        // Leaves 1..6 form a path, so a spanning tree of degree 2 exists.
+        assert!(g.has_edge(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert!(algorithms::is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_is_regular() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        assert!(algorithms::is_connected(&g));
+    }
+
+    #[test]
+    fn petersen_is_three_regular() {
+        let g = petersen().unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 3);
+        }
+        assert!(algorithms::is_connected(&g));
+    }
+
+    #[test]
+    fn caterpillar_counts() {
+        let g = caterpillar(4, 3).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 15);
+        assert!(algorithms::is_connected(&g));
+        assert_eq!(g.degree(NodeId(1)), 2 + 3);
+    }
+
+    #[test]
+    fn barbell_and_lollipop_connected() {
+        let b = barbell(4, 2).unwrap();
+        assert!(algorithms::is_connected(&b));
+        assert_eq!(b.node_count(), 10);
+        let l = lollipop(5, 3).unwrap();
+        assert!(algorithms::is_connected(&l));
+        assert_eq!(l.node_count(), 8);
+        assert_eq!(l.degree(NodeId(7)), 1);
+    }
+
+    #[test]
+    fn gnp_is_seed_deterministic() {
+        let a = gnp(30, 0.2, 42).unwrap();
+        let b = gnp(30, 0.2, 42).unwrap();
+        let c = gnp(30, 0.2, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extreme_probabilities() {
+        assert_eq!(gnp(10, 0.0, 1).unwrap().edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).unwrap().edge_count(), 45);
+        assert!(gnp(10, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_connected_is_connected_even_for_tiny_p() {
+        for seed in 0..5 {
+            let g = gnp_connected(40, 0.01, seed).unwrap();
+            assert!(algorithms::is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_connected_has_requested_size() {
+        let g = random_connected(25, 30, 7).unwrap();
+        assert!(algorithms::is_connected(&g));
+        assert!(g.edge_count() >= 24);
+        assert!(g.edge_count() <= 24 + 30);
+    }
+
+    #[test]
+    fn random_geometric_is_connected() {
+        for seed in 0..3 {
+            let g = random_geometric_connected(30, 0.2, seed).unwrap();
+            assert!(algorithms::is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn binary_tree_plus_contains_tree() {
+        let g = binary_tree_plus(15, 5, 3).unwrap();
+        assert!(algorithms::is_connected(&g));
+        assert!(g.edge_count() >= 14);
+    }
+
+    #[test]
+    fn high_optimum_center_is_cut_vertex() {
+        let g = high_optimum(5, 3).unwrap();
+        assert_eq!(g.node_count(), 16);
+        assert!(algorithms::is_connected(&g));
+        assert_eq!(g.degree(NodeId(0)), 5);
+        // Every spanning tree must use all five centre edges (they are bridges),
+        // so the optimum degree is exactly 5.
+        let arts = algorithms::articulation_points(&g);
+        assert!(arts.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(cycle(2).is_err());
+        assert!(star(1).is_err());
+        assert!(wheel(3).is_err());
+        assert!(hypercube(0).is_err());
+        assert!(complete(0).is_err());
+        assert!(gnp(0, 0.5, 1).is_err());
+        assert!(high_optimum(1, 2).is_err());
+        assert!(random_geometric_connected(5, 0.0, 1).is_err());
+    }
+}

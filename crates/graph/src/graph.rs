@@ -1,0 +1,375 @@
+//! Undirected simple graph stored as adjacency lists.
+//!
+//! This is the communication graph of the paper's model: nodes are processors,
+//! edges are bidirectional, non-interfering links. The structure is immutable
+//! once built (networks do not change during a run), which lets the simulator
+//! and every protocol share it behind a plain reference.
+
+use crate::error::GraphError;
+use crate::node::NodeId;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Stable identifier of an undirected edge, a dense index into the edge table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl EdgeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An immutable undirected simple graph (no self loops, no parallel edges).
+///
+/// Nodes are the dense range `0..node_count()`; adjacency lists are kept sorted
+/// by neighbour identity so iteration order is deterministic, which in turn
+/// keeps the discrete-event simulator reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `adj[u]` lists `(neighbour, edge id)` pairs sorted by neighbour.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Edge table: `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identities `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Iterator over all edges together with their stable identifiers.
+    pub fn edges_with_ids(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (EdgeId(i), u, v))
+    }
+
+    /// The endpoints `(u, v)` (with `u < v`) of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Sorted neighbours of `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[u.index()].iter().map(|&(v, _)| v)
+    }
+
+    /// Sorted neighbours of `u` together with the connecting edge identifiers.
+    pub fn neighbors_with_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[u.index()].iter().copied()
+    }
+
+    /// Degree of `u` in the graph (number of incident links).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Maximum degree over all nodes, `0` for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(NodeId(u))).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes, `0` for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        (0..self.node_count()).map(|u| self.degree(NodeId(u))).min().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_id(u, v).is_some()
+    }
+
+    /// The identifier of the edge `(u, v)` if it exists.
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if u.index() >= self.node_count() || v.index() >= self.node_count() {
+            return None;
+        }
+        self.adj[u.index()]
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|pos| self.adj[u.index()][pos].1)
+    }
+
+    /// Checks that `u` is a valid node of this graph.
+    pub fn check_node(&self, u: NodeId) -> Result<()> {
+        if u.index() < self.node_count() {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count(),
+            })
+        }
+    }
+
+    /// Sum of all degrees; always `2·|E|`.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Returns the complement set of edges (pairs of distinct nodes that are
+    /// *not* linked). Used by tests and by crafted worst-case generators.
+    pub fn non_edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for u in 0..self.node_count() {
+            for v in (u + 1)..self.node_count() {
+                if !self.has_edge(NodeId(u), NodeId(v)) {
+                    out.push((NodeId(u), NodeId(v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the subgraph induced by `keep` (nodes are re-indexed densely in
+    /// ascending order of their original identity). Returns the subgraph and
+    /// the mapping `new index -> old identity`.
+    pub fn induced_subgraph(&self, keep: &BTreeSet<NodeId>) -> (Graph, Vec<NodeId>) {
+        let old_of_new: Vec<NodeId> = keep.iter().copied().collect();
+        let mut new_of_old = vec![usize::MAX; self.node_count()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old.index()] = new;
+        }
+        let mut builder = GraphBuilder::new(old_of_new.len());
+        for &(u, v) in &self.edges {
+            if keep.contains(&u) && keep.contains(&v) {
+                builder
+                    .add_edge(NodeId(new_of_old[u.index()]), NodeId(new_of_old[v.index()]))
+                    .expect("induced edges are valid and unique");
+            }
+        }
+        (builder.build(), old_of_new)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// The builder enforces the model's structural constraints (no self loops, no
+/// parallel edges, identifiers in range) and sorts adjacency lists on
+/// [`GraphBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes of the graph being built.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the undirected edge `(u, v)` has already been added.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// Errors on out-of-range endpoints, self loops and duplicates.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
+        if u.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.n,
+            });
+        }
+        if v.index() >= self.n {
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !self.edges.insert(key) {
+            return Err(GraphError::DuplicateEdge(key.0, key.1));
+        }
+        Ok(())
+    }
+
+    /// Adds the edge if it is not already present; ignores duplicates but still
+    /// rejects self loops and out-of-range endpoints.
+    pub fn add_edge_idempotent(&mut self, u: NodeId, v: NodeId) -> Result<bool> {
+        if self.has_edge(u, v) {
+            // Still validate endpoints so silent no-ops cannot hide bugs.
+            if u.index() >= self.n || v.index() >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: if u.index() >= self.n { u } else { v },
+                    node_count: self.n,
+                });
+            }
+            return Ok(false);
+        }
+        self.add_edge(u, v)?;
+        Ok(true)
+    }
+
+    /// Finalises the graph.
+    pub fn build(self) -> Graph {
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (i, (u, v)) in self.edges.into_iter().enumerate() {
+            adj[u.index()].push((v, EdgeId(i)));
+            adj[v.index()].push((u, EdgeId(i)));
+            edges.push((u, v));
+        }
+        for list in &mut adj {
+            list.sort_unstable_by_key(|&(v, _)| v);
+        }
+        Graph { adj, edges }
+    }
+}
+
+/// Builds a graph directly from an edge list over `n` nodes.
+///
+/// Convenience for tests and examples; duplicate edges and self loops are
+/// rejected exactly as by [`GraphBuilder::add_edge`].
+pub fn graph_from_edges(n: usize, edge_list: &[(usize, usize)]) -> Result<Graph> {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edge_list {
+        b.add_edge(NodeId(u), NodeId(v))?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_edges() {
+        let g = Graph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.degree_sum(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop(NodeId(1))));
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_in_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1)).unwrap();
+        assert!(matches!(b.add_edge(NodeId(1), NodeId(0)), Err(GraphError::DuplicateEdge(_, _))));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        assert!(matches!(
+            b.add_edge(NodeId(0), NodeId(3)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn idempotent_insert_reports_novelty() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_idempotent(NodeId(0), NodeId(1)).unwrap());
+        assert!(!b.add_edge_idempotent(NodeId(1), NodeId(0)).unwrap());
+        assert_eq!(b.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = graph_from_edges(4, &[(0, 3), (0, 1), (2, 0), (1, 3)]).unwrap();
+        let n0: Vec<_> = g.neighbors(NodeId(0)).collect();
+        assert_eq!(n0, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(2)), 1);
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+        assert_eq!(g.degree_sum(), 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edge_ids_are_stable_and_consistent() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        for (id, u, v) in g.edges_with_ids() {
+            assert_eq!(g.endpoints(id), (u, v));
+            assert_eq!(g.edge_id(u, v), Some(id));
+            assert_eq!(g.edge_id(v, u), Some(id));
+        }
+    }
+
+    #[test]
+    fn non_edges_complement_edges() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let non = g.non_edges();
+        assert_eq!(non.len(), 6 - 3);
+        for &(u, v) in &non {
+            assert!(!g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]).unwrap();
+        let keep: BTreeSet<NodeId> = [NodeId(1), NodeId(2), NodeId(3)].into_iter().collect();
+        let (sub, mapping) = g.induced_subgraph(&keep);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(mapping, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn check_node_bounds() {
+        let g = Graph::empty(2);
+        assert!(g.check_node(NodeId(1)).is_ok());
+        assert!(g.check_node(NodeId(2)).is_err());
+    }
+}

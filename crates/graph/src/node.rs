@@ -1,0 +1,70 @@
+//! Node identifiers.
+//!
+//! The paper assumes *named* networks: every processor carries a distinct
+//! identity and ties (e.g. between several maximum-degree nodes) are broken by
+//! taking the minimum identity. [`NodeId`] is that identity. It is a dense
+//! index into the graph's node table, which keeps the simulator's routing
+//! tables simple, while the ordering of the underlying integer provides the
+//! total order the protocol needs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a node (processor) in the network.
+///
+/// Identities are dense indices `0..n`, totally ordered; the distributed
+/// algorithm only ever uses the ordering (minimum-identity tie breaking) and
+/// equality, never arithmetic on identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_underlying_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(10) > NodeId(2));
+        assert_eq!(NodeId(3), NodeId(3));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id: NodeId = 7usize.into();
+        assert_eq!(id.index(), 7);
+        let back: usize = id.into();
+        assert_eq!(back, 7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId(12).to_string(), "v12");
+    }
+}

@@ -1,0 +1,85 @@
+//! # mdst — distributed Minimum Degree Spanning Tree
+//!
+//! Facade crate of the reproduction of Blin & Butelle, *"The First
+//! Approximated Distributed Algorithm for the Minimum Degree Spanning Tree
+//! Problem on General Graphs"* (IPPS 2003 / IJFCS 2004). It re-exports the
+//! public API of the four implementation crates and hosts the workspace-level
+//! examples and integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mdst::prelude::*;
+//!
+//! // A network: a star whose leaves also form a path (the paper's worst case
+//! // for an initial spanning tree of degree n − 1).
+//! let graph = generators::star_with_leaf_edges(10).unwrap();
+//!
+//! // Full pipeline: build an initial spanning tree with the greedy-hub
+//! // construction, then run the distributed improvement protocol.
+//! let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+//!
+//! assert_eq!(report.initial_degree, 9);
+//! assert!(report.final_degree <= 3);
+//! assert!(report.final_tree.is_spanning_tree_of(&graph));
+//! println!(
+//!     "degree {} -> {} in {} rounds, {} messages",
+//!     report.initial_degree,
+//!     report.final_degree,
+//!     report.rounds,
+//!     report.improvement_metrics.messages_total
+//! );
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`mdst_graph`] | graphs, rooted trees, generators, classic algorithms |
+//! | [`mdst_netsim`] | asynchronous message-passing simulator + threaded runtime |
+//! | [`mdst_spanning`] | distributed spanning-tree constructions (the startup step) |
+//! | [`mdst_core`] | the distributed MDegST protocol, baselines, bounds, verification |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mdst_core as core;
+pub use mdst_graph as graph;
+pub use mdst_netsim as netsim;
+pub use mdst_spanning as spanning;
+
+/// Everything a typical user or experiment needs in scope.
+pub mod prelude {
+    pub use mdst_core::bounds::{degree_lower_bound, kmz_message_lower_bound, kmz_ratio};
+    pub use mdst_core::distributed::{Candidate, MdstMsg, MdstNode};
+    pub use mdst_core::driver::{
+        run_distributed_mdst, run_pipeline, MdstRun, PipelineConfig, PipelineReport,
+    };
+    pub use mdst_core::sequential::{
+        exact_min_degree, furer_raghavachari, paper_local_search, spanning_tree_with_max_degree,
+    };
+    pub use mdst_core::verify::{
+        blocked_max_degree_nodes, is_locally_optimal_for, verify_spanning_tree,
+        verify_termination_certificate,
+    };
+    pub use mdst_graph::{algorithms, degree::DegreeStats, dot, generators};
+    pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
+    pub use mdst_netsim::{
+        Context, DelayModel, Metrics, NetMessage, Protocol, SimConfig, Simulator, StartModel,
+        ThreadedRuntime,
+    };
+    pub use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind, TreeState};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let graph = generators::complete(8).unwrap();
+        let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+        assert!(report.final_degree <= 3);
+        assert!(verify_termination_certificate(&graph, &report.final_tree));
+    }
+}

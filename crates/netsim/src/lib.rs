@@ -1,0 +1,46 @@
+//! # mdst-netsim
+//!
+//! The asynchronous point-to-point message-passing substrate of the
+//! reproduction: the network model of §2 of Blin & Butelle as an executable
+//! artefact.
+//!
+//! The paper analyses an *event-driven* asynchronous network: processors react
+//! to messages only (no timeouts, no global clock), links are bidirectional and
+//! FIFO, the message complexity is the total number of messages exchanged and
+//! the time complexity is the length of the longest causal chain assuming every
+//! hop costs at most one time unit. This crate provides two interchangeable
+//! executions of that model:
+//!
+//! * [`sim::Simulator`] — a deterministic discrete-event simulator with a
+//!   pluggable [`delay::DelayModel`] (unit delays for the paper's time
+//!   accounting, seeded random delays and adversarial per-link delays for
+//!   robustness experiments). It measures exactly the quantities the paper's
+//!   analysis talks about: message count per message kind, total encoded bits,
+//!   and the longest causal dependency chain.
+//! * [`threaded::ThreadedRuntime`] — the same [`protocol::Protocol`] state
+//!   machines driven by real OS threads communicating over crossbeam channels,
+//!   demonstrating that the protocol tolerates genuine nondeterministic
+//!   scheduling, not just simulated asynchrony.
+//!
+//! Protocols are written once against the [`protocol::Protocol`] trait and run
+//! unchanged on both runtimes; the `mdst-spanning` and `mdst-core` crates
+//! provide the actual protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod message;
+pub mod metrics;
+pub mod protocol;
+pub mod sim;
+pub mod threaded;
+pub mod trace;
+
+pub use delay::DelayModel;
+pub use message::NetMessage;
+pub use metrics::Metrics;
+pub use protocol::{Context, Protocol};
+pub use sim::{SimConfig, SimError, Simulator, StartModel};
+pub use threaded::ThreadedRuntime;
+pub use trace::{TraceEvent, TraceEventKind, TraceRecorder};

@@ -1,0 +1,65 @@
+//! Message abstraction.
+//!
+//! The paper's complexity analysis distinguishes message *kinds* (SearchDegree,
+//! MoveRoot, Cut, BFS, BFSBack, Update, Child, Stop) and argues that every
+//! message carries `O(log n)` bits ("at most four numbers or identities by
+//! message"). The [`NetMessage`] trait exposes exactly those two facets so the
+//! simulator can produce the per-kind message table (experiment E3) and the
+//! bit-complexity table (experiment E4) for any protocol without knowing its
+//! concrete message enum.
+
+/// Behaviour every protocol message must provide to the runtimes.
+pub trait NetMessage: Clone + Send + std::fmt::Debug + 'static {
+    /// Short, static name of the message kind, used to group counters
+    /// (e.g. `"BFS"`, `"BFSBack"`, `"Update"`).
+    fn kind(&self) -> &'static str;
+
+    /// Number of bits a reasonable wire encoding of this message would use.
+    ///
+    /// Identities and degrees are counted as `ceil(log2(n))`-bit numbers by the
+    /// protocols; the default helpers in [`bits`] make that convenient.
+    fn encoded_bits(&self) -> usize;
+}
+
+/// Helpers for computing encoded sizes.
+pub mod bits {
+    /// Number of bits needed to represent one identity or degree in a network
+    /// of `n` nodes (at least 1).
+    pub fn id_bits(n: usize) -> usize {
+        (usize::BITS - n.max(2).saturating_sub(1).leading_zeros()) as usize
+    }
+
+    /// Size of a message carrying `fields` identities/degrees plus a small
+    /// constant tag of 4 bits for the message kind.
+    pub fn message_bits(n: usize, fields: usize) -> usize {
+        4 + fields * id_bits(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bits::*;
+
+    #[test]
+    fn id_bits_grows_logarithmically() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(16), 4);
+        assert_eq!(id_bits(17), 5);
+        assert_eq!(id_bits(1024), 10);
+    }
+
+    #[test]
+    fn id_bits_handles_degenerate_networks() {
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+    }
+
+    #[test]
+    fn message_bits_counts_fields() {
+        assert_eq!(message_bits(16, 0), 4);
+        assert_eq!(message_bits(16, 4), 4 + 4 * 4);
+        assert!(message_bits(1 << 20, 4) > message_bits(16, 4));
+    }
+}

@@ -1,0 +1,300 @@
+//! Threaded runtime: the same protocols on real OS threads.
+//!
+//! The discrete-event simulator is where the complexity measurements come
+//! from, but a simulator can hide accidental synchrony assumptions. This
+//! runtime spawns one thread per node, connects them with unbounded crossbeam
+//! channels (FIFO, like the paper's links) and lets the operating system
+//! schedule deliveries. Termination is detected with a conservative
+//! outstanding-work counter: it counts every queued-or-being-processed message
+//! (plus the initial wake-ups), so it reaches zero exactly when the network is
+//! quiescent.
+//!
+//! The runtime reports the same [`Metrics`] as the simulator (message counts,
+//! bits, causal depth) plus the wall-clock duration; the quiescence clock is
+//! not meaningful here and is left at the maximum causal depth.
+
+use crate::message::NetMessage;
+use crate::metrics::Metrics;
+use crate::protocol::{Context, Protocol};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use mdst_graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A message in flight between two node threads.
+struct Envelope<M> {
+    from: NodeId,
+    msg: M,
+    causal_depth: u64,
+}
+
+/// Context implementation backed by crossbeam channels.
+struct ThreadCtx<'a, M> {
+    id: NodeId,
+    neighbors: &'a [NodeId],
+    network_size: usize,
+    senders: &'a [Sender<Envelope<M>>],
+    outstanding: &'a AtomicI64,
+    current_depth: u64,
+}
+
+impl<M: NetMessage> Context<M> for ThreadCtx<'_, M> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "protocol bug: {} tried to send {:?} to non-neighbour {}",
+            self.id,
+            msg,
+            to
+        );
+        // Count the message as outstanding *before* it becomes visible to the
+        // receiver so the termination detector can never observe a false zero.
+        // Send/receive statistics are recorded once, by the receiving thread's
+        // `record_delivery`, exactly as in the simulator.
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.senders[to.index()]
+            .send(Envelope {
+                from: self.id,
+                msg,
+                causal_depth: self.current_depth + 1,
+            })
+            .expect("receiver thread lives until shutdown");
+    }
+    fn network_size(&self) -> usize {
+        self.network_size
+    }
+}
+
+/// Result of a threaded execution.
+pub struct ThreadedRun<P> {
+    /// Final protocol state of every node, indexed by identity.
+    pub nodes: Vec<P>,
+    /// Aggregated metrics (message counts, bits, causal depth).
+    pub metrics: Metrics,
+    /// Wall-clock duration from the first wake-up to quiescence.
+    pub wall_time: Duration,
+}
+
+/// Runs protocols on one OS thread per node. See the module documentation.
+pub struct ThreadedRuntime;
+
+impl ThreadedRuntime {
+    /// Executes the protocol on `graph` until quiescence and returns the final
+    /// node states plus metrics. All nodes wake up spontaneously (the
+    /// simultaneous start model); protocols that need a single initiator
+    /// simply make `on_start` a no-op on the other nodes.
+    pub fn run<P, F>(graph: &Graph, mut factory: F) -> ThreadedRun<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        let n = graph.node_count();
+        let neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| graph.neighbors(NodeId(u)).collect())
+            .collect();
+        let mut protocols: Vec<Option<P>> = (0..n)
+            .map(|u| Some(factory(NodeId(u), &neighbors[u])))
+            .collect();
+
+        let mut senders: Vec<Sender<Envelope<P::Message>>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Receiver<Envelope<P::Message>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        // One outstanding unit per initial wake-up.
+        let outstanding = Arc::new(AtomicI64::new(n as i64));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+
+        let mut handles = Vec::with_capacity(n);
+        for u in 0..n {
+            let rx = receivers[u].clone();
+            let senders = Arc::clone(&senders);
+            let outstanding = Arc::clone(&outstanding);
+            let shutdown = Arc::clone(&shutdown);
+            let my_neighbors = neighbors[u].clone();
+            let mut protocol = protocols[u].take().expect("each node taken once");
+            let handle = std::thread::spawn(move || {
+                let mut metrics = Metrics::new(n);
+                {
+                    let mut ctx = ThreadCtx {
+                        id: NodeId(u),
+                        neighbors: &my_neighbors,
+                        network_size: n,
+                        senders: &senders,
+                        outstanding: &outstanding,
+                        current_depth: 0,
+                    };
+                    protocol.on_start(&mut ctx);
+                }
+                // The wake-up itself is now fully processed.
+                outstanding.fetch_sub(1, Ordering::SeqCst);
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(envelope) => {
+                            metrics.record_delivery(
+                                envelope.from.index(),
+                                u,
+                                envelope.msg.kind(),
+                                envelope.msg.encoded_bits(),
+                                envelope.causal_depth,
+                                envelope.causal_depth,
+                            );
+                            let mut ctx = ThreadCtx {
+                                id: NodeId(u),
+                                neighbors: &my_neighbors,
+                                network_size: n,
+                                senders: &senders,
+                                outstanding: &outstanding,
+                                current_depth: envelope.causal_depth,
+                            };
+                            protocol.on_message(envelope.from, envelope.msg, &mut ctx);
+                            outstanding.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Err(_) => {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                (protocol, metrics)
+            });
+            handles.push(handle);
+        }
+
+        // Termination detector: once nothing is outstanding, the network is
+        // quiescent forever (messages are only created while processing one).
+        loop {
+            if outstanding.load(Ordering::SeqCst) == 0 {
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let wall_time = start.elapsed();
+
+        let mut nodes = Vec::with_capacity(n);
+        let mut metrics = Metrics::new(n);
+        for handle in handles {
+            let (protocol, m) = handle.join().expect("node thread does not panic");
+            nodes.push(protocol);
+            metrics.merge(&m);
+        }
+        metrics.quiescence_time = metrics.causal_time;
+        ThreadedRun {
+            nodes,
+            metrics,
+            wall_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::bits::message_bits;
+    use mdst_graph::generators;
+
+    #[derive(Debug, Clone)]
+    struct Token {
+        n: usize,
+    }
+    impl NetMessage for Token {
+        fn kind(&self) -> &'static str {
+            "Token"
+        }
+        fn encoded_bits(&self) -> usize {
+            message_bits(self.n, 1)
+        }
+    }
+
+    /// Same flooding protocol as in the simulator tests.
+    struct Flood {
+        id: NodeId,
+        seen: bool,
+    }
+    impl Protocol for Flood {
+        type Message = Token;
+        fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+            if self.id == NodeId(0) {
+                self.seen = true;
+                let targets: Vec<NodeId> = ctx.neighbors().to_vec();
+                let n = ctx.network_size();
+                for t in targets {
+                    ctx.send(t, Token { n });
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
+            if !self.seen {
+                self.seen = true;
+                let targets: Vec<NodeId> =
+                    ctx.neighbors().iter().copied().filter(|&x| x != from).collect();
+                for t in targets {
+                    ctx.send(t, msg.clone());
+                }
+            }
+        }
+        fn is_terminated(&self) -> bool {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn flood_terminates_and_reaches_everyone() {
+        let g = generators::gnp_connected(30, 0.15, 4).unwrap();
+        let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
+        assert_eq!(run.nodes.len(), 30);
+        assert!(run.nodes.iter().all(|p| p.seen));
+        assert!(run.metrics.messages_total >= 29);
+    }
+
+    #[test]
+    fn message_totals_match_simulator_for_deterministic_protocols() {
+        // Flooding on a tree sends exactly one message per edge direction away
+        // from the initiator, regardless of scheduling, so the threaded count
+        // must equal the simulated count.
+        let g = generators::path(12).unwrap();
+        let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
+        let mut sim = crate::sim::Simulator::new(&g, crate::sim::SimConfig::default(), |id, _| {
+            Flood { id, seen: false }
+        });
+        sim.run().unwrap();
+        assert_eq!(run.metrics.messages_total, sim.metrics().messages_total);
+        assert_eq!(run.metrics.causal_time, sim.metrics().causal_time);
+    }
+
+    #[test]
+    fn per_node_counters_are_consistent() {
+        let g = generators::complete(6).unwrap();
+        let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
+        let sent: u64 = run.metrics.sent_per_node.iter().sum();
+        let received: u64 = run.metrics.received_per_node.iter().sum();
+        assert_eq!(sent, run.metrics.messages_total);
+        assert_eq!(received, run.metrics.messages_total);
+    }
+
+    #[test]
+    fn empty_protocol_network_quiesces_immediately() {
+        struct Silent;
+        impl Protocol for Silent {
+            type Message = Token;
+            fn on_start(&mut self, _: &mut dyn Context<Token>) {}
+            fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
+        }
+        let g = generators::cycle(5).unwrap();
+        let run = ThreadedRuntime::run(&g, |_, _| Silent);
+        assert_eq!(run.metrics.messages_total, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution traces.
+//!
+//! The paper's Figure 2 is a snapshot of the BFS wave spreading through the
+//! fragments and discovering a "cousin" (outgoing) edge. To regenerate that
+//! figure we need the actual sequence of sends and deliveries of a run; the
+//! [`TraceRecorder`] captures it when enabled (it is off by default because
+//! traces of large sweeps would dominate memory).
+
+use mdst_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A message was handed to the network.
+    Send,
+    /// A message was delivered to its destination.
+    Deliver,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Sender of the message.
+    pub from: NodeId,
+    /// Receiver of the message.
+    pub to: NodeId,
+    /// Message kind label (e.g. `"BFS"`).
+    pub message_kind: String,
+}
+
+/// Collects [`TraceEvent`]s during a simulated run.
+#[derive(Debug, Default, Clone)]
+pub struct TraceRecorder {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// A recorder that actually records.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// A recorder that drops everything (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events, in the order they were recorded.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The recorded events whose message kind equals `kind`.
+    pub fn events_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.message_kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceEventKind, label: &str) -> TraceEvent {
+        TraceEvent {
+            time: 1,
+            kind,
+            from: NodeId(0),
+            to: NodeId(1),
+            message_kind: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let mut r = TraceRecorder::disabled();
+        r.record(ev(TraceEventKind::Send, "BFS"));
+        assert!(r.events().is_empty());
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_keeps_and_filters_events() {
+        let mut r = TraceRecorder::enabled();
+        r.record(ev(TraceEventKind::Send, "BFS"));
+        r.record(ev(TraceEventKind::Deliver, "BFS"));
+        r.record(ev(TraceEventKind::Deliver, "Update"));
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.events_of_kind("BFS").count(), 2);
+        assert_eq!(r.events_of_kind("Update").count(), 1);
+        assert_eq!(r.events_of_kind("Cut").count(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # mdst-spanning
+//!
+//! Spanning-tree construction substrates.
+//!
+//! Blin & Butelle's algorithm "supposes a spanning tree already constructed"
+//! and explicitly defers to the literature (MST algorithms à la
+//! Gallager–Humblet–Spira, DFS trees, …) for that startup step, only requiring
+//! that the construction *terminates by process* — every node knows when it is
+//! finished and knows its parent and children. This crate provides that
+//! substrate in several flavours so the experiments can study how the quality
+//! of the initial tree (its maximum degree `k`) drives the number of
+//! improvement rounds:
+//!
+//! * [`flooding::FloodingSt`] — an asynchronous Propagation-of-Information-
+//!   with-Feedback (PIF) wave: `2m` probe/echo messages plus an `n − 1`
+//!   message "done" broadcast. Under unit delays the result is a BFS tree.
+//! * [`dfs_token::DfsTokenSt`] — the classic distributed token traversal
+//!   (Tarry's algorithm, as presented in Tel's book which the paper cites),
+//!   producing a traversal tree with `2m` token messages.
+//! * [`seeds`] — centralized constructions (star-greedy, BFS, DFS, random,
+//!   …) used to seed experiments with initial trees of controlled degree,
+//!   including the `k = n − 1` worst case of the complexity analysis.
+//!
+//! All distributed protocols implement [`mdst_netsim::Protocol`] and expose a
+//! common [`tree_state::TreeState`] view so the resulting tree can be
+//! collected and validated uniformly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfs_token;
+pub mod flooding;
+pub mod seeds;
+pub mod tree_state;
+
+pub use dfs_token::DfsTokenSt;
+pub use flooding::FloodingSt;
+pub use seeds::{build_initial_tree, InitialTreeKind};
+pub use tree_state::{collect_tree, TreeState};

@@ -1,0 +1,144 @@
+//! Initial spanning trees of controlled quality.
+//!
+//! The number of improvement rounds of the MDegST algorithm is `k − k* + 1`
+//! where `k` is the maximum degree of the *initial* tree (§4.2). The
+//! experiments therefore need initial trees across the whole quality spectrum,
+//! from the `k = n − 1` star worst case the analysis mentions down to trees a
+//! sensible construction would produce. [`InitialTreeKind`] enumerates the
+//! available constructions and [`build_initial_tree`] dispatches to either a
+//! centralized extraction (star-greedy, BFS, DFS, random) or a genuinely
+//! distributed construction (flooding PIF, token traversal) run on the
+//! simulator.
+
+use crate::dfs_token::build_token_tree;
+use crate::flooding::build_flooding_tree;
+use mdst_graph::{algorithms, Graph, GraphError, NodeId, RootedTree};
+use mdst_netsim::{Metrics, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// Which initial spanning-tree construction to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitialTreeKind {
+    /// Centralized greedy construction that concentrates degree on hubs —
+    /// the worst case (`k` close to `n − 1` on dense graphs).
+    GreedyHub,
+    /// Centralized breadth-first search tree.
+    Bfs,
+    /// Centralized depth-first search tree.
+    Dfs,
+    /// Centralized random spanning tree (randomised Kruskal) with the given
+    /// seed.
+    Random(u64),
+    /// Distributed flooding (PIF) construction, run on the simulator under
+    /// unit delays.
+    DistributedFlooding,
+    /// Distributed token traversal (Tarry), run on the simulator under unit
+    /// delays.
+    DistributedToken,
+}
+
+impl InitialTreeKind {
+    /// All constructions, in the order used by experiment tables.
+    pub fn all(seed: u64) -> Vec<InitialTreeKind> {
+        vec![
+            InitialTreeKind::GreedyHub,
+            InitialTreeKind::Bfs,
+            InitialTreeKind::Dfs,
+            InitialTreeKind::Random(seed),
+            InitialTreeKind::DistributedFlooding,
+            InitialTreeKind::DistributedToken,
+        ]
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            InitialTreeKind::GreedyHub => "greedy-hub".to_string(),
+            InitialTreeKind::Bfs => "bfs".to_string(),
+            InitialTreeKind::Dfs => "dfs".to_string(),
+            InitialTreeKind::Random(seed) => format!("random({seed})"),
+            InitialTreeKind::DistributedFlooding => "dist-flooding".to_string(),
+            InitialTreeKind::DistributedToken => "dist-token".to_string(),
+        }
+    }
+}
+
+/// Builds the requested initial spanning tree of `graph` rooted at `root`.
+///
+/// Returns the tree and, for the distributed constructions, the metrics of the
+/// construction run (`None` for centralized extractions, which exchange no
+/// messages).
+pub fn build_initial_tree(
+    graph: &Graph,
+    root: NodeId,
+    kind: InitialTreeKind,
+) -> Result<(RootedTree, Option<Metrics>), GraphError> {
+    match kind {
+        InitialTreeKind::GreedyHub => {
+            algorithms::greedy_high_degree_tree(graph, root).map(|t| (t, None))
+        }
+        InitialTreeKind::Bfs => algorithms::bfs_tree(graph, root).map(|t| (t, None)),
+        InitialTreeKind::Dfs => algorithms::dfs_tree(graph, root).map(|t| (t, None)),
+        InitialTreeKind::Random(seed) => {
+            algorithms::random_spanning_tree(graph, root, seed).map(|t| (t, None))
+        }
+        InitialTreeKind::DistributedFlooding => {
+            build_flooding_tree(graph, root, SimConfig::default()).map(|(t, m)| (t, Some(m)))
+        }
+        InitialTreeKind::DistributedToken => {
+            build_token_tree(graph, root, SimConfig::default()).map(|(t, m)| (t, Some(m)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::generators;
+
+    #[test]
+    fn every_kind_builds_a_valid_spanning_tree() {
+        let g = generators::gnp_connected(30, 0.2, 17).unwrap();
+        for kind in InitialTreeKind::all(3) {
+            let (t, _) = build_initial_tree(&g, NodeId(0), kind).unwrap();
+            assert!(t.is_spanning_tree_of(&g), "{}", kind.label());
+            assert_eq!(t.root(), NodeId(0), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn greedy_hub_is_the_worst_seed_on_a_complete_graph() {
+        let g = generators::complete(10).unwrap();
+        let (hub, _) = build_initial_tree(&g, NodeId(0), InitialTreeKind::GreedyHub).unwrap();
+        assert_eq!(hub.max_degree(), 9);
+        let (dfs, _) = build_initial_tree(&g, NodeId(0), InitialTreeKind::Dfs).unwrap();
+        assert!(dfs.max_degree() <= hub.max_degree());
+    }
+
+    #[test]
+    fn distributed_kinds_report_metrics() {
+        let g = generators::grid(4, 4).unwrap();
+        let (_, m) =
+            build_initial_tree(&g, NodeId(0), InitialTreeKind::DistributedFlooding).unwrap();
+        assert!(m.unwrap().messages_total > 0);
+        let (_, m) = build_initial_tree(&g, NodeId(0), InitialTreeKind::Bfs).unwrap();
+        assert!(m.is_none());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<String> = InitialTreeKind::all(1)
+            .into_iter()
+            .map(|k| k.label())
+            .collect();
+        assert_eq!(labels.len(), 6);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected_by_every_kind() {
+        let g = mdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        for kind in InitialTreeKind::all(0) {
+            assert!(build_initial_tree(&g, NodeId(0), kind).is_err(), "{}", kind.label());
+        }
+    }
+}

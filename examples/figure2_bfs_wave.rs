@@ -1,0 +1,78 @@
+//! Reproduction of Figure 2 of the paper: the BFS wave. After the Cut, each
+//! fragment floods a wave; when two waves meet across a non-tree edge the
+//! "cousin" message reveals an outgoing edge. This example records the full
+//! message trace of one round and prints the wave front and the discovered
+//! cousin edges.
+//!
+//! ```text
+//! cargo run --example figure2_bfs_wave
+//! ```
+
+use mdst::core::distributed::MdstNode;
+use mdst::prelude::*;
+
+fn main() {
+    // Hub of degree 3 whose three branches are paths, with two spare edges
+    // joining different branches deep down — the situation Figure 2 sketches.
+    let mut builder = GraphBuilder::new(10);
+    let tree_edges = [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (1, 4),
+        (4, 7),
+        (2, 5),
+        (5, 8),
+        (3, 6),
+        (6, 9),
+    ];
+    for (u, v) in tree_edges {
+        builder.add_edge(NodeId(u), NodeId(v)).unwrap();
+    }
+    // Outgoing (cousin) edges between branches.
+    builder.add_edge(NodeId(7), NodeId(8)).unwrap();
+    builder.add_edge(NodeId(8), NodeId(9)).unwrap();
+    let graph = builder.build();
+
+    let initial = RootedTree::from_edges(
+        10,
+        NodeId(0),
+        &tree_edges.map(|(u, v)| (NodeId(u), NodeId(v))),
+    )
+    .unwrap();
+    println!("initial tree (degree {}):", initial.max_degree());
+    println!("{}", dot::overlay_to_dot(&graph, &initial, &[]));
+
+    // Run one full protocol execution with tracing enabled.
+    let nodes = MdstNode::from_tree(&initial);
+    let config = SimConfig {
+        record_trace: true,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(&graph, config, |id, _| nodes[id.index()].clone());
+    sim.run().expect("protocol quiesces");
+
+    println!("BFS wave (sends), in causal order:");
+    for event in sim.trace().events_of_kind("BFS") {
+        if matches!(event.kind, mdst::netsim::TraceEventKind::Send) {
+            println!("  t={:<3} {} -> {}", event.time, event.from, event.to);
+        }
+    }
+    println!("\ncousin replies (outgoing-edge discoveries):");
+    for event in sim.trace().events_of_kind("BFSReply") {
+        if matches!(event.kind, mdst::netsim::TraceEventKind::Send) {
+            println!("  t={:<3} {} -> {}  (edge {} -- {})", event.time, event.from, event.to, event.to, event.from);
+        }
+    }
+
+    let final_tree = collect_tree(sim.nodes()).expect("consistent final tree");
+    println!("\nfinal tree (degree {}):", final_tree.max_degree());
+    println!("{}", dot::overlay_to_dot(&graph, &final_tree, &[]));
+
+    assert!(final_tree.is_spanning_tree_of(&graph));
+    assert!(final_tree.max_degree() <= initial.max_degree());
+    assert!(
+        sim.trace().events_of_kind("BFSReply").count() > 0,
+        "the wave must discover at least one cousin edge"
+    );
+}

@@ -1,0 +1,51 @@
+//! Runs the same MDegST protocol on real OS threads (crossbeam channels)
+//! instead of the discrete-event simulator, and checks that the outcome —
+//! which depends only on the tree structure, not on timing — is identical.
+//!
+//! ```text
+//! cargo run --example threaded_runtime
+//! ```
+
+use mdst::core::distributed::MdstNode;
+use mdst::prelude::*;
+
+fn main() {
+    let graph = generators::gnp_connected(48, 0.1, 21).expect("valid parameters");
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).expect("connected");
+    println!(
+        "n = {}, m = {}, initial tree degree = {}",
+        graph.node_count(),
+        graph.edge_count(),
+        initial.max_degree()
+    );
+
+    // Simulator run (the complexity-measurement reference).
+    let sim_run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+    println!(
+        "simulator : degree {} in {} rounds, {} messages, causal time {}",
+        sim_run.final_tree.max_degree(),
+        sim_run.rounds,
+        sim_run.metrics.messages_total,
+        sim_run.metrics.causal_time
+    );
+
+    // Threaded run: one OS thread per node, crossbeam channels as links.
+    let nodes = MdstNode::from_tree(&initial);
+    let threaded = ThreadedRuntime::run(&graph, |id, _| nodes[id.index()].clone());
+    let threaded_tree = collect_tree(&threaded.nodes).expect("consistent final tree");
+    println!(
+        "threads   : degree {} , {} messages, wall time {:?}",
+        threaded_tree.max_degree(),
+        threaded.metrics.messages_total,
+        threaded.wall_time
+    );
+
+    assert_eq!(
+        threaded_tree.max_degree(),
+        sim_run.final_tree.max_degree(),
+        "the protocol's decisions are schedule independent"
+    );
+    assert!(threaded_tree.is_spanning_tree_of(&graph));
+    assert!(verify_termination_certificate(&graph, &threaded_tree));
+    println!("threaded and simulated runs agree");
+}

@@ -1,0 +1,143 @@
+//! End-to-end pipeline tests across topology families and configurations.
+
+use mdst::prelude::*;
+
+fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("complete", generators::complete(12).unwrap()),
+        ("star_with_leaf_edges", generators::star_with_leaf_edges(14).unwrap()),
+        ("wheel", generators::wheel(12).unwrap()),
+        ("grid", generators::grid(4, 5).unwrap()),
+        ("hypercube", generators::hypercube(4).unwrap()),
+        ("petersen", generators::petersen().unwrap()),
+        ("complete_bipartite", generators::complete_bipartite(3, 9).unwrap()),
+        ("lollipop", generators::lollipop(6, 6).unwrap()),
+        ("barbell", generators::barbell(5, 3).unwrap()),
+        ("caterpillar", generators::caterpillar(5, 2).unwrap()),
+        ("broom", generators::high_optimum(4, 3).unwrap()),
+        ("gnp", generators::gnp_connected(30, 0.15, seed).unwrap()),
+        ("geometric", generators::random_geometric_connected(25, 0.3, seed).unwrap()),
+    ]
+}
+
+#[test]
+fn every_family_yields_a_certified_locally_optimal_tree() {
+    for (name, graph) in families(3) {
+        let report = run_pipeline(&graph, &PipelineConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(report.final_tree.is_spanning_tree_of(&graph), "{name}");
+        assert!(report.final_degree <= report.initial_degree, "{name}");
+        assert!(report.final_degree >= degree_lower_bound(&graph), "{name}");
+        assert!(
+            verify_termination_certificate(&graph, &report.final_tree),
+            "{name}: final tree must be blocked at its max-degree node"
+        );
+    }
+}
+
+#[test]
+fn all_initial_constructions_agree_on_reachability_of_low_degree() {
+    // Regardless of how bad the initial tree is, the improvement must land at
+    // a degree no worse than what the paper-rule sequential mirror reaches
+    // from the same start.
+    let graph = generators::gnp_connected(28, 0.2, 9).unwrap();
+    for kind in InitialTreeKind::all(5) {
+        let config = PipelineConfig {
+            initial: kind,
+            root: NodeId(0),
+            sim: SimConfig::default(),
+        };
+        let report = run_pipeline(&graph, &config).unwrap();
+        let mirror = paper_local_search(&graph, &report.initial_tree).unwrap();
+        assert_eq!(
+            report.final_degree,
+            mirror.tree.max_degree(),
+            "{}: distributed and sequential mirror disagree",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn pipeline_works_under_every_delay_and_start_model() {
+    let graph = generators::gnp_connected(24, 0.18, 4).unwrap();
+    let delays = [
+        DelayModel::Unit,
+        DelayModel::UniformRandom { min: 1, max: 11, seed: 2 },
+        DelayModel::PerLinkFixed { min: 1, max: 29, seed: 7 },
+    ];
+    let starts = [
+        StartModel::Simultaneous,
+        StartModel::Staggered { max_offset: 40, seed: 13 },
+    ];
+    let mut final_degrees = std::collections::BTreeSet::new();
+    for delay in &delays {
+        for start in &starts {
+            let config = PipelineConfig {
+                initial: InitialTreeKind::GreedyHub,
+                root: NodeId(0),
+                sim: SimConfig {
+                    delay: delay.clone(),
+                    start: start.clone(),
+                    ..Default::default()
+                },
+            };
+            let report = run_pipeline(&graph, &config).unwrap();
+            assert!(report.final_tree.is_spanning_tree_of(&graph));
+            final_degrees.insert(report.final_degree);
+        }
+    }
+    assert_eq!(
+        final_degrees.len(),
+        1,
+        "the protocol's outcome is schedule independent"
+    );
+}
+
+#[test]
+fn message_kinds_match_the_papers_inventory() {
+    let graph = generators::star_with_leaf_edges(16).unwrap();
+    let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+    let metrics = &report.improvement_metrics;
+    // Every round performs SearchDegree, MoveRoot (possibly zero hops), Cut,
+    // BFS, BFSBack, Update/Child and the run ends with Stop.
+    for kind in [
+        "SearchInit",
+        "DegreeReport",
+        "Cut",
+        "BFS",
+        "BFSBack",
+        "Update",
+        "Child",
+        "ChildAck",
+        "UpdateDone",
+        "Stop",
+    ] {
+        assert!(metrics.count_of(kind) > 0, "missing message kind {kind}");
+    }
+    // Exactly one Stop per non-root node.
+    assert_eq!(metrics.count_of("Stop"), graph.node_count() as u64 - 1);
+    // One Child and one ChildAck per exchange.
+    assert_eq!(metrics.count_of("Child"), report.improvements as u64);
+    assert_eq!(metrics.count_of("ChildAck"), report.improvements as u64);
+}
+
+#[test]
+fn large_sparse_network_completes_with_reasonable_cost() {
+    let graph = generators::gnp_connected(150, 0.03, 17).unwrap();
+    let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+    assert!(report.final_tree.is_spanning_tree_of(&graph));
+    // Per-round cost is linear in m + n (§4.2); the serialised implementation
+    // runs one round per exchange, so the total budget is rounds · O(m + n)
+    // and, because every exchange lowers some node's degree, the number of
+    // rounds is at most n — which recovers the paper's O(n·m) worst case.
+    assert!(report.rounds as usize <= report.n);
+    let per_round_budget = 4 * (report.m as u64 + report.n as u64);
+    assert!(
+        report.improvement_metrics.messages_total <= report.rounds as u64 * per_round_budget,
+        "messages {} exceed {} rounds x {}",
+        report.improvement_metrics.messages_total,
+        report.rounds,
+        per_round_budget
+    );
+}

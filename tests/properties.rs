@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) over random connected graphs and random
+//! initial trees: the invariants that must hold for *every* input, not just
+//! the structured families.
+
+use mdst::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph described by (n, extra edges, seed).
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (3usize..28, 0usize..40, any::<u64>()).prop_map(|(n, extra, seed)| {
+        generators::random_connected(n, extra, seed).expect("valid parameters")
+    })
+}
+
+/// Strategy: a graph plus a random spanning tree of it.
+fn graph_with_tree() -> impl Strategy<Value = (Graph, RootedTree)> {
+    (connected_graph(), any::<u64>()).prop_map(|(graph, seed)| {
+        let root = NodeId((seed % graph.node_count() as u64) as usize);
+        let tree = algorithms::random_spanning_tree(&graph, root, seed).expect("connected");
+        (graph, tree)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_produce_connected_graphs((graph, _) in graph_with_tree()) {
+        prop_assert!(algorithms::is_connected(&graph));
+        prop_assert!(graph.edge_count() >= graph.node_count() - 1);
+        prop_assert_eq!(graph.degree_sum(), 2 * graph.edge_count());
+    }
+
+    #[test]
+    fn distributed_improvement_preserves_spanning_and_never_worsens(
+        (graph, initial) in graph_with_tree()
+    ) {
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        prop_assert!(run.final_tree.is_spanning_tree_of(&graph));
+        prop_assert!(run.final_tree.max_degree() <= initial.max_degree());
+        prop_assert!(run.final_tree.max_degree() >= degree_lower_bound(&graph));
+        // Termination certificate: the targeted max-degree node is blocked.
+        prop_assert!(verify_termination_certificate(&graph, &run.final_tree));
+        // Rounds bookkeeping: one exchange per round except the last.
+        prop_assert_eq!(run.improvements + 1, run.rounds);
+    }
+
+    #[test]
+    fn message_and_time_complexity_match_the_papers_bounds(
+        (graph, initial) in graph_with_tree()
+    ) {
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let n = graph.node_count() as u64;
+        let m = graph.edge_count() as u64;
+        let rounds = run.rounds as u64;
+        // Per §4.2 a round costs at most 2m + O(n) messages and O(n) time; the
+        // constants below are generous but finite, which is what the
+        // asymptotic claim needs.
+        prop_assert!(run.metrics.messages_total <= rounds * (4 * m + 6 * n) + n);
+        prop_assert!(run.metrics.causal_time <= rounds * 8 * n + 8);
+        // O(log n) bits per message: tag + at most five identity-sized fields.
+        let id_bits = (usize::BITS - (graph.node_count() - 1).max(1).leading_zeros()) as u64;
+        prop_assert!(run.metrics.bits_max <= 4 + 5 * id_bits.max(1));
+    }
+
+    #[test]
+    fn distributed_and_sequential_mirror_agree((graph, initial) in graph_with_tree()) {
+        let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let mirror = paper_local_search(&graph, &initial).unwrap();
+        prop_assert_eq!(run.final_tree.max_degree(), mirror.tree.max_degree());
+        prop_assert_eq!(run.improvements as usize, mirror.improvements);
+    }
+
+    #[test]
+    fn sequential_algorithms_respect_the_exact_optimum(
+        (n, extra, seed) in (4usize..11, 0usize..12, any::<u64>())
+    ) {
+        let graph = generators::random_connected(n, extra, seed).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let optimum = exact_min_degree(&graph).unwrap();
+        let paper = paper_local_search(&graph, &initial).unwrap();
+        let fr = furer_raghavachari(&graph, &initial, true).unwrap();
+        prop_assert!(paper.tree.max_degree() >= optimum);
+        prop_assert!(fr.tree.max_degree() >= optimum);
+        prop_assert!(paper.tree.max_degree() <= initial.max_degree());
+        prop_assert!(fr.tree.max_degree() <= initial.max_degree());
+        prop_assert!(optimum >= degree_lower_bound(&graph));
+    }
+
+    #[test]
+    fn exchange_preserves_tree_invariants((graph, mut tree) in graph_with_tree()) {
+        // Exercise RootedTree::exchange directly with an arbitrary admissible
+        // move: pick any non-tree edge and any vertex on its tree path.
+        let non_tree: Vec<(NodeId, NodeId)> = graph
+            .edges()
+            .filter(|&(u, v)| !tree.has_edge(u, v))
+            .collect();
+        if let Some(&(u, v)) = non_tree.first() {
+            let path = tree.path_between(u, v);
+            if path.len() >= 3 {
+                let w = path[1];
+                let other = path[0];
+                let (cut_parent, cut_child) = if tree.parent(other) == Some(w) {
+                    (w, other)
+                } else {
+                    (other, w)
+                };
+                tree.exchange(cut_parent, cut_child, u, v).unwrap();
+                prop_assert!(tree.is_spanning_tree_of(&graph));
+                prop_assert!(tree.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_constructions_are_valid_on_random_graphs(
+        (graph, _) in graph_with_tree(), which in 0usize..6
+    ) {
+        let kind = InitialTreeKind::all(11)[which];
+        let (tree, _) = build_initial_tree(&graph, NodeId(0), kind).unwrap();
+        prop_assert!(tree.is_spanning_tree_of(&graph));
+        prop_assert_eq!(tree.root(), NodeId(0));
+    }
+}

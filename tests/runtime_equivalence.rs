@@ -1,0 +1,64 @@
+//! The discrete-event simulator and the threaded crossbeam runtime must agree:
+//! the protocol's outcome depends only on the tree structure, never on message
+//! timing, so running it under real OS scheduling is an end-to-end check that
+//! no hidden synchrony assumption crept in.
+
+use mdst::core::distributed::MdstNode;
+use mdst::prelude::*;
+
+fn run_both(graph: &Graph, initial: &RootedTree) -> (RootedTree, RootedTree, Metrics, Metrics) {
+    let sim_run = run_distributed_mdst(graph, initial, SimConfig::default()).unwrap();
+    let nodes = MdstNode::from_tree(initial);
+    let threaded = ThreadedRuntime::run(graph, |id, _| nodes[id.index()].clone());
+    let threaded_tree = collect_tree(&threaded.nodes).unwrap();
+    (
+        sim_run.final_tree,
+        threaded_tree,
+        sim_run.metrics,
+        threaded.metrics,
+    )
+}
+
+#[test]
+fn threaded_and_simulated_runs_produce_the_same_tree() {
+    for seed in 0..5u64 {
+        let graph = generators::gnp_connected(20, 0.2, seed).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let (sim_tree, thr_tree, _, _) = run_both(&graph, &initial);
+        let a: std::collections::BTreeSet<_> = sim_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        let b: std::collections::BTreeSet<_> = thr_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        assert_eq!(a, b, "seed {seed}");
+        assert!(thr_tree.is_spanning_tree_of(&graph), "seed {seed}");
+    }
+}
+
+#[test]
+fn threaded_and_simulated_runs_exchange_the_same_messages() {
+    // The protocol is message-deterministic: the same messages flow in both
+    // runtimes, only their interleaving differs.
+    let graph = generators::star_with_leaf_edges(14).unwrap();
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+    let (_, _, sim_metrics, thr_metrics) = run_both(&graph, &initial);
+    assert_eq!(sim_metrics.messages_total, thr_metrics.messages_total);
+    assert_eq!(sim_metrics.messages_by_kind, thr_metrics.messages_by_kind);
+    assert_eq!(sim_metrics.bits_total, thr_metrics.bits_total);
+}
+
+#[test]
+fn spanning_tree_constructions_also_run_on_threads() {
+    use mdst::spanning::flooding::FloodingSt;
+    let graph = generators::grid(5, 5).unwrap();
+    let run = ThreadedRuntime::run(&graph, |id, _| FloodingSt::new(id, NodeId(0)));
+    let tree = collect_tree(&run.nodes).unwrap();
+    assert!(tree.is_spanning_tree_of(&graph));
+    assert_eq!(tree.root(), NodeId(0));
+    let m = graph.edge_count() as u64;
+    let n = graph.node_count() as u64;
+    assert_eq!(run.metrics.messages_total, 2 * m + (n - 1));
+}
