@@ -17,19 +17,28 @@ fn bench_approximation_quality(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(exact_min_degree(&graph).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("paper_rule_seq", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(paper_local_search(&graph, &initial).unwrap().tree.max_degree()))
+            b.iter(|| {
+                std::hint::black_box(
+                    paper_local_search(&graph, &initial)
+                        .unwrap()
+                        .tree
+                        .max_degree(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("furer_raghavachari", n), &n, |b, _| {
             b.iter(|| {
                 std::hint::black_box(
-                    furer_raghavachari(&graph, &initial, true).unwrap().tree.max_degree(),
+                    furer_raghavachari(&graph, &initial, true)
+                        .unwrap()
+                        .tree
+                        .max_degree(),
                 )
             })
         });
         group.bench_with_input(BenchmarkId::new("distributed", n), &n, |b, _| {
             b.iter(|| {
-                let run =
-                    run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+                let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
                 std::hint::black_box(run.final_tree.max_degree())
             })
         });

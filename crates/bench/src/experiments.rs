@@ -17,7 +17,9 @@ fn fmt_f(x: f64) -> String {
 pub fn e1_message_scaling() -> Table {
     let mut table = Table::new(
         "E1: message complexity vs (k - k* + 1) * m",
-        &["workload", "n", "m", "k", "k*", "rounds", "messages", "budget", "ratio"],
+        &[
+            "workload", "n", "m", "k", "k*", "rounds", "messages", "budget", "ratio",
+        ],
     );
     let mut workloads: Vec<(String, Graph)> = Vec::new();
     for &n in &[32usize, 64, 128] {
@@ -144,18 +146,41 @@ pub fn e4_message_size() -> Table {
 pub fn e5_approximation_quality() -> Table {
     let mut table = Table::new(
         "E5: approximation quality (final degree vs optimum / lower bound)",
-        &["workload", "n", "initial k", "final", "optimum", "LB", "gap to opt"],
+        &[
+            "workload",
+            "n",
+            "initial k",
+            "final",
+            "optimum",
+            "LB",
+            "gap to opt",
+        ],
     );
     let small: Vec<(String, Graph)> = vec![
         ("complete(10)".into(), generators::complete(10).unwrap()),
-        ("star+path(12)".into(), generators::star_with_leaf_edges(12).unwrap()),
+        (
+            "star+path(12)".into(),
+            generators::star_with_leaf_edges(12).unwrap(),
+        ),
         ("wheel(10)".into(), generators::wheel(10).unwrap()),
-        ("K(3,7)".into(), generators::complete_bipartite(3, 7).unwrap()),
+        (
+            "K(3,7)".into(),
+            generators::complete_bipartite(3, 7).unwrap(),
+        ),
         ("petersen".into(), generators::petersen().unwrap()),
         ("broom(4,2)".into(), generators::high_optimum(4, 2).unwrap()),
-        ("gnp(12,0.25)#1".into(), generators::gnp_connected(12, 0.25, 1).unwrap()),
-        ("gnp(12,0.25)#2".into(), generators::gnp_connected(12, 0.25, 2).unwrap()),
-        ("gnp(12,0.25)#3".into(), generators::gnp_connected(12, 0.25, 3).unwrap()),
+        (
+            "gnp(12,0.25)#1".into(),
+            generators::gnp_connected(12, 0.25, 1).unwrap(),
+        ),
+        (
+            "gnp(12,0.25)#2".into(),
+            generators::gnp_connected(12, 0.25, 2).unwrap(),
+        ),
+        (
+            "gnp(12,0.25)#3".into(),
+            generators::gnp_connected(12, 0.25, 3).unwrap(),
+        ),
     ];
     for (name, graph) in small {
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
@@ -216,29 +241,50 @@ pub fn e6_kmz_comparison() -> Table {
 
 /// E7 — sensitivity to the initial spanning tree: rounds and messages per
 /// construction on the same graph.
+///
+/// Rebased on the `mdst-scenario` campaign engine: the sweep is a declarative
+/// matrix (one graph, the `initial` axis carrying every construction) executed
+/// by the parallel runner, and the table rows are its per-run records. New
+/// experiments should follow this pattern instead of hand-rolled loops.
 pub fn e7_initial_tree_sensitivity() -> Table {
+    use mdst_scenario::prelude::*;
+
     let mut table = Table::new(
         "E7: initial-tree sensitivity (gnp(48, 0.1), same graph, every construction)",
-        &["initial tree", "k", "k*", "rounds", "improve msgs", "construct msgs"],
+        &[
+            "initial tree",
+            "k",
+            "k*",
+            "rounds",
+            "improve msgs",
+            "construct msgs",
+        ],
     );
-    let graph = generators::gnp_connected(48, 0.1, 77).unwrap();
-    for kind in InitialTreeKind::all(9) {
-        let config = PipelineConfig {
-            initial: kind,
-            root: NodeId(0),
-            sim: SimConfig::default(),
-        };
-        let report = run_pipeline(&graph, &config).unwrap();
+    let spec = r#"
+        [campaign]
+        name = "e7-initial-tree-sensitivity"
+
+        [[scenario]]
+        name = "initial-axis"
+        graph = { family = "gnp_connected", n = 48, p = 0.1, seed = 77 }
+        initial = ["greedy_hub", "bfs", "dfs", "random", "flooding", "token"]
+        seeds = [0]
+    "#;
+    let matrix = ScenarioMatrix::from_toml_str(spec).expect("embedded spec is valid");
+    let report = run_campaign(&matrix, &RunnerConfig::default()).expect("campaign runs");
+    assert_eq!(report.total.failures, 0, "E7 campaign must not fail");
+    for run in &report.runs {
         table.add_row(vec![
-            kind.label(),
-            report.initial_degree.to_string(),
-            report.final_degree.to_string(),
-            report.rounds.to_string(),
-            report.improvement_metrics.messages_total.to_string(),
-            report
-                .construction_metrics
-                .map(|m| m.messages_total.to_string())
-                .unwrap_or_else(|| "0 (centralized)".to_string()),
+            run.initial.clone(),
+            run.initial_degree.to_string(),
+            run.final_degree.to_string(),
+            run.rounds.to_string(),
+            run.messages.to_string(),
+            if run.construction_messages == 0 {
+                "0 (centralized)".to_string()
+            } else {
+                run.construction_messages.to_string()
+            },
         ]);
     }
     table
@@ -248,15 +294,31 @@ pub fn e7_initial_tree_sensitivity() -> Table {
 pub fn a1_algorithm_comparison() -> Table {
     let mut table = Table::new(
         "A1: distributed vs sequential baselines (final degree)",
-        &["workload", "initial k", "distributed", "paper rule (seq)", "FR (seq)", "LB"],
+        &[
+            "workload",
+            "initial k",
+            "distributed",
+            "paper rule (seq)",
+            "FR (seq)",
+            "LB",
+        ],
     );
     let workloads: Vec<(String, Graph)> = vec![
         ("complete(24)".into(), generators::complete(24).unwrap()),
-        ("star+path(24)".into(), generators::star_with_leaf_edges(24).unwrap()),
+        (
+            "star+path(24)".into(),
+            generators::star_with_leaf_edges(24).unwrap(),
+        ),
         ("grid(5x5)".into(), generators::grid(5, 5).unwrap()),
         ("hypercube(5)".into(), generators::hypercube(5).unwrap()),
-        ("gnp(40,0.1)".into(), generators::gnp_connected(40, 0.1, 13).unwrap()),
-        ("geometric(40)".into(), generators::random_geometric_connected(40, 0.25, 13).unwrap()),
+        (
+            "gnp(40,0.1)".into(),
+            generators::gnp_connected(40, 0.1, 13).unwrap(),
+        ),
+        (
+            "geometric(40)".into(),
+            generators::random_geometric_connected(40, 0.25, 13).unwrap(),
+        ),
     ];
     for (name, graph) in workloads {
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
@@ -280,7 +342,12 @@ pub fn a1_algorithm_comparison() -> Table {
 pub fn a2_delay_sensitivity() -> Table {
     let mut table = Table::new(
         "A2: delay-model sensitivity (gnp(32, 0.12), greedy-hub seed)",
-        &["delay model", "final degree", "messages", "quiescence clock"],
+        &[
+            "delay model",
+            "final degree",
+            "messages",
+            "quiescence clock",
+        ],
     );
     let graph = generators::gnp_connected(32, 0.12, 8).unwrap();
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
@@ -288,15 +355,27 @@ pub fn a2_delay_sensitivity() -> Table {
         ("unit".into(), DelayModel::Unit),
         (
             "uniform[1,10] seed 1".into(),
-            DelayModel::UniformRandom { min: 1, max: 10, seed: 1 },
+            DelayModel::UniformRandom {
+                min: 1,
+                max: 10,
+                seed: 1,
+            },
         ),
         (
             "uniform[1,10] seed 2".into(),
-            DelayModel::UniformRandom { min: 1, max: 10, seed: 2 },
+            DelayModel::UniformRandom {
+                min: 1,
+                max: 10,
+                seed: 2,
+            },
         ),
         (
             "per-link[1,25] seed 1".into(),
-            DelayModel::PerLinkFixed { min: 1, max: 25, seed: 1 },
+            DelayModel::PerLinkFixed {
+                min: 1,
+                max: 25,
+                seed: 1,
+            },
         ),
     ];
     for (name, delay) in models {
@@ -320,7 +399,13 @@ pub fn a2_delay_sensitivity() -> Table {
 pub fn a3_improvement_policy() -> Table {
     let mut table = Table::new(
         "A3: strict paper rule vs FR blocking-set extension (sequential)",
-        &["workload", "initial k", "strict", "with blocking", "optimum"],
+        &[
+            "workload",
+            "initial k",
+            "strict",
+            "with blocking",
+            "optimum",
+        ],
     );
     let workloads: Vec<(String, Graph)> = (0..6u64)
         .map(|seed| {
@@ -351,7 +436,14 @@ pub fn a3_improvement_policy() -> Table {
 pub fn a4_runtime_comparison() -> Table {
     let mut table = Table::new(
         "A4: simulator vs threaded runtime (same protocol, same seeds)",
-        &["n", "sim messages", "thread messages", "same tree", "sim wall ms", "thread wall ms"],
+        &[
+            "n",
+            "sim messages",
+            "thread messages",
+            "same tree",
+            "sim wall ms",
+            "thread wall ms",
+        ],
     );
     for &n in &[16usize, 32, 64] {
         let graph = generators::gnp_connected(n, 0.12, 3).unwrap();
@@ -404,15 +496,27 @@ pub fn f1_figure1() -> Table {
     ];
     let initial = RootedTree::from_parents(NodeId(0), parents).unwrap();
     let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
-    table.add_row(vec!["initial max degree".into(), initial.max_degree().to_string()]);
-    table.add_row(vec!["final max degree".into(), run.final_tree.max_degree().to_string()]);
+    table.add_row(vec![
+        "initial max degree".into(),
+        initial.max_degree().to_string(),
+    ]);
+    table.add_row(vec![
+        "final max degree".into(),
+        run.final_tree.max_degree().to_string(),
+    ]);
     table.add_row(vec![
         "added edge (the figure's Add)".into(),
-        format!("(v3, v5) in tree: {}", run.final_tree.has_edge(NodeId(3), NodeId(5))),
+        format!(
+            "(v3, v5) in tree: {}",
+            run.final_tree.has_edge(NodeId(3), NodeId(5))
+        ),
     ]);
     table.add_row(vec![
         "deleted edge (the figure's Delete)".into(),
-        format!("(v0, v1) in tree: {}", run.final_tree.has_edge(NodeId(0), NodeId(1))),
+        format!(
+            "(v0, v1) in tree: {}",
+            run.final_tree.has_edge(NodeId(0), NodeId(1))
+        ),
     ]);
     table.add_row(vec!["exchanges".into(), run.improvements.to_string()]);
     table
@@ -449,21 +553,36 @@ pub fn f2_figure2() -> Table {
     )
     .unwrap();
     let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
-    table.add_row(vec!["initial max degree".into(), initial.max_degree().to_string()]);
-    table.add_row(vec!["final max degree".into(), run.final_tree.max_degree().to_string()]);
-    table.add_row(vec!["BFS wave messages".into(), run.metrics.count_of("BFS").to_string()]);
+    table.add_row(vec![
+        "initial max degree".into(),
+        initial.max_degree().to_string(),
+    ]);
+    table.add_row(vec![
+        "final max degree".into(),
+        run.final_tree.max_degree().to_string(),
+    ]);
+    table.add_row(vec![
+        "BFS wave messages".into(),
+        run.metrics.count_of("BFS").to_string(),
+    ]);
     table.add_row(vec![
         "cousin replies (outgoing edges seen)".into(),
         run.metrics.count_of("BFSReply").to_string(),
     ]);
-    table.add_row(vec!["BFSBack convergecast".into(), run.metrics.count_of("BFSBack").to_string()]);
+    table.add_row(vec![
+        "BFSBack convergecast".into(),
+        run.metrics.count_of("BFSBack").to_string(),
+    ]);
     table
 }
 
+/// An experiment: a nullary function producing its table.
+pub type ExperimentFn = fn() -> Table;
+
 /// All experiments in DESIGN.md order.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("f1", f1_figure1 as fn() -> Table),
+        ("f1", f1_figure1 as ExperimentFn),
         ("f2", f2_figure2),
         ("e1", e1_message_scaling),
         ("e2", e2_time_scaling),
@@ -488,10 +607,11 @@ mod tests {
         // Run only the cheap ones exhaustively here; the expensive sweeps are
         // covered by the harness smoke test in CI-style runs.
         for (id, run) in [
-            ("f1", f1_figure1 as fn() -> Table),
+            ("f1", f1_figure1 as ExperimentFn),
             ("f2", f2_figure2),
             ("e4", e4_message_size),
             ("e6", e6_kmz_comparison),
+            ("e7", e7_initial_tree_sensitivity),
             ("a2", a2_delay_sensitivity),
             ("a3", a3_improvement_policy),
         ] {

@@ -46,6 +46,33 @@ pub fn degree_lower_bound(graph: &Graph) -> usize {
     bound
 }
 
+/// `⌈log₂ n⌉` (0 for `n ≤ 1`), the additive slack of the local-search degree
+/// guarantee.
+pub fn ceil_log2(n: usize) -> usize {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as usize
+    }
+}
+
+/// The `O(Δ* + log n)` degree guarantee a locally optimal tree satisfies
+/// (Fürer–Raghavachari's analysis of local optimality, which the paper's
+/// Locally Optimal Tree inherits): `2·Δ* + ⌈log₂ n⌉`.
+///
+/// `Δ*` itself is NP-hard to compute, so the combinatorial
+/// [`degree_lower_bound`] stands in for it; the resulting check is
+/// *conservative* (never more permissive than the theorem) and is the bound
+/// the scenario harness applies to every campaign run.
+pub fn paper_degree_upper_bound(graph: &Graph) -> usize {
+    2 * degree_lower_bound(graph) + ceil_log2(graph.node_count())
+}
+
+/// Whether a final tree degree satisfies [`paper_degree_upper_bound`].
+pub fn within_paper_degree_bound(graph: &Graph, final_degree: usize) -> bool {
+    final_degree <= paper_degree_upper_bound(graph)
+}
+
 /// Ratio between a measured message count and the KMZ lower bound — the
 /// quantity experiment E6 tabulates on complete graphs.
 pub fn kmz_ratio(measured_messages: u64, n: usize, k: usize) -> f64 {
@@ -79,9 +106,43 @@ mod tests {
         assert_eq!(degree_lower_bound(&generators::path(6).unwrap()), 2);
         assert_eq!(degree_lower_bound(&generators::complete(6).unwrap()), 2);
         assert_eq!(degree_lower_bound(&generators::star(7).unwrap()), 6);
-        assert_eq!(degree_lower_bound(&generators::high_optimum(5, 2).unwrap()), 5);
+        assert_eq!(
+            degree_lower_bound(&generators::high_optimum(5, 2).unwrap()),
+            5
+        );
         assert_eq!(degree_lower_bound(&generators::path(2).unwrap()), 1);
         assert_eq!(degree_lower_bound(&mdst_graph::Graph::empty(1)), 0);
+    }
+
+    #[test]
+    fn ceil_log2_matches_definition() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+
+    #[test]
+    fn paper_degree_bound_admits_the_local_search_result() {
+        for seed in 0..4u64 {
+            let g = generators::gnp_connected(24, 0.2, seed).unwrap();
+            let initial = mdst_graph::algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+            let run = crate::driver::run_distributed_mdst(
+                &g,
+                &initial,
+                mdst_netsim::SimConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                within_paper_degree_bound(&g, run.final_tree.max_degree()),
+                "seed {seed}: degree {} above bound {}",
+                run.final_tree.max_degree(),
+                paper_degree_upper_bound(&g)
+            );
+        }
     }
 
     #[test]

@@ -705,10 +705,7 @@ mod tests {
 
     /// Runs the improvement protocol on `graph` starting from `initial` and
     /// returns the final tree plus the simulator.
-    fn run(
-        graph: &mdst_graph::Graph,
-        initial: &RootedTree,
-    ) -> (RootedTree, Simulator<MdstNode>) {
+    fn run(graph: &mdst_graph::Graph, initial: &RootedTree) -> (RootedTree, Simulator<MdstNode>) {
         let nodes = MdstNode::from_tree(initial);
         let mut sim = Simulator::new(graph, SimConfig::default(), |id, _| {
             nodes[id.index()].clone()
@@ -716,7 +713,8 @@ mod tests {
         sim.run().expect("protocol quiesces");
         assert!(sim.all_terminated(), "every node must receive Stop");
         let tree = collect_tree(sim.nodes()).expect("consistent final tree");
-        tree.validate_against(graph).expect("final tree spans the graph");
+        tree.validate_against(graph)
+            .expect("final tree spans the graph");
         (tree, sim)
     }
 
@@ -767,7 +765,10 @@ mod tests {
         assert_eq!(initial.max_degree(), 9);
         let (final_tree, sim) = run(&g, &initial);
         assert!(final_tree.max_degree() < initial.max_degree());
-        assert!(final_tree.max_degree() <= 3, "complete graphs admit a Hamiltonian path");
+        assert!(
+            final_tree.max_degree() <= 3,
+            "complete graphs admit a Hamiltonian path"
+        );
         let improvements: u32 = sim.nodes().iter().map(|p| p.improvements_made()).sum();
         assert_eq!(
             improvements as usize,
@@ -782,7 +783,10 @@ mod tests {
             let g = generators::gnp_connected(26, 0.15, seed).unwrap();
             let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
             let (final_tree, _) = run(&g, &initial);
-            assert!(final_tree.max_degree() <= initial.max_degree(), "seed {seed}");
+            assert!(
+                final_tree.max_degree() <= initial.max_degree(),
+                "seed {seed}"
+            );
             assert!(final_tree.is_spanning_tree_of(&g), "seed {seed}");
         }
     }

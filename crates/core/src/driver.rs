@@ -8,14 +8,14 @@
 //! improvement cost side by side.
 
 use crate::distributed::MdstNode;
-use mdst_graph::{GraphError, NodeId, RootedTree};
 use mdst_graph::Graph;
+use mdst_graph::{GraphError, NodeId, RootedTree};
 use mdst_netsim::{Metrics, SimConfig, Simulator};
 use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
 use serde::{Deserialize, Serialize};
 
 /// Result of running the distributed improvement on one initial tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct MdstRun {
     /// The improved spanning tree.
     pub final_tree: RootedTree,
@@ -52,7 +52,7 @@ impl Default for PipelineConfig {
 }
 
 /// Everything an experiment needs to report about one pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct PipelineReport {
     /// Number of nodes of the input graph.
     pub n: usize,
@@ -210,8 +210,16 @@ mod tests {
                 ..Default::default()
             };
             let report = run_pipeline(&g, &config).unwrap();
-            assert!(report.final_degree <= report.initial_degree, "{}", kind.label());
-            assert!(report.final_tree.is_spanning_tree_of(&g), "{}", kind.label());
+            assert!(
+                report.final_degree <= report.initial_degree,
+                "{}",
+                kind.label()
+            );
+            assert!(
+                report.final_tree.is_spanning_tree_of(&g),
+                "{}",
+                kind.label()
+            );
         }
     }
 }

@@ -110,11 +110,20 @@ mod tests {
     fn known_optima_of_structured_families() {
         assert_eq!(exact_min_degree(&generators::path(6).unwrap()).unwrap(), 2);
         assert_eq!(exact_min_degree(&generators::cycle(7).unwrap()).unwrap(), 2);
-        assert_eq!(exact_min_degree(&generators::complete(7).unwrap()).unwrap(), 2);
+        assert_eq!(
+            exact_min_degree(&generators::complete(7).unwrap()).unwrap(),
+            2
+        );
         assert_eq!(exact_min_degree(&generators::star(6).unwrap()).unwrap(), 5);
-        assert_eq!(exact_min_degree(&generators::hypercube(3).unwrap()).unwrap(), 2);
+        assert_eq!(
+            exact_min_degree(&generators::hypercube(3).unwrap()).unwrap(),
+            2
+        );
         // A 3×3 grid has a Hamiltonian path (boustrophedon).
-        assert_eq!(exact_min_degree(&generators::grid(3, 3).unwrap()).unwrap(), 2);
+        assert_eq!(
+            exact_min_degree(&generators::grid(3, 3).unwrap()).unwrap(),
+            2
+        );
         // The star-plus-leaf-path graph has a Hamiltonian path as well.
         assert_eq!(
             exact_min_degree(&generators::star_with_leaf_edges(8).unwrap()).unwrap(),

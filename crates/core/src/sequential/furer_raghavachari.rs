@@ -63,7 +63,8 @@ pub fn furer_raghavachari(
 /// lexicographically smallest such `(u, v)` (by the same score the distributed
 /// protocol uses) for determinism.
 fn find_swap(graph: &Graph, tree: &RootedTree, d: usize) -> Option<(NodeId, NodeId, NodeId)> {
-    let mut best: Option<((usize, NodeId, NodeId), NodeId, NodeId, NodeId)> = None;
+    type ScoredSwap = ((usize, NodeId, NodeId), NodeId, NodeId, NodeId);
+    let mut best: Option<ScoredSwap> = None;
     for (a, b) in graph.edges() {
         if tree.has_edge(a, b) {
             continue;
@@ -78,7 +79,7 @@ fn find_swap(graph: &Graph, tree: &RootedTree, d: usize) -> Option<(NodeId, Node
         };
         let (u, v) = if a < b { (a, b) } else { (b, a) };
         let score = (da.max(db), u, v);
-        if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+        if best.as_ref().is_none_or(|(s, _, _, _)| score < *s) {
             best = Some((score, u, v, w));
         }
     }
@@ -119,7 +120,11 @@ mod tests {
         let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
         assert_eq!(initial.max_degree(), 8);
         let out = furer_raghavachari(&g, &initial, true).unwrap();
-        assert!(out.tree.max_degree() <= 3, "got degree {}", out.tree.max_degree());
+        assert!(
+            out.tree.max_degree() <= 3,
+            "got degree {}",
+            out.tree.max_degree()
+        );
         assert!(out.tree.is_spanning_tree_of(&g));
         assert!(out.improvements >= 5);
     }

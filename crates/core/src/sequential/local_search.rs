@@ -60,7 +60,8 @@ pub fn paper_local_search(
 
         // Best admissible outgoing edge, scored exactly like the distributed
         // protocol: (max endpoint degree, smaller-fragment endpoint, other).
-        let mut best: Option<((usize, NodeId, NodeId), NodeId, NodeId, NodeId)> = None;
+        type ScoredSwap = ((usize, NodeId, NodeId), NodeId, NodeId, NodeId);
+        let mut best: Option<ScoredSwap> = None;
         for (a, b) in graph.edges() {
             if a == p || b == p {
                 continue;
@@ -77,7 +78,7 @@ pub fn paper_local_search(
             // The endpoint in the smaller-identity fragment reports the edge.
             let (u, v, cut_child) = if fa < fb { (a, b, fa) } else { (b, a, fb) };
             let score = (da.max(db), u, v);
-            if best.as_ref().map_or(true, |(s, _, _, _)| score < *s) {
+            if best.as_ref().is_none_or(|(s, _, _, _)| score < *s) {
                 best = Some((score, u, v, cut_child));
             }
         }

@@ -382,7 +382,7 @@ pub fn greedy_high_degree_tree(g: &Graph, root: NodeId) -> Result<RootedTree> {
                 continue;
             }
             let gain = g.neighbors(u).filter(|v| !in_tree[v.index()]).count();
-            if gain > 0 && best.map_or(true, |(bg, _)| gain > bg) {
+            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
                 best = Some((gain, u));
             }
         }
@@ -545,7 +545,11 @@ mod tests {
         let g = generators::path(4).unwrap();
         assert_eq!(
             bridges(&g),
-            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(2), NodeId(3))]
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3))
+            ]
         );
         assert!(bridges(&generators::cycle(4).unwrap()).is_empty());
     }

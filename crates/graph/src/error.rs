@@ -60,7 +60,9 @@ mod tests {
         };
         assert!(e.to_string().contains("v9"));
         assert!(e.to_string().contains('4'));
-        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self loop"));
+        assert!(GraphError::SelfLoop(NodeId(1))
+            .to_string()
+            .contains("self loop"));
         assert!(GraphError::Disconnected.to_string().contains("connected"));
     }
 }

@@ -119,7 +119,10 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
 
 /// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
 pub fn hypercube(d: usize) -> Result<Graph> {
-    require(d >= 1 && d <= 20, "hypercube dimension must be in 1..=20")?;
+    require(
+        (1..=20).contains(&d),
+        "hypercube dimension must be in 1..=20",
+    )?;
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -234,7 +237,10 @@ pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
 /// experiment needs a connected network.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph> {
     require(n >= 1, "G(n,p) needs at least one node")?;
-    require((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]")?;
+    require(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]",
+    )?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
@@ -252,7 +258,10 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph> {
 /// remaining pairs are sampled with probability `p`.
 pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph> {
     require(n >= 1, "G(n,p) needs at least one node")?;
-    require((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]")?;
+    require(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]",
+    )?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     insert_random_spanning_tree(&mut b, &mut rng)?;

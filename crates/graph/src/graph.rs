@@ -98,12 +98,18 @@ impl Graph {
 
     /// Maximum degree over all nodes, `0` for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count()).map(|u| self.degree(NodeId(u))).max().unwrap_or(0)
+        (0..self.node_count())
+            .map(|u| self.degree(NodeId(u)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree over all nodes, `0` for the empty graph.
     pub fn min_degree(&self) -> usize {
-        (0..self.node_count()).map(|u| self.degree(NodeId(u))).min().unwrap_or(0)
+        (0..self.node_count())
+            .map(|u| self.degree(NodeId(u)))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Whether the undirected edge `(u, v)` exists.
@@ -297,14 +303,20 @@ mod tests {
     #[test]
     fn builder_rejects_self_loops() {
         let mut b = GraphBuilder::new(3);
-        assert_eq!(b.add_edge(NodeId(1), NodeId(1)), Err(GraphError::SelfLoop(NodeId(1))));
+        assert_eq!(
+            b.add_edge(NodeId(1), NodeId(1)),
+            Err(GraphError::SelfLoop(NodeId(1)))
+        );
     }
 
     #[test]
     fn builder_rejects_duplicates_in_both_orientations() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(NodeId(0), NodeId(1)).unwrap();
-        assert!(matches!(b.add_edge(NodeId(1), NodeId(0)), Err(GraphError::DuplicateEdge(_, _))));
+        assert!(matches!(
+            b.add_edge(NodeId(1), NodeId(0)),
+            Err(GraphError::DuplicateEdge(_, _))
+        ));
     }
 
     #[test]

@@ -46,8 +46,8 @@ impl RootedTree {
             )));
         }
         let mut children = vec![Vec::new(); n];
-        for u in 0..n {
-            if let Some(p) = parent[u] {
+        for (u, entry) in parent.iter().enumerate() {
+            if let Some(p) = *entry {
                 if p.index() >= n {
                     return Err(GraphError::NodeOutOfRange {
                         node: p,
@@ -403,7 +403,8 @@ impl RootedTree {
     pub fn to_graph(&self) -> Graph {
         let mut b = crate::graph::GraphBuilder::new(self.node_count());
         for (u, v) in self.edges() {
-            b.add_edge(u, v).expect("tree edges are simple and in range");
+            b.add_edge(u, v)
+                .expect("tree edges are simple and in range");
         }
         b.build()
     }
@@ -419,10 +420,7 @@ impl RootedTree {
             fragments.push((c, self.subtree(c).into_iter().collect()));
         }
         if let Some(par) = self.parent(p) {
-            let below: BTreeSet<NodeId> = self
-                .subtree(p)
-                .into_iter()
-                .collect();
+            let below: BTreeSet<NodeId> = self.subtree(p).into_iter().collect();
             let rest: BTreeSet<NodeId> = (0..self.node_count())
                 .map(NodeId)
                 .filter(|x| !below.contains(x))
@@ -484,7 +482,11 @@ mod tests {
 
     #[test]
     fn from_edges_orients_away_from_root() {
-        let edges = [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(1), NodeId(3))];
+        let edges = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(1), NodeId(3)),
+        ];
         let t = RootedTree::from_edges(4, NodeId(2), &edges).unwrap();
         assert_eq!(t.root(), NodeId(2));
         assert_eq!(t.parent(NodeId(1)), Some(NodeId(2)));
@@ -514,7 +516,8 @@ mod tests {
             .collect();
         assert_eq!(before, after);
         // Still a valid tree (constructor invariants re-checked).
-        let rebuilt = RootedTree::from_parents(t.root(), (0..6).map(|u| t.parent(NodeId(u))).collect());
+        let rebuilt =
+            RootedTree::from_parents(t.root(), (0..6).map(|u| t.parent(NodeId(u))).collect());
         assert!(rebuilt.is_ok());
     }
 
@@ -538,10 +541,17 @@ mod tests {
     fn exchange_reduces_center_degree() {
         // Star centred at 0 over 5 nodes plus graph edge (1,2) available.
         let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]).unwrap();
-        let parents = vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(0))];
+        let parents = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+        ];
         let mut t = RootedTree::from_parents(NodeId(0), parents).unwrap();
         assert_eq!(t.degree(NodeId(0)), 4);
-        t.exchange(NodeId(0), NodeId(2), NodeId(1), NodeId(2)).unwrap();
+        t.exchange(NodeId(0), NodeId(2), NodeId(1), NodeId(2))
+            .unwrap();
         assert_eq!(t.degree(NodeId(0)), 3);
         assert!(t.is_spanning_tree_of(&g));
         assert!(t.has_edge(NodeId(1), NodeId(2)));
@@ -550,10 +560,18 @@ mod tests {
 
     #[test]
     fn exchange_rejects_non_crossing_edge() {
-        let parents = vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(1)), Some(NodeId(1))];
+        let parents = vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(1)),
+        ];
         let mut t = RootedTree::from_parents(NodeId(0), parents).unwrap();
         // Edge (3,4) lies entirely inside the fragment below node 1.
-        let err = t.exchange(NodeId(0), NodeId(1), NodeId(3), NodeId(4)).unwrap_err();
+        let err = t
+            .exchange(NodeId(0), NodeId(1), NodeId(3), NodeId(4))
+            .unwrap_err();
         assert!(matches!(err, GraphError::NotASpanningTree(_)));
     }
 

@@ -39,6 +39,7 @@
 //! | [`mdst_netsim`] | asynchronous message-passing simulator + threaded runtime |
 //! | [`mdst_spanning`] | distributed spanning-tree constructions (the startup step) |
 //! | [`mdst_core`] | the distributed MDegST protocol, baselines, bounds, verification |
+//! | [`mdst_scenario`] | declarative scenario harness: graph I/O, parallel campaigns, JSON reports |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,11 +47,15 @@
 pub use mdst_core as core;
 pub use mdst_graph as graph;
 pub use mdst_netsim as netsim;
+pub use mdst_scenario as scenario;
 pub use mdst_spanning as spanning;
 
 /// Everything a typical user or experiment needs in scope.
 pub mod prelude {
-    pub use mdst_core::bounds::{degree_lower_bound, kmz_message_lower_bound, kmz_ratio};
+    pub use mdst_core::bounds::{
+        degree_lower_bound, kmz_message_lower_bound, kmz_ratio, paper_degree_upper_bound,
+        within_paper_degree_bound,
+    };
     pub use mdst_core::distributed::{Candidate, MdstMsg, MdstNode};
     pub use mdst_core::driver::{
         run_distributed_mdst, run_pipeline, MdstRun, PipelineConfig, PipelineReport,
@@ -67,6 +72,9 @@ pub mod prelude {
     pub use mdst_netsim::{
         Context, DelayModel, Metrics, NetMessage, Protocol, SimConfig, Simulator, StartModel,
         ThreadedRuntime,
+    };
+    pub use mdst_scenario::{
+        run_campaign, CampaignReport, GraphFormat, RunRecord, RunnerConfig, ScenarioMatrix,
     };
     pub use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind, TreeState};
 }

@@ -13,11 +13,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// How long a message spends on a link before delivery.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum DelayModel {
     /// Every message takes exactly one time unit — the paper's accounting
     /// assumption, and the configuration under which the measured "time" is
     /// comparable to the claimed `O((k−k*)·n)`.
+    #[default]
     Unit,
     /// Every message takes an independent uniformly random delay in
     /// `[min, max]` (inclusive), drawn from a deterministic stream seeded by
@@ -60,12 +61,6 @@ impl DelayModel {
                 seed,
             },
         }
-    }
-}
-
-impl Default for DelayModel {
-    fn default() -> Self {
-        DelayModel::Unit
     }
 }
 
@@ -141,7 +136,11 @@ mod tests {
         for i in 0..100 {
             let d = a.sample(NodeId(0), NodeId(1));
             assert!((2..=7).contains(&d));
-            assert_eq!(d, b.sample(NodeId(0), NodeId(1)), "sample {i} must be reproducible");
+            assert_eq!(
+                d,
+                b.sample(NodeId(0), NodeId(1)),
+                "sample {i} must be reproducible"
+            );
         }
     }
 
@@ -157,8 +156,7 @@ mod tests {
         assert_eq!(d01, s.sample(NodeId(0), NodeId(1)));
         // Not all links share the same delay (with overwhelming probability
         // over the fixed hash; these specific links differ for seed 9).
-        let all_same = (0..20)
-            .all(|i| s.sample(NodeId(i), NodeId(i + 1)) == d01);
+        let all_same = (0..20).all(|i| s.sample(NodeId(i), NodeId(i + 1)) == d01);
         assert!(!all_same);
         for i in 0..20 {
             let d = s.sample(NodeId(i), NodeId(2 * i + 1));

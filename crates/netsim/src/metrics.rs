@@ -149,7 +149,10 @@ mod tests {
     fn empty_metrics_have_zero_mean() {
         let m = Metrics::new(2);
         assert_eq!(m.bits_mean(), 0.0);
-        assert_eq!(m.max_received(), Some((1, 0)).map(|_| (0, 0)).or(Some((0, 0))));
+        assert_eq!(
+            m.max_received(),
+            Some((1, 0)).map(|_| (0, 0)).or(Some((0, 0)))
+        );
     }
 
     #[test]

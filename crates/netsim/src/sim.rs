@@ -26,9 +26,10 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// When each node spontaneously wakes up.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum StartModel {
     /// Every node wakes up at time zero.
+    #[default]
     Simultaneous,
     /// Every node wakes up at an independent uniformly random time in
     /// `[0, max_offset]`, reproducibly derived from `seed`.
@@ -41,12 +42,6 @@ pub enum StartModel {
     /// Only the listed nodes wake up spontaneously (the rest are woken by the
     /// first message they receive — useful for single-initiator protocols).
     Selected(Vec<NodeId>),
-}
-
-impl Default for StartModel {
-    fn default() -> Self {
-        StartModel::Simultaneous
-    }
 }
 
 /// Simulator configuration.
@@ -197,9 +192,7 @@ impl<P: Protocol> Simulator<P> {
         let neighbors: Vec<Vec<NodeId>> = (0..n)
             .map(|u| graph.neighbors(NodeId(u)).collect())
             .collect();
-        let nodes: Vec<P> = (0..n)
-            .map(|u| factory(NodeId(u), &neighbors[u]))
-            .collect();
+        let nodes: Vec<P> = (0..n).map(|u| factory(NodeId(u), &neighbors[u])).collect();
         let trace = if config.record_trace {
             TraceRecorder::enabled()
         } else {
@@ -705,6 +698,9 @@ mod tests {
             panic!("node 1 is the receiver");
         };
         let sorted: Vec<u64> = (0..50).collect();
-        assert_eq!(got, &sorted, "messages on one link must arrive in FIFO order");
+        assert_eq!(
+            got, &sorted,
+            "messages on one link must arrive in FIFO order"
+        );
     }
 }

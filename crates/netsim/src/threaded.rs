@@ -239,8 +239,12 @@ mod tests {
         fn on_message(&mut self, from: NodeId, msg: Token, ctx: &mut dyn Context<Token>) {
             if !self.seen {
                 self.seen = true;
-                let targets: Vec<NodeId> =
-                    ctx.neighbors().iter().copied().filter(|&x| x != from).collect();
+                let targets: Vec<NodeId> = ctx
+                    .neighbors()
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != from)
+                    .collect();
                 for t in targets {
                     ctx.send(t, msg.clone());
                 }

@@ -1,0 +1,227 @@
+//! `scenario` — campaign CLI for the MDST scenario harness.
+//!
+//! ```text
+//! scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv]
+//!              [--threads N] [--quiet]
+//! scenario expand <spec>      # print the resolved run list as JSON
+//! scenario validate <spec>    # check the spec (graphs buildable, files readable)
+//! ```
+//!
+//! `run` exits non-zero when any run fails or violates the paper's degree
+//! bound, so campaigns double as large-scale correctness checks in CI.
+
+use mdst_scenario::prelude::*;
+use serde::Value;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--threads N] [--quiet]
+  scenario expand <spec>
+  scenario validate <spec>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(rest),
+        "expand" => cmd_expand(rest),
+        "validate" => cmd_validate(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("scenario: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct RunArgs {
+    spec: String,
+    out: Option<String>,
+    csv: Option<String>,
+    threads: usize,
+    quiet: bool,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut spec = None;
+    let mut out = None;
+    let mut csv = None;
+    let mut threads = 0usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" | "-o" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--csv" => {
+                csv = Some(
+                    it.next()
+                        .ok_or_else(|| "--csv needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--threads" | "-j" => {
+                threads = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a number".to_string())?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--quiet" | "-q" => quiet = true,
+            other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(RunArgs {
+        spec: spec.ok_or_else(|| format!("missing spec file\n{USAGE}"))?,
+        out,
+        csv,
+        threads,
+        quiet,
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_run_args(args)?;
+    let matrix = ScenarioMatrix::from_path(&args.spec).map_err(|e| e.to_string())?;
+    let report = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: args.threads,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    if let Some(path) = &args.out {
+        write_json(&report, path).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if let Some(path) = &args.csv {
+        write_csv(&report, path).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if args.out.is_none() && args.csv.is_none() {
+        // No sink requested: the JSON report goes to stdout.
+        println!("{}", campaign_to_json(&report));
+    }
+    if !args.quiet {
+        eprintln!("{}", summarize(&report));
+        for s in &report.scenarios {
+            eprintln!(
+                "  {}: {} runs, final degree {}/{}/{}, {} msgs",
+                s.scenario,
+                s.runs,
+                s.final_degree.min,
+                s.final_degree.median,
+                s.final_degree.max,
+                s.messages_total
+            );
+        }
+    }
+    if report.total.failures > 0 || report.total.bound_violations > 0 {
+        eprintln!(
+            "scenario: {} failures, {} bound violations",
+            report.total.failures, report.total.bound_violations
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_expand(args: &[String]) -> Result<ExitCode, String> {
+    let [spec] = args else {
+        return Err(format!("expand takes exactly one spec file\n{USAGE}"));
+    };
+    let matrix = ScenarioMatrix::from_path(spec).map_err(|e| e.to_string())?;
+    let runs = matrix.expand().map_err(|e| e.to_string())?;
+    let items: Vec<Value> = runs
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("scenario".into(), Value::String(r.scenario.clone())),
+                ("graph".into(), Value::String(r.graph.label())),
+                ("initial".into(), Value::String(r.initial.clone())),
+                ("delay".into(), Value::String(r.delay.label())),
+                ("start".into(), Value::String(r.start.label())),
+                ("seed".into(), Value::UInt(r.seed)),
+                ("root".into(), Value::UInt(r.root as u64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("campaign".into(), Value::String(matrix.name.clone())),
+        ("run_count".into(), Value::UInt(runs.len() as u64)),
+        ("runs".into(), Value::Array(items)),
+    ]);
+    println!("{}", doc.to_json_pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    let [spec] = args else {
+        return Err(format!("validate takes exactly one spec file\n{USAGE}"));
+    };
+    let matrix = match ScenarioMatrix::from_path(spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let runs = match matrix.expand() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("invalid: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let mut problems = Vec::new();
+    if runs.is_empty() {
+        problems.push("spec expands to zero runs".to_string());
+    }
+    // Each distinct graph source must build, and each run's pipeline
+    // configuration must resolve; seeds only displace seeded families, so one
+    // build per (source, first seed) is enough to validate parameters.
+    let mut checked = std::collections::BTreeSet::new();
+    for run in &runs {
+        let label = run.graph.label();
+        if checked.insert(label.clone()) {
+            if let Err(e) = run.graph.build(run.seed) {
+                problems.push(format!("graph {label}: {e}"));
+            }
+        }
+        if let Err(e) = run.pipeline_config() {
+            let msg = format!("run in `{}`: {e}", run.scenario);
+            if !problems.contains(&msg) {
+                problems.push(msg);
+            }
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "ok: campaign `{}`, {} scenarios, {} runs, {} distinct graphs",
+            matrix.name,
+            matrix.scenarios.len(),
+            runs.len(),
+            checked.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for p in &problems {
+            eprintln!("invalid: {p}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,404 @@
+//! Graph file I/O: edge-list and DIMACS formats.
+//!
+//! External graphs become first-class pipeline inputs through this module. Two
+//! interchange formats are supported, both line-oriented and widely used by
+//! graph repositories:
+//!
+//! * **edge list** — one `u v` pair per line, 0-based, `#`/`%` comments; the
+//!   node count is `max(endpoint) + 1`;
+//! * **DIMACS** — `c` comment lines, one `p edge <n> <m>` problem line, then
+//!   `m` lines `e u v` with 1-based endpoints (the format of the DIMACS
+//!   colouring/clique benchmarks, also produced by many generators).
+//!
+//! Both readers reject self loops and out-of-range endpoints; duplicate edges
+//! are tolerated (many published DIMACS files list both orientations).
+//! Writers produce canonical output (edges sorted, `u < v`), so
+//! `read(write(g))` reproduces `g` exactly.
+
+use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId};
+use std::fmt;
+use std::path::Path;
+
+/// Supported on-disk graph formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum GraphFormat {
+    /// `u v` pairs, 0-based.
+    EdgeList,
+    /// DIMACS `p edge` / `e u v`, 1-based.
+    Dimacs,
+}
+
+impl GraphFormat {
+    /// Guesses the format from a file extension: `.col`, `.clq`, `.gr` and
+    /// `.dimacs` are DIMACS, everything else is an edge list.
+    pub fn from_path(path: &Path) -> GraphFormat {
+        match path
+            .extension()
+            .and_then(|e| e.to_str())
+            .map(str::to_ascii_lowercase)
+            .as_deref()
+        {
+            Some("col") | Some("clq") | Some("gr") | Some("dimacs") => GraphFormat::Dimacs,
+            _ => GraphFormat::EdgeList,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GraphFormat::EdgeList => "edge-list",
+            GraphFormat::Dimacs => "dimacs",
+        }
+    }
+}
+
+/// Errors produced while reading or writing graph files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// Filesystem problem (missing file, permissions, …).
+    Io(String),
+    /// Malformed content, with the offending 1-based line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Structurally invalid graph (self loop, out-of-range endpoint, …).
+    Graph(GraphError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(msg) => write!(f, "I/O error: {msg}"),
+            IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+fn parse_err<T>(line: usize, message: impl Into<String>) -> Result<T, IoError> {
+    Err(IoError::Parse {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Strips `#` / `%` comments and surrounding whitespace.
+fn strip_line(raw: &str) -> &str {
+    let no_comment = match raw.find(['#', '%']) {
+        Some(i) => &raw[..i],
+        None => raw,
+    };
+    no_comment.trim()
+}
+
+// ---------------------------------------------------------------------------
+// Edge list
+// ---------------------------------------------------------------------------
+
+/// Parses an edge list (`u v` per line, 0-based).
+pub fn parse_edge_list(input: &str) -> Result<Graph, IoError> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_line(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return parse_err(line_no, format!("expected `u v`, got `{line}`"));
+        };
+        if parts.next().is_some() {
+            return parse_err(
+                line_no,
+                format!("expected exactly two endpoints on `{line}`"),
+            );
+        }
+        let u: usize = a.parse().map_err(|_| IoError::Parse {
+            line: line_no,
+            message: format!("`{a}` is not a node index"),
+        })?;
+        let v: usize = b.parse().map_err(|_| IoError::Parse {
+            line: line_no,
+            message: format!("`{b}` is not a node index"),
+        })?;
+        if u == v {
+            return parse_err(line_no, format!("self loop `{u} {v}` is not allowed"));
+        }
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v));
+    }
+    if edges.is_empty() {
+        return parse_err(0, "edge list contains no edges");
+    }
+    let mut builder = GraphBuilder::new(max_node + 1);
+    for (u, v) in edges {
+        builder.add_edge_idempotent(NodeId(u), NodeId(v))?;
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph as a canonical edge list.
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# mdst edge list: {} nodes, {} edges\n",
+        graph.node_count(),
+        graph.edge_count()
+    ));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("{} {}\n", u.index(), v.index()));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// DIMACS
+// ---------------------------------------------------------------------------
+
+/// Parses a DIMACS graph (`p edge n m`, `e u v` with 1-based endpoints).
+pub fn parse_dimacs(input: &str) -> Result<Graph, IoError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return parse_err(line_no, "duplicate problem line");
+                }
+                let format = parts.next().unwrap_or("");
+                if format != "edge" && format != "sp" && format != "graph" {
+                    return parse_err(line_no, format!("unsupported problem type `{format}`"));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(IoError::Parse {
+                        line: line_no,
+                        message: "problem line needs a node count".to_string(),
+                    })?;
+                let m: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(IoError::Parse {
+                        line: line_no,
+                        message: "problem line needs an edge count".to_string(),
+                    })?;
+                if n == 0 {
+                    return parse_err(line_no, "DIMACS graph must have at least one node");
+                }
+                builder = Some(GraphBuilder::new(n));
+                declared_edges = m;
+            }
+            Some("e") | Some("a") => {
+                let Some(b) = builder.as_mut() else {
+                    return parse_err(line_no, "edge before problem line");
+                };
+                let u: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(IoError::Parse {
+                        line: line_no,
+                        message: "edge line needs two endpoints".to_string(),
+                    })?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(IoError::Parse {
+                        line: line_no,
+                        message: "edge line needs two endpoints".to_string(),
+                    })?;
+                if u == 0 || v == 0 {
+                    return parse_err(line_no, "DIMACS endpoints are 1-based");
+                }
+                if u == v {
+                    return parse_err(line_no, format!("self loop `e {u} {v}` is not allowed"));
+                }
+                b.add_edge_idempotent(NodeId(u - 1), NodeId(v - 1))?;
+                seen_edges += 1;
+            }
+            Some(other) => {
+                return parse_err(line_no, format!("unknown DIMACS line type `{other}`"));
+            }
+            None => unreachable!("line is non-empty"),
+        }
+    }
+    let Some(builder) = builder else {
+        return parse_err(0, "missing `p edge <n> <m>` problem line");
+    };
+    // Published DIMACS files disagree on whether `m` counts undirected edges
+    // or edge *lines* (some list both orientations), so either reading is
+    // accepted — anything else (truncated file, surplus lines, wrong header)
+    // is an error.
+    let unique_edges = builder.edge_count();
+    if declared_edges != unique_edges && declared_edges != seen_edges {
+        return parse_err(
+            0,
+            format!(
+                "problem line declares {declared_edges} edges but the file has \
+                 {seen_edges} edge lines ({unique_edges} distinct edges)"
+            ),
+        );
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph in DIMACS `edge` format.
+pub fn to_dimacs(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("c generated by mdst-scenario\n");
+    out.push_str(&format!(
+        "p edge {} {}\n",
+        graph.node_count(),
+        graph.edge_count()
+    ));
+    for (u, v) in graph.edges() {
+        out.push_str(&format!("e {} {}\n", u.index() + 1, v.index() + 1));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// File-level helpers
+// ---------------------------------------------------------------------------
+
+/// Parses `input` in the given format.
+pub fn parse_graph(input: &str, format: GraphFormat) -> Result<Graph, IoError> {
+    match format {
+        GraphFormat::EdgeList => parse_edge_list(input),
+        GraphFormat::Dimacs => parse_dimacs(input),
+    }
+}
+
+/// Renders `graph` in the given format.
+pub fn render_graph(graph: &Graph, format: GraphFormat) -> String {
+    match format {
+        GraphFormat::EdgeList => to_edge_list(graph),
+        GraphFormat::Dimacs => to_dimacs(graph),
+    }
+}
+
+/// Loads a graph from a file, inferring the format from the extension when
+/// none is given.
+pub fn load_graph(path: impl AsRef<Path>, format: Option<GraphFormat>) -> Result<Graph, IoError> {
+    let path = path.as_ref();
+    let format = format.unwrap_or_else(|| GraphFormat::from_path(path));
+    let content = std::fs::read_to_string(path)
+        .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    parse_graph(&content, format)
+}
+
+/// Writes a graph to a file in the given (or extension-inferred) format.
+pub fn save_graph(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    format: Option<GraphFormat>,
+) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let format = format.unwrap_or_else(|| GraphFormat::from_path(path));
+    std::fs::write(path, render_graph(graph, format))
+        .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::generators;
+
+    #[test]
+    fn edge_list_round_trips() {
+        let g = generators::petersen().unwrap();
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        let g = generators::gnp_connected(20, 0.2, 5).unwrap();
+        let text = to_dimacs(&g);
+        let back = parse_dimacs(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn edge_list_tolerates_comments_and_duplicates() {
+        let g =
+            parse_edge_list("# header\n0 1\n% other comment style\n1 2 # inline\n2 1\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed_input() {
+        assert!(matches!(parse_edge_list(""), Err(IoError::Parse { .. })));
+        assert!(matches!(parse_edge_list("0"), Err(IoError::Parse { .. })));
+        assert!(matches!(
+            parse_edge_list("0 1 2"),
+            Err(IoError::Parse { .. })
+        ));
+        assert!(matches!(parse_edge_list("a b"), Err(IoError::Parse { .. })));
+        assert!(matches!(parse_edge_list("3 3"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed_input() {
+        assert!(parse_dimacs("e 1 2\n").is_err()); // edge before problem line
+        assert!(parse_dimacs("p edge 0 0\n").is_err());
+        assert!(parse_dimacs("p edge 3 2\ne 1 2\n").is_err()); // missing edge
+        assert!(parse_dimacs("p edge 3 1\ne 0 1\n").is_err()); // 0-based endpoint
+        assert!(parse_dimacs("p edge 3 1\ne 1 1\n").is_err()); // self loop
+        assert!(parse_dimacs("p edge 3 1\ne 1 4\n").is_err()); // out of range
+        assert!(parse_dimacs("q edge 3 1\n").is_err()); // unknown line type
+        assert!(parse_dimacs("p edge 3 1\np edge 3 1\ne 1 2\n").is_err()); // dup problem
+                                                                           // Header/body mismatches: surplus lines and a duplicate-inflated
+                                                                           // count are both errors when neither reading of `m` matches.
+        assert!(parse_dimacs("p edge 3 1\ne 1 2\ne 2 3\n").is_err()); // surplus
+        assert!(parse_dimacs("p edge 3 3\ne 1 2\ne 2 1\n").is_err()); // 3 ≠ 2 lines, ≠ 1 unique
+    }
+
+    #[test]
+    fn dimacs_accepts_both_orientations() {
+        let g = parse_dimacs("c demo\np edge 3 3\ne 1 2\ne 2 1\ne 2 3\n").unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn format_is_inferred_from_extension() {
+        assert_eq!(
+            GraphFormat::from_path(Path::new("x/y/graph.col")),
+            GraphFormat::Dimacs
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("graph.DIMACS")),
+            GraphFormat::Dimacs
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("graph.edges")),
+            GraphFormat::EdgeList
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("noext")),
+            GraphFormat::EdgeList
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! # mdst-scenario
+//!
+//! Declarative scenario harness for the Blin–Butelle MDST reproduction: it
+//! turns the one-shot `mdst_core::run_pipeline` driver into a campaign
+//! engine. Experiments are described in TOML (or JSON), expanded into a
+//! cartesian product of runs, executed across threads, checked against the
+//! paper's `O(Δ* + log n)` degree bound, and persisted as JSON/CSV.
+//!
+//! ## Module map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`spec`] | `ScenarioMatrix` / `ScenarioSpec` / `RunSpec`: the declarative spec language and its cartesian expansion |
+//! | [`io`] | edge-list and DIMACS graph readers/writers — external graph files as first-class pipeline inputs |
+//! | [`toml`] | self-contained TOML subset parser feeding [`spec`] (the registry `toml` crate is unavailable offline) |
+//! | [`runner`] | the parallel batch runner: scoped thread pool, per-run records, per-scenario and campaign aggregates |
+//! | [`report`] | JSON / CSV sinks and the human-readable summary |
+//!
+//! The `scenario` binary wires these together:
+//!
+//! ```text
+//! scenario run examples/sweep.toml --out campaign.json --csv campaign.csv
+//! scenario expand examples/sweep.toml     # print the resolved run list
+//! scenario validate examples/sweep.toml   # check the spec without running it
+//! ```
+//!
+//! ## Spec format
+//!
+//! ```text
+//! [campaign]
+//! name = "sweep"
+//!
+//! [[scenario]]
+//! name = "gnp"
+//! graph = { family = "gnp_connected", n = [16, 32], p = [0.1, 0.2] }
+//! initial = ["greedy_hub", "bfs"]          # axis: initial-tree construction
+//! delay = [ "unit", { model = "uniform", min = 1, max = 5 } ]
+//! start = { model = "staggered", max_offset = 10 }
+//! seeds = [1, 2, 3]                        # axis: replication / graph seeds
+//!
+//! [[scenario]]
+//! name = "external"
+//! graph = { path = "data/network.col" }    # DIMACS or edge-list file
+//! ```
+//!
+//! Every list-valued field is an axis; the run list is the cartesian product
+//! of all axes (graph parameters included). A checked-in example lives at
+//! `examples/sweep.toml` in the repository root.
+//!
+//! ## Library use
+//!
+//! ```
+//! use mdst_scenario::prelude::*;
+//!
+//! let spec = r#"
+//!     [[scenario]]
+//!     name = "demo"
+//!     graph = { family = "star_with_leaf_edges", n = [8, 10] }
+//!     seeds = [1, 2]
+//! "#;
+//! let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+//! let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+//! assert_eq!(report.total.runs, 4);
+//! assert_eq!(report.total.bound_violations, 0);
+//! println!("{}", campaign_to_json(&report));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod report;
+pub mod runner;
+pub mod spec;
+pub mod toml;
+
+pub use io::{load_graph, save_graph, GraphFormat, IoError};
+pub use report::{campaign_to_csv, campaign_to_json};
+pub use runner::{execute_run, run_campaign, CampaignReport, RunRecord, RunnerConfig};
+pub use spec::{RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
+
+/// Everything a campaign driver typically needs in scope.
+pub mod prelude {
+    pub use crate::io::{load_graph, parse_graph, render_graph, save_graph, GraphFormat, IoError};
+    pub use crate::report::{campaign_to_csv, campaign_to_json, summarize, write_csv, write_json};
+    pub use crate::runner::{
+        execute_run, execute_runs, run_campaign, CampaignReport, RunRecord, RunnerConfig,
+        ScenarioStats,
+    };
+    pub use crate::spec::{
+        parse_initial_kind, GraphSpec, ResolvedGraph, RunSpec, ScenarioMatrix, ScenarioSpec,
+        SpecError,
+    };
+}

@@ -1,0 +1,176 @@
+//! Campaign report sinks: JSON and CSV.
+//!
+//! The JSON document is the full [`CampaignReport`] (aggregates plus every
+//! run) produced through the serde `Serialize` impls, so other tools — and
+//! the round-trip tests — can parse it back with `serde::from_json_str`. The
+//! CSV sink flattens the per-run records into one row each, convenient for
+//! spreadsheets and plotting scripts.
+
+use crate::runner::CampaignReport;
+use serde::Serialize;
+use std::path::Path;
+
+/// The full campaign as pretty-printed JSON.
+pub fn campaign_to_json(report: &CampaignReport) -> String {
+    let mut out = report.to_value().to_json_pretty();
+    out.push('\n');
+    out
+}
+
+/// Column order of [`campaign_to_csv`].
+pub const CSV_COLUMNS: &[&str] = &[
+    "scenario",
+    "graph",
+    "initial",
+    "delay",
+    "start",
+    "seed",
+    "n",
+    "m",
+    "initial_degree",
+    "final_degree",
+    "degree_lower_bound",
+    "degree_upper_bound",
+    "within_bound",
+    "approx_ratio",
+    "messages",
+    "construction_messages",
+    "causal_time",
+    "quiescence_time",
+    "rounds",
+    "improvements",
+    "wall_ms",
+    "error",
+];
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// The per-run records as CSV (header + one row per run).
+pub fn campaign_to_csv(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(&CSV_COLUMNS.join(","));
+    out.push('\n');
+    for run in &report.runs {
+        let fields = [
+            csv_escape(&run.scenario),
+            csv_escape(&run.graph),
+            csv_escape(&run.initial),
+            csv_escape(&run.delay),
+            csv_escape(&run.start),
+            run.seed.to_string(),
+            run.n.to_string(),
+            run.m.to_string(),
+            run.initial_degree.to_string(),
+            run.final_degree.to_string(),
+            run.degree_lower_bound.to_string(),
+            run.degree_upper_bound.to_string(),
+            run.within_bound.to_string(),
+            format!("{:.4}", run.approx_ratio),
+            run.messages.to_string(),
+            run.construction_messages.to_string(),
+            run.causal_time.to_string(),
+            run.quiescence_time.to_string(),
+            run.rounds.to_string(),
+            run.improvements.to_string(),
+            format!("{:.3}", run.wall_ms),
+            csv_escape(run.error.as_deref().unwrap_or("")),
+        ];
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the JSON report to `path`.
+pub fn write_json(report: &CampaignReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, campaign_to_json(report))
+}
+
+/// Writes the CSV report to `path`.
+pub fn write_csv(report: &CampaignReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, campaign_to_csv(report))
+}
+
+/// One-paragraph human summary printed by the CLI after a campaign.
+pub fn summarize(report: &CampaignReport) -> String {
+    let t = &report.total;
+    format!(
+        "campaign `{}`: {} runs ({} failed) on {} threads in {:.0} ms\n\
+         final degree min/median/max = {}/{}/{} (mean {:.2}), \
+         approx ratio mean {:.2}, bound violations {}, \
+         {} improvement messages total",
+        report.name,
+        t.runs,
+        t.failures,
+        report.threads,
+        report.wall_ms,
+        t.final_degree.min,
+        t.final_degree.median,
+        t.final_degree.max,
+        t.final_degree.mean,
+        t.approx_ratio_mean,
+        t.bound_violations,
+        t.messages_total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_campaign, RunnerConfig};
+    use crate::spec::ScenarioMatrix;
+
+    fn small_report() -> CampaignReport {
+        let spec = r#"
+            [[scenario]]
+            name = "mini"
+            graph = { family = "star_with_leaf_edges", n = 8 }
+            seeds = [1, 2]
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+        run_campaign(&matrix, &RunnerConfig { threads: 1 }).unwrap()
+    }
+
+    #[test]
+    fn json_report_parses_back() {
+        let report = small_report();
+        let json = campaign_to_json(&report);
+        let value = serde::from_json_str(&json).unwrap();
+        assert_eq!(value.get("name").unwrap().as_str(), Some("campaign"));
+        assert_eq!(
+            value.get("runs").unwrap().as_array().unwrap().len(),
+            report.runs.len()
+        );
+        use serde::Deserialize;
+        let back = CampaignReport::from_value(&value).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_run() {
+        let report = small_report();
+        let csv = campaign_to_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + report.runs.len());
+        assert!(lines[0].starts_with("scenario,graph,initial"));
+        assert_eq!(
+            lines[0].split(',').count(),
+            lines[1].split(',').count(),
+            "graph labels with commas must be quoted"
+        );
+    }
+
+    #[test]
+    fn summary_mentions_run_count() {
+        let report = small_report();
+        let s = summarize(&report);
+        assert!(s.contains("2 runs"));
+        assert!(s.contains("bound violations 0"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Parallel campaign execution.
+//!
+//! [`run_campaign`] expands a [`ScenarioMatrix`] into its flat run list and
+//! executes the runs across a scoped thread pool (work is claimed from a
+//! shared atomic counter, so long runs never block short ones). Each run
+//! drives the full `mdst_core` pipeline — initial-tree construction followed
+//! by the distributed improvement protocol — and is checked against the
+//! paper's `O(Δ* + log n)` degree bound from [`mdst_core::bounds`]. Results
+//! aggregate into per-scenario and campaign-wide statistics.
+
+use crate::spec::{RunSpec, ScenarioMatrix, SpecError};
+use mdst_core::bounds;
+use mdst_core::run_pipeline;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+}
+
+/// Outcome of one run of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Scenario the run belongs to.
+    pub scenario: String,
+    /// Graph label, e.g. `gnp_connected(n=32,p=0.1)`.
+    pub graph: String,
+    /// Initial-tree construction name.
+    pub initial: String,
+    /// Delay model label.
+    pub delay: String,
+    /// Start model label.
+    pub start: String,
+    /// Seed of the run.
+    pub seed: u64,
+    /// Nodes of the input graph.
+    pub n: usize,
+    /// Edges of the input graph.
+    pub m: usize,
+    /// Maximum degree of the initial tree (`k`).
+    pub initial_degree: usize,
+    /// Maximum degree of the improved tree (`k*`).
+    pub final_degree: usize,
+    /// Combinatorial lower bound on `Δ*`.
+    pub degree_lower_bound: usize,
+    /// The paper's `2·Δ* + ⌈log₂ n⌉` guarantee, with the lower bound standing
+    /// in for `Δ*`.
+    pub degree_upper_bound: usize,
+    /// Whether `final_degree ≤ degree_upper_bound`.
+    pub within_bound: bool,
+    /// Ratio `final_degree / max(lower bound, 1)`.
+    pub approx_ratio: f64,
+    /// Messages of the improvement protocol.
+    pub messages: u64,
+    /// Messages of the (distributed) construction, 0 for centralized seeds.
+    pub construction_messages: u64,
+    /// Longest causal chain of the improvement protocol.
+    pub causal_time: u64,
+    /// Simulated clock at quiescence.
+    pub quiescence_time: u64,
+    /// Improvement rounds executed.
+    pub rounds: u32,
+    /// Edge exchanges performed.
+    pub improvements: u32,
+    /// Wall-clock milliseconds spent on this run.
+    pub wall_ms: f64,
+    /// Failure description; when set, the numeric fields are zero.
+    pub error: Option<String>,
+}
+
+/// Five-number-ish summary of final tree degrees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeSummary {
+    /// Smallest final degree.
+    pub min: usize,
+    /// Median final degree.
+    pub median: usize,
+    /// Largest final degree.
+    pub max: usize,
+    /// Mean final degree.
+    pub mean: f64,
+}
+
+impl DegreeSummary {
+    fn of(mut degrees: Vec<usize>) -> DegreeSummary {
+        if degrees.is_empty() {
+            return DegreeSummary {
+                min: 0,
+                median: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        degrees.sort_unstable();
+        let sum: usize = degrees.iter().sum();
+        DegreeSummary {
+            min: degrees[0],
+            median: degrees[degrees.len() / 2],
+            max: *degrees.last().expect("non-empty"),
+            mean: sum as f64 / degrees.len() as f64,
+        }
+    }
+}
+
+/// Aggregated statistics over a set of runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioStats {
+    /// Scenario name (`"TOTAL"` for the campaign-wide aggregate).
+    pub scenario: String,
+    /// Runs attempted.
+    pub runs: usize,
+    /// Runs that failed (graph build, pipeline error, …).
+    pub failures: usize,
+    /// Final-degree summary over successful runs.
+    pub final_degree: DegreeSummary,
+    /// Mean `final_degree / lower_bound` over successful runs.
+    pub approx_ratio_mean: f64,
+    /// Runs whose final degree exceeded the paper bound.
+    pub bound_violations: usize,
+    /// Total improvement messages across successful runs.
+    pub messages_total: u64,
+    /// Largest causal time observed.
+    pub causal_time_max: u64,
+}
+
+fn stats_over(name: &str, records: &[&RunRecord]) -> ScenarioStats {
+    let ok: Vec<&&RunRecord> = records.iter().filter(|r| r.error.is_none()).collect();
+    let degrees: Vec<usize> = ok.iter().map(|r| r.final_degree).collect();
+    let ratio_sum: f64 = ok.iter().map(|r| r.approx_ratio).sum();
+    ScenarioStats {
+        scenario: name.to_string(),
+        runs: records.len(),
+        failures: records.len() - ok.len(),
+        final_degree: DegreeSummary::of(degrees),
+        approx_ratio_mean: if ok.is_empty() {
+            0.0
+        } else {
+            ratio_sum / ok.len() as f64
+        },
+        bound_violations: ok.iter().filter(|r| !r.within_bound).count(),
+        messages_total: ok.iter().map(|r| r.messages).sum(),
+        causal_time_max: ok.iter().map(|r| r.causal_time).max().unwrap_or(0),
+    }
+}
+
+/// A finished campaign: every run plus the aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock milliseconds for the whole campaign.
+    pub wall_ms: f64,
+    /// Campaign-wide aggregate (scenario = `"TOTAL"`).
+    pub total: ScenarioStats,
+    /// Per-scenario aggregates, in spec order.
+    pub scenarios: Vec<ScenarioStats>,
+    /// Every run, in expansion order.
+    pub runs: Vec<RunRecord>,
+}
+
+/// Executes a single run (sequentially, on the calling thread).
+pub fn execute_run(spec: &RunSpec) -> RunRecord {
+    let start = Instant::now();
+    let mut record = RunRecord {
+        scenario: spec.scenario.clone(),
+        graph: spec.graph.label(),
+        initial: spec.initial.clone(),
+        delay: spec.delay.label(),
+        start: spec.start.label(),
+        seed: spec.seed,
+        n: 0,
+        m: 0,
+        initial_degree: 0,
+        final_degree: 0,
+        degree_lower_bound: 0,
+        degree_upper_bound: 0,
+        within_bound: false,
+        approx_ratio: 0.0,
+        messages: 0,
+        construction_messages: 0,
+        causal_time: 0,
+        quiescence_time: 0,
+        rounds: 0,
+        improvements: 0,
+        wall_ms: 0.0,
+        error: None,
+    };
+    let outcome = (|| -> Result<(), String> {
+        let graph = spec.graph.build(spec.seed).map_err(|e| e.to_string())?;
+        let config = spec.pipeline_config().map_err(|e| e.to_string())?;
+        if spec.root >= graph.node_count() {
+            return Err(format!(
+                "root {} out of range for a graph on {} nodes",
+                spec.root,
+                graph.node_count()
+            ));
+        }
+        let report = run_pipeline(&graph, &config).map_err(|e| e.to_string())?;
+        let lb = bounds::degree_lower_bound(&graph);
+        let ub = bounds::paper_degree_upper_bound(&graph);
+        record.n = report.n;
+        record.m = report.m;
+        record.initial_degree = report.initial_degree;
+        record.final_degree = report.final_degree;
+        record.degree_lower_bound = lb;
+        record.degree_upper_bound = ub;
+        record.within_bound = report.final_degree <= ub;
+        record.approx_ratio = report.final_degree as f64 / lb.max(1) as f64;
+        record.messages = report.improvement_metrics.messages_total;
+        record.construction_messages = report
+            .construction_metrics
+            .as_ref()
+            .map(|m| m.messages_total)
+            .unwrap_or(0);
+        record.causal_time = report.improvement_metrics.causal_time;
+        record.quiescence_time = report.improvement_metrics.quiescence_time;
+        record.rounds = report.rounds;
+        record.improvements = report.improvements;
+        Ok(())
+    })();
+    if let Err(e) = outcome {
+        record.error = Some(e);
+    }
+    record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    record
+}
+
+/// Expands `matrix` and executes every run in parallel.
+pub fn run_campaign(
+    matrix: &ScenarioMatrix,
+    config: &RunnerConfig,
+) -> Result<CampaignReport, SpecError> {
+    let runs = matrix.expand()?;
+    let report = execute_runs(&matrix.name, &matrix.scenario_order(), runs, config);
+    Ok(report)
+}
+
+impl ScenarioMatrix {
+    /// Scenario names in spec order (used to order the per-scenario stats).
+    pub fn scenario_order(&self) -> Vec<String> {
+        self.scenarios.iter().map(|s| s.name.clone()).collect()
+    }
+}
+
+/// Executes an explicit run list in parallel (the engine under
+/// [`run_campaign`], exposed so callers can post-process the expansion).
+pub fn execute_runs(
+    name: &str,
+    scenario_order: &[String],
+    runs: Vec<RunSpec>,
+    config: &RunnerConfig,
+) -> CampaignReport {
+    let started = Instant::now();
+    let threads = effective_threads(config.threads, runs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunRecord>>> = runs.iter().map(|_| Mutex::new(None)).collect();
+
+    if threads <= 1 {
+        for (spec, slot) in runs.iter().zip(&slots) {
+            *slot.lock().expect("slot poisoned") = Some(execute_run(spec));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = runs.get(idx) else {
+                        break;
+                    };
+                    let record = execute_run(spec);
+                    *slots[idx].lock().expect("slot poisoned") = Some(record);
+                });
+            }
+        });
+    }
+
+    let records: Vec<RunRecord> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every run executed")
+        })
+        .collect();
+
+    // Per-scenario aggregates in spec order, plus any unknown names appended
+    // (defensive: execute_runs accepts arbitrary run lists).
+    let mut order: Vec<String> = scenario_order.to_vec();
+    for r in &records {
+        if !order.contains(&r.scenario) {
+            order.push(r.scenario.clone());
+        }
+    }
+    let scenarios: Vec<ScenarioStats> = order
+        .iter()
+        .map(|name| {
+            let subset: Vec<&RunRecord> = records.iter().filter(|r| &r.scenario == name).collect();
+            stats_over(name, &subset)
+        })
+        .collect();
+    let all: Vec<&RunRecord> = records.iter().collect();
+    CampaignReport {
+        name: name.to_string(),
+        threads,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        total: stats_over("TOTAL", &all),
+        scenarios,
+        runs: records,
+    }
+}
+
+fn effective_threads(requested: usize, runs: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, runs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioMatrix;
+
+    const SPEC: &str = r#"
+        [campaign]
+        name = "runner-test"
+
+        [[scenario]]
+        name = "gnp"
+        graph = { family = "gnp_connected", n = [10, 14], p = 0.3 }
+        initial = ["greedy_hub", "bfs"]
+        seeds = [1, 2]
+
+        [[scenario]]
+        name = "worst"
+        graph = { family = "star_with_leaf_edges", n = 12 }
+        seeds = [5]
+    "#;
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let matrix = ScenarioMatrix::from_toml_str(SPEC).unwrap();
+        let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+        assert_eq!(report.runs.len(), 2 * 2 * 2 + 1);
+        assert_eq!(report.total.runs, 9);
+        assert_eq!(report.total.failures, 0);
+        assert_eq!(report.total.bound_violations, 0);
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.scenarios[0].scenario, "gnp");
+        for run in &report.runs {
+            assert!(run.error.is_none(), "{:?}", run.error);
+            assert!(run.within_bound, "{run:?}");
+            assert!(run.final_degree <= run.initial_degree);
+            assert!(run.final_degree >= run.degree_lower_bound);
+            assert!(run.messages > 0);
+        }
+        let worst = report.runs.iter().find(|r| r.scenario == "worst").unwrap();
+        assert_eq!(worst.initial_degree, 11);
+        assert!(worst.final_degree <= 3);
+    }
+
+    #[test]
+    fn parallel_and_serial_executions_agree() {
+        let matrix = ScenarioMatrix::from_toml_str(SPEC).unwrap();
+        let serial = run_campaign(&matrix, &RunnerConfig { threads: 1 }).unwrap();
+        let parallel = run_campaign(&matrix, &RunnerConfig { threads: 4 }).unwrap();
+        assert_eq!(serial.runs.len(), parallel.runs.len());
+        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
+            // Wall time differs; everything measured must not.
+            let mut b = b.clone();
+            b.wall_ms = a.wall_ms;
+            assert_eq!(a, &b);
+        }
+        assert_eq!(serial.total.messages_total, parallel.total.messages_total);
+    }
+
+    #[test]
+    fn failing_runs_are_recorded_not_fatal() {
+        let spec = r#"
+            [[scenario]]
+            name = "bad-root"
+            graph = { family = "path", n = 4 }
+            root = 9
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+        let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+        assert_eq!(report.total.runs, 1);
+        assert_eq!(report.total.failures, 1);
+        assert!(report.runs[0].error.as_deref().unwrap().contains("root"));
+    }
+}

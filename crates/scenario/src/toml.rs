@@ -1,0 +1,550 @@
+//! Minimal TOML parser producing [`serde::Value`] trees.
+//!
+//! The registry `toml` crate is unavailable offline, so scenario specs are
+//! parsed by this self-contained reader. It supports the subset the spec
+//! format uses (and a bit more): `key = value` pairs with bare or quoted
+//! single-segment keys, `[table]` headers, `[[array-of-tables]]` headers,
+//! basic and literal strings, integers (with `_` separators), floats,
+//! booleans, single- and multi-line arrays, inline tables, and `#` comments.
+//! Dotted keys, dates and multi-line strings are not supported and produce a
+//! clear error.
+
+use serde::Value;
+use std::fmt;
+
+/// Error produced while parsing TOML, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line where the problem was found.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a TOML document into a [`Value::Object`].
+pub fn parse(input: &str) -> Result<Value, TomlError> {
+    let mut root = Value::Object(Vec::new());
+    // Path of the table currently being filled; empty = root.
+    let mut current_path: Vec<PathSeg> = Vec::new();
+
+    let lines: Vec<&str> = input.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let logical = strip_comment(lines[i]);
+        let trimmed = logical.trim();
+        if trimmed.is_empty() {
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("[[") {
+            let Some(name) = rest.strip_suffix("]]") else {
+                return err(line_no, "malformed [[array-of-tables]] header");
+            };
+            let segs = parse_path(name.trim(), line_no)?;
+            let (head, last) = split_path(&segs, line_no)?;
+            let mut path: Vec<PathSeg> = head.to_vec();
+            let parent = navigate(&mut root, &path, line_no)?;
+            push_array_table(parent, &last, line_no)?;
+            path.push(PathSeg::ArrayLast(last));
+            current_path = path;
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return err(line_no, "malformed [table] header");
+            };
+            let segs = parse_path(name.trim(), line_no)?;
+            // Ensure the table exists (creating intermediate tables).
+            navigate(&mut root, &segs, line_no)?;
+            current_path = segs;
+            i += 1;
+            continue;
+        }
+        // key = value; the value may continue over following lines while an
+        // array or inline table is unclosed.
+        let Some(eq) = find_unquoted(trimmed, '=') else {
+            return err(line_no, format!("expected `key = value`, got `{trimmed}`"));
+        };
+        let key = parse_key(trimmed[..eq].trim(), line_no)?;
+        let mut value_text = trimmed[eq + 1..].trim().to_string();
+        while open_brackets(&value_text) > 0 {
+            i += 1;
+            if i >= lines.len() {
+                return err(line_no, "unterminated array or inline table");
+            }
+            value_text.push(' ');
+            value_text.push_str(strip_comment(lines[i]).trim());
+        }
+        let value = parse_value_text(&value_text, line_no)?;
+        let table = navigate(&mut root, &current_path, line_no)?;
+        insert(table, key, value, line_no)?;
+        i += 1;
+    }
+    Ok(root)
+}
+
+/// One step of a table path.
+#[derive(Debug, Clone, PartialEq)]
+enum PathSeg {
+    /// A plain table key.
+    Table(String),
+    /// The most recent element of an array of tables.
+    ArrayLast(String),
+}
+
+fn parse_path(name: &str, line: usize) -> Result<Vec<PathSeg>, TomlError> {
+    if name.is_empty() {
+        return err(line, "empty table name");
+    }
+    name.split('.')
+        .map(|seg| {
+            let seg = seg.trim();
+            if seg.is_empty() {
+                err(line, "empty path segment")
+            } else {
+                Ok(PathSeg::Table(strip_key_quotes(seg)))
+            }
+        })
+        .collect()
+}
+
+fn split_path(segs: &[PathSeg], line: usize) -> Result<(&[PathSeg], String), TomlError> {
+    match segs.split_last() {
+        Some((PathSeg::Table(last), head)) => Ok((head, last.clone())),
+        _ => err(line, "empty table path"),
+    }
+}
+
+fn parse_key(raw: &str, line: usize) -> Result<String, TomlError> {
+    if raw.is_empty() {
+        return err(line, "empty key");
+    }
+    if raw.contains('.') && !raw.starts_with('"') && !raw.starts_with('\'') {
+        return err(line, format!("dotted keys are not supported (`{raw}`)"));
+    }
+    Ok(strip_key_quotes(raw))
+}
+
+fn strip_key_quotes(raw: &str) -> String {
+    let raw = raw.trim();
+    if (raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2)
+        || (raw.starts_with('\'') && raw.ends_with('\'') && raw.len() >= 2)
+    {
+        raw[1..raw.len() - 1].to_string()
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Removes a trailing `#` comment, honouring quotes.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if !in_literal => in_basic = !in_basic,
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'\\' if in_basic => i += 1,
+            b'#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Index of `needle` outside any quotes, if present.
+fn find_unquoted(s: &str, needle: char) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if !in_literal => in_basic = !in_basic,
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'\\' if in_basic => i += 1,
+            b if b == needle as u8 && !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Net count of unclosed `[`/`{` outside quotes (0 when balanced).
+fn open_brackets(s: &str) -> i32 {
+    let bytes = s.as_bytes();
+    let mut depth = 0;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if !in_literal => in_basic = !in_basic,
+            b'\'' if !in_basic => in_literal = !in_literal,
+            b'\\' if in_basic => i += 1,
+            b'[' | b'{' if !in_basic && !in_literal => depth += 1,
+            b']' | b'}' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    depth.max(0)
+}
+
+fn navigate<'a>(
+    root: &'a mut Value,
+    path: &[PathSeg],
+    line: usize,
+) -> Result<&'a mut Value, TomlError> {
+    let mut cur = root;
+    for seg in path {
+        match seg {
+            PathSeg::Table(key) => {
+                cur = entry_or_insert(cur, key, line)?;
+                if !matches!(cur, Value::Object(_)) {
+                    return err(line, format!("`{key}` is not a table"));
+                }
+            }
+            PathSeg::ArrayLast(key) => {
+                let arr = entry_or_insert_array(cur, key, line)?;
+                let Value::Array(items) = arr else {
+                    return err(line, format!("`{key}` is not an array of tables"));
+                };
+                let Some(last) = items.last_mut() else {
+                    return err(line, format!("array of tables `{key}` is empty"));
+                };
+                cur = last;
+            }
+        }
+    }
+    Ok(cur)
+}
+
+fn entry_or_insert<'a>(
+    table: &'a mut Value,
+    key: &str,
+    line: usize,
+) -> Result<&'a mut Value, TomlError> {
+    let Value::Object(entries) = table else {
+        return err(line, "expected a table");
+    };
+    if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+        Ok(&mut entries[pos].1)
+    } else {
+        entries.push((key.to_string(), Value::Object(Vec::new())));
+        Ok(&mut entries.last_mut().expect("just pushed").1)
+    }
+}
+
+fn entry_or_insert_array<'a>(
+    table: &'a mut Value,
+    key: &str,
+    line: usize,
+) -> Result<&'a mut Value, TomlError> {
+    let Value::Object(entries) = table else {
+        return err(line, "expected a table");
+    };
+    if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+        Ok(&mut entries[pos].1)
+    } else {
+        entries.push((key.to_string(), Value::Array(Vec::new())));
+        Ok(&mut entries.last_mut().expect("just pushed").1)
+    }
+}
+
+fn push_array_table(parent: &mut Value, key: &str, line: usize) -> Result<(), TomlError> {
+    let arr = entry_or_insert_array(parent, key, line)?;
+    match arr {
+        Value::Array(items) => {
+            items.push(Value::Object(Vec::new()));
+            Ok(())
+        }
+        _ => err(line, format!("`{key}` already used as a non-array value")),
+    }
+}
+
+fn insert(table: &mut Value, key: String, value: Value, line: usize) -> Result<(), TomlError> {
+    let Value::Object(entries) = table else {
+        return err(line, "expected a table");
+    };
+    if entries.iter().any(|(k, _)| *k == key) {
+        return err(line, format!("duplicate key `{key}`"));
+    }
+    entries.push((key, value));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Value parsing
+// ---------------------------------------------------------------------------
+
+fn parse_value_text(text: &str, line: usize) -> Result<Value, TomlError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0;
+    let v = parse_value(&chars, &mut pos, line)?;
+    skip_spaces(&chars, &mut pos);
+    if pos != chars.len() {
+        return err(line, format!("trailing characters after value in `{text}`"));
+    }
+    Ok(v)
+}
+
+fn skip_spaces(chars: &[char], pos: &mut usize) {
+    while *pos < chars.len() && (chars[*pos] == ' ' || chars[*pos] == '\t') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize, line: usize) -> Result<Value, TomlError> {
+    skip_spaces(chars, pos);
+    let Some(&c) = chars.get(*pos) else {
+        return err(line, "missing value");
+    };
+    match c {
+        '"' => parse_basic_string(chars, pos, line).map(Value::String),
+        '\'' => parse_literal_string(chars, pos, line).map(Value::String),
+        '[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_spaces(chars, pos);
+                if chars.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                items.push(parse_value(chars, pos, line)?);
+                skip_spaces(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return err(line, "expected `,` or `]` in array"),
+                }
+            }
+        }
+        '{' => {
+            *pos += 1;
+            let mut entries: Vec<(String, Value)> = Vec::new();
+            loop {
+                skip_spaces(chars, pos);
+                if chars.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                let key = parse_inline_key(chars, pos, line)?;
+                skip_spaces(chars, pos);
+                if chars.get(*pos) != Some(&'=') {
+                    return err(line, "expected `=` in inline table");
+                }
+                *pos += 1;
+                let value = parse_value(chars, pos, line)?;
+                if entries.iter().any(|(k, _)| *k == key) {
+                    return err(line, format!("duplicate key `{key}` in inline table"));
+                }
+                entries.push((key, value));
+                skip_spaces(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return err(line, "expected `,` or `}` in inline table"),
+                }
+            }
+        }
+        _ => parse_scalar(chars, pos, line),
+    }
+}
+
+fn parse_inline_key(chars: &[char], pos: &mut usize, line: usize) -> Result<String, TomlError> {
+    skip_spaces(chars, pos);
+    match chars.get(*pos) {
+        Some('"') => parse_basic_string(chars, pos, line),
+        Some('\'') => parse_literal_string(chars, pos, line),
+        _ => {
+            let start = *pos;
+            while *pos < chars.len()
+                && (chars[*pos].is_alphanumeric() || chars[*pos] == '_' || chars[*pos] == '-')
+            {
+                *pos += 1;
+            }
+            if *pos == start {
+                return err(line, "expected key in inline table");
+            }
+            Ok(chars[start..*pos].iter().collect())
+        }
+    }
+}
+
+fn parse_basic_string(chars: &[char], pos: &mut usize, line: usize) -> Result<String, TomlError> {
+    debug_assert_eq!(chars.get(*pos), Some(&'"'));
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let Some(&esc) = chars.get(*pos) else {
+                    return err(line, "unterminated escape in string");
+                };
+                *pos += 1;
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    other => return err(line, format!("unsupported escape `\\{other}`")),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    err(line, "unterminated string")
+}
+
+fn parse_literal_string(chars: &[char], pos: &mut usize, line: usize) -> Result<String, TomlError> {
+    debug_assert_eq!(chars.get(*pos), Some(&'\''));
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = chars.get(*pos) {
+        *pos += 1;
+        if c == '\'' {
+            return Ok(out);
+        }
+        out.push(c);
+    }
+    err(line, "unterminated literal string")
+}
+
+fn parse_scalar(chars: &[char], pos: &mut usize, line: usize) -> Result<Value, TomlError> {
+    let start = *pos;
+    while *pos < chars.len() && !matches!(chars[*pos], ',' | ']' | '}' | ' ' | '\t') {
+        *pos += 1;
+    }
+    let raw: String = chars[start..*pos].iter().collect();
+    match raw.as_str() {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "inf" | "+inf" => return Ok(Value::Float(f64::INFINITY)),
+        "-inf" => return Ok(Value::Float(f64::NEG_INFINITY)),
+        "nan" | "+nan" | "-nan" => return Ok(Value::Float(f64::NAN)),
+        _ => {}
+    }
+    let cleaned: String = raw.replace('_', "");
+    if !cleaned.contains('.') && !cleaned.contains('e') && !cleaned.contains('E') {
+        if let Ok(i) = cleaned.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(u) = cleaned.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    err(line, format!("cannot parse value `{raw}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_and_scalars() {
+        let doc = r#"
+            # campaign header
+            [campaign]
+            name = "sweep"   # trailing comment
+            threads = 4
+            ratio = 0.5
+            on = true
+
+            [campaign.nested]
+            path = 'C:\raw'
+        "#;
+        let v = parse(doc).unwrap();
+        let c = v.get("campaign").unwrap();
+        assert_eq!(c.get("name").unwrap().as_str(), Some("sweep"));
+        assert_eq!(c.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(c.get("ratio").unwrap().as_f64(), Some(0.5));
+        assert_eq!(c.get("on").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            c.get("nested").unwrap().get("path").unwrap().as_str(),
+            Some("C:\\raw")
+        );
+    }
+
+    #[test]
+    fn parses_arrays_of_tables_and_inline_tables() {
+        let doc = r#"
+            [[scenario]]
+            name = "a"
+            graph = { family = "gnp_connected", n = [16, 32], p = [0.1, 0.2] }
+            seeds = [1, 2,
+                     3]
+
+            [[scenario]]
+            name = "b"
+        "#;
+        let v = parse(doc).unwrap();
+        let scenarios = v.get("scenario").unwrap().as_array().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        let g = scenarios[0].get("graph").unwrap();
+        assert_eq!(g.get("family").unwrap().as_str(), Some("gnp_connected"));
+        assert_eq!(g.get("n").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            scenarios[0].get("seeds").unwrap().as_array().unwrap().len(),
+            3
+        );
+        assert_eq!(scenarios[1].get("name").unwrap().as_str(), Some("b"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("key").is_err());
+        assert!(parse("[unclosed").is_err());
+        assert!(parse("a.b = 1").is_err());
+        assert!(parse("x = ").is_err());
+        assert!(parse("x = [1, 2").is_err());
+        assert!(parse("x = \"unterminated").is_err());
+        assert!(parse("x = 1\nx = 2").is_err());
+    }
+
+    #[test]
+    fn negative_and_underscored_numbers() {
+        let v = parse("a = -3\nb = 1_000\nc = 2.5e3").unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(-3));
+        assert_eq!(v.get("b").unwrap().as_u64(), Some(1000));
+        assert_eq!(v.get("c").unwrap().as_f64(), Some(2500.0));
+    }
+}

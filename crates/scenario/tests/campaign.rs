@@ -1,0 +1,153 @@
+//! End-to-end campaign tests: external graph files through the full
+//! pipeline, the checked-in `examples/sweep.toml` matrix, and JSON report
+//! round-trips.
+
+use mdst_core::bounds;
+use mdst_graph::generators;
+use mdst_scenario::prelude::*;
+use serde::Deserialize;
+use std::path::PathBuf;
+
+/// A scratch file that cleans up after itself.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(name: &str, content: &str) -> TempFile {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mdst-scenario-{}-{name}", std::process::id()));
+        std::fs::write(&path, content).expect("temp dir is writable");
+        TempFile(path)
+    }
+
+    fn path_str(&self) -> &str {
+        self.0.to_str().expect("temp path is UTF-8")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn dimacs_file_runs_through_the_full_pipeline() {
+    // A DIMACS file on disk becomes a first-class pipeline input.
+    let graph = generators::gnp_connected(18, 0.25, 11).unwrap();
+    let file = TempFile::new("pipeline.col", &render_graph(&graph, GraphFormat::Dimacs));
+
+    let spec = format!(
+        r#"
+        [[scenario]]
+        name = "external-dimacs"
+        graph = {{ path = '{}' }}
+        initial = ["greedy_hub", "bfs"]
+        seeds = [1]
+        "#,
+        file.path_str()
+    );
+    let matrix = ScenarioMatrix::from_toml_str(&spec).unwrap();
+    let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+    assert_eq!(report.total.runs, 2);
+    assert_eq!(report.total.failures, 0);
+    for run in &report.runs {
+        assert_eq!(run.n, graph.node_count());
+        assert_eq!(run.m, graph.edge_count());
+        assert!(run.within_bound);
+        assert!(run.messages > 0);
+        assert!(bounds::within_paper_degree_bound(&graph, run.final_degree));
+    }
+}
+
+#[test]
+fn edge_list_file_runs_through_the_full_pipeline() {
+    let graph = generators::random_connected(15, 12, 3).unwrap();
+    let file = TempFile::new(
+        "pipeline.edges",
+        &render_graph(&graph, GraphFormat::EdgeList),
+    );
+
+    // Load through the io module directly, then through a campaign.
+    let loaded = load_graph(file.path_str(), None).unwrap();
+    assert_eq!(loaded, graph);
+
+    let spec = format!(
+        r#"
+        [[scenario]]
+        name = "external-edges"
+        graph = {{ path = '{}', format = "edge_list" }}
+        seeds = [1, 2]
+        "#,
+        file.path_str()
+    );
+    let matrix = ScenarioMatrix::from_toml_str(&spec).unwrap();
+    let report = run_campaign(&matrix, &RunnerConfig { threads: 2 }).unwrap();
+    assert_eq!(report.total.runs, 2);
+    assert_eq!(report.total.failures, 0);
+    assert_eq!(report.total.bound_violations, 0);
+}
+
+#[test]
+fn checked_in_sweep_example_runs_in_parallel_within_the_paper_bound() {
+    // The acceptance campaign: ≥ 20 runs across ≥ 2 graph families, executed
+    // in parallel, every per-run final degree within the O(Δ* + log n) check.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/sweep.toml");
+    let matrix = ScenarioMatrix::from_path(path).unwrap();
+    let runs = matrix.expand().unwrap();
+    assert!(
+        runs.len() >= 20,
+        "sweep.toml expands to {} runs",
+        runs.len()
+    );
+    let families: std::collections::BTreeSet<String> = runs
+        .iter()
+        .filter_map(|r| match &r.graph {
+            ResolvedGraph::Family { family, .. } => Some(family.clone()),
+            ResolvedGraph::File { .. } => None,
+        })
+        .collect();
+    assert!(families.len() >= 2, "sweep must cover ≥ 2 graph families");
+    let seeds: std::collections::BTreeSet<u64> = runs.iter().map(|r| r.seed).collect();
+    assert!(seeds.len() >= 2, "sweep must cover ≥ 2 seeds");
+
+    let report = run_campaign(&matrix, &RunnerConfig { threads: 4 }).unwrap();
+    assert!(report.threads > 1, "campaign must actually run in parallel");
+    assert_eq!(report.total.runs, runs.len());
+    assert_eq!(report.total.failures, 0);
+    for run in &report.runs {
+        assert!(
+            run.within_bound,
+            "{}/{} degree {} above bound {}",
+            run.scenario, run.graph, run.final_degree, run.degree_upper_bound
+        );
+    }
+
+    // The JSON campaign report is written and parses back losslessly.
+    let json = campaign_to_json(&report);
+    let value = serde::from_json_str(&json).unwrap();
+    let back = CampaignReport::from_value(&value).unwrap();
+    assert_eq!(back, report);
+    assert_eq!(back.total.bound_violations, 0);
+}
+
+#[test]
+fn validate_reports_problems_without_running() {
+    let good = r#"
+        [[scenario]]
+        name = "ok"
+        graph = { family = "petersen" }
+    "#;
+    let matrix = ScenarioMatrix::from_toml_str(good).unwrap();
+    let runs = matrix.expand().unwrap();
+    assert_eq!(runs.len(), 1);
+    runs[0].graph.build(runs[0].seed).unwrap();
+
+    let bad = r#"
+        [[scenario]]
+        name = "broken"
+        graph = { family = "cycle", n = 2 }
+    "#;
+    let matrix = ScenarioMatrix::from_toml_str(bad).unwrap();
+    let runs = matrix.expand().unwrap();
+    assert!(runs[0].graph.build(runs[0].seed).is_err());
+}

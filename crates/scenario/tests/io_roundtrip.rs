@@ -1,0 +1,79 @@
+//! Property tests for the graph I/O formats: writing and re-reading a graph
+//! must preserve node count, edge set and connectivity, for both edge-list
+//! and DIMACS encodings.
+
+use mdst_graph::{algorithms, generators, Graph};
+use mdst_scenario::io::{parse_dimacs, parse_edge_list, to_dimacs, to_edge_list, GraphFormat};
+use proptest::prelude::*;
+
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0usize..60, any::<u64>()).prop_map(|(n, extra, seed)| {
+        generators::random_connected(n, extra, seed).expect("valid parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edge_list_round_trip_preserves_the_graph(graph in connected_graph()) {
+        let text = to_edge_list(&graph);
+        let back = parse_edge_list(&text).expect("canonical output parses");
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        prop_assert_eq!(back.edge_count(), graph.edge_count());
+        let a: Vec<_> = graph.edges().collect();
+        let b: Vec<_> = back.edges().collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(algorithms::is_connected(&back));
+        prop_assert_eq!(&back, &graph);
+    }
+
+    #[test]
+    fn dimacs_round_trip_preserves_the_graph(graph in connected_graph()) {
+        let text = to_dimacs(&graph);
+        let back = parse_dimacs(&text).expect("canonical output parses");
+        prop_assert_eq!(back.node_count(), graph.node_count());
+        prop_assert_eq!(back.edge_count(), graph.edge_count());
+        let a: Vec<_> = graph.edges().collect();
+        let b: Vec<_> = back.edges().collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(algorithms::is_connected(&back));
+        prop_assert_eq!(&back, &graph);
+    }
+
+    #[test]
+    fn cross_format_conversion_is_lossless(graph in connected_graph()) {
+        // edge list -> graph -> DIMACS -> graph is still the same graph.
+        let via_el = parse_edge_list(&to_edge_list(&graph)).unwrap();
+        let via_dimacs = parse_dimacs(&to_dimacs(&via_el)).unwrap();
+        prop_assert_eq!(&via_dimacs, &graph);
+    }
+
+    #[test]
+    fn truncated_dimacs_is_rejected(graph in connected_graph(), cut in 1usize..8) {
+        // Dropping edge lines must be caught by the declared-count check.
+        let text = to_dimacs(&graph);
+        let lines: Vec<&str> = text.lines().collect();
+        if graph.edge_count() >= cut {
+            let truncated = lines[..lines.len() - cut].join("\n");
+            prop_assert!(parse_dimacs(&truncated).is_err());
+        }
+    }
+}
+
+#[test]
+fn malformed_files_produce_line_numbered_errors() {
+    let err = parse_edge_list("0 1\nnot numbers\n").unwrap_err();
+    assert!(err.to_string().contains("line 2"), "{err}");
+    let err = parse_dimacs("p edge 4 2\ne 1 2\ne 9 1\n").unwrap_err();
+    assert!(
+        err.to_string().contains("line 3") || err.to_string().contains("out of range"),
+        "{err}"
+    );
+}
+
+#[test]
+fn format_labels_are_stable() {
+    assert_eq!(GraphFormat::EdgeList.label(), "edge-list");
+    assert_eq!(GraphFormat::Dimacs.label(), "dimacs");
+}

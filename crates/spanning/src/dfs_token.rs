@@ -96,10 +96,7 @@ impl DfsTokenSt {
             .iter()
             .copied()
             .find(|v| !self.forwarded.contains(v) && Some(*v) != self.parent);
-        let next = next_non_parent.or_else(|| {
-            self.parent
-                .filter(|p| !self.forwarded.contains(p))
-        });
+        let next = next_non_parent.or_else(|| self.parent.filter(|p| !self.forwarded.contains(p)));
         match next {
             Some(v) => {
                 self.forwarded.insert(v);
@@ -108,7 +105,11 @@ impl DfsTokenSt {
             None => {
                 // No link left. By Tarry's theorem this only happens at the
                 // initiator, once the traversal is complete.
-                debug_assert!(self.is_root(), "token stranded at non-initiator {}", self.id);
+                debug_assert!(
+                    self.is_root(),
+                    "token stranded at non-initiator {}",
+                    self.id
+                );
                 self.done = true;
                 let children: Vec<NodeId> = self.children.iter().copied().collect();
                 for c in children {

@@ -236,10 +236,7 @@ mod tests {
         let n = g.node_count() as u64;
         assert_eq!(metrics.messages_total, 2 * m + (n - 1));
         assert_eq!(metrics.count_of("Done"), n - 1);
-        assert_eq!(
-            metrics.count_of("Probe") + metrics.count_of("Echo"),
-            2 * m
-        );
+        assert_eq!(metrics.count_of("Probe") + metrics.count_of("Echo"), 2 * m);
     }
 
     #[test]

@@ -138,7 +138,11 @@ mod tests {
     fn disconnected_graphs_are_rejected_by_every_kind() {
         let g = mdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         for kind in InitialTreeKind::all(0) {
-            assert!(build_initial_tree(&g, NodeId(0), kind).is_err(), "{}", kind.label());
+            assert!(
+                build_initial_tree(&g, NodeId(0), kind).is_err(),
+                "{}",
+                kind.label()
+            );
         }
     }
 }

@@ -81,10 +81,16 @@ fn main() {
     let (total_before, max_before) = broadcast_load(&graph, &report.initial_tree);
     let (total_after, max_after) = broadcast_load(&graph, &report.final_tree);
 
-    println!("broadcast over the initial tree (degree {}):", report.initial_degree);
+    println!(
+        "broadcast over the initial tree (degree {}):",
+        report.initial_degree
+    );
     println!("  total messages      = {total_before}");
     println!("  busiest node sends  = {max_before}");
-    println!("broadcast over the MDegST (degree {}):", report.final_degree);
+    println!(
+        "broadcast over the MDegST (degree {}):",
+        report.final_degree
+    );
     println!("  total messages      = {total_after}");
     println!("  busiest node sends  = {max_after}");
     println!(
@@ -92,6 +98,9 @@ fn main() {
         max_before as f64 / max_after.max(1) as f64
     );
 
-    assert_eq!(total_before, total_after, "both trees span the same n nodes");
+    assert_eq!(
+        total_before, total_after,
+        "both trees span the same n nodes"
+    );
     assert!(max_after <= max_before);
 }

@@ -61,7 +61,10 @@ fn main() {
     println!("\ncousin replies (outgoing-edge discoveries):");
     for event in sim.trace().events_of_kind("BFSReply") {
         if matches!(event.kind, mdst::netsim::TraceEventKind::Send) {
-            println!("  t={:<3} {} -> {}  (edge {} -- {})", event.time, event.from, event.to, event.to, event.from);
+            println!(
+                "  t={:<3} {} -> {}  (edge {} -- {})",
+                event.time, event.from, event.to, event.to, event.from
+            );
         }
     }
 

@@ -25,9 +25,15 @@ fn main() {
     };
     let report = run_pipeline(&graph, &config).expect("pipeline runs to completion");
 
-    println!("initial spanning tree degree k  = {}", report.initial_degree);
+    println!(
+        "initial spanning tree degree k  = {}",
+        report.initial_degree
+    );
     println!("improved spanning tree degree   = {}", report.final_degree);
-    println!("lower bound on the optimum      = {}", degree_lower_bound(&graph));
+    println!(
+        "lower bound on the optimum      = {}",
+        degree_lower_bound(&graph)
+    );
     println!("rounds (k - k* + 1 in the paper) = {}", report.rounds);
     println!("edge exchanges                   = {}", report.improvements);
 
@@ -38,10 +44,19 @@ fn main() {
         );
     }
     let metrics = &report.improvement_metrics;
-    println!("improvement messages             = {}", metrics.messages_total);
-    println!("paper budget (k-k*+1)*m          = {}", report.paper_message_budget());
+    println!(
+        "improvement messages             = {}",
+        metrics.messages_total
+    );
+    println!(
+        "paper budget (k-k*+1)*m          = {}",
+        report.paper_message_budget()
+    );
     println!("causal time (unit delays)        = {}", metrics.causal_time);
-    println!("paper budget (k-k*+1)*n          = {}", report.paper_time_budget());
+    println!(
+        "paper budget (k-k*+1)*n          = {}",
+        report.paper_time_budget()
+    );
     println!("max message size (bits)          = {}", metrics.bits_max);
 
     println!("\nmessages by kind:");

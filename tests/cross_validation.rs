@@ -19,7 +19,10 @@ fn distributed_run_matches_the_sequential_mirror_exactly() {
             mirror.tree.max_degree(),
             "seed {seed}"
         );
-        assert_eq!(distributed.improvements as usize, mirror.improvements, "seed {seed}");
+        assert_eq!(
+            distributed.improvements as usize, mirror.improvements,
+            "seed {seed}"
+        );
         assert_eq!(distributed.rounds as usize, mirror.rounds, "seed {seed}");
         // Not just the degree: the edge sets coincide.
         let dist_edges: std::collections::BTreeSet<(NodeId, NodeId)> = distributed

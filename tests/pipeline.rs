@@ -5,18 +5,27 @@ use mdst::prelude::*;
 fn families(seed: u64) -> Vec<(&'static str, Graph)> {
     vec![
         ("complete", generators::complete(12).unwrap()),
-        ("star_with_leaf_edges", generators::star_with_leaf_edges(14).unwrap()),
+        (
+            "star_with_leaf_edges",
+            generators::star_with_leaf_edges(14).unwrap(),
+        ),
         ("wheel", generators::wheel(12).unwrap()),
         ("grid", generators::grid(4, 5).unwrap()),
         ("hypercube", generators::hypercube(4).unwrap()),
         ("petersen", generators::petersen().unwrap()),
-        ("complete_bipartite", generators::complete_bipartite(3, 9).unwrap()),
+        (
+            "complete_bipartite",
+            generators::complete_bipartite(3, 9).unwrap(),
+        ),
         ("lollipop", generators::lollipop(6, 6).unwrap()),
         ("barbell", generators::barbell(5, 3).unwrap()),
         ("caterpillar", generators::caterpillar(5, 2).unwrap()),
         ("broom", generators::high_optimum(4, 3).unwrap()),
         ("gnp", generators::gnp_connected(30, 0.15, seed).unwrap()),
-        ("geometric", generators::random_geometric_connected(25, 0.3, seed).unwrap()),
+        (
+            "geometric",
+            generators::random_geometric_connected(25, 0.3, seed).unwrap(),
+        ),
     ]
 }
 
@@ -63,12 +72,23 @@ fn pipeline_works_under_every_delay_and_start_model() {
     let graph = generators::gnp_connected(24, 0.18, 4).unwrap();
     let delays = [
         DelayModel::Unit,
-        DelayModel::UniformRandom { min: 1, max: 11, seed: 2 },
-        DelayModel::PerLinkFixed { min: 1, max: 29, seed: 7 },
+        DelayModel::UniformRandom {
+            min: 1,
+            max: 11,
+            seed: 2,
+        },
+        DelayModel::PerLinkFixed {
+            min: 1,
+            max: 29,
+            seed: 7,
+        },
     ];
     let starts = [
         StartModel::Simultaneous,
-        StartModel::Staggered { max_offset: 40, seed: 13 },
+        StartModel::Staggered {
+            max_offset: 40,
+            seed: 13,
+        },
     ];
     let mut final_degrees = std::collections::BTreeSet::new();
     for delay in &delays {

@@ -1,0 +1,203 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Provides the unbounded MPMC channel surface the threaded runtime uses:
+//! [`unbounded`], cloneable [`Sender`]/[`Receiver`], [`Sender::send`],
+//! [`Receiver::recv`] and [`Receiver::recv_timeout`]. Built on
+//! `Mutex<VecDeque>` + `Condvar`; slower than the real lock-free
+//! implementation but semantically equivalent for FIFO point-to-point links.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    ready: Condvar,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] (never produced by this stand-in: the
+/// channel has no disconnect detection, matching how the workspace keeps every
+/// endpoint alive until shutdown).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a closed channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected (not produced by this stand-in).
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "receive timed out"),
+            RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is disconnected
+/// (not produced by this stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Creates an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; never blocks, never fails.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut queue = self.shared.queue.lock().expect("channel poisoned");
+        queue.push_back(value);
+        drop(queue);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut queue = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            queue = self.shared.ready.wait(queue).expect("channel poisoned");
+        }
+    }
+
+    /// Blocks for at most `timeout` waiting for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().expect("channel poisoned");
+        loop {
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .shared
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .expect("channel poisoned");
+            queue = guard;
+            if result.timed_out() && queue.is_empty() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Takes a message if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        self.shared
+            .queue
+            .lock()
+            .expect("channel poisoned")
+            .pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(i));
+        }
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let (tx, rx) = unbounded();
+        let handle = thread::spawn(move || {
+            for i in 0..1000u64 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut sum = 0;
+        for _ in 0..1000 {
+            sum += rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        handle.join().unwrap();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx2.recv().unwrap(), 2);
+    }
+}

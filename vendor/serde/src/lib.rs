@@ -1,0 +1,762 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real `serde` crate is not available in this build environment (no
+//! registry access), so this crate implements the slice of its API the
+//! workspace actually uses, built around a concrete [`Value`] tree instead of
+//! the visitor-based data model:
+//!
+//! * [`Serialize`] — converts a value into a [`Value`];
+//! * [`Deserialize`] — reconstructs a value from a [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` — provided by the in-tree
+//!   `serde_derive` proc-macro crate, re-exported here exactly like the real
+//!   crate does with its `derive` feature;
+//! * [`Value::to_json`] / [`Value::to_json_pretty`] / [`from_json_str`] — a
+//!   complete JSON writer and parser, which is what the scenario harness and
+//!   report sinks are built on.
+//!
+//! Enums use the externally tagged representation (`"Variant"` for unit
+//! variants, `{"Variant": ...}` for data-carrying ones), matching serde's
+//! default so persisted artefacts look the way readers expect.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A dynamically typed serialized value (the JSON data model plus a signed /
+/// unsigned integer split, mirroring `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used for values above `i64::MAX`).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// UTF-8 string.
+    String(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Key/value map with insertion order preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// Error produced by deserialization or JSON parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Value {
+    /// The entries of an object, if this value is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The items of an array, if this value is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this value is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, coercing from `Int` when non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, coercing from `UInt` when it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing from either integer representation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// Whether this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Compact JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, None, 0);
+        out
+    }
+
+    /// Pretty-printed JSON rendering (two-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        write_json(self, &mut out, Some(2), 0);
+        out
+    }
+}
+
+/// Deserializes a `T` from the entries of an object; a missing key is treated
+/// as `Null` so optional fields can be omitted from hand-written inputs.
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Splits an externally tagged enum value `{"Variant": inner}` into
+/// `(tag, inner)`; returns `None` unless the value is a single-entry object.
+pub fn enum_tag(v: &Value) -> Option<(&str, &Value)> {
+    match v.as_object() {
+        Some([(k, inner)]) => Some((k.as_str(), inner)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v.as_u64().ok_or_else(|| Error::custom(
+                    concat!("expected unsigned integer (", stringify!($t), ")"),
+                ))?;
+                <$t>::try_from(u).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| Error::custom(
+                    concat!("expected integer (", stringify!($t), ")"),
+                ))?;
+                <$t>::try_from(i).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(Vec::new()),
+            _ => v
+                .as_array()
+                .ok_or_else(|| Error::custom("expected array"))?
+                .iter()
+                .map(T::from_value)
+                .collect(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(BTreeMap::new()),
+            _ => v
+                .as_object()
+                .ok_or_else(|| Error::custom("expected object"))?
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(HashMap::new()),
+            _ => v
+                .as_object()
+                .ok_or_else(|| Error::custom("expected object"))?
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expected}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+fn write_json(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                // JSON has no NaN/Infinity.
+                out.push_str("null");
+            } else if *f == f.trunc() && f.abs() < 1e15 {
+                // Keep a decimal point so the value reads back as a float,
+                // and typed consumers see a stable column type.
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                // `{}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::String(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_json_str(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error::custom("unexpected end of input"));
+    };
+    match c {
+        b'n' => parse_lit(b, pos, "null", Value::Null),
+        b't' => parse_lit(b, pos, "true", Value::Bool(true)),
+        b'f' => parse_lit(b, pos, "false", Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `]` in array")),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::custom("expected `:` after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::custom("expected `,` or `}` in object")),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(Error::custom(format!(
+            "unexpected character `{}` at byte {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::custom("expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error::custom("unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(Error::custom("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::custom("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(Error::custom("unknown escape")),
+                }
+            }
+            c if c < 0x80 => out.push(c as char),
+            _ => {
+                // Multi-byte UTF-8: find the full character from the source.
+                let start = *pos - 1;
+                let s =
+                    std::str::from_utf8(&b[start..]).map_err(|_| Error::custom("invalid UTF-8"))?;
+                let ch = s.chars().next().unwrap();
+                out.push(ch);
+                *pos = start + ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII digits");
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::String("a \"b\"\n".to_string())),
+            ("n".to_string(), Value::UInt(42)),
+            ("neg".to_string(), Value::Int(-7)),
+            ("p".to_string(), Value::Float(0.15)),
+            (
+                "xs".to_string(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        let json = v.to_json();
+        let back = from_json_str(&json).unwrap();
+        assert_eq!(back.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(back.get("neg").unwrap().as_i64(), Some(-7));
+        assert_eq!(back.get("p").unwrap().as_f64(), Some(0.15));
+        assert_eq!(back.get("name").unwrap().as_str(), Some("a \"b\"\n"));
+        let pretty = v.to_json_pretty();
+        assert_eq!(from_json_str(&pretty).unwrap(), back);
+    }
+
+    #[test]
+    fn integral_floats_keep_their_decimal_point() {
+        // Float-typed fields must not flip to integers on the wire.
+        assert_eq!(Value::Float(3.0).to_json(), "3.0");
+        assert_eq!(Value::Float(-2.0).to_json(), "-2.0");
+        assert_eq!(Value::Float(0.15).to_json(), "0.15");
+        assert_eq!(
+            from_json_str(&Value::Float(3.0).to_json()).unwrap(),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_json_str("{").is_err());
+        assert!(from_json_str("[1,]").is_err());
+        assert!(from_json_str("nul").is_err());
+        assert!(from_json_str("1 2").is_err());
+        assert!(from_json_str("\"abc").is_err());
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m = BTreeMap::new();
+        m.insert("BFS".to_string(), 10u64);
+        m.insert("Stop".to_string(), 3u64);
+        let back = BTreeMap::<String, u64>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

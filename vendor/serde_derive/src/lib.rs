@@ -1,0 +1,425 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, which
+//! are unavailable offline). The parser handles the shapes used in this
+//! workspace: non-generic structs with named fields, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants. Enums serialize in
+//! serde's externally tagged representation; newtype structs serialize
+//! transparently as their inner value.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input turned out to be.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        let mut fields: Vec<(String, ::serde::Value)> = Vec::new();
+                        {pushes}
+                        ::serde::Value::Object(fields)
+                    }}
+                }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{ {body} }}
+                }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{
+                                let mut fields: Vec<(String, ::serde::Value)> = Vec::new();
+                                {pushes}
+                                ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(fields))])
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{f}: ::serde::field(obj, \"{f}\")?,\n"));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(
+                            \"expected object for struct {name}\"))?;
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                            Ok({name}(::serde::Deserialize::from_value(v)?))
+                        }}
+                    }}"
+                )
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                            let items = v.as_array().ok_or_else(|| ::serde::Error::custom(
+                                \"expected array for tuple struct {name}\"))?;
+                            if items.len() != {arity} {{
+                                return Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));
+                            }}
+                            Ok({name}({items}))
+                        }}
+                    }}",
+                    items = items.join(", ")
+                )
+            }
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                    Ok({name})
+                }}
+            }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms
+                            .push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                        // Tolerate `{"Variant": null}` / `{"Variant": {}}` too.
+                        tagged_arms
+                            .push_str(&format!("\"{vname}\" => return Ok({name}::{vname}),\n"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        if *arity == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => {{
+                                    let items = inner.as_array().ok_or_else(|| ::serde::Error::custom(
+                                        \"expected array for variant {vname}\"))?;
+                                    if items.len() != {arity} {{
+                                        return Err(::serde::Error::custom(\"wrong arity for variant {vname}\"));
+                                    }}
+                                    return Ok({name}::{vname}({items}));
+                                }}\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{f}: ::serde::field(obj, \"{f}\")?,\n"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{
+                                let obj = inner.as_object().ok_or_else(|| ::serde::Error::custom(
+                                    \"expected object for variant {vname}\"))?;
+                                return Ok({name}::{vname} {{ {inits} }});
+                            }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        if let Some(s) = v.as_str() {{
+                            match s {{ {unit_arms} _ => {{}} }}
+                        }}
+                        if let Some((tag, inner)) = ::serde::enum_tag(v) {{
+                            let _ = inner;
+                            match tag {{ {tagged_arms} _ => {{}} }}
+                        }}
+                        Err(::serde::Error::custom(
+                            format!(\"unrecognised value for enum {name}: {{v:?}}\")))
+                    }}
+                }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = ident_text(&toks, i).expect("expected `struct` or `enum`");
+    i += 1;
+    let name = ident_text(&toks, i).expect("expected type name");
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic types are not supported (type `{name}`)");
+    }
+    match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                Shape::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                Shape::TupleStruct { name, arity }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream());
+                Shape::Enum { name, variants }
+            }
+            _ => panic!("serde_derive stand-in: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+fn ident_text(toks: &[TokenTree], i: usize) -> Option<String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attribute sequences (doc comments arrive this way too).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type, stopping at a `,` that sits outside any `<...>`.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => break,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        let name = ident_text(&toks, i).expect("expected field name");
+        i += 1;
+        assert!(
+            matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&toks, &mut i);
+        fields.push(name);
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        arity += 1;
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_text(&toks, i).expect("expected variant name");
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
