@@ -709,7 +709,8 @@ mod tests {
         let nodes = MdstNode::from_tree(initial);
         let mut sim = Simulator::new(graph, SimConfig::default(), |id, _| {
             nodes[id.index()].clone()
-        });
+        })
+        .unwrap();
         sim.run().expect("protocol quiesces");
         assert!(sim.all_terminated(), "every node must receive Stop");
         let tree = collect_tree(sim.nodes()).expect("consistent final tree");
@@ -810,7 +811,7 @@ mod tests {
                 },
                 ..Default::default()
             };
-            let mut sim = Simulator::new(&g, cfg, |id, _| nodes[id.index()].clone());
+            let mut sim = Simulator::new(&g, cfg, |id, _| nodes[id.index()].clone()).unwrap();
             sim.run().unwrap();
             assert!(sim.all_terminated());
             let tree = collect_tree(sim.nodes()).unwrap();

@@ -10,7 +10,7 @@
 use crate::distributed::MdstNode;
 use mdst_graph::Graph;
 use mdst_graph::{GraphError, NodeId, RootedTree};
-use mdst_netsim::{Metrics, SimConfig, Simulator};
+use mdst_netsim::{Metrics, SimConfig, SimError, Simulator};
 use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +103,8 @@ pub fn run_distributed_mdst(
 ) -> Result<MdstRun, GraphError> {
     initial.validate_against(graph)?;
     let nodes = MdstNode::from_tree(initial);
-    let mut sim = Simulator::new(graph, sim_config, |id, _| nodes[id.index()].clone());
+    let mut sim = Simulator::new(graph, sim_config, |id, _| nodes[id.index()].clone())
+        .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
     sim.run()
         .map_err(|e| GraphError::NotASpanningTree(format!("protocol did not quiesce: {e}")))?;
     if !sim.all_terminated() {
@@ -119,6 +120,100 @@ pub fn run_distributed_mdst(
     Ok(MdstRun {
         final_tree,
         metrics,
+        rounds,
+        improvements,
+    })
+}
+
+/// How a fault-tolerant run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The event queue drained: the network went quiescent.
+    Quiesced,
+    /// The event cap was hit first (livelock guard).
+    EventLimitExceeded,
+}
+
+/// Report of one pipeline run executed under a [`mdst_netsim::FaultPlan`] —
+/// the fault-tolerant sibling of [`PipelineReport`]. Instead of insisting on
+/// a globally valid spanning tree (impossible once nodes crash or Stop
+/// messages are lost), it snapshots the per-node parent pointers and grades
+/// them on the *survivor component* via [`crate::verify::survivor_report`].
+///
+/// Faults apply to the improvement protocol only; the initial tree is built
+/// fault-free, so the report isolates the robustness of the improvement.
+#[derive(Debug, Clone)]
+pub struct FaultPipelineReport {
+    /// Number of nodes of the input graph.
+    pub n: usize,
+    /// Number of edges of the input graph.
+    pub m: usize,
+    /// Maximum degree `k` of the (fault-free) initial tree.
+    pub initial_degree: usize,
+    /// How the improvement run ended.
+    pub status: RunStatus,
+    /// Whether every non-crashed node reported local termination.
+    pub all_live_terminated: bool,
+    /// The snapshot graded on the survivor component.
+    pub survivor: crate::verify::SurvivorReport,
+    /// Whether the run produced a *correct tree*: it quiesced, every live
+    /// node terminated, and the snapshot spans the survivor component.
+    pub correct_tree: bool,
+    /// Metrics of the initial construction (`None` for centralized seeds).
+    pub construction_metrics: Option<Metrics>,
+    /// Metrics of the improvement protocol (including `dropped_messages` and
+    /// `crashed_nodes`).
+    pub improvement_metrics: Metrics,
+    /// Improvement rounds observed across all nodes.
+    pub rounds: u32,
+    /// Edge exchanges performed.
+    pub improvements: u32,
+}
+
+/// Runs the full pipeline under the fault plan of `config.sim.faults`.
+///
+/// Unlike [`run_pipeline`], a run that fails to terminate cleanly is not an
+/// error: event-limit aborts and stale/partial final trees are *outcomes*,
+/// reported through [`FaultPipelineReport`]. Under a benign plan a quiescent
+/// run yields `correct_tree = true` with exactly the numbers
+/// [`run_pipeline`] would report.
+pub fn run_pipeline_with_faults(
+    graph: &Graph,
+    config: &PipelineConfig,
+) -> Result<FaultPipelineReport, GraphError> {
+    let (initial_tree, construction_metrics) =
+        build_initial_tree(graph, config.root, config.initial)?;
+    initial_tree.validate_against(graph)?;
+    let nodes = MdstNode::from_tree(&initial_tree);
+    let mut sim = Simulator::new(graph, config.sim.clone(), |id, _| nodes[id.index()].clone())
+        .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
+    let status = match sim.run() {
+        Ok(()) => RunStatus::Quiesced,
+        Err(SimError::EventLimitExceeded { .. }) => RunStatus::EventLimitExceeded,
+        Err(e @ SimError::InvalidConfig(_)) => {
+            // `new` validated the config; anything else here is a bug.
+            return Err(GraphError::InvalidParameter(e.to_string()));
+        }
+    };
+    let all_live_terminated = sim.all_live_terminated();
+    let parents: Vec<Option<NodeId>> = sim.nodes().iter().map(|p| p.parent()).collect();
+    let crashed = sim.crashed().to_vec();
+    let survivor = crate::verify::survivor_report(graph, &parents, &crashed);
+    let correct_tree =
+        status == RunStatus::Quiesced && all_live_terminated && survivor.spans_component;
+    let rounds = sim.nodes().iter().map(|p| p.round()).max().unwrap_or(0);
+    let improvements = sim.nodes().iter().map(|p| p.improvements_made()).sum();
+    let (_, metrics, _) = sim.into_parts();
+    Ok(FaultPipelineReport {
+        n: graph.node_count(),
+        m: graph.edge_count(),
+        initial_degree: initial_tree.max_degree(),
+        status,
+        all_live_terminated,
+        survivor,
+        correct_tree,
+        construction_metrics,
+        improvement_metrics: metrics,
         rounds,
         improvements,
     })
@@ -191,6 +286,80 @@ mod tests {
         let report = run_pipeline(&g, &config).unwrap();
         assert!(report.construction_metrics.unwrap().messages_total > 0);
         assert!(report.final_degree <= report.initial_degree);
+    }
+
+    #[test]
+    fn benign_fault_pipeline_matches_the_strict_pipeline() {
+        let g = generators::gnp_connected(18, 0.25, 3).unwrap();
+        let config = PipelineConfig::default();
+        let strict = run_pipeline(&g, &config).unwrap();
+        let faulty = run_pipeline_with_faults(&g, &config).unwrap();
+        assert_eq!(faulty.status, RunStatus::Quiesced);
+        assert!(faulty.all_live_terminated);
+        assert!(faulty.correct_tree);
+        assert_eq!(faulty.survivor.live_nodes, g.node_count());
+        assert_eq!(faulty.survivor.component_size(), g.node_count());
+        assert_eq!(faulty.survivor.max_degree, strict.final_degree);
+        assert_eq!(faulty.initial_degree, strict.initial_degree);
+        assert_eq!(faulty.improvement_metrics, strict.improvement_metrics);
+        assert_eq!(faulty.rounds, strict.rounds);
+        assert_eq!(faulty.improvements, strict.improvements);
+        assert_eq!(faulty.improvement_metrics.dropped_messages, 0);
+        assert_eq!(faulty.improvement_metrics.crashed_nodes, 0);
+    }
+
+    #[test]
+    fn heavy_loss_is_an_outcome_not_an_error() {
+        // Losing 70% of all messages wrecks the improvement protocol; the
+        // fault pipeline must classify the wreckage instead of erroring.
+        let g = generators::star_with_leaf_edges(12).unwrap();
+        let config = PipelineConfig {
+            sim: SimConfig {
+                faults: mdst_netsim::FaultPlan {
+                    loss: 0.7,
+                    seed: 5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_pipeline_with_faults(&g, &config).unwrap();
+        assert!(report.improvement_metrics.dropped_messages > 0);
+        assert!(
+            !report.correct_tree || report.survivor.spans_component,
+            "a correct tree implies a spanning snapshot"
+        );
+        // Deterministic: the same plan reproduces the same wreckage.
+        let again = run_pipeline_with_faults(&g, &config).unwrap();
+        assert_eq!(
+            report.improvement_metrics.dropped_messages,
+            again.improvement_metrics.dropped_messages
+        );
+        assert_eq!(report.correct_tree, again.correct_tree);
+    }
+
+    #[test]
+    fn crashes_shrink_the_survivor_component() {
+        let g = generators::gnp_connected(16, 0.3, 9).unwrap();
+        let config = PipelineConfig {
+            sim: SimConfig {
+                faults: mdst_netsim::FaultPlan {
+                    crashes: vec![mdst_netsim::CrashAt {
+                        node: NodeId(3),
+                        at: 2,
+                    }],
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = run_pipeline_with_faults(&g, &config).unwrap();
+        assert_eq!(report.improvement_metrics.crashed_nodes, 1);
+        assert_eq!(report.survivor.live_nodes, 15);
+        assert!(report.survivor.component_size() <= 15);
+        assert!(!report.survivor.component.contains(&NodeId(3)));
     }
 
     #[test]

@@ -29,4 +29,8 @@ pub mod sequential;
 pub mod verify;
 
 pub use distributed::{Candidate, MdstMsg, MdstNode};
-pub use driver::{run_distributed_mdst, run_pipeline, MdstRun, PipelineConfig, PipelineReport};
+pub use driver::{
+    run_distributed_mdst, run_pipeline, run_pipeline_with_faults, FaultPipelineReport, MdstRun,
+    PipelineConfig, PipelineReport, RunStatus,
+};
+pub use verify::{survivor_report, SurvivorReport};

@@ -8,7 +8,8 @@
 //! snapshot of the final tree; they are used by the integration tests, the
 //! property tests and the experiment harness.
 
-use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
+use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
+use std::collections::BTreeSet;
 
 /// Checks that `tree` is a spanning tree of `graph` (right node set, every
 /// tree edge a graph edge, connected and acyclic by construction of
@@ -72,6 +73,159 @@ pub fn verify_termination_certificate(graph: &Graph, tree: &RootedTree) -> bool 
     is_locally_optimal_for(graph, tree, p)
 }
 
+/// What is left of a (possibly partial) tree snapshot on the live part of a
+/// network after a faulty run. Produced by [`survivor_report`]; consumed by
+/// the scenario runner's outcome taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivorReport {
+    /// Nodes that did not crash.
+    pub live_nodes: usize,
+    /// Members of the *survivor component*: the largest connected component
+    /// of the graph induced on the live nodes (lowest-id component on ties),
+    /// sorted by id. Equals all nodes when nothing crashed.
+    pub component: Vec<NodeId>,
+    /// Distinct snapshot tree edges with both endpoints in the survivor
+    /// component (and actually present in the graph).
+    pub tree_edges: usize,
+    /// Whether those edges form a spanning tree of the survivor component.
+    pub spans_component: bool,
+    /// Maximum number of snapshot tree edges incident to any one node of the
+    /// survivor component (`0` when the component retains no tree edge).
+    pub max_degree: usize,
+}
+
+impl SurvivorReport {
+    /// Size of the survivor component.
+    pub fn component_size(&self) -> usize {
+        self.component.len()
+    }
+
+    /// The survivor component as its own [`Graph`] (nodes renumbered in
+    /// sorted-id order), for computing degree bounds on what is left of the
+    /// network.
+    pub fn component_subgraph(&self, graph: &Graph) -> Graph {
+        let mut index_of = vec![usize::MAX; graph.node_count()];
+        for (i, node) in self.component.iter().enumerate() {
+            index_of[node.index()] = i;
+        }
+        let mut builder = GraphBuilder::new(self.component.len().max(1));
+        for (u, v) in graph.edges() {
+            let (iu, iv) = (index_of[u.index()], index_of[v.index()]);
+            if iu != usize::MAX && iv != usize::MAX {
+                builder
+                    .add_edge_idempotent(NodeId(iu), NodeId(iv))
+                    .expect("renumbered endpoints are in range and distinct");
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Checks a parent-pointer snapshot of the improved tree against the live
+/// part of the network: which nodes survive, whether the surviving tree edges
+/// still span the survivor component, and what degree the snapshot attains
+/// there. With no crashes this degenerates to "is `parents` a spanning tree
+/// of `graph`" plus its maximum degree.
+///
+/// `parents` is indexed by node; `parents[u] = Some(p)` is the snapshot tree
+/// edge `{u, p}`. Edges touching a crashed endpoint, absent from the graph,
+/// or equal to a self loop are ignored (a stale pointer must not crash the
+/// verifier — classifying stale state is its whole purpose).
+pub fn survivor_report(
+    graph: &Graph,
+    parents: &[Option<NodeId>],
+    crashed: &[bool],
+) -> SurvivorReport {
+    let n = graph.node_count();
+    assert_eq!(parents.len(), n, "one parent slot per node");
+    assert_eq!(crashed.len(), n, "one crash flag per node");
+    let live = |u: NodeId| u.index() < n && !crashed[u.index()];
+    let live_nodes = crashed.iter().filter(|&&dead| !dead).count();
+
+    // Survivor component: BFS over the live-induced subgraph from each
+    // unvisited live node, keeping the largest component (first one on ties,
+    // i.e. the one with the smallest id — deterministic).
+    let mut visited = vec![false; n];
+    let mut component: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if visited[start] || crashed[start] {
+            continue;
+        }
+        let mut queue = vec![NodeId(start)];
+        visited[start] = true;
+        let mut members = Vec::new();
+        while let Some(u) = queue.pop() {
+            members.push(u);
+            for v in graph.neighbors(u) {
+                if !visited[v.index()] && !crashed[v.index()] {
+                    visited[v.index()] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        if members.len() > component.len() {
+            component = members;
+        }
+    }
+    component.sort_unstable();
+
+    let mut in_component = vec![false; n];
+    for node in &component {
+        in_component[node.index()] = true;
+    }
+
+    // Distinct snapshot tree edges inside the component.
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (u, parent) in parents.iter().enumerate() {
+        let Some(p) = *parent else { continue };
+        let u = NodeId(u);
+        if u == p || !live(u) || !live(p) {
+            continue;
+        }
+        if !in_component[u.index()] || !in_component[p.index()] {
+            continue;
+        }
+        if !graph.has_edge(u, p) {
+            continue;
+        }
+        let (a, b) = (u.index().min(p.index()), u.index().max(p.index()));
+        edges.insert((a, b));
+    }
+
+    // Spanning check: |edges| = |component| - 1 and the edges connect the
+    // component (acyclicity then follows from the count).
+    let mut degree = vec![0usize; n];
+    let mut dsu = mdst_graph::algorithms::DisjointSet::new(n);
+    let mut united = 0usize;
+    for &(a, b) in &edges {
+        degree[a] += 1;
+        degree[b] += 1;
+        if dsu.union(a, b) {
+            united += 1;
+        }
+    }
+    let first = component.first().copied();
+    let spans_component = !component.is_empty()
+        && edges.len() == component.len() - 1
+        && united == edges.len()
+        && component
+            .iter()
+            .all(|&u| dsu.same(u.index(), first.expect("non-empty").index()));
+    let max_degree = component
+        .iter()
+        .map(|&u| degree[u.index()])
+        .max()
+        .unwrap_or(0);
+
+    SurvivorReport {
+        live_nodes,
+        component,
+        tree_edges: edges.len(),
+        spans_component,
+        max_degree,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +266,73 @@ mod tests {
                 "seed {seed}: result of the paper rule must be blocked"
             );
         }
+    }
+
+    fn parents_of(tree: &RootedTree) -> Vec<Option<NodeId>> {
+        (0..tree.node_count())
+            .map(|u| tree.parent(NodeId(u)))
+            .collect()
+    }
+
+    #[test]
+    fn survivor_report_with_no_crashes_is_a_plain_spanning_check() {
+        let g = generators::gnp_connected(12, 0.3, 7).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let report = survivor_report(&g, &parents_of(&tree), &[false; 12]);
+        assert_eq!(report.live_nodes, 12);
+        assert_eq!(report.component_size(), 12);
+        assert_eq!(report.tree_edges, 11);
+        assert!(report.spans_component);
+        assert_eq!(report.max_degree, tree.max_degree());
+        let sub = report.component_subgraph(&g);
+        assert_eq!(sub.node_count(), g.node_count());
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn survivor_report_restricts_to_the_largest_live_component() {
+        // Path 0-1-2-3-4: crashing node 2 leaves components {0,1} and {3,4};
+        // the (first) largest is {0,1}. The path tree restricted to it still
+        // spans it.
+        let g = generators::path(5).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let mut crashed = vec![false; 5];
+        crashed[2] = true;
+        let report = survivor_report(&g, &parents_of(&tree), &crashed);
+        assert_eq!(report.live_nodes, 4);
+        assert_eq!(report.component, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(report.tree_edges, 1);
+        assert!(report.spans_component);
+        assert_eq!(report.max_degree, 1);
+        let sub = report.component_subgraph(&g);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn survivor_report_detects_partial_trees() {
+        // Cycle 0-1-2-3-0 with the BFS tree rooted at 0. Drop node 1's parent
+        // pointer: the snapshot no longer spans the (fully live) component.
+        let g = generators::cycle(4).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let mut parents = parents_of(&tree);
+        let child = (1..4).find(|&u| parents[u] == Some(NodeId(0))).unwrap();
+        parents[child] = None;
+        let report = survivor_report(&g, &parents, &[false; 4]);
+        assert!(!report.spans_component);
+        assert_eq!(report.tree_edges, 2);
+    }
+
+    #[test]
+    fn survivor_report_ignores_stale_pointers() {
+        // Parent pointers to crashed nodes or non-edges must be skipped, not
+        // trusted or panicked on.
+        let g = generators::path(4).unwrap();
+        let parents = vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(2))];
+        // parents[2] = 0 is not an edge of the path; ignore it.
+        let report = survivor_report(&g, &parents, &[false; 4]);
+        assert!(!report.spans_component);
+        assert_eq!(report.tree_edges, 2, "0-1 and 2-3 survive, 0-2 is bogus");
     }
 
     #[test]

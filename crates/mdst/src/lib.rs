@@ -58,23 +58,25 @@ pub mod prelude {
     };
     pub use mdst_core::distributed::{Candidate, MdstMsg, MdstNode};
     pub use mdst_core::driver::{
-        run_distributed_mdst, run_pipeline, MdstRun, PipelineConfig, PipelineReport,
+        run_distributed_mdst, run_pipeline, run_pipeline_with_faults, FaultPipelineReport, MdstRun,
+        PipelineConfig, PipelineReport, RunStatus,
     };
     pub use mdst_core::sequential::{
         exact_min_degree, furer_raghavachari, paper_local_search, spanning_tree_with_max_degree,
     };
     pub use mdst_core::verify::{
-        blocked_max_degree_nodes, is_locally_optimal_for, verify_spanning_tree,
-        verify_termination_certificate,
+        blocked_max_degree_nodes, is_locally_optimal_for, survivor_report, verify_spanning_tree,
+        verify_termination_certificate, SurvivorReport,
     };
     pub use mdst_graph::{algorithms, degree::DegreeStats, dot, generators};
     pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
     pub use mdst_netsim::{
-        Context, DelayModel, Metrics, NetMessage, Protocol, SimConfig, Simulator, StartModel,
-        ThreadedRuntime,
+        Context, CrashAt, CutAt, DelayModel, FaultPlan, Metrics, NetMessage, Protocol, SimConfig,
+        SimError, Simulator, StartModel, ThreadedRuntime,
     };
     pub use mdst_scenario::{
-        run_campaign, CampaignReport, GraphFormat, RunRecord, RunnerConfig, ScenarioMatrix,
+        run_campaign, CampaignReport, FaultSpec, GraphFormat, RunOutcome, RunRecord, RunnerConfig,
+        ScenarioMatrix,
     };
     pub use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind, TreeState};
 }

@@ -46,20 +46,51 @@ pub enum DelayModel {
 }
 
 impl DelayModel {
+    /// Checks the documented invariants of the ranged models: `min ≥ 1` and
+    /// `min ≤ max`. [`Simulator::new`](crate::sim::Simulator::new) calls this,
+    /// so degenerate ranges are rejected up front instead of being silently
+    /// clamped deep inside the delay sampler.
+    pub fn validate(&self) -> Result<(), String> {
+        let (name, min, max) = match *self {
+            DelayModel::Unit => return Ok(()),
+            DelayModel::UniformRandom { min, max, .. } => ("uniform random", min, max),
+            DelayModel::PerLinkFixed { min, max, .. } => ("per-link fixed", min, max),
+        };
+        if min == 0 {
+            return Err(format!(
+                "{name} delay model: min delay must be at least 1, got 0"
+            ));
+        }
+        if max < min {
+            return Err(format!("{name} delay model: empty range [{min}, {max}]"));
+        }
+        Ok(())
+    }
+
     /// Builds a stateful sampler for this model.
+    ///
+    /// The sampler clamps degenerate ranges (`max < min`, `min = 0`) as a
+    /// defence in depth; use [`DelayModel::validate`] to reject them with a
+    /// proper error instead.
     pub fn sampler(&self) -> DelaySampler {
         match *self {
             DelayModel::Unit => DelaySampler::Unit,
-            DelayModel::UniformRandom { min, max, seed } => DelaySampler::UniformRandom {
-                min,
-                max: max.max(min),
-                rng: SmallRng::seed_from_u64(seed),
-            },
-            DelayModel::PerLinkFixed { min, max, seed } => DelaySampler::PerLinkFixed {
-                min,
-                max: max.max(min),
-                seed,
-            },
+            DelayModel::UniformRandom { min, max, seed } => {
+                let min = min.max(1);
+                DelaySampler::UniformRandom {
+                    min,
+                    max: max.max(min),
+                    rng: SmallRng::seed_from_u64(seed),
+                }
+            }
+            DelayModel::PerLinkFixed { min, max, seed } => {
+                let min = min.max(1);
+                DelaySampler::PerLinkFixed {
+                    min,
+                    max: max.max(min),
+                    seed,
+                }
+            }
         }
     }
 }
@@ -173,5 +204,42 @@ mod tests {
         }
         .sampler();
         assert_eq!(s.sample(NodeId(0), NodeId(1)), 5);
+        // A zero min is raised to 1 at sampler construction, for both ranged
+        // models, so no delay of 0 can sneak through even without validation.
+        let mut zero_uniform = DelayModel::UniformRandom {
+            min: 0,
+            max: 0,
+            seed: 2,
+        }
+        .sampler();
+        assert_eq!(zero_uniform.sample(NodeId(0), NodeId(1)), 1);
+        let mut zero_per_link = DelayModel::PerLinkFixed {
+            min: 0,
+            max: 3,
+            seed: 2,
+        }
+        .sampler();
+        for i in 0..32 {
+            assert!(zero_per_link.sample(NodeId(i), NodeId(i + 1)) >= 1);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_ranges() {
+        assert!(DelayModel::Unit.validate().is_ok());
+        for (min, max, ok) in [(1, 1, true), (2, 9, true), (0, 5, false), (5, 3, false)] {
+            let uniform = DelayModel::UniformRandom { min, max, seed: 1 };
+            let per_link = DelayModel::PerLinkFixed { min, max, seed: 1 };
+            assert_eq!(uniform.validate().is_ok(), ok, "uniform [{min}, {max}]");
+            assert_eq!(per_link.validate().is_ok(), ok, "per-link [{min}, {max}]");
+        }
+        let err = DelayModel::UniformRandom {
+            min: 0,
+            max: 4,
+            seed: 0,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 }

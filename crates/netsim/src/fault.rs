@@ -1,0 +1,200 @@
+//! Fault injection: message loss, node crashes and link cuts.
+//!
+//! The paper's correctness argument is event-driven and delay-oblivious, but
+//! it assumes a *reliable* network: every message is eventually delivered and
+//! no processor stops. A [`FaultPlan`] lets the simulator break exactly those
+//! assumptions, reproducibly:
+//!
+//! * **message loss** — every send is dropped independently with probability
+//!   [`FaultPlan::loss`], drawn from a dedicated RNG seeded by
+//!   [`FaultPlan::seed`] (the delay stream is untouched, so a lossy run and
+//!   its lossless twin sample identical delays for the messages that survive);
+//! * **node crashes** — a [`CrashAt`] stops a node at a scheduled time: the
+//!   node processes no further events and every message addressed to it is
+//!   dropped (crash-stop, no recovery);
+//! * **link cuts** — a [`CutAt`] severs one undirected link at a scheduled
+//!   time: sends on the link at or after the cut are dropped in both
+//!   directions; messages already in flight are still delivered.
+//!
+//! A plan with zero loss and no crashes or cuts is *benign*
+//! ([`FaultPlan::is_benign`]): the simulator takes the exact same code path
+//! as a run with no plan at all, so fault-free configurations stay
+//! bit-identical to the pre-fault simulator. Drops and crashes are counted in
+//! [`crate::metrics::Metrics`] (`dropped_messages`, `crashed_nodes`) and, when
+//! tracing is on, recorded as [`crate::trace::TraceEventKind::Drop`] /
+//! [`crate::trace::TraceEventKind::Crash`] events.
+
+use mdst_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A scheduled crash-stop of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashAt {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Simulated time of the crash. Events addressed to the node strictly
+    /// after the crash is processed are dropped.
+    pub at: u64,
+}
+
+/// A scheduled cut of one undirected link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutAt {
+    /// One endpoint of the link.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Simulated time of the cut; sends at time `>= at` are dropped.
+    pub at: u64,
+}
+
+/// The faults injected into one simulated run. See the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Per-send message-loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Seed of the loss coin stream (independent of the delay stream).
+    pub seed: u64,
+    /// Scheduled node crashes.
+    pub crashes: Vec<CrashAt>,
+    /// Scheduled link cuts.
+    pub cuts: Vec<CutAt>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no loss, no crashes, no cuts.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing — the simulator then behaves exactly
+    /// like a fault-free run (no extra RNG draws, no crash events scheduled).
+    pub fn is_benign(&self) -> bool {
+        self.loss == 0.0 && self.crashes.is_empty() && self.cuts.is_empty()
+    }
+
+    /// Checks the plan against the simulated graph: the loss probability must
+    /// be a finite value in `[0, 1]`, crashed nodes must exist, and cut links
+    /// must be actual edges.
+    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+        if !self.loss.is_finite() || !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!(
+                "fault plan: loss probability {} is not in [0, 1]",
+                self.loss
+            ));
+        }
+        let n = graph.node_count();
+        for crash in &self.crashes {
+            if crash.node.index() >= n {
+                return Err(format!(
+                    "fault plan: crash of node {} but the graph has {n} nodes",
+                    crash.node
+                ));
+            }
+        }
+        for cut in &self.cuts {
+            if cut.a.index() >= n || cut.b.index() >= n {
+                return Err(format!(
+                    "fault plan: cut ({}, {}) references a node outside the \
+                     {n}-node graph",
+                    cut.a, cut.b
+                ));
+            }
+            if cut.a == cut.b {
+                return Err(format!(
+                    "fault plan: cut ({}, {}) is a self loop",
+                    cut.a, cut.b
+                ));
+            }
+            if !graph.has_edge(cut.a, cut.b) {
+                return Err(format!(
+                    "fault plan: cut ({}, {}) is not an edge of the graph",
+                    cut.a, cut.b
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::generators;
+
+    #[test]
+    fn default_plan_is_benign_and_valid() {
+        let g = generators::path(4).unwrap();
+        let plan = FaultPlan::none();
+        assert!(plan.is_benign());
+        assert!(plan.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn any_fault_makes_the_plan_non_benign() {
+        let lossy = FaultPlan {
+            loss: 0.1,
+            ..Default::default()
+        };
+        assert!(!lossy.is_benign());
+        let crashy = FaultPlan {
+            crashes: vec![CrashAt {
+                node: NodeId(0),
+                at: 3,
+            }],
+            ..Default::default()
+        };
+        assert!(!crashy.is_benign());
+        let cutty = FaultPlan {
+            cuts: vec![CutAt {
+                a: NodeId(0),
+                b: NodeId(1),
+                at: 3,
+            }],
+            ..Default::default()
+        };
+        assert!(!cutty.is_benign());
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let g = generators::path(4).unwrap();
+        let bad_loss = FaultPlan {
+            loss: 1.5,
+            ..Default::default()
+        };
+        assert!(bad_loss.validate(&g).is_err());
+        let nan_loss = FaultPlan {
+            loss: f64::NAN,
+            ..Default::default()
+        };
+        assert!(nan_loss.validate(&g).is_err());
+        let bad_crash = FaultPlan {
+            crashes: vec![CrashAt {
+                node: NodeId(9),
+                at: 1,
+            }],
+            ..Default::default()
+        };
+        assert!(bad_crash.validate(&g).is_err());
+        // Path 0-1-2-3 has no edge (0, 3).
+        let bad_cut = FaultPlan {
+            cuts: vec![CutAt {
+                a: NodeId(0),
+                b: NodeId(3),
+                at: 1,
+            }],
+            ..Default::default()
+        };
+        assert!(bad_cut.validate(&g).is_err());
+        let self_cut = FaultPlan {
+            cuts: vec![CutAt {
+                a: NodeId(2),
+                b: NodeId(2),
+                at: 1,
+            }],
+            ..Default::default()
+        };
+        assert!(self_cut.validate(&g).is_err());
+    }
+}

@@ -25,11 +25,18 @@
 //! Protocols are written once against the [`protocol::Protocol`] trait and run
 //! unchanged on both runtimes; the `mdst-spanning` and `mdst-core` crates
 //! provide the actual protocols.
+//!
+//! The simulator additionally supports **fault injection** through
+//! [`fault::FaultPlan`]: seeded per-message loss, scheduled node crashes and
+//! link cuts, with drops and crashes counted in [`metrics::Metrics`] and
+//! recorded in the trace. A benign (empty) plan leaves every execution
+//! bit-identical to the fault-free simulator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod fault;
 pub mod message;
 pub mod metrics;
 pub mod protocol;
@@ -38,6 +45,7 @@ pub mod threaded;
 pub mod trace;
 
 pub use delay::DelayModel;
+pub use fault::{CrashAt, CutAt, FaultPlan};
 pub use message::NetMessage;
 pub use metrics::Metrics;
 pub use protocol::{Context, Protocol};

@@ -38,6 +38,11 @@ pub struct Metrics {
     pub sent_per_node: Vec<u64>,
     /// Messages received per node.
     pub received_per_node: Vec<u64>,
+    /// Messages lost to fault injection (random loss, cut links, and sends to
+    /// crashed nodes). Always zero under a benign fault plan.
+    pub dropped_messages: u64,
+    /// Nodes that crash-stopped during the run.
+    pub crashed_nodes: u64,
 }
 
 impl Metrics {
@@ -72,6 +77,23 @@ impl Metrics {
         if let Some(r) = self.received_per_node.get_mut(to) {
             *r += 1;
         }
+    }
+
+    /// Records the loss of one message (fault injection).
+    pub fn record_drop(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Records the crash-stop of one node (fault injection).
+    pub fn record_crash(&mut self) {
+        self.crashed_nodes += 1;
+    }
+
+    /// Records that the simulated clock reached `time` while the network was
+    /// still active (used for start events, which are not deliveries but do
+    /// advance the quiescence clock — see `Simulator::step`).
+    pub fn record_activity(&mut self, time: u64) {
+        self.quiescence_time = self.quiescence_time.max(time);
     }
 
     /// Number of messages of the given kind.
@@ -119,6 +141,8 @@ impl Metrics {
         {
             *a += b;
         }
+        self.dropped_messages += other.dropped_messages;
+        self.crashed_nodes += other.crashed_nodes;
     }
 }
 
@@ -167,8 +191,11 @@ mod tests {
     fn merge_adds_counts_and_maxes() {
         let mut a = Metrics::new(2);
         a.record_delivery(0, 1, "X", 10, 2, 3);
+        a.record_drop();
         let mut b = Metrics::new(2);
         b.record_delivery(1, 0, "Y", 30, 5, 4);
+        b.record_drop();
+        b.record_crash();
         a.merge(&b);
         assert_eq!(a.messages_total, 2);
         assert_eq!(a.count_of("Y"), 1);
@@ -176,5 +203,18 @@ mod tests {
         assert_eq!(a.causal_time, 5);
         assert_eq!(a.quiescence_time, 4);
         assert_eq!(a.sent_per_node, vec![1, 1]);
+        assert_eq!(a.dropped_messages, 2);
+        assert_eq!(a.crashed_nodes, 1);
+    }
+
+    #[test]
+    fn activity_advances_the_quiescence_clock_without_a_delivery() {
+        let mut m = Metrics::new(2);
+        m.record_delivery(0, 1, "X", 8, 1, 4);
+        m.record_activity(9);
+        assert_eq!(m.quiescence_time, 9);
+        m.record_activity(2);
+        assert_eq!(m.quiescence_time, 9, "activity never rewinds the clock");
+        assert_eq!(m.messages_total, 1);
     }
 }

@@ -14,6 +14,7 @@
 //! complexity".
 
 use crate::delay::{DelayModel, DelaySampler};
+use crate::fault::FaultPlan;
 use crate::message::NetMessage;
 use crate::metrics::Metrics;
 use crate::protocol::{Context, Protocol};
@@ -56,6 +57,10 @@ pub struct SimConfig {
     pub max_events: u64,
     /// Whether to keep a full [`TraceRecorder`] of sends and deliveries.
     pub record_trace: bool,
+    /// Faults injected into the run (message loss, node crashes, link cuts).
+    /// The default plan is benign: nothing is injected and the simulator
+    /// behaves exactly as it would without a fault layer.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -65,6 +70,7 @@ impl Default for SimConfig {
             start: StartModel::Simultaneous,
             max_events: 50_000_000,
             record_trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -77,6 +83,9 @@ pub enum SimError {
         /// The configured cap.
         limit: u64,
     },
+    /// The configuration is inconsistent with the simulated graph (start list
+    /// out of range or empty, degenerate delay range, bad fault plan, …).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for SimError {
@@ -85,6 +94,7 @@ impl fmt::Display for SimError {
             SimError::EventLimitExceeded { limit } => {
                 write!(f, "event limit of {limit} exceeded before quiescence")
             }
+            SimError::InvalidConfig(why) => write!(f, "invalid simulator config: {why}"),
         }
     }
 }
@@ -102,6 +112,8 @@ enum EventKind<M> {
         msg: M,
         causal_depth: u64,
     },
+    /// Crash-stop of the node (fault injection).
+    Crash,
 }
 
 #[derive(Debug, Clone)]
@@ -170,7 +182,15 @@ pub struct Simulator<P: Protocol> {
     clock: u64,
     processed_events: u64,
     started: Vec<bool>,
+    /// Nodes that have crash-stopped (fault injection); a crashed node
+    /// processes no events and every message addressed to it is dropped.
+    crashed: Vec<bool>,
     sampler: DelaySampler,
+    /// Loss coin stream, present only when the fault plan has `loss > 0`
+    /// (so benign runs draw no extra randomness at all).
+    loss_rng: Option<SmallRng>,
+    /// Cut time per directed link (both directions of every scheduled cut).
+    cut_at: HashMap<(usize, usize), u64>,
     /// Last scheduled delivery time per directed link, used to keep links FIFO
     /// even under non-monotone random delays.
     link_last_delivery: HashMap<(usize, usize), u64>,
@@ -183,11 +203,19 @@ impl<P: Protocol> Simulator<P> {
     /// Builds a simulator for `graph`, creating one protocol instance per node
     /// through `factory` (which receives the node's identity and its sorted
     /// neighbour list).
+    ///
+    /// The configuration is validated against the graph up front:
+    /// [`StartModel::Selected`] lists must be non-empty and in range, the
+    /// delay model must satisfy its documented `1 ≤ min ≤ max` contract, and
+    /// the fault plan must reference existing nodes and edges. Violations
+    /// return [`SimError::InvalidConfig`] instead of panicking (or silently
+    /// succeeding) deep inside [`Simulator::step`].
     pub fn new(
         graph: &Graph,
         config: SimConfig,
         mut factory: impl FnMut(NodeId, &[NodeId]) -> P,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
+        Self::validate_config(graph, &config)?;
         let n = graph.node_count();
         let neighbors: Vec<Vec<NodeId>> = (0..n)
             .map(|u| graph.neighbors(NodeId(u)).collect())
@@ -199,6 +227,19 @@ impl<P: Protocol> Simulator<P> {
             TraceRecorder::disabled()
         };
         let sampler = config.delay.sampler();
+        let loss_rng = if config.faults.loss > 0.0 {
+            Some(SmallRng::seed_from_u64(config.faults.seed))
+        } else {
+            None
+        };
+        let mut cut_at = HashMap::new();
+        for cut in &config.faults.cuts {
+            let (a, b) = (cut.a.index(), cut.b.index());
+            for key in [(a, b), (b, a)] {
+                let entry = cut_at.entry(key).or_insert(cut.at);
+                *entry = (*entry).min(cut.at);
+            }
+        }
         let mut sim = Simulator {
             nodes,
             neighbors,
@@ -207,14 +248,59 @@ impl<P: Protocol> Simulator<P> {
             clock: 0,
             processed_events: 0,
             started: vec![false; n],
+            crashed: vec![false; n],
             sampler,
+            loss_rng,
+            cut_at,
             link_last_delivery: HashMap::new(),
             metrics: Metrics::new(n),
             trace,
             config,
         };
+        sim.schedule_crashes();
         sim.schedule_starts();
-        sim
+        Ok(sim)
+    }
+
+    fn validate_config(graph: &Graph, config: &SimConfig) -> Result<(), SimError> {
+        config.delay.validate().map_err(SimError::InvalidConfig)?;
+        if let StartModel::Selected(list) = &config.start {
+            if list.is_empty() {
+                return Err(SimError::InvalidConfig(
+                    "StartModel::Selected with an empty list: no node would ever \
+                     wake up, the run would be a silent no-op"
+                        .to_string(),
+                ));
+            }
+            let n = graph.node_count();
+            for &node in list {
+                if node.index() >= n {
+                    return Err(SimError::InvalidConfig(format!(
+                        "StartModel::Selected references node {node} but the \
+                         graph has {n} nodes"
+                    )));
+                }
+            }
+        }
+        config
+            .faults
+            .validate(graph)
+            .map_err(SimError::InvalidConfig)
+    }
+
+    /// Crash events go into the queue before the start events, so a crash and
+    /// a start scheduled at the same instant resolve as crash-first.
+    fn schedule_crashes(&mut self) {
+        let crashes = self.config.faults.crashes.clone();
+        for crash in crashes {
+            let seq = self.next_seq();
+            self.queue.push(Event {
+                time: crash.at,
+                seq,
+                to: crash.node,
+                kind: EventKind::Crash,
+            });
+        }
     }
 
     fn schedule_starts(&mut self) {
@@ -291,6 +377,48 @@ impl<P: Protocol> Simulator<P> {
         self.clock = self.clock.max(event.time);
         self.processed_events += 1;
         let to = event.to;
+        // Crash events flip the crash flag and nothing else; they do not count
+        // as protocol activity, so they leave `quiescence_time` alone.
+        if matches!(event.kind, EventKind::Crash) {
+            if !self.crashed[to.index()] {
+                self.crashed[to.index()] = true;
+                self.metrics.record_crash();
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        time: event.time,
+                        kind: TraceEventKind::Crash,
+                        from: to,
+                        to,
+                        message_kind: "Crash".to_string(),
+                    });
+                }
+            }
+            return true;
+        }
+        // A crashed node processes nothing; messages addressed to it are lost.
+        if self.crashed[to.index()] {
+            if let EventKind::Message { from, msg, .. } = &event.kind {
+                // The network carried the message until now, so the delivery
+                // attempt still advances the quiescence clock; a start event
+                // of a corpse is a pure no-op and does not.
+                self.metrics.record_activity(event.time);
+                self.metrics.record_drop();
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        time: event.time,
+                        kind: TraceEventKind::Drop,
+                        from: *from,
+                        to,
+                        message_kind: msg.kind().to_string(),
+                    });
+                }
+            }
+            return true;
+        }
+        // Starts and deliveries are protocol activity: the quiescence clock
+        // follows every one of them, so staggered-start and message-free runs
+        // report the true final clock (not just the last delivery time).
+        self.metrics.record_activity(event.time);
         let (causal_depth, sends) = {
             // Split borrows: the node is taken from `nodes`, the neighbour list
             // from `neighbors`; both are disjoint fields.
@@ -343,17 +471,13 @@ impl<P: Protocol> Simulator<P> {
                     node.on_message(from, msg, &mut ctx);
                     causal_depth
                 }
+                EventKind::Crash => unreachable!("crash events return before the handler"),
             };
             (depth, ctx.outbox)
         };
-        // Schedule the buffered sends.
+        // Schedule the buffered sends, dropping the ones fault injection eats.
         let now = event.time;
         for (target, msg) in sends {
-            let delay = self.sampler.sample(to, target);
-            let key = (to.index(), target.index());
-            let earliest_fifo = self.link_last_delivery.get(&key).copied().unwrap_or(0);
-            let delivery = (now + delay.max(1)).max(earliest_fifo);
-            self.link_last_delivery.insert(key, delivery);
             if self.trace.is_enabled() {
                 self.trace.record(TraceEvent {
                     time: now,
@@ -363,6 +487,38 @@ impl<P: Protocol> Simulator<P> {
                     message_kind: msg.kind().to_string(),
                 });
             }
+            let key = (to.index(), target.index());
+            // A cut link eats every send at or after the cut time (messages
+            // already in flight are still delivered).
+            let cut = self
+                .cut_at
+                .get(&key)
+                .is_some_and(|&cut_time| now >= cut_time);
+            // Then the loss coin (a cut send burns no coin). Dropped sends
+            // consume neither a delay sample nor a FIFO slot, so the
+            // surviving traffic keeps its per-link FIFO ordering.
+            let lost = cut
+                || self
+                    .loss_rng
+                    .as_mut()
+                    .is_some_and(|rng| rng.gen_bool(self.config.faults.loss));
+            if lost {
+                self.metrics.record_drop();
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent {
+                        time: now,
+                        kind: TraceEventKind::Drop,
+                        from: to,
+                        to: target,
+                        message_kind: msg.kind().to_string(),
+                    });
+                }
+                continue;
+            }
+            let delay = self.sampler.sample(to, target);
+            let earliest_fifo = self.link_last_delivery.get(&key).copied().unwrap_or(0);
+            let delivery = (now + delay.max(1)).max(earliest_fifo);
+            self.link_last_delivery.insert(key, delivery);
             let seq = self.next_seq();
             self.queue.push(Event {
                 time: delivery,
@@ -398,6 +554,21 @@ impl<P: Protocol> Simulator<P> {
     pub fn all_terminated(&self) -> bool {
         self.nodes.iter().all(|p| p.is_terminated())
     }
+
+    /// Which nodes have crash-stopped (always all-false under a benign fault
+    /// plan).
+    pub fn crashed(&self) -> &[bool] {
+        &self.crashed
+    }
+
+    /// Whether every *live* (non-crashed) node reports local termination —
+    /// the strongest termination a faulty run can achieve.
+    pub fn all_live_terminated(&self) -> bool {
+        self.nodes
+            .iter()
+            .zip(&self.crashed)
+            .all(|(p, &dead)| dead || p.is_terminated())
+    }
 }
 
 #[cfg(test)]
@@ -405,6 +576,8 @@ mod tests {
     use super::*;
     use crate::message::bits::message_bits;
     use mdst_graph::generators;
+
+    use crate::fault::{CrashAt, CutAt};
 
     /// Flood protocol: the node with identity 0 floods a token; every node
     /// forwards it the first time it sees it. Classic broadcast, n-1 .. m
@@ -480,6 +653,7 @@ mod tests {
             seen: false,
             max_hops_seen: 0,
         })
+        .expect("valid config")
     }
 
     #[test]
@@ -567,6 +741,347 @@ mod tests {
     }
 
     #[test]
+    fn selected_start_rejects_out_of_range_and_empty_lists() {
+        let g = generators::path(4).unwrap();
+        let oob = SimConfig {
+            start: StartModel::Selected(vec![NodeId(0), NodeId(7)]),
+            ..Default::default()
+        };
+        let err = Simulator::new(&g, oob, |id, _| Flood {
+            id,
+            seen: false,
+            max_hops_seen: 0,
+        })
+        .err()
+        .expect("config must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("v7"), "{err}");
+
+        let empty = SimConfig {
+            start: StartModel::Selected(Vec::new()),
+            ..Default::default()
+        };
+        let err = Simulator::new(&g, empty, |id, _| Flood {
+            id,
+            seen: false,
+            max_hops_seen: 0,
+        })
+        .err()
+        .expect("config must be rejected");
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn degenerate_delay_ranges_are_rejected_at_construction() {
+        let g = generators::path(4).unwrap();
+        for delay in [
+            DelayModel::UniformRandom {
+                min: 0,
+                max: 4,
+                seed: 1,
+            },
+            DelayModel::PerLinkFixed {
+                min: 3,
+                max: 2,
+                seed: 1,
+            },
+        ] {
+            let cfg = SimConfig {
+                delay,
+                ..Default::default()
+            };
+            let err = Simulator::new(&g, cfg, |id, _| Flood {
+                id,
+                seen: false,
+                max_hops_seen: 0,
+            })
+            .err()
+            .expect("config must be rejected");
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn quiescence_time_covers_late_starts() {
+        // Node 3 of a path wakes long after the flood from node 0 has died
+        // down; the quiescence clock must reflect that late start, matching
+        // the final simulator clock.
+        let g = generators::path(4).unwrap();
+        let cfg = SimConfig {
+            start: StartModel::Staggered {
+                max_offset: 500,
+                seed: 11,
+            },
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        assert_eq!(
+            sim.metrics().quiescence_time,
+            sim.now(),
+            "quiescence time must equal the clock at the last start/delivery"
+        );
+    }
+
+    #[test]
+    fn fault_events_do_not_inflate_quiescence_time() {
+        // Node 1 of a two-node path crashes at t=0; node 0 crashes long after
+        // all traffic died down. The flood's one token is dropped at the
+        // corpse at t=1 — the last *activity*. Neither the late crash event
+        // nor anything after it may advance the quiescence clock, even though
+        // the simulator clock itself runs on to the crash time.
+        let g = generators::path(2).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![
+                    CrashAt {
+                        node: NodeId(1),
+                        at: 0,
+                    },
+                    CrashAt {
+                        node: NodeId(0),
+                        at: 100,
+                    },
+                ],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        assert_eq!(sim.metrics().dropped_messages, 1);
+        assert_eq!(sim.metrics().quiescence_time, 1, "drop at the corpse");
+        assert_eq!(sim.now(), 100, "the clock still reaches the late crash");
+
+        // Same principle for starts: a staggered start addressed to a node
+        // that crashed at t=0 is a no-op and must not count as activity, so
+        // across seeds the quiescence clock may end strictly before the
+        // simulator clock (it would always equal it if corpse starts counted).
+        let mut some_seed_diverges = false;
+        for seed in 0..20 {
+            let cfg = SimConfig {
+                start: StartModel::Staggered {
+                    max_offset: 300,
+                    seed,
+                },
+                faults: FaultPlan {
+                    crashes: vec![CrashAt {
+                        node: NodeId(1),
+                        at: 0,
+                    }],
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut sim = flood_sim(&g, cfg);
+            sim.run().unwrap();
+            assert!(sim.metrics().quiescence_time <= sim.now());
+            some_seed_diverges |= sim.metrics().quiescence_time < sim.now();
+        }
+        assert!(
+            some_seed_diverges,
+            "for some seed the corpse's start is the last event"
+        );
+    }
+
+    #[test]
+    fn full_loss_drops_every_message() {
+        let g = generators::complete(6).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                loss: 1.0,
+                seed: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        // Node 0 floods its 5 neighbours; every send is lost, nobody answers.
+        assert_eq!(sim.metrics().messages_total, 0);
+        assert_eq!(sim.metrics().dropped_messages, 5);
+        assert!(!sim.all_terminated(), "only node 0 ever saw the token");
+    }
+
+    #[test]
+    fn lossy_runs_are_seed_deterministic() {
+        let g = generators::gnp_connected(18, 0.3, 4).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                loss: 0.4,
+                seed: 99,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut a = flood_sim(&g, cfg.clone());
+        let mut b = flood_sim(&g, cfg.clone());
+        a.run().unwrap();
+        b.run().unwrap();
+        assert_eq!(a.metrics(), b.metrics());
+        assert!(a.metrics().dropped_messages > 0, "loss 0.4 must drop some");
+        // A different loss seed changes which messages die.
+        let mut c = flood_sim(
+            &g,
+            SimConfig {
+                faults: FaultPlan {
+                    loss: 0.4,
+                    seed: 100,
+                    ..Default::default()
+                },
+                ..cfg
+            },
+        );
+        c.run().unwrap();
+        assert_ne!(
+            (a.metrics().messages_total, a.metrics().dropped_messages),
+            (c.metrics().messages_total, c.metrics().dropped_messages),
+        );
+    }
+
+    #[test]
+    fn zero_loss_plan_is_bit_identical_to_no_plan() {
+        let g = generators::gnp_connected(20, 0.25, 8).unwrap();
+        let explicit = SimConfig {
+            faults: FaultPlan {
+                loss: 0.0,
+                seed: 42, // a seed alone must not change anything
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut a = flood_sim(&g, SimConfig::default());
+        let mut b = flood_sim(&g, explicit);
+        a.run().unwrap();
+        b.run().unwrap();
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn crashed_nodes_stop_processing_and_eat_messages() {
+        // Crash node 0 (the initiator) at time 0: the crash event is scheduled
+        // before the starts, so the flood never begins.
+        let g = generators::path(4).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![CrashAt {
+                    node: NodeId(0),
+                    at: 0,
+                }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        assert_eq!(sim.metrics().messages_total, 0);
+        assert_eq!(sim.metrics().crashed_nodes, 1);
+        assert!(sim.crashed()[0]);
+        assert!(!sim.node(NodeId(1)).seen, "the flood never started");
+
+        // Crash node 2 mid-path instead: the flood dies at the crash site and
+        // the message addressed to the corpse is counted as dropped.
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![CrashAt {
+                    node: NodeId(2),
+                    at: 1,
+                }],
+                ..Default::default()
+            },
+            record_trace: true,
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        assert!(sim.node(NodeId(1)).seen);
+        assert!(!sim.node(NodeId(3)).seen, "flood cannot pass the crash");
+        assert!(sim.metrics().dropped_messages >= 1);
+        assert!(!sim.all_live_terminated());
+        let crashes = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Crash)
+            .count();
+        let drops = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Drop)
+            .count();
+        assert_eq!(crashes, 1);
+        assert_eq!(drops as u64, sim.metrics().dropped_messages);
+    }
+
+    #[test]
+    fn cut_links_stop_carrying_messages_in_both_directions() {
+        // Cut the middle edge of a path at time 0: the flood reaches node 1
+        // and no further.
+        let g = generators::path(4).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan {
+                cuts: vec![CutAt {
+                    a: NodeId(2),
+                    b: NodeId(1),
+                    at: 0,
+                }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sim = flood_sim(&g, cfg);
+        sim.run().unwrap();
+        assert!(sim.node(NodeId(1)).seen);
+        assert!(!sim.node(NodeId(2)).seen);
+        assert!(!sim.node(NodeId(3)).seen);
+        assert!(sim.metrics().dropped_messages >= 1);
+    }
+
+    #[test]
+    fn fault_plans_referencing_missing_nodes_or_edges_are_rejected() {
+        let g = generators::path(4).unwrap();
+        let bad_crash = SimConfig {
+            faults: FaultPlan {
+                crashes: vec![CrashAt {
+                    node: NodeId(40),
+                    at: 0,
+                }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = Simulator::new(&g, bad_crash, |id, _| Flood {
+            id,
+            seen: false,
+            max_hops_seen: 0,
+        })
+        .err()
+        .expect("config must be rejected");
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        let bad_cut = SimConfig {
+            faults: FaultPlan {
+                cuts: vec![CutAt {
+                    a: NodeId(0),
+                    b: NodeId(3),
+                    at: 0,
+                }],
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = Simulator::new(&g, bad_cut, |id, _| Flood {
+            id,
+            seen: false,
+            max_hops_seen: 0,
+        })
+        .err()
+        .expect("config must be rejected");
+        assert!(err.to_string().contains("not an edge"), "{err}");
+    }
+
+    #[test]
     fn event_limit_is_enforced() {
         let g = generators::complete(10).unwrap();
         let cfg = SimConfig {
@@ -636,7 +1151,7 @@ mod tests {
             fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
         }
         let g = generators::path(3).unwrap();
-        let mut sim = Simulator::new(&g, SimConfig::default(), |_, _| Bad);
+        let mut sim = Simulator::new(&g, SimConfig::default(), |_, _| Bad).unwrap();
         // Node 0's only neighbour is node 1, so this panics during run().
         sim.run().unwrap();
     }
@@ -692,7 +1207,8 @@ mod tests {
             } else {
                 FifoProbe(Role::Receiver(Vec::new()))
             }
-        });
+        })
+        .unwrap();
         sim.run().unwrap();
         let Role::Receiver(got) = &sim.node(NodeId(1)).0 else {
             panic!("node 1 is the receiver");

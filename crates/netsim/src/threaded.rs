@@ -273,7 +273,8 @@ mod tests {
         let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
         let mut sim = crate::sim::Simulator::new(&g, crate::sim::SimConfig::default(), |id, _| {
             Flood { id, seen: false }
-        });
+        })
+        .unwrap();
         sim.run().unwrap();
         assert_eq!(run.metrics.messages_total, sim.metrics().messages_total);
         assert_eq!(run.metrics.causal_time, sim.metrics().causal_time);

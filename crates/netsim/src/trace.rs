@@ -16,6 +16,10 @@ pub enum TraceEventKind {
     Send,
     /// A message was delivered to its destination.
     Deliver,
+    /// A message was lost (random loss, cut link, or crashed receiver).
+    Drop,
+    /// A node crash-stopped (`from == to == the crashed node`).
+    Crash,
 }
 
 /// One recorded event.

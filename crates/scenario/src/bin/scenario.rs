@@ -155,6 +155,7 @@ fn cmd_expand(args: &[String]) -> Result<ExitCode, String> {
                 ("initial".into(), Value::String(r.initial.clone())),
                 ("delay".into(), Value::String(r.delay.label())),
                 ("start".into(), Value::String(r.start.label())),
+                ("faults".into(), Value::String(r.faults.label())),
                 ("seed".into(), Value::UInt(r.seed)),
                 ("root".into(), Value::UInt(r.root as u64)),
             ])

@@ -57,10 +57,22 @@ impl GraphFormat {
 pub enum IoError {
     /// Filesystem problem (missing file, permissions, …).
     Io(String),
+    /// The input contained no graph at all (empty file, or comments only).
+    /// Not a [`IoError::Parse`]: there is no offending line to point at.
+    Empty {
+        /// What was being parsed, e.g. `"edge list"`.
+        what: &'static str,
+    },
     /// Malformed content, with the offending 1-based line.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// File-level inconsistency that no single line is responsible for
+    /// (e.g. a DIMACS header whose edge count disagrees with the body).
+    Inconsistent {
         /// Human-readable description.
         message: String,
     },
@@ -72,7 +84,11 @@ impl fmt::Display for IoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IoError::Io(msg) => write!(f, "I/O error: {msg}"),
+            IoError::Empty { what } => {
+                write!(f, "empty input: the {what} contains no graph data")
+            }
             IoError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IoError::Inconsistent { message } => write!(f, "inconsistent input: {message}"),
             IoError::Graph(e) => write!(f, "invalid graph: {e}"),
         }
     }
@@ -141,7 +157,7 @@ pub fn parse_edge_list(input: &str) -> Result<Graph, IoError> {
         edges.push((u, v));
     }
     if edges.is_empty() {
-        return parse_err(0, "edge list contains no edges");
+        return Err(IoError::Empty { what: "edge list" });
     }
     let mut builder = GraphBuilder::new(max_node + 1);
     for (u, v) in edges {
@@ -243,7 +259,11 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, IoError> {
         }
     }
     let Some(builder) = builder else {
-        return parse_err(0, "missing `p edge <n> <m>` problem line");
+        // No problem line seen: either the file is empty (or comments only),
+        // which gets the dedicated empty-input error, or it is plain invalid.
+        return Err(IoError::Empty {
+            what: "DIMACS file (no `p edge <n> <m>` problem line)",
+        });
     };
     // Published DIMACS files disagree on whether `m` counts undirected edges
     // or edge *lines* (some list both orientations), so either reading is
@@ -251,13 +271,12 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, IoError> {
     // is an error.
     let unique_edges = builder.edge_count();
     if declared_edges != unique_edges && declared_edges != seen_edges {
-        return parse_err(
-            0,
-            format!(
+        return Err(IoError::Inconsistent {
+            message: format!(
                 "problem line declares {declared_edges} edges but the file has \
                  {seen_edges} edge lines ({unique_edges} distinct edges)"
             ),
-        );
+        });
     }
     Ok(builder.build())
 }
@@ -350,7 +369,6 @@ mod tests {
 
     #[test]
     fn edge_list_rejects_malformed_input() {
-        assert!(matches!(parse_edge_list(""), Err(IoError::Parse { .. })));
         assert!(matches!(parse_edge_list("0"), Err(IoError::Parse { .. })));
         assert!(matches!(
             parse_edge_list("0 1 2"),
@@ -358,6 +376,23 @@ mod tests {
         ));
         assert!(matches!(parse_edge_list("a b"), Err(IoError::Parse { .. })));
         assert!(matches!(parse_edge_list("3 3"), Err(IoError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_inputs_get_the_dedicated_error_not_a_line_number() {
+        for input in ["", "# only a comment\n", "% other comment style\n\n"] {
+            let err = parse_edge_list(input).unwrap_err();
+            assert!(matches!(err, IoError::Empty { .. }), "{input:?}: {err}");
+            let text = err.to_string();
+            assert!(text.contains("empty input"), "{text}");
+            assert!(!text.contains("line 0"), "{text}");
+        }
+        let err = parse_dimacs("c comments only\n").unwrap_err();
+        assert!(matches!(err, IoError::Empty { .. }), "{err}");
+        // Header/body mismatches are file-level, not \"line 0\".
+        let err = parse_dimacs("p edge 3 2\ne 1 2\n").unwrap_err();
+        assert!(matches!(err, IoError::Inconsistent { .. }), "{err}");
+        assert!(!err.to_string().contains("line 0"), "{err}");
     }
 
     #[test]

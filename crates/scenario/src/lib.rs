@@ -44,8 +44,52 @@
 //! ```
 //!
 //! Every list-valued field is an axis; the run list is the cartesian product
-//! of all axes (graph parameters included). A checked-in example lives at
-//! `examples/sweep.toml` in the repository root.
+//! of all axes (graph parameters included). Checked-in examples live at
+//! `examples/sweep.toml` and `examples/faults.toml` in the repository root.
+//!
+//! ## Fault model
+//!
+//! The optional `faults` axis injects failures into the improvement phase of
+//! each run (the initial-tree construction stays fault-free, so campaigns
+//! isolate the robustness of the improvement protocol). Each entry is either
+//! the string `"none"` or a table:
+//!
+//! ```text
+//! faults = [
+//!     "none",                                  # explicit fault-free control
+//!     { loss = 0.05 },                         # drop 5% of all sends
+//!     { crashes = [[3, 40], [7, 90]] },        # crash-stop node 3 at t=40, node 7 at t=90
+//!     { cuts = [[0, 1, 25]] },                 # sever link {0, 1} at t=25
+//! ]
+//! ```
+//!
+//! Loss coins are drawn from a per-run seeded stream, so drop and crash
+//! counts reproduce exactly for a given seed. A benign entry (`"none"` or
+//! `loss = 0.0` with no crashes/cuts) produces run records *bit-identical*
+//! to the same spec without a `faults` key.
+//!
+//! ## Outcome taxonomy
+//!
+//! Every run is classified by [`runner::RunOutcome`]:
+//!
+//! * **`quiesced-correct`** — the network quiesced, every live node
+//!   terminated, and the final tree spans the *survivor component* (the
+//!   largest connected component of the graph induced on non-crashed nodes;
+//!   the whole graph when nothing crashed);
+//! * **`quiesced-partial`** — the network quiesced but the snapshot is stale
+//!   or partial: some live node never received `Stop`, or the surviving tree
+//!   edges do not span the survivor component;
+//! * **`event-limit-abort`** — the simulator's event cap was hit first;
+//! * **`failed`** — the run could not start (graph build / spec / config
+//!   error).
+//!
+//! Degree bounds in the per-run records are computed on the survivor
+//! component, and `within_bound` is only judged for `quiesced-correct` runs —
+//! a snapshot interrupted mid-improvement may exceed the paper's bound
+//! without contradicting the theorem. Fault-free runs that end in anything
+//! but `quiesced-correct` are additionally recorded as failures, preserving
+//! the guarantee that campaigns fail loudly when the protocol misbehaves on
+//! a reliable network.
 //!
 //! ## Library use
 //!
@@ -76,19 +120,19 @@ pub mod toml;
 
 pub use io::{load_graph, save_graph, GraphFormat, IoError};
 pub use report::{campaign_to_csv, campaign_to_json};
-pub use runner::{execute_run, run_campaign, CampaignReport, RunRecord, RunnerConfig};
-pub use spec::{RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
+pub use runner::{execute_run, run_campaign, CampaignReport, RunOutcome, RunRecord, RunnerConfig};
+pub use spec::{FaultSpec, RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
 
 /// Everything a campaign driver typically needs in scope.
 pub mod prelude {
     pub use crate::io::{load_graph, parse_graph, render_graph, save_graph, GraphFormat, IoError};
     pub use crate::report::{campaign_to_csv, campaign_to_json, summarize, write_csv, write_json};
     pub use crate::runner::{
-        execute_run, execute_runs, run_campaign, CampaignReport, RunRecord, RunnerConfig,
-        ScenarioStats,
+        execute_run, execute_runs, run_campaign, CampaignReport, RunOutcome, RunRecord,
+        RunnerConfig, ScenarioStats,
     };
     pub use crate::spec::{
-        parse_initial_kind, GraphSpec, ResolvedGraph, RunSpec, ScenarioMatrix, ScenarioSpec,
-        SpecError,
+        parse_initial_kind, FaultSpec, GraphSpec, ResolvedGraph, RunSpec, ScenarioMatrix,
+        ScenarioSpec, SpecError,
     };
 }

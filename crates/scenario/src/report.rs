@@ -24,14 +24,19 @@ pub const CSV_COLUMNS: &[&str] = &[
     "initial",
     "delay",
     "start",
+    "faults",
     "seed",
     "n",
     "m",
+    "outcome",
     "initial_degree",
     "final_degree",
     "degree_lower_bound",
     "degree_upper_bound",
     "within_bound",
+    "dropped_messages",
+    "crashed_nodes",
+    "survivors",
     "approx_ratio",
     "messages",
     "construction_messages",
@@ -63,14 +68,19 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             csv_escape(&run.initial),
             csv_escape(&run.delay),
             csv_escape(&run.start),
+            csv_escape(&run.faults),
             run.seed.to_string(),
             run.n.to_string(),
             run.m.to_string(),
+            run.outcome.label().to_string(),
             run.initial_degree.to_string(),
             run.final_degree.to_string(),
             run.degree_lower_bound.to_string(),
             run.degree_upper_bound.to_string(),
             run.within_bound.to_string(),
+            run.dropped_messages.to_string(),
+            run.crashed_nodes.to_string(),
+            run.survivors.to_string(),
             format!("{:.4}", run.approx_ratio),
             run.messages.to_string(),
             run.construction_messages.to_string(),
@@ -104,7 +114,7 @@ pub fn summarize(report: &CampaignReport) -> String {
         "campaign `{}`: {} runs ({} failed) on {} threads in {:.0} ms\n\
          final degree min/median/max = {}/{}/{} (mean {:.2}), \
          approx ratio mean {:.2}, bound violations {}, \
-         {} improvement messages total",
+         {} improvement messages total{}",
         report.name,
         t.runs,
         t.failures,
@@ -117,6 +127,14 @@ pub fn summarize(report: &CampaignReport) -> String {
         t.approx_ratio_mean,
         t.bound_violations,
         t.messages_total,
+        if t.dropped_total > 0 || t.crashed_total > 0 {
+            format!(
+                "\nfaults: {} messages dropped, {} nodes crashed, outcomes {:?}",
+                t.dropped_total, t.crashed_total, t.outcomes
+            )
+        } else {
+            String::new()
+        },
     )
 }
 

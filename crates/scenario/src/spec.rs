@@ -14,7 +14,7 @@ use crate::io::GraphFormat;
 use crate::toml;
 use mdst_graph::{generators, Graph, NodeId};
 use mdst_netsim::sim::StartModel;
-use mdst_netsim::{DelayModel, SimConfig};
+use mdst_netsim::{CrashAt, CutAt, DelayModel, FaultPlan, SimConfig};
 use mdst_spanning::InitialTreeKind;
 use serde::Value;
 use std::fmt;
@@ -57,6 +57,8 @@ pub struct ScenarioSpec {
     pub delay: Vec<DelaySpec>,
     /// Start models to sweep.
     pub start: Vec<StartSpec>,
+    /// Fault plans to sweep (message loss, node crashes, link cuts).
+    pub faults: Vec<FaultSpec>,
     /// Seeds to sweep; each seed produces an independent run (and, for seeded
     /// generator families, an independent graph).
     pub seeds: Vec<u64>,
@@ -160,6 +162,162 @@ impl DelaySpec {
             DelaySpec::Uniform { min, max } => format!("uniform({min},{max})"),
             DelaySpec::PerLink { min, max } => format!("per-link({min},{max})"),
         }
+    }
+}
+
+/// Fault-injection axis entry. The per-run loss seed is filled in at
+/// expansion, like the delay seed, so replicated seeds replicate the faults.
+///
+/// TOML shape (every field optional; `faults = "none"` is the explicit
+/// no-fault entry):
+///
+/// ```text
+/// faults = [
+///     "none",
+///     { loss = 0.05 },
+///     { loss = 0.01, crashes = [[3, 40]], cuts = [[0, 1, 25]] },
+/// ]
+/// ```
+///
+/// `crashes` entries are `[node, time]` pairs; `cuts` entries are
+/// `[u, v, time]` triples cutting the undirected link `{u, v}` at `time`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Per-send message-loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Scheduled crashes as `(node, time)` pairs.
+    pub crashes: Vec<(usize, u64)>,
+    /// Scheduled link cuts as `(u, v, time)` triples.
+    pub cuts: Vec<(usize, usize, u64)>,
+}
+
+impl FaultSpec {
+    /// The no-fault entry (the implicit value when a scenario has no
+    /// `faults` key).
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Whether this entry injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.loss == 0.0 && self.crashes.is_empty() && self.cuts.is_empty()
+    }
+
+    /// Concrete fault plan for one run. A benign spec produces the default
+    /// (empty) plan — seed included — so a `faults = "none"` run is
+    /// bit-identical to a run from a spec without a `faults` key.
+    pub fn to_plan(&self, seed: u64) -> FaultPlan {
+        if self.is_none() {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            loss: self.loss,
+            seed,
+            crashes: self
+                .crashes
+                .iter()
+                .map(|&(node, at)| CrashAt {
+                    node: NodeId(node),
+                    at,
+                })
+                .collect(),
+            cuts: self
+                .cuts
+                .iter()
+                .map(|&(a, b, at)| CutAt {
+                    a: NodeId(a),
+                    b: NodeId(b),
+                    at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Short label used in reports, e.g. `loss(0.05)+crashes(2)`.
+    pub fn label(&self) -> String {
+        if self.is_none() {
+            return "none".to_string();
+        }
+        let mut parts = Vec::new();
+        if self.loss > 0.0 {
+            parts.push(format!("loss({})", self.loss));
+        }
+        if !self.crashes.is_empty() {
+            parts.push(format!("crashes({})", self.crashes.len()));
+        }
+        if !self.cuts.is_empty() {
+            parts.push(format!("cuts({})", self.cuts.len()));
+        }
+        parts.join("+")
+    }
+
+    fn from_spec_value(value: &Value, scenario: &str) -> Result<Self, SpecError> {
+        if let Some(s) = value.as_str() {
+            return match s {
+                "none" => Ok(FaultSpec::none()),
+                other => spec_err(format!(
+                    "scenario `{scenario}`: unknown faults entry `{other}` \
+                     (\"none\", or a table with loss / crashes / cuts)"
+                )),
+            };
+        }
+        let Some(obj) = value.as_object() else {
+            return spec_err(format!(
+                "scenario `{scenario}`: every faults entry must be \"none\" or a table"
+            ));
+        };
+        for (key, _) in obj {
+            if !matches!(key.as_str(), "loss" | "crashes" | "cuts") {
+                return spec_err(format!(
+                    "scenario `{scenario}`: faults table does not take a key `{key}` \
+                     (accepted: loss, crashes, cuts)"
+                ));
+            }
+        }
+        let loss = match value.get("loss") {
+            None => 0.0,
+            Some(v) => v.as_f64().ok_or_else(|| {
+                SpecError(format!(
+                    "scenario `{scenario}`: faults `loss` must be a number"
+                ))
+            })?,
+        };
+        if !loss.is_finite() || !(0.0..=1.0).contains(&loss) {
+            return spec_err(format!(
+                "scenario `{scenario}`: faults `loss` must be in [0, 1], got {loss}"
+            ));
+        }
+        let crashes = match value.get("crashes") {
+            None => Vec::new(),
+            Some(v) => tuple_list::<2>(v)
+                .ok_or_else(|| {
+                    SpecError(format!(
+                        "scenario `{scenario}`: faults `crashes` must be a list of \
+                         [node, time] integer pairs"
+                    ))
+                })?
+                .into_iter()
+                .map(|[node, at]| (node as usize, at))
+                .collect(),
+        };
+        let cuts = match value.get("cuts") {
+            None => Vec::new(),
+            Some(v) => tuple_list::<3>(v)
+                .ok_or_else(|| {
+                    SpecError(format!(
+                        "scenario `{scenario}`: faults `cuts` must be a list of \
+                         [u, v, time] integer triples"
+                    ))
+                })?
+                .into_iter()
+                .map(|[a, b, at]| (a as usize, b as usize, at))
+                .collect(),
+        };
+        Ok(FaultSpec {
+            loss,
+            crashes,
+            cuts,
+        })
     }
 }
 
@@ -415,7 +573,10 @@ pub struct RunSpec {
     pub delay: DelaySpec,
     /// Start model axis entry.
     pub start: StartSpec,
-    /// Seed of the run (drives graph generation, delays and start offsets).
+    /// Fault-injection axis entry.
+    pub faults: FaultSpec,
+    /// Seed of the run (drives graph generation, delays, start offsets and
+    /// the loss coin stream).
     pub seed: u64,
     /// Root / initiator.
     pub root: usize,
@@ -434,6 +595,7 @@ impl RunSpec {
                 start: self.start.to_model(self.seed ^ 0x8CB9_2BA7_2F3D_8DD7),
                 max_events: self.max_events,
                 record_trace: false,
+                faults: self.faults.to_plan(self.seed ^ 0x1F85_D2F6_0B5E_AD4C),
             },
         })
     }
@@ -557,6 +719,13 @@ impl ScenarioSpec {
                 .map(|s| StartSpec::from_spec_value(s, &name))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let faults = match value.get("faults") {
+            None => vec![FaultSpec::none()],
+            Some(v) => one_or_many(v)
+                .iter()
+                .map(|f| FaultSpec::from_spec_value(f, &name))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let seeds = match value.get("seeds") {
             None => vec![1],
             Some(v) => u64_list(v).ok_or_else(|| {
@@ -581,7 +750,12 @@ impl ScenarioSpec {
                 ))
             })?,
         };
-        if seeds.is_empty() || initial.is_empty() || delay.is_empty() || start.is_empty() {
+        if seeds.is_empty()
+            || initial.is_empty()
+            || delay.is_empty()
+            || start.is_empty()
+            || faults.is_empty()
+        {
             return spec_err(format!("scenario `{name}`: empty sweep axis"));
         }
         Ok(ScenarioSpec {
@@ -590,6 +764,7 @@ impl ScenarioSpec {
             initial,
             delay,
             start,
+            faults,
             seeds,
             root,
             max_events,
@@ -601,17 +776,20 @@ impl ScenarioSpec {
             for initial in &self.initial {
                 for delay in &self.delay {
                     for start in &self.start {
-                        for &seed in &self.seeds {
-                            runs.push(RunSpec {
-                                scenario: self.name.clone(),
-                                graph: graph.clone(),
-                                initial: initial.clone(),
-                                delay: *delay,
-                                start: *start,
-                                seed,
-                                root: self.root,
-                                max_events: self.max_events,
-                            });
+                        for faults in &self.faults {
+                            for &seed in &self.seeds {
+                                runs.push(RunSpec {
+                                    scenario: self.name.clone(),
+                                    graph: graph.clone(),
+                                    initial: initial.clone(),
+                                    delay: *delay,
+                                    start: *start,
+                                    faults: faults.clone(),
+                                    seed,
+                                    root: self.root,
+                                    max_events: self.max_events,
+                                });
+                            }
                         }
                     }
                 }
@@ -805,6 +983,25 @@ fn u64_list(v: &Value) -> Option<Vec<u64>> {
     one_or_many(v).into_iter().map(Value::as_u64).collect()
 }
 
+/// Decodes an array of fixed-width integer tuples, e.g. `[[3, 40], [5, 60]]`.
+fn tuple_list<const W: usize>(v: &Value) -> Option<Vec<[u64; W]>> {
+    let items = v.as_array()?;
+    items
+        .iter()
+        .map(|item| {
+            let fields = item.as_array()?;
+            if fields.len() != W {
+                return None;
+            }
+            let mut out = [0u64; W];
+            for (slot, field) in out.iter_mut().zip(fields) {
+                *slot = field.as_u64()?;
+            }
+            Some(out)
+        })
+        .collect()
+}
+
 fn param_scalar(v: &Value) -> Option<ParamValue> {
     if let Some(u) = v.as_u64() {
         Some(ParamValue::Int(u))
@@ -982,6 +1179,88 @@ mod tests {
                 .expand()
                 .unwrap();
             runs[0].graph.build(1).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_axes_expand_and_produce_plans() {
+        let spec = r#"
+            [[scenario]]
+            name = "faulty"
+            graph = { family = "path", n = 6 }
+            faults = [
+                "none",
+                { loss = 0.25 },
+                { loss = 0.1, crashes = [[3, 40], [5, 60]], cuts = [[0, 1, 25]] },
+            ]
+            seeds = [1, 2]
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+        let runs = matrix.expand().unwrap();
+        assert_eq!(runs.len(), 3 * 2);
+        let labels: Vec<String> = runs.iter().map(|r| r.faults.label()).collect();
+        assert!(labels.contains(&"none".to_string()));
+        assert!(labels.contains(&"loss(0.25)".to_string()));
+        assert!(labels.contains(&"loss(0.1)+crashes(2)+cuts(1)".to_string()));
+        let faulty = runs
+            .iter()
+            .find(|r| !r.faults.is_none() && !r.faults.crashes.is_empty())
+            .unwrap();
+        let plan = faulty.faults.to_plan(7);
+        assert_eq!(plan.loss, 0.1);
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(plan.cuts.len(), 1);
+        assert_eq!(plan.crashes[0].node, NodeId(3));
+        assert_eq!(plan.crashes[0].at, 40);
+        // The benign entry maps to the default plan, seed included, so it is
+        // indistinguishable from a spec without a `faults` key.
+        let benign = runs.iter().find(|r| r.faults.is_none()).unwrap();
+        assert_eq!(benign.faults.to_plan(7), FaultPlan::none());
+        benign.pipeline_config().unwrap();
+        faulty.pipeline_config().unwrap();
+    }
+
+    #[test]
+    fn scenarios_without_faults_get_the_implicit_none_axis() {
+        let spec = "[[scenario]]\nname = \"x\"\ngraph = { family = \"path\", n = 4 }\n";
+        let runs = ScenarioMatrix::from_toml_str(spec)
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert!(runs[0].faults.is_none());
+        assert_eq!(runs[0].faults.label(), "none");
+        assert_eq!(
+            runs[0].pipeline_config().unwrap().sim.faults,
+            FaultPlan::none()
+        );
+    }
+
+    #[test]
+    fn malformed_fault_axes_are_rejected() {
+        let cases = [
+            // Loss outside [0, 1].
+            "faults = { loss = 1.5 }",
+            // Unknown string entry.
+            "faults = \"chaos\"",
+            // Unknown key in the table.
+            "faults = { lossiness = 0.1 }",
+            // Crashes must be [node, time] pairs.
+            "faults = { crashes = [3] }",
+            "faults = { crashes = [[3]] }",
+            "faults = [{ crashes = [[3, 4, 5]] }]",
+            // Cuts must be [u, v, time] triples.
+            "faults = { cuts = [[0, 1]] }",
+            // Scalar where a list of tuples is expected.
+            "faults = { cuts = 7 }",
+        ];
+        for case in cases {
+            let spec = format!(
+                "[[scenario]]\nname = \"x\"\ngraph = {{ family = \"path\", n = 4 }}\n{case}\n"
+            );
+            let err = ScenarioMatrix::from_toml_str(&spec);
+            assert!(err.is_err(), "accepted malformed fault axis: {case}");
         }
     }
 

@@ -187,7 +187,8 @@ pub fn build_token_tree(
     config: SimConfig,
 ) -> Result<(RootedTree, Metrics), GraphError> {
     graph.check_node(root)?;
-    let mut sim = Simulator::new(graph, config, |id, _| DfsTokenSt::new(id, root));
+    let mut sim = Simulator::new(graph, config, |id, _| DfsTokenSt::new(id, root))
+        .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
     sim.run()
         .map_err(|e| GraphError::NotASpanningTree(format!("construction did not quiesce: {e}")))?;
     let (nodes, metrics, _) = sim.into_parts();
@@ -275,7 +276,8 @@ mod tests {
         let g = generators::petersen().unwrap();
         let mut sim = Simulator::new(&g, SimConfig::default(), |id, _| {
             DfsTokenSt::new(id, NodeId(3))
-        });
+        })
+        .unwrap();
         sim.run().unwrap();
         assert!(sim.all_terminated());
     }

@@ -195,7 +195,8 @@ pub fn build_flooding_tree(
     config: SimConfig,
 ) -> Result<(RootedTree, Metrics), GraphError> {
     graph.check_node(root)?;
-    let mut sim = Simulator::new(graph, config, |id, _| FloodingSt::new(id, root));
+    let mut sim = Simulator::new(graph, config, |id, _| FloodingSt::new(id, root))
+        .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
     sim.run()
         .map_err(|e| GraphError::NotASpanningTree(format!("construction did not quiesce: {e}")))?;
     let (nodes, metrics, _) = sim.into_parts();
@@ -244,7 +245,8 @@ mod tests {
         let g = generators::hypercube(4).unwrap();
         let mut sim = Simulator::new(&g, SimConfig::default(), |id, _| {
             FloodingSt::new(id, NodeId(5))
-        });
+        })
+        .unwrap();
         sim.run().unwrap();
         assert!(sim.all_terminated());
     }

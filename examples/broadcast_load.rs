@@ -62,7 +62,8 @@ fn broadcast_load(graph: &Graph, tree: &RootedTree) -> (u64, u64) {
         children: tree.children(id).iter().copied().collect(),
         is_root: tree.root() == id,
         received: false,
-    });
+    })
+    .expect("valid config");
     sim.run().expect("broadcast quiesces");
     let metrics = sim.metrics();
     let max_sent = *metrics.sent_per_node.iter().max().unwrap_or(&0);

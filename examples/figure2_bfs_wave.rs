@@ -49,7 +49,8 @@ fn main() {
         record_trace: true,
         ..Default::default()
     };
-    let mut sim = Simulator::new(&graph, config, |id, _| nodes[id.index()].clone());
+    let mut sim =
+        Simulator::new(&graph, config, |id, _| nodes[id.index()].clone()).expect("valid config");
     sim.run().expect("protocol quiesces");
 
     println!("BFS wave (sends), in causal order:");
