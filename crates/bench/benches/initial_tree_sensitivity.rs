@@ -15,6 +15,7 @@ fn bench_initial_tree_sensitivity(c: &mut Criterion) {
             initial: kind,
             root: NodeId(0),
             sim: SimConfig::default(),
+            ..Default::default()
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.label()),

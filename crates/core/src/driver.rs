@@ -2,15 +2,19 @@
 //!
 //! The driver mirrors the way the paper composes its system: a spanning-tree
 //! construction runs first (any of the `mdst-spanning` substrates), then the
-//! improvement protocol runs on the resulting tree. Both phases execute on the
-//! discrete-event simulator and their metrics are reported separately and
-//! combined, so every experiment table can show construction cost and
-//! improvement cost side by side.
+//! improvement protocol runs on the resulting tree. The construction always
+//! executes on the discrete-event simulator (its metrics are the paper's
+//! construction-cost tables); the improvement phase runs on whichever
+//! [`ExecutorKind`] backend the [`PipelineConfig`] selects — the simulator,
+//! the thread-per-node runtime or the work-stealing pool — through the
+//! uniform `mdst_netsim::exec::Executor` surface. Metrics are reported
+//! separately and combined, so every experiment table can show construction
+//! cost and improvement cost side by side.
 
 use crate::distributed::MdstNode;
 use mdst_graph::Graph;
 use mdst_graph::{GraphError, NodeId, RootedTree};
-use mdst_netsim::{Metrics, SimConfig, SimError, Simulator};
+use mdst_netsim::{ExecConfig, ExecStatus, ExecutorKind, Metrics, SimConfig};
 use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
 use serde::{Deserialize, Serialize};
 
@@ -26,6 +30,11 @@ pub struct MdstRun {
     pub rounds: u32,
     /// Number of edge exchanges performed (one per improving round).
     pub improvements: u32,
+    /// Wall-clock milliseconds of the improvement execution, as reported by
+    /// the backend that ran it.
+    pub wall_ms: f64,
+    /// Which backend executed the improvement.
+    pub executor: ExecutorKind,
 }
 
 /// Configuration of a full pipeline run.
@@ -37,8 +46,15 @@ pub struct PipelineConfig {
     pub root: NodeId,
     /// Simulator configuration (delays, start schedule, event cap) used for
     /// the improvement protocol (and for the construction when it is a
-    /// distributed one).
+    /// distributed one). Backends other than the simulator honor only the
+    /// backend-agnostic parts and reject the rest (see
+    /// `mdst_netsim::exec`).
     pub sim: SimConfig,
+    /// Which backend executes the improvement protocol.
+    pub executor: ExecutorKind,
+    /// Worker threads for the pool backend (`0` = auto); ignored by the
+    /// other backends.
+    pub workers: usize,
 }
 
 impl Default for PipelineConfig {
@@ -47,6 +63,18 @@ impl Default for PipelineConfig {
             initial: InitialTreeKind::GreedyHub,
             root: NodeId(0),
             sim: SimConfig::default(),
+            executor: ExecutorKind::Sim,
+            workers: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The uniform executor configuration of the improvement phase.
+    pub fn exec_config(&self) -> ExecConfig {
+        ExecConfig {
+            sim: self.sim.clone(),
+            workers: self.workers,
         }
     }
 }
@@ -74,6 +102,11 @@ pub struct PipelineReport {
     pub rounds: u32,
     /// Edge exchanges performed.
     pub improvements: u32,
+    /// Wall-clock milliseconds of the improvement execution, as reported by
+    /// the backend that ran it.
+    pub wall_ms: f64,
+    /// Which backend executed the improvement.
+    pub executor: ExecutorKind,
 }
 
 impl PipelineReport {
@@ -95,33 +128,60 @@ impl PipelineReport {
 }
 
 /// Runs the distributed improvement protocol on `graph`, starting from
-/// `initial` (which must be a spanning tree of `graph`).
+/// `initial` (which must be a spanning tree of `graph`), on the
+/// discrete-event simulator. Shorthand for [`run_distributed_mdst_on`] with
+/// [`ExecutorKind::Sim`].
 pub fn run_distributed_mdst(
     graph: &Graph,
     initial: &RootedTree,
     sim_config: SimConfig,
 ) -> Result<MdstRun, GraphError> {
+    run_distributed_mdst_on(
+        ExecutorKind::Sim,
+        graph,
+        initial,
+        &ExecConfig::from_sim(sim_config),
+    )
+}
+
+/// Runs the distributed improvement protocol on `graph`, starting from
+/// `initial` (which must be a spanning tree of `graph`), on the chosen
+/// executor backend. The protocol is message-deterministic, so every backend
+/// produces the same locally optimal tree — only the scheduling (and the
+/// wall time) differs.
+pub fn run_distributed_mdst_on(
+    executor: ExecutorKind,
+    graph: &Graph,
+    initial: &RootedTree,
+    config: &ExecConfig,
+) -> Result<MdstRun, GraphError> {
     initial.validate_against(graph)?;
     let nodes = MdstNode::from_tree(initial);
-    let mut sim = Simulator::new(graph, sim_config, |id, _| nodes[id.index()].clone())
+    let run = executor
+        .run(graph, |id, _| nodes[id.index()].clone(), config)
         .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
-    sim.run()
-        .map_err(|e| GraphError::NotASpanningTree(format!("protocol did not quiesce: {e}")))?;
-    if !sim.all_terminated() {
+    if run.status != ExecStatus::Quiesced {
+        return Err(GraphError::NotASpanningTree(format!(
+            "protocol did not quiesce: event limit of {} exceeded",
+            config.sim.max_events
+        )));
+    }
+    if !run.all_terminated() {
         return Err(GraphError::NotASpanningTree(
             "a node never received Stop".to_string(),
         ));
     }
-    let final_tree = collect_tree(sim.nodes())?;
+    let final_tree = collect_tree(&run.nodes)?;
     final_tree.validate_against(graph)?;
-    let rounds = sim.nodes().iter().map(|p| p.round()).max().unwrap_or(0);
-    let improvements = sim.nodes().iter().map(|p| p.improvements_made()).sum();
-    let (_, metrics, _) = sim.into_parts();
+    let rounds = run.nodes.iter().map(|p| p.round()).max().unwrap_or(0);
+    let improvements = run.nodes.iter().map(|p| p.improvements_made()).sum();
     Ok(MdstRun {
         final_tree,
-        metrics,
+        metrics: run.metrics,
         rounds,
         improvements,
+        wall_ms: run.wall_time.as_secs_f64() * 1e3,
+        executor,
     })
 }
 
@@ -168,6 +228,11 @@ pub struct FaultPipelineReport {
     pub rounds: u32,
     /// Edge exchanges performed.
     pub improvements: u32,
+    /// Wall-clock milliseconds of the improvement execution, as reported by
+    /// the backend that ran it.
+    pub wall_ms: f64,
+    /// Which backend executed the improvement.
+    pub executor: ExecutorKind,
 }
 
 /// Runs the full pipeline under the fault plan of `config.sim.faults`.
@@ -185,25 +250,25 @@ pub fn run_pipeline_with_faults(
         build_initial_tree(graph, config.root, config.initial)?;
     initial_tree.validate_against(graph)?;
     let nodes = MdstNode::from_tree(&initial_tree);
-    let mut sim = Simulator::new(graph, config.sim.clone(), |id, _| nodes[id.index()].clone())
+    let run = config
+        .executor
+        .run(
+            graph,
+            |id, _| nodes[id.index()].clone(),
+            &config.exec_config(),
+        )
         .map_err(|e| GraphError::InvalidParameter(e.to_string()))?;
-    let status = match sim.run() {
-        Ok(()) => RunStatus::Quiesced,
-        Err(SimError::EventLimitExceeded { .. }) => RunStatus::EventLimitExceeded,
-        Err(e @ SimError::InvalidConfig(_)) => {
-            // `new` validated the config; anything else here is a bug.
-            return Err(GraphError::InvalidParameter(e.to_string()));
-        }
+    let status = match run.status {
+        ExecStatus::Quiesced => RunStatus::Quiesced,
+        ExecStatus::EventLimitExceeded => RunStatus::EventLimitExceeded,
     };
-    let all_live_terminated = sim.all_live_terminated();
-    let parents: Vec<Option<NodeId>> = sim.nodes().iter().map(|p| p.parent()).collect();
-    let crashed = sim.crashed().to_vec();
-    let survivor = crate::verify::survivor_report(graph, &parents, &crashed);
+    let all_live_terminated = run.all_live_terminated();
+    let parents: Vec<Option<NodeId>> = run.nodes.iter().map(|p| p.parent()).collect();
+    let survivor = crate::verify::survivor_report(graph, &parents, &run.crashed);
     let correct_tree =
         status == RunStatus::Quiesced && all_live_terminated && survivor.spans_component;
-    let rounds = sim.nodes().iter().map(|p| p.round()).max().unwrap_or(0);
-    let improvements = sim.nodes().iter().map(|p| p.improvements_made()).sum();
-    let (_, metrics, _) = sim.into_parts();
+    let rounds = run.nodes.iter().map(|p| p.round()).max().unwrap_or(0);
+    let improvements = run.nodes.iter().map(|p| p.improvements_made()).sum();
     Ok(FaultPipelineReport {
         n: graph.node_count(),
         m: graph.edge_count(),
@@ -213,9 +278,11 @@ pub fn run_pipeline_with_faults(
         survivor,
         correct_tree,
         construction_metrics,
-        improvement_metrics: metrics,
+        improvement_metrics: run.metrics,
         rounds,
         improvements,
+        wall_ms: run.wall_time.as_secs_f64() * 1e3,
+        executor: config.executor,
     })
 }
 
@@ -224,7 +291,8 @@ pub fn run_pipeline_with_faults(
 pub fn run_pipeline(graph: &Graph, config: &PipelineConfig) -> Result<PipelineReport, GraphError> {
     let (initial_tree, construction_metrics) =
         build_initial_tree(graph, config.root, config.initial)?;
-    let run = run_distributed_mdst(graph, &initial_tree, config.sim.clone())?;
+    let run =
+        run_distributed_mdst_on(config.executor, graph, &initial_tree, &config.exec_config())?;
     Ok(PipelineReport {
         n: graph.node_count(),
         m: graph.edge_count(),
@@ -236,6 +304,8 @@ pub fn run_pipeline(graph: &Graph, config: &PipelineConfig) -> Result<PipelineRe
         improvement_metrics: run.metrics,
         rounds: run.rounds,
         improvements: run.improvements,
+        wall_ms: run.wall_ms,
+        executor: run.executor,
     })
 }
 
@@ -243,6 +313,7 @@ pub fn run_pipeline(graph: &Graph, config: &PipelineConfig) -> Result<PipelineRe
 mod tests {
     use super::*;
     use mdst_graph::generators;
+    use mdst_netsim::ExecutorKind;
 
     #[test]
     fn pipeline_report_carries_consistent_numbers() {
@@ -360,6 +431,69 @@ mod tests {
         assert_eq!(report.survivor.live_nodes, 15);
         assert!(report.survivor.component_size() <= 15);
         assert!(!report.survivor.component.contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn every_executor_backend_drives_the_pipeline_to_the_same_tree() {
+        // The improvement protocol is message-deterministic: whichever
+        // backend schedules it, the locally optimal tree is the same.
+        let g = generators::star_with_leaf_edges(14).unwrap();
+        let reference = run_pipeline(&g, &PipelineConfig::default()).unwrap();
+        for executor in ExecutorKind::all() {
+            let config = PipelineConfig {
+                executor,
+                ..Default::default()
+            };
+            let report = run_pipeline(&g, &config).unwrap();
+            assert_eq!(report.executor, executor);
+            assert_eq!(report.final_degree, reference.final_degree, "{executor}");
+            assert_eq!(
+                report.improvement_metrics.messages_total,
+                reference.improvement_metrics.messages_total,
+                "{executor}"
+            );
+            assert!(report.final_tree.is_spanning_tree_of(&g), "{executor}");
+            assert!(report.wall_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fault_pipeline_runs_on_every_backend_under_benign_plans() {
+        let g = generators::gnp_connected(16, 0.3, 2).unwrap();
+        for executor in ExecutorKind::all() {
+            let config = PipelineConfig {
+                executor,
+                ..Default::default()
+            };
+            let report = run_pipeline_with_faults(&g, &config).unwrap();
+            assert_eq!(report.status, RunStatus::Quiesced, "{executor}");
+            assert!(report.correct_tree, "{executor}");
+            assert_eq!(report.executor, executor);
+            assert_eq!(report.survivor.component_size(), 16, "{executor}");
+        }
+    }
+
+    #[test]
+    fn concurrent_backends_reject_fault_plans_loudly() {
+        let g = generators::path(6).unwrap();
+        for executor in [ExecutorKind::Threaded, ExecutorKind::Pool] {
+            let config = PipelineConfig {
+                executor,
+                sim: SimConfig {
+                    faults: mdst_netsim::FaultPlan {
+                        loss: 0.2,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let err = run_pipeline_with_faults(&g, &config).unwrap_err();
+            assert!(
+                err.to_string().contains("sim"),
+                "{executor}: the error must point at the sim backend, got {err}"
+            );
+        }
     }
 
     #[test]

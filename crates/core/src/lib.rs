@@ -30,7 +30,7 @@ pub mod verify;
 
 pub use distributed::{Candidate, MdstMsg, MdstNode};
 pub use driver::{
-    run_distributed_mdst, run_pipeline, run_pipeline_with_faults, FaultPipelineReport, MdstRun,
-    PipelineConfig, PipelineReport, RunStatus,
+    run_distributed_mdst, run_distributed_mdst_on, run_pipeline, run_pipeline_with_faults,
+    FaultPipelineReport, MdstRun, PipelineConfig, PipelineReport, RunStatus,
 };
 pub use verify::{survivor_report, SurvivorReport};

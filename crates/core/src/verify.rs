@@ -336,6 +336,70 @@ mod tests {
     }
 
     #[test]
+    fn survivor_report_on_a_single_node_graph_is_trivially_spanning() {
+        // One node, no edges, no parent pointer: the snapshot spans the
+        // (singleton) component with zero tree edges and degree zero.
+        let g = mdst_graph::GraphBuilder::new(1).build();
+        let report = survivor_report(&g, &[None], &[false]);
+        assert_eq!(report.live_nodes, 1);
+        assert_eq!(report.component, vec![NodeId(0)]);
+        assert_eq!(report.tree_edges, 0);
+        assert!(report.spans_component);
+        assert_eq!(report.max_degree, 0);
+        let sub = report.component_subgraph(&g);
+        assert_eq!(sub.node_count(), 1);
+        assert_eq!(sub.edge_count(), 0);
+        // And the same singleton after the rest of the graph crashed.
+        let g = generators::path(3).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let report = survivor_report(&g, &parents_of(&tree), &[false, true, true]);
+        assert_eq!(report.component, vec![NodeId(0)]);
+        assert!(report.spans_component);
+        assert_eq!(report.max_degree, 0);
+    }
+
+    #[test]
+    fn survivor_report_with_every_node_crashed_is_empty_not_a_panic() {
+        let g = generators::cycle(4).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(0)).unwrap();
+        let report = survivor_report(&g, &parents_of(&tree), &[true; 4]);
+        assert_eq!(report.live_nodes, 0);
+        assert!(report.component.is_empty());
+        assert_eq!(report.component_size(), 0);
+        assert_eq!(report.tree_edges, 0);
+        assert!(
+            !report.spans_component,
+            "an empty component spans nothing — the outcome taxonomy relies \
+             on this reading as a degraded run"
+        );
+        assert_eq!(report.max_degree, 0);
+        // The subgraph of nothing is the minimal one-node placeholder the
+        // builder produces; it must not panic.
+        let sub = report.component_subgraph(&g);
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn survivor_component_ties_resolve_to_the_lowest_id_component() {
+        // Cycle 0..5 with nodes 0 and 3 crashed leaves two live components of
+        // equal size, {1,2} and {4,5}; the report must pick {1,2}
+        // deterministically (first seen = lowest id).
+        let g = generators::cycle(6).unwrap();
+        let tree = algorithms::bfs_tree(&g, NodeId(1)).unwrap();
+        let mut crashed = vec![false; 6];
+        crashed[0] = true;
+        crashed[3] = true;
+        let report = survivor_report(&g, &parents_of(&tree), &crashed);
+        assert_eq!(report.live_nodes, 4);
+        assert_eq!(report.component, vec![NodeId(1), NodeId(2)]);
+        // The cycle tree rooted at 1 keeps the edge 1-2, so the snapshot
+        // still spans the chosen component.
+        assert!(report.spans_component);
+        assert_eq!(report.tree_edges, 1);
+        assert_eq!(report.max_degree, 1);
+    }
+
+    #[test]
     fn verify_spanning_tree_rejects_foreign_trees() {
         let g = generators::path(5).unwrap();
         let other = generators::star(5).unwrap();

@@ -36,7 +36,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`mdst_graph`] | graphs, rooted trees, generators, classic algorithms |
-//! | [`mdst_netsim`] | asynchronous message-passing simulator + threaded runtime |
+//! | [`mdst_netsim`] | asynchronous message-passing executors: discrete-event simulator, thread-per-node runtime, work-stealing pool |
 //! | [`mdst_spanning`] | distributed spanning-tree constructions (the startup step) |
 //! | [`mdst_core`] | the distributed MDegST protocol, baselines, bounds, verification |
 //! | [`mdst_scenario`] | declarative scenario harness: graph I/O, parallel campaigns, JSON reports |
@@ -58,8 +58,8 @@ pub mod prelude {
     };
     pub use mdst_core::distributed::{Candidate, MdstMsg, MdstNode};
     pub use mdst_core::driver::{
-        run_distributed_mdst, run_pipeline, run_pipeline_with_faults, FaultPipelineReport, MdstRun,
-        PipelineConfig, PipelineReport, RunStatus,
+        run_distributed_mdst, run_distributed_mdst_on, run_pipeline, run_pipeline_with_faults,
+        FaultPipelineReport, MdstRun, PipelineConfig, PipelineReport, RunStatus,
     };
     pub use mdst_core::sequential::{
         exact_min_degree, furer_raghavachari, paper_local_search, spanning_tree_with_max_degree,
@@ -71,8 +71,9 @@ pub mod prelude {
     pub use mdst_graph::{algorithms, degree::DegreeStats, dot, generators};
     pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
     pub use mdst_netsim::{
-        Context, CrashAt, CutAt, DelayModel, FaultPlan, Metrics, NetMessage, Protocol, SimConfig,
-        SimError, Simulator, StartModel, ThreadedRuntime,
+        Context, CrashAt, CutAt, DelayModel, ExecConfig, ExecRun, ExecStatus, Executor,
+        ExecutorKind, FaultPlan, Metrics, NetMessage, PoolConfig, PoolRun, PoolRuntime, Protocol,
+        SimConfig, SimError, Simulator, StartModel, ThreadedRun, ThreadedRuntime,
     };
     pub use mdst_scenario::{
         run_campaign, CampaignReport, FaultSpec, GraphFormat, RunOutcome, RunRecord, RunnerConfig,

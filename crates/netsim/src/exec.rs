@@ -1,0 +1,504 @@
+//! The [`Executor`] abstraction: one uniform way to run a [`Protocol`] on a
+//! graph, regardless of which runtime drives it.
+//!
+//! The crate grew three interchangeable executions of the paper's §2 network
+//! model, each with a different fidelity/throughput trade-off:
+//!
+//! | backend | scheduling | faults/delays | scale |
+//! |---|---|---|---|
+//! | [`SimExecutor`] (discrete-event [`crate::sim::Simulator`]) | deterministic | full (`DelayModel`, `FaultPlan`, traces) | ~10³ nodes comfortably |
+//! | [`ThreadedExecutor`] ([`crate::threaded::ThreadedRuntime`]) | real OS threads, one per node | none (the OS *is* the adversary) | ~10² nodes (thread-per-node) |
+//! | [`PoolExecutor`] ([`crate::pool::PoolRuntime`]) | work-stealing worker pool | none | ~10⁴–10⁵ nodes on a fixed pool |
+//!
+//! All three take the same inputs — a graph, a per-node protocol factory and
+//! an [`ExecConfig`] — and produce the same [`ExecRun`]: final node states,
+//! aggregated [`Metrics`], an optional trace, the wall-clock duration and a
+//! quiescence [`ExecStatus`]. Code written against the trait (the
+//! `mdst_core::driver` pipeline, the `mdst-scenario` campaign runner) is
+//! backend-agnostic; campaigns pick a backend per run through
+//! [`ExecutorKind`].
+//!
+//! Backends refuse configuration they cannot honor instead of silently
+//! ignoring it: asking the threaded or pool backend for simulated delays,
+//! fault injection or a message trace is an [`SimError::InvalidConfig`], not
+//! a lie in the report.
+
+use crate::delay::DelayModel;
+use crate::metrics::Metrics;
+use crate::pool::{PoolConfig, PoolRuntime};
+use crate::protocol::Protocol;
+use crate::sim::{SimConfig, SimError, Simulator, StartModel};
+use crate::threaded::ThreadedRuntime;
+use crate::trace::TraceRecorder;
+use mdst_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which backend executes a run. The string forms (`"sim"`, `"threaded"`,
+/// `"pool"`) are the spellings used by scenario specs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutorKind {
+    /// The deterministic discrete-event simulator (full delay/fault support).
+    #[default]
+    Sim,
+    /// One OS thread per node over FIFO channels (real nondeterminism).
+    Threaded,
+    /// A fixed work-stealing worker pool multiplexing all nodes.
+    Pool,
+}
+
+impl ExecutorKind {
+    /// Every backend, in report order.
+    pub fn all() -> [ExecutorKind; 3] {
+        [
+            ExecutorKind::Sim,
+            ExecutorKind::Threaded,
+            ExecutorKind::Pool,
+        ]
+    }
+
+    /// Stable lower-case label used in specs, reports and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutorKind::Sim => "sim",
+            ExecutorKind::Threaded => "threaded",
+            ExecutorKind::Pool => "pool",
+        }
+    }
+
+    /// Parses a spec spelling. Accepts the labels plus a few aliases
+    /// (`"simulator"`, `"threads"`, `"work_stealing"`).
+    pub fn parse(name: &str) -> Result<ExecutorKind, String> {
+        match name.to_ascii_lowercase().replace('-', "_").as_str() {
+            "sim" | "simulator" | "discrete_event" => Ok(ExecutorKind::Sim),
+            "threaded" | "threads" | "thread_per_node" => Ok(ExecutorKind::Threaded),
+            "pool" | "work_stealing" | "worker_pool" => Ok(ExecutorKind::Pool),
+            other => Err(format!(
+                "unknown executor `{other}` (known: sim, threaded, pool)"
+            )),
+        }
+    }
+
+    /// Runs `factory`-built protocols on `graph` under the backend this kind
+    /// names. Equivalent to calling [`Executor::run`] on the matching unit
+    /// struct; this is the dynamic-dispatch entry the campaign runner uses.
+    pub fn run<P, F>(
+        self,
+        graph: &Graph,
+        factory: F,
+        config: &ExecConfig,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        match self {
+            ExecutorKind::Sim => SimExecutor.run(graph, factory, config),
+            ExecutorKind::Threaded => ThreadedExecutor.run(graph, factory, config),
+            ExecutorKind::Pool => PoolExecutor.run(graph, factory, config),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Backend-independent run configuration: the familiar [`SimConfig`] (every
+/// backend honors `start = Simultaneous`, `max_events` and a benign fault
+/// plan; only the simulator honors the rest) plus the pool's worker count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ExecConfig {
+    /// The shared run configuration. See the field docs of [`SimConfig`] —
+    /// and the compatibility table in the [module docs](self) for which
+    /// backend honors which field.
+    pub sim: SimConfig,
+    /// Worker threads for the pool backend (`0` = one per available CPU,
+    /// capped at 64). Ignored by the simulator (single-threaded) and the
+    /// threaded runtime (structurally one thread per node).
+    pub workers: usize,
+}
+
+impl ExecConfig {
+    /// Wraps a simulator configuration with the default worker count.
+    pub fn from_sim(sim: SimConfig) -> Self {
+        ExecConfig { sim, workers: 0 }
+    }
+}
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecStatus {
+    /// The network went quiescent: no message in flight, no handler running.
+    Quiesced,
+    /// The event cap (`ExecConfig::sim.max_events`) was hit first; the
+    /// returned node states and metrics are the partial snapshot at abort.
+    EventLimitExceeded,
+}
+
+/// The uniform result of one execution, whichever backend produced it.
+pub struct ExecRun<P> {
+    /// Final protocol state of every node, indexed by identity.
+    pub nodes: Vec<P>,
+    /// Aggregated metrics (message counts, bits, causal depth, faults).
+    pub metrics: Metrics,
+    /// Recorded trace. Only the simulator records one (and only when
+    /// `record_trace` is set); other backends return the disabled recorder.
+    pub trace: TraceRecorder,
+    /// Whether the run quiesced or hit the event cap.
+    pub status: ExecStatus,
+    /// Crash flags per node (all `false` outside the simulator, which is the
+    /// only backend that injects crashes).
+    pub crashed: Vec<bool>,
+    /// OS threads the backend used: 1 for the simulator, `n` for the
+    /// thread-per-node runtime, the pool size for the pool.
+    pub workers: usize,
+    /// Wall-clock duration of the execution proper (excluding protocol
+    /// construction).
+    pub wall_time: Duration,
+}
+
+impl<P: Protocol> ExecRun<P> {
+    /// Whether every node's protocol reports local termination.
+    pub fn all_terminated(&self) -> bool {
+        self.nodes.iter().all(|p| p.is_terminated())
+    }
+
+    /// Whether every *live* (non-crashed) node reports local termination.
+    pub fn all_live_terminated(&self) -> bool {
+        self.nodes
+            .iter()
+            .zip(&self.crashed)
+            .all(|(p, &dead)| dead || p.is_terminated())
+    }
+}
+
+/// A backend able to execute protocols under the uniform surface. The trait
+/// is object-unsafe (the run method is generic over the protocol); dynamic
+/// backend selection goes through [`ExecutorKind::run`] instead.
+pub trait Executor {
+    /// Which backend this is (used for labels and error messages).
+    fn kind(&self) -> ExecutorKind;
+
+    /// Executes the protocol on `graph` until quiescence (or the event cap)
+    /// and returns the uniform [`ExecRun`]. `factory` receives each node's
+    /// identity and sorted neighbour list, exactly as with
+    /// [`Simulator::new`]. Returns [`SimError::InvalidConfig`] when the
+    /// configuration asks for something the backend cannot honor.
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        factory: F,
+        config: &ExecConfig,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P;
+}
+
+/// The discrete-event simulator behind the [`Executor`] surface.
+pub struct SimExecutor;
+
+impl Executor for SimExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Sim
+    }
+
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        factory: F,
+        config: &ExecConfig,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        let mut sim = Simulator::new(graph, config.sim.clone(), factory)?;
+        let started = std::time::Instant::now();
+        let status = match sim.run() {
+            Ok(()) => ExecStatus::Quiesced,
+            Err(SimError::EventLimitExceeded { .. }) => ExecStatus::EventLimitExceeded,
+            Err(e) => return Err(e),
+        };
+        let wall_time = started.elapsed();
+        let crashed = sim.crashed().to_vec();
+        let (nodes, metrics, trace) = sim.into_parts();
+        Ok(ExecRun {
+            nodes,
+            metrics,
+            trace,
+            status,
+            crashed,
+            workers: 1,
+            wall_time,
+        })
+    }
+}
+
+/// Checks the parts of an [`ExecConfig`] that only the simulator can honor,
+/// shared by the threaded and pool backends. `selected_ok` is whether the
+/// backend supports [`StartModel::Selected`] (the pool does; the
+/// thread-per-node runtime wakes everyone by construction).
+fn validate_concurrent_config(
+    graph: &Graph,
+    config: &ExecConfig,
+    kind: ExecutorKind,
+    selected_ok: bool,
+) -> Result<(), SimError> {
+    let label = kind.label();
+    if !matches!(config.sim.delay, DelayModel::Unit) {
+        return Err(SimError::InvalidConfig(format!(
+            "the `{label}` executor schedules deliveries on real threads and \
+             cannot honor a simulated delay model; use executor = \"sim\""
+        )));
+    }
+    if !config.sim.faults.is_benign() {
+        return Err(SimError::InvalidConfig(format!(
+            "the `{label}` executor cannot inject faults (loss, crashes, \
+             cuts need the simulated clock); use executor = \"sim\""
+        )));
+    }
+    if config.sim.record_trace {
+        return Err(SimError::InvalidConfig(format!(
+            "the `{label}` executor does not record message traces; use \
+             executor = \"sim\""
+        )));
+    }
+    match &config.sim.start {
+        StartModel::Simultaneous => Ok(()),
+        StartModel::Selected(list) if selected_ok => {
+            if list.is_empty() {
+                return Err(SimError::InvalidConfig(
+                    "StartModel::Selected with an empty list: no node would ever wake up"
+                        .to_string(),
+                ));
+            }
+            let n = graph.node_count();
+            for &node in list {
+                if node.index() >= n {
+                    return Err(SimError::InvalidConfig(format!(
+                        "StartModel::Selected references node {node} but the graph has {n} nodes"
+                    )));
+                }
+            }
+            Ok(())
+        }
+        other => Err(SimError::InvalidConfig(format!(
+            "the `{label}` executor cannot honor the start model {other:?} \
+             (no simulated clock); use executor = \"sim\""
+        ))),
+    }
+}
+
+/// The thread-per-node runtime behind the [`Executor`] surface.
+pub struct ThreadedExecutor;
+
+impl Executor for ThreadedExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Threaded
+    }
+
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        factory: F,
+        config: &ExecConfig,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        validate_concurrent_config(graph, config, self.kind(), false)?;
+        let run = ThreadedRuntime::run_capped(graph, factory, config.sim.max_events);
+        let n = graph.node_count();
+        Ok(ExecRun {
+            nodes: run.nodes,
+            metrics: run.metrics,
+            trace: TraceRecorder::disabled(),
+            status: run.status,
+            crashed: vec![false; n],
+            workers: n,
+            wall_time: run.wall_time,
+        })
+    }
+}
+
+/// The work-stealing pool behind the [`Executor`] surface.
+pub struct PoolExecutor;
+
+impl Executor for PoolExecutor {
+    fn kind(&self) -> ExecutorKind {
+        ExecutorKind::Pool
+    }
+
+    fn run<P, F>(
+        &self,
+        graph: &Graph,
+        factory: F,
+        config: &ExecConfig,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        validate_concurrent_config(graph, config, self.kind(), true)?;
+        let pool_config = PoolConfig {
+            workers: config.workers,
+            max_events: config.sim.max_events,
+            start: config.sim.start.clone(),
+        };
+        let run = PoolRuntime::run(graph, factory, &pool_config)?;
+        let n = graph.node_count();
+        Ok(ExecRun {
+            nodes: run.nodes,
+            metrics: run.metrics,
+            trace: TraceRecorder::disabled(),
+            status: run.status,
+            crashed: vec![false; n],
+            workers: run.workers,
+            wall_time: run.wall_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::testutil::flood;
+    use mdst_graph::generators;
+
+    #[test]
+    fn kind_labels_round_trip_through_parse() {
+        for kind in ExecutorKind::all() {
+            assert_eq!(ExecutorKind::parse(kind.label()).unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert_eq!(ExecutorKind::parse("Work-Stealing"), Ok(ExecutorKind::Pool));
+        assert!(ExecutorKind::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn all_backends_agree_on_deterministic_message_totals() {
+        // Flooding on a tree is schedule-independent: every backend must
+        // deliver exactly the same multiset of messages.
+        let g = generators::path(10).unwrap();
+        let config = ExecConfig::default();
+        let mut totals = Vec::new();
+        for kind in ExecutorKind::all() {
+            let run = kind.run(&g, flood, &config).unwrap();
+            assert_eq!(run.status, ExecStatus::Quiesced, "{kind}");
+            assert!(run.all_terminated(), "{kind}");
+            assert!(run.all_live_terminated(), "{kind}");
+            assert!(run.crashed.iter().all(|&c| !c), "{kind}");
+            totals.push((run.metrics.messages_total, run.metrics.bits_total));
+        }
+        assert_eq!(totals[0], totals[1]);
+        assert_eq!(totals[1], totals[2]);
+    }
+
+    #[test]
+    fn concurrent_backends_reject_sim_only_configuration() {
+        let g = generators::path(4).unwrap();
+        let delayed = ExecConfig {
+            sim: SimConfig {
+                delay: DelayModel::UniformRandom {
+                    min: 1,
+                    max: 5,
+                    seed: 1,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let faulty = ExecConfig {
+            sim: SimConfig {
+                faults: FaultPlan {
+                    loss: 0.5,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let traced = ExecConfig {
+            sim: SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for kind in [ExecutorKind::Threaded, ExecutorKind::Pool] {
+            for config in [&delayed, &faulty, &traced] {
+                let err = kind.run(&g, flood, config).err().expect("must reject");
+                assert!(matches!(err, SimError::InvalidConfig(_)), "{kind}: {err}");
+            }
+        }
+        // The simulator itself accepts all three.
+        for config in [&delayed, &faulty, &traced] {
+            ExecutorKind::Sim.run(&g, flood, config).unwrap();
+        }
+    }
+
+    #[test]
+    fn selected_start_is_pool_but_not_threaded() {
+        let g = generators::path(4).unwrap();
+        let config = ExecConfig {
+            sim: SimConfig {
+                start: StartModel::Selected(vec![NodeId(0)]),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let run = ExecutorKind::Pool.run(&g, flood, &config).unwrap();
+        assert!(run.all_terminated());
+        let err = ExecutorKind::Threaded
+            .run(&g, flood, &config)
+            .err()
+            .expect("threaded wakes every node by construction");
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn event_limit_is_uniform_across_backends() {
+        let g = generators::complete(8).unwrap();
+        let config = ExecConfig {
+            sim: SimConfig {
+                max_events: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for kind in ExecutorKind::all() {
+            let run = kind.run(&g, flood, &config).unwrap();
+            assert_eq!(run.status, ExecStatus::EventLimitExceeded, "{kind}");
+        }
+    }
+
+    #[test]
+    fn exec_run_reports_worker_counts() {
+        let g = generators::cycle(6).unwrap();
+        let sim = ExecutorKind::Sim
+            .run(&g, flood, &ExecConfig::default())
+            .unwrap();
+        assert_eq!(sim.workers, 1);
+        let thr = ExecutorKind::Threaded
+            .run(&g, flood, &ExecConfig::default())
+            .unwrap();
+        assert_eq!(thr.workers, 6);
+        let pool = ExecutorKind::Pool
+            .run(
+                &g,
+                flood,
+                &ExecConfig {
+                    workers: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(pool.workers, 2);
+    }
+}

@@ -21,10 +21,17 @@
 //!   machines driven by real OS threads communicating over crossbeam channels,
 //!   demonstrating that the protocol tolerates genuine nondeterministic
 //!   scheduling, not just simulated asynchrony.
+//! * [`pool::PoolRuntime`] — a work-stealing executor multiplexing thousands
+//!   of nodes over a fixed worker pool (per-node mailboxes, run queues with
+//!   stealing, quiescence via in-flight counters), for campaigns far beyond
+//!   what one OS thread per node can reach.
 //!
 //! Protocols are written once against the [`protocol::Protocol`] trait and run
-//! unchanged on both runtimes; the `mdst-spanning` and `mdst-core` crates
-//! provide the actual protocols.
+//! unchanged on every runtime; the `mdst-spanning` and `mdst-core` crates
+//! provide the actual protocols. The [`exec::Executor`] trait is the uniform
+//! front door: all three backends take a graph, a protocol factory and an
+//! [`exec::ExecConfig`] and produce the same [`exec::ExecRun`], so drivers
+//! and campaign runners select a backend per run via [`exec::ExecutorKind`].
 //!
 //! The simulator additionally supports **fault injection** through
 //! [`fault::FaultPlan`]: seeded per-message loss, scheduled node crashes and
@@ -36,19 +43,28 @@
 #![warn(missing_docs)]
 
 pub mod delay;
+pub mod exec;
 pub mod fault;
 pub mod message;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod sim;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod threaded;
 pub mod trace;
 
 pub use delay::DelayModel;
+pub use exec::{
+    ExecConfig, ExecRun, ExecStatus, Executor, ExecutorKind, PoolExecutor, SimExecutor,
+    ThreadedExecutor,
+};
 pub use fault::{CrashAt, CutAt, FaultPlan};
 pub use message::NetMessage;
 pub use metrics::Metrics;
+pub use pool::{PoolConfig, PoolRun, PoolRuntime};
 pub use protocol::{Context, Protocol};
 pub use sim::{SimConfig, SimError, Simulator, StartModel};
-pub use threaded::ThreadedRuntime;
+pub use threaded::{ThreadedRun, ThreadedRuntime};
 pub use trace::{TraceEvent, TraceEventKind, TraceRecorder};

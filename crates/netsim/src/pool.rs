@@ -1,0 +1,771 @@
+//! Work-stealing pool runtime: thousands of nodes on a fixed worker pool.
+//!
+//! The thread-per-node [`crate::threaded::ThreadedRuntime`] demonstrates the
+//! protocols under genuine OS nondeterminism, but one thread per node caps it
+//! far below the `n ≥ 10⁴` regime where the paper's `O(Δ* + log n)` degree
+//! bound becomes interesting. This runtime multiplexes every node over a
+//! fixed pool of workers instead:
+//!
+//! * **per-node mailboxes** — each node owns a mutex-guarded cell holding its
+//!   protocol state and a FIFO mailbox of in-flight envelopes. A link `{u,v}`
+//!   stays FIFO because `u`'s handler appends to `v`'s mailbox in send order
+//!   and the mailbox drains in order.
+//! * **run queues with stealing** — each worker owns a deque of runnable node
+//!   ids; it pops locally from the front and, when empty, steals from the
+//!   back of a sibling's queue. A node is enqueued at most once (a
+//!   `scheduled` flag in its cell), so the queues stay small and a node's
+//!   handlers never run on two workers at once.
+//! * **quiescence via in-flight counters** — a shared counter tracks every
+//!   queued-or-processing unit of work (initial wake-ups plus undelivered
+//!   messages). Senders increment *before* a message becomes visible and the
+//!   processing worker decrements only after the handler's own sends are
+//!   counted, so the counter reaching zero really means the network is
+//!   quiescent, never a transient gap.
+//!
+//! The runtime reports the same [`Metrics`] as the other backends (message
+//! counts, bits, causal depth) plus the wall-clock duration and honors the
+//! `max_events` cap ([`ExecStatus::EventLimitExceeded`]). Like the threaded
+//! runtime it cannot honor simulated delays or fault plans; the
+//! [`crate::exec::PoolExecutor`] front door rejects such configurations.
+
+use crate::exec::ExecStatus;
+use crate::message::NetMessage;
+use crate::metrics::Metrics;
+use crate::protocol::{Context, Protocol};
+use crate::sim::{SimError, StartModel};
+use mdst_graph::{Graph, NodeId};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Pool runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolConfig {
+    /// Worker threads; `0` means one per available CPU, capped at 64. Always
+    /// clamped to at most one worker per node.
+    pub workers: usize,
+    /// Cap on processed work units (wake-ups plus deliveries); exceeding it
+    /// aborts the run with [`ExecStatus::EventLimitExceeded`].
+    pub max_events: u64,
+    /// Which nodes wake up spontaneously. [`StartModel::Simultaneous`] wakes
+    /// everyone; [`StartModel::Selected`] wakes the listed nodes and lets
+    /// messages wake the rest. [`StartModel::Staggered`] needs a simulated
+    /// clock and is rejected by the executor front door.
+    pub start: StartModel,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 0,
+            max_events: crate::sim::SimConfig::default().max_events,
+            start: StartModel::Simultaneous,
+        }
+    }
+}
+
+/// Result of a pool execution.
+pub struct PoolRun<P> {
+    /// Final protocol state of every node, indexed by identity.
+    pub nodes: Vec<P>,
+    /// Aggregated metrics (message counts, bits, causal depth).
+    pub metrics: Metrics,
+    /// Whether the run quiesced or hit the event cap.
+    pub status: ExecStatus,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock duration from the first wake-up to quiescence.
+    pub wall_time: Duration,
+}
+
+/// A message in flight between two nodes.
+struct Envelope<M> {
+    from: NodeId,
+    msg: M,
+    causal_depth: u64,
+}
+
+/// The mutex-guarded per-node state.
+struct NodeCell<P: Protocol> {
+    protocol: P,
+    mailbox: VecDeque<Envelope<P::Message>>,
+    /// Whether the node currently sits in some run queue or is being
+    /// processed. Guarantees single-worker ownership of the protocol state.
+    scheduled: bool,
+    /// Whether an initial wake-up is still owed (carries one in-flight unit).
+    pending_start: bool,
+    /// Whether `on_start` has run (a message wakes a node that has not
+    /// spontaneously started, same convention as the simulator).
+    started: bool,
+}
+
+struct Shared<P: Protocol> {
+    cells: Vec<Mutex<NodeCell<P>>>,
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    neighbors: Vec<Vec<NodeId>>,
+    /// Queued-or-processing work units; zero means quiescent forever.
+    in_flight: AtomicI64,
+    processed: AtomicU64,
+    aborted: AtomicBool,
+    max_events: u64,
+    n: usize,
+}
+
+/// Context handed to a protocol while one worker processes its node: sends
+/// are buffered and delivered after the handler returns (and after the cell
+/// lock is released, so delivery never holds two cell locks at once).
+struct PoolCtx<'a, M> {
+    id: NodeId,
+    neighbors: &'a [NodeId],
+    network_size: usize,
+    outbox: &'a mut Vec<(NodeId, M, u64)>,
+    current_depth: u64,
+}
+
+impl<M: NetMessage> Context<M> for PoolCtx<'_, M> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&to).is_ok(),
+            "protocol bug: {} tried to send {:?} to non-neighbour {}",
+            self.id,
+            msg,
+            to
+        );
+        self.outbox.push((to, msg, self.current_depth + 1));
+    }
+    fn network_size(&self) -> usize {
+        self.network_size
+    }
+}
+
+/// Messages drained from a mailbox per scheduling quantum. Bounded so one
+/// flooded hub cannot monopolise a worker while other nodes starve.
+const DRAIN_BATCH: usize = 64;
+
+/// Runs protocols on a fixed work-stealing worker pool. See the module docs.
+pub struct PoolRuntime;
+
+impl PoolRuntime {
+    /// Resolved worker count for a pool over `n` nodes.
+    pub fn effective_workers(requested: usize, n: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let w = if requested == 0 {
+            hw.min(64)
+        } else {
+            requested
+        };
+        w.clamp(1, n.max(1))
+    }
+
+    /// Executes the protocol on `graph` until quiescence (or the event cap)
+    /// and returns the final node states plus metrics. The factory receives
+    /// each node's identity and sorted neighbour list.
+    ///
+    /// The start model is validated against the graph up front, exactly like
+    /// [`crate::sim::Simulator::new`]: an empty or out-of-range
+    /// [`StartModel::Selected`] list and the clock-dependent
+    /// [`StartModel::Staggered`] return [`SimError::InvalidConfig`] instead
+    /// of panicking (or silently succeeding) inside a worker.
+    pub fn run<P, F>(
+        graph: &Graph,
+        mut factory: F,
+        config: &PoolConfig,
+    ) -> Result<PoolRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        let n = graph.node_count();
+        let workers = Self::effective_workers(config.workers, n);
+        let neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| graph.neighbors(NodeId(u)).collect())
+            .collect();
+        let starters: Vec<usize> = match &config.start {
+            StartModel::Selected(list) => {
+                if list.is_empty() {
+                    return Err(SimError::InvalidConfig(
+                        "StartModel::Selected with an empty list: no node would ever \
+                         wake up, the run would be a silent no-op"
+                            .to_string(),
+                    ));
+                }
+                for &node in list {
+                    if node.index() >= n {
+                        return Err(SimError::InvalidConfig(format!(
+                            "StartModel::Selected references node {node} but the \
+                             graph has {n} nodes"
+                        )));
+                    }
+                }
+                let mut ids: Vec<usize> = list.iter().map(|u| u.index()).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            }
+            StartModel::Staggered { .. } => {
+                return Err(SimError::InvalidConfig(
+                    "the pool runtime has no simulated clock and cannot honor \
+                     StartModel::Staggered; use the simulator"
+                        .to_string(),
+                ));
+            }
+            StartModel::Simultaneous => (0..n).collect(),
+        };
+        let cells: Vec<Mutex<NodeCell<P>>> = (0..n)
+            .map(|u| {
+                Mutex::new(NodeCell {
+                    protocol: factory(NodeId(u), &neighbors[u]),
+                    mailbox: VecDeque::new(),
+                    scheduled: false,
+                    pending_start: false,
+                    started: false,
+                })
+            })
+            .collect();
+        for &u in &starters {
+            let mut cell = lock_ignore_poison(&cells[u]);
+            cell.pending_start = true;
+            cell.scheduled = true;
+        }
+        let mut queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, &u) in starters.iter().enumerate() {
+            queues[i % workers]
+                .get_mut()
+                .expect("queue poisoned")
+                .push_back(u);
+        }
+        let shared = Shared {
+            cells,
+            queues,
+            neighbors,
+            in_flight: AtomicI64::new(starters.len() as i64),
+            processed: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            max_events: config.max_events,
+            n,
+        };
+
+        let started_at = Instant::now();
+        let mut per_worker: Vec<Metrics> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let shared = &shared;
+                handles.push(scope.spawn(move || worker_loop(w, workers, shared)));
+            }
+            for handle in handles {
+                match handle.join() {
+                    Ok(m) => per_worker.push(m),
+                    // Re-raise a protocol panic under its original message
+                    // (all siblings have already exited via the abort flag).
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let wall_time = started_at.elapsed();
+
+        let mut metrics = Metrics::new(n);
+        for m in &per_worker {
+            metrics.merge(m);
+        }
+        // Like the threaded runtime, there is no simulated clock: the
+        // quiescence clock is reported as the maximum causal depth.
+        metrics.quiescence_time = metrics.causal_time;
+        let status = if shared.aborted.load(Ordering::SeqCst) {
+            ExecStatus::EventLimitExceeded
+        } else {
+            ExecStatus::Quiesced
+        };
+        let nodes: Vec<P> = shared
+            .cells
+            .into_iter()
+            .map(|cell| {
+                cell.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .protocol
+            })
+            .collect();
+        Ok(PoolRun {
+            nodes,
+            metrics,
+            status,
+            workers,
+            wall_time,
+        })
+    }
+}
+
+/// Acquires a mutex, recovering the data on poisoning: when a sibling worker
+/// panicked mid-quantum the pool is aborting anyway, and the recovering
+/// workers only need the lock to drain out, not for consistency.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Flips the abort flag when dropped during a panic, so a protocol panic on
+/// one worker releases the siblings instead of leaving them waiting for an
+/// `in_flight` count that will never reach zero.
+struct AbortOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+fn worker_loop<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Metrics {
+    let _abort_guard = AbortOnPanic(&shared.aborted);
+    let mut metrics = Metrics::new(shared.n);
+    let mut idle_spins = 0u32;
+    loop {
+        if shared.aborted.load(Ordering::SeqCst) {
+            break;
+        }
+        let next = pop_local(w, shared).or_else(|| steal(w, workers, shared));
+        match next {
+            Some(u) => {
+                idle_spins = 0;
+                process_node(u, w, shared, &mut metrics);
+            }
+            None => {
+                if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                // Another worker still holds work; back off politely. The
+                // yield-then-sleep ladder keeps latency low without burning
+                // a core per idle worker on big pools.
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+    metrics
+}
+
+fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
+    lock_ignore_poison(&shared.queues[w]).pop_front()
+}
+
+/// Steals from the back of a sibling queue, scanning siblings round-robin
+/// from the worker's own position so thieves spread out.
+fn steal<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Option<usize> {
+    for offset in 1..workers {
+        let victim = (w + offset) % workers;
+        if let Some(u) = lock_ignore_poison(&shared.queues[victim]).pop_back() {
+            return Some(u);
+        }
+    }
+    None
+}
+
+/// Processes one scheduling quantum of node `u`: the pending wake-up (if
+/// any) plus up to [`DRAIN_BATCH`] mailbox messages, then delivers the
+/// buffered sends and settles the node's `scheduled` flag.
+fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &mut Metrics) {
+    let mut outbox: Vec<(NodeId, P::Message, u64)> = Vec::new();
+    let units = {
+        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        let start_unit = cell.pending_start;
+        cell.pending_start = false;
+        let batch: Vec<Envelope<P::Message>> = {
+            let take = cell.mailbox.len().min(DRAIN_BATCH);
+            cell.mailbox.drain(..take).collect()
+        };
+        let wake = !cell.started && (start_unit || !batch.is_empty());
+        if wake {
+            cell.started = true;
+            // A spontaneous wake-up starts a causal chain (depth 0). A node
+            // woken by its first message instead inherits that message's
+            // depth, exactly like the simulator, so wake-up sends extend the
+            // chain that caused them and causal_time agrees across backends.
+            let wake_depth = if start_unit {
+                0
+            } else {
+                batch.first().map(|e| e.causal_depth).unwrap_or(0)
+            };
+            let mut ctx = PoolCtx {
+                id: NodeId(u),
+                neighbors: &shared.neighbors[u],
+                network_size: shared.n,
+                outbox: &mut outbox,
+                current_depth: wake_depth,
+            };
+            cell.protocol.on_start(&mut ctx);
+        }
+        for envelope in batch.iter() {
+            metrics.record_delivery(
+                envelope.from.index(),
+                u,
+                envelope.msg.kind(),
+                envelope.msg.encoded_bits(),
+                envelope.causal_depth,
+                envelope.causal_depth,
+            );
+        }
+        let batch_len = batch.len();
+        for envelope in batch {
+            let mut ctx = PoolCtx {
+                id: NodeId(u),
+                neighbors: &shared.neighbors[u],
+                network_size: shared.n,
+                outbox: &mut outbox,
+                current_depth: envelope.causal_depth,
+            };
+            cell.protocol
+                .on_message(envelope.from, envelope.msg, &mut ctx);
+        }
+        start_unit as i64 + batch_len as i64
+    };
+    // Deliver the buffered sends with the source cell unlocked (never two
+    // cell locks at once — the lock order between two talking nodes would
+    // otherwise deadlock). The source stays exclusively ours via `scheduled`.
+    for (to, msg, causal_depth) in outbox {
+        // Count the message before it becomes visible, so `in_flight` can
+        // never transiently read zero while work remains.
+        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let needs_enqueue = {
+            let mut cell = lock_ignore_poison(&shared.cells[to.index()]);
+            cell.mailbox.push_back(Envelope {
+                from: NodeId(u),
+                msg,
+                causal_depth,
+            });
+            if cell.scheduled {
+                false
+            } else {
+                cell.scheduled = true;
+                true
+            }
+        };
+        if needs_enqueue {
+            lock_ignore_poison(&shared.queues[w]).push_back(to.index());
+        }
+    }
+    // Settle the node: keep it runnable if messages arrived meanwhile.
+    let requeue = {
+        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        if cell.mailbox.is_empty() {
+            cell.scheduled = false;
+            false
+        } else {
+            true
+        }
+    };
+    if requeue {
+        lock_ignore_poison(&shared.queues[w]).push_back(u);
+    }
+    // Only now give the processed units back: every send above is already
+    // counted, so the counter never dips to zero early.
+    shared.in_flight.fetch_sub(units, Ordering::SeqCst);
+    let processed = shared.processed.fetch_add(units as u64, Ordering::SeqCst) + units as u64;
+    if processed > shared.max_events {
+        shared.aborted.store(true, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimConfig, Simulator};
+    use crate::testutil::{flood, Token};
+    use mdst_graph::generators;
+
+    #[test]
+    fn flood_terminates_and_reaches_everyone() {
+        let g = generators::gnp_connected(60, 0.1, 4).unwrap();
+        let run = PoolRuntime::run(&g, flood, &PoolConfig::default()).unwrap();
+        assert_eq!(run.status, ExecStatus::Quiesced);
+        assert_eq!(run.nodes.len(), 60);
+        assert!(run.nodes.iter().all(|p| p.seen));
+        assert!(run.metrics.messages_total >= 59);
+    }
+
+    #[test]
+    fn message_totals_match_the_simulator_for_deterministic_protocols() {
+        let g = generators::path(16).unwrap();
+        let run = PoolRuntime::run(&g, flood, &PoolConfig::default()).unwrap();
+        let mut sim = Simulator::new(&g, SimConfig::default(), flood).unwrap();
+        sim.run().unwrap();
+        assert_eq!(run.metrics.messages_total, sim.metrics().messages_total);
+        assert_eq!(run.metrics.causal_time, sim.metrics().causal_time);
+        assert_eq!(run.metrics.bits_total, sim.metrics().bits_total);
+        let sent: u64 = run.metrics.sent_per_node.iter().sum();
+        let received: u64 = run.metrics.received_per_node.iter().sum();
+        assert_eq!(sent, run.metrics.messages_total);
+        assert_eq!(received, run.metrics.messages_total);
+    }
+
+    #[test]
+    fn single_worker_pool_is_effectively_sequential_and_correct() {
+        let g = generators::complete(9).unwrap();
+        let run = PoolRuntime::run(
+            &g,
+            flood,
+            &PoolConfig {
+                workers: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.workers, 1);
+        assert!(run.nodes.iter().all(|p| p.seen));
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_node_count() {
+        let g = generators::path(3).unwrap();
+        let run = PoolRuntime::run(
+            &g,
+            flood,
+            &PoolConfig {
+                workers: 512,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.workers, 3);
+    }
+
+    #[test]
+    fn selected_start_wakes_only_the_initiators() {
+        struct Counter {
+            started_spontaneously: bool,
+        }
+        #[derive(Debug, Clone)]
+        struct Ping;
+        impl NetMessage for Ping {
+            fn kind(&self) -> &'static str {
+                "Ping"
+            }
+            fn encoded_bits(&self) -> usize {
+                8
+            }
+        }
+        impl Protocol for Counter {
+            type Message = Ping;
+            fn on_start(&mut self, _ctx: &mut dyn Context<Ping>) {
+                self.started_spontaneously = true;
+            }
+            fn on_message(&mut self, _: NodeId, _: Ping, _: &mut dyn Context<Ping>) {}
+        }
+        let g = generators::path(5).unwrap();
+        let run = PoolRuntime::run(
+            &g,
+            |_, _| Counter {
+                started_spontaneously: false,
+            },
+            &PoolConfig {
+                start: StartModel::Selected(vec![NodeId(2)]),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // A silent protocol: only the selected node ever runs on_start.
+        let started: Vec<bool> = run.nodes.iter().map(|p| p.started_spontaneously).collect();
+        assert_eq!(started, vec![false, false, true, false, false]);
+        assert_eq!(run.metrics.messages_total, 0);
+    }
+
+    #[test]
+    fn invalid_start_models_are_rejected_at_construction() {
+        let g = generators::path(4).unwrap();
+        let cases = [
+            StartModel::Selected(Vec::new()),
+            StartModel::Selected(vec![NodeId(0), NodeId(9)]),
+            StartModel::Staggered {
+                max_offset: 10,
+                seed: 1,
+            },
+        ];
+        for start in cases {
+            let err = PoolRuntime::run(
+                &g,
+                flood,
+                &PoolConfig {
+                    start: start.clone(),
+                    ..Default::default()
+                },
+            )
+            .err()
+            .unwrap_or_else(|| panic!("{start:?} must be rejected"));
+            assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn message_wakeups_inherit_the_waking_message_depth_like_the_simulator() {
+        // Every node announces to all neighbours from on_start. Under a
+        // single-initiator start the announcement wave's causal chain grows
+        // one hop per node, and the pool must account it exactly like the
+        // simulator: a wake-up send extends the chain that caused it.
+        struct Announce;
+        impl Protocol for Announce {
+            type Message = Token;
+            fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+                let targets: Vec<NodeId> = ctx.neighbors().to_vec();
+                let n = ctx.network_size();
+                for t in targets {
+                    ctx.send(t, Token { n });
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
+        }
+        let g = generators::path(6).unwrap();
+        let start = StartModel::Selected(vec![NodeId(0)]);
+        let mut sim = Simulator::new(
+            &g,
+            SimConfig {
+                start: start.clone(),
+                ..Default::default()
+            },
+            |_, _| Announce,
+        )
+        .unwrap();
+        sim.run().unwrap();
+        let pool = PoolRuntime::run(
+            &g,
+            |_, _| Announce,
+            &PoolConfig {
+                start,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pool.metrics.messages_total, sim.metrics().messages_total);
+        assert_eq!(
+            pool.metrics.causal_time,
+            sim.metrics().causal_time,
+            "wake-up sends must extend the waking message's causal chain"
+        );
+    }
+
+    #[test]
+    fn event_cap_aborts_instead_of_hanging() {
+        // A ping-pong pair that never terminates: the cap must fire.
+        struct PingPong;
+        #[derive(Debug, Clone)]
+        struct Ball;
+        impl NetMessage for Ball {
+            fn kind(&self) -> &'static str {
+                "Ball"
+            }
+            fn encoded_bits(&self) -> usize {
+                8
+            }
+        }
+        impl Protocol for PingPong {
+            type Message = Ball;
+            fn on_start(&mut self, ctx: &mut dyn Context<Ball>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), Ball);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, _msg: Ball, ctx: &mut dyn Context<Ball>) {
+                ctx.send(from, Ball);
+            }
+        }
+        let g = generators::path(2).unwrap();
+        let run = PoolRuntime::run(
+            &g,
+            |_, _| PingPong,
+            &PoolConfig {
+                max_events: 500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.status, ExecStatus::EventLimitExceeded);
+    }
+
+    #[test]
+    fn fifo_is_preserved_per_link() {
+        #[derive(Debug, Clone)]
+        struct Numbered(u64);
+        impl NetMessage for Numbered {
+            fn kind(&self) -> &'static str {
+                "Numbered"
+            }
+            fn encoded_bits(&self) -> usize {
+                64
+            }
+        }
+        enum Role {
+            Sender,
+            Receiver(Vec<u64>),
+        }
+        struct FifoProbe(Role);
+        impl Protocol for FifoProbe {
+            type Message = Numbered;
+            fn on_start(&mut self, ctx: &mut dyn Context<Numbered>) {
+                if let Role::Sender = self.0 {
+                    if ctx.id() == NodeId(0) {
+                        for i in 0..500 {
+                            ctx.send(NodeId(1), Numbered(i));
+                        }
+                    }
+                }
+            }
+            fn on_message(&mut self, _: NodeId, msg: Numbered, _: &mut dyn Context<Numbered>) {
+                if let Role::Receiver(got) = &mut self.0 {
+                    got.push(msg.0);
+                }
+            }
+        }
+        let g = generators::path(2).unwrap();
+        let run = PoolRuntime::run(
+            &g,
+            |id, _| {
+                if id == NodeId(0) {
+                    FifoProbe(Role::Sender)
+                } else {
+                    FifoProbe(Role::Receiver(Vec::new()))
+                }
+            },
+            &PoolConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Role::Receiver(got) = &run.nodes[1].0 else {
+            panic!("node 1 is the receiver");
+        };
+        let expected: Vec<u64> = (0..500).collect();
+        assert_eq!(got, &expected, "per-link FIFO order must survive stealing");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn sending_to_a_non_neighbour_panics() {
+        struct Bad;
+        impl Protocol for Bad {
+            type Message = Token;
+            fn on_start(&mut self, ctx: &mut dyn Context<Token>) {
+                ctx.send(NodeId(2), Token { n: 3 });
+            }
+            fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
+        }
+        let g = generators::path(3).unwrap();
+        // Node 0's only neighbour is node 1; the send panics on a worker and
+        // the scope propagates it.
+        let _ = PoolRuntime::run(&g, |_, _| Bad, &PoolConfig::default()).unwrap();
+    }
+}

@@ -13,12 +13,13 @@
 //! bits, causal depth) plus the wall-clock duration; the quiescence clock is
 //! not meaningful here and is left at the maximum causal depth.
 
+use crate::exec::ExecStatus;
 use crate::message::NetMessage;
 use crate::metrics::Metrics;
 use crate::protocol::{Context, Protocol};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use mdst_graph::{Graph, NodeId};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,6 +81,9 @@ pub struct ThreadedRun<P> {
     pub metrics: Metrics,
     /// Wall-clock duration from the first wake-up to quiescence.
     pub wall_time: Duration,
+    /// Whether the run quiesced or hit the event cap (see
+    /// [`ThreadedRuntime::run_capped`]).
+    pub status: ExecStatus,
 }
 
 /// Runs protocols on one OS thread per node. See the module documentation.
@@ -90,7 +94,20 @@ impl ThreadedRuntime {
     /// node states plus metrics. All nodes wake up spontaneously (the
     /// simultaneous start model); protocols that need a single initiator
     /// simply make `on_start` a no-op on the other nodes.
-    pub fn run<P, F>(graph: &Graph, mut factory: F) -> ThreadedRun<P>
+    pub fn run<P, F>(graph: &Graph, factory: F) -> ThreadedRun<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        Self::run_capped(graph, factory, u64::MAX)
+    }
+
+    /// Like [`ThreadedRuntime::run`], but aborts once `max_events` work units
+    /// (wake-ups plus deliveries) have been processed — the same livelock
+    /// guard as the simulator's `max_events`, reported through
+    /// [`ThreadedRun::status`] instead of an error so the partial node states
+    /// and metrics survive.
+    pub fn run_capped<P, F>(graph: &Graph, mut factory: F, max_events: u64) -> ThreadedRun<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
@@ -114,6 +131,8 @@ impl ThreadedRuntime {
         // One outstanding unit per initial wake-up.
         let outstanding = Arc::new(AtomicI64::new(n as i64));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let processed = Arc::new(AtomicU64::new(0));
+        let aborted = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
 
         let mut handles = Vec::with_capacity(n);
@@ -122,10 +141,20 @@ impl ThreadedRuntime {
             let senders = Arc::clone(&senders);
             let outstanding = Arc::clone(&outstanding);
             let shutdown = Arc::clone(&shutdown);
+            let processed = Arc::clone(&processed);
+            let aborted = Arc::clone(&aborted);
             let my_neighbors = neighbors[u].clone();
             let mut protocol = protocols[u].take().expect("each node taken once");
             let handle = std::thread::spawn(move || {
                 let mut metrics = Metrics::new(n);
+                // Counts a processed work unit against the cap; every thread
+                // observing the overflow raises the shared abort.
+                let count_unit = || {
+                    if processed.fetch_add(1, Ordering::SeqCst) + 1 > max_events {
+                        aborted.store(true, Ordering::SeqCst);
+                        shutdown.store(true, Ordering::SeqCst);
+                    }
+                };
                 {
                     let mut ctx = ThreadCtx {
                         id: NodeId(u),
@@ -139,33 +168,31 @@ impl ThreadedRuntime {
                 }
                 // The wake-up itself is now fully processed.
                 outstanding.fetch_sub(1, Ordering::SeqCst);
+                count_unit();
                 loop {
-                    match rx.recv_timeout(Duration::from_millis(1)) {
-                        Ok(envelope) => {
-                            metrics.record_delivery(
-                                envelope.from.index(),
-                                u,
-                                envelope.msg.kind(),
-                                envelope.msg.encoded_bits(),
-                                envelope.causal_depth,
-                                envelope.causal_depth,
-                            );
-                            let mut ctx = ThreadCtx {
-                                id: NodeId(u),
-                                neighbors: &my_neighbors,
-                                network_size: n,
-                                senders: &senders,
-                                outstanding: &outstanding,
-                                current_depth: envelope.causal_depth,
-                            };
-                            protocol.on_message(envelope.from, envelope.msg, &mut ctx);
-                            outstanding.fetch_sub(1, Ordering::SeqCst);
-                        }
-                        Err(_) => {
-                            if shutdown.load(Ordering::SeqCst) {
-                                break;
-                            }
-                        }
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(envelope) = rx.recv_timeout(Duration::from_millis(1)) {
+                        metrics.record_delivery(
+                            envelope.from.index(),
+                            u,
+                            envelope.msg.kind(),
+                            envelope.msg.encoded_bits(),
+                            envelope.causal_depth,
+                            envelope.causal_depth,
+                        );
+                        let mut ctx = ThreadCtx {
+                            id: NodeId(u),
+                            neighbors: &my_neighbors,
+                            network_size: n,
+                            senders: &senders,
+                            outstanding: &outstanding,
+                            current_depth: envelope.causal_depth,
+                        };
+                        protocol.on_message(envelope.from, envelope.msg, &mut ctx);
+                        outstanding.fetch_sub(1, Ordering::SeqCst);
+                        count_unit();
                     }
                 }
                 (protocol, metrics)
@@ -175,9 +202,14 @@ impl ThreadedRuntime {
 
         // Termination detector: once nothing is outstanding, the network is
         // quiescent forever (messages are only created while processing one).
+        // The cap abort arrives through the same shutdown flag, raised by the
+        // node threads themselves.
         loop {
             if outstanding.load(Ordering::SeqCst) == 0 {
                 shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+            if aborted.load(Ordering::SeqCst) {
                 break;
             }
             std::thread::sleep(Duration::from_micros(200));
@@ -192,10 +224,16 @@ impl ThreadedRuntime {
             metrics.merge(&m);
         }
         metrics.quiescence_time = metrics.causal_time;
+        let status = if aborted.load(Ordering::SeqCst) {
+            ExecStatus::EventLimitExceeded
+        } else {
+            ExecStatus::Quiesced
+        };
         ThreadedRun {
             nodes,
             metrics,
             wall_time,
+            status,
         }
     }
 }

@@ -2,20 +2,24 @@
 //!
 //! ```text
 //! scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv]
-//!              [--threads N] [--quiet]
+//!              [--jobs N] [--shuffle [SEED]] [--quiet]
 //! scenario expand <spec>      # print the resolved run list as JSON
 //! scenario validate <spec>    # check the spec (graphs buildable, files readable)
 //! ```
 //!
-//! `run` exits non-zero when any run fails or violates the paper's degree
-//! bound, so campaigns double as large-scale correctness checks in CI.
+//! `--jobs` (alias `--threads`) caps runner parallelism; when omitted, the
+//! spec's `campaign.parallelism` key (or one thread per CPU) applies.
+//! `--shuffle` claims runs in a seeded random order so long runs start early;
+//! the seed is recorded in the report. `run` exits non-zero when any run
+//! fails or violates the paper's degree bound, so campaigns double as
+//! large-scale correctness checks in CI.
 
 use mdst_scenario::prelude::*;
 use serde::Value;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--threads N] [--quiet]
+  scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--jobs N] [--shuffle [SEED]] [--quiet]
   scenario expand <spec>
   scenario validate <spec>";
 
@@ -49,16 +53,21 @@ struct RunArgs {
     out: Option<String>,
     csv: Option<String>,
     threads: usize,
+    shuffle: Option<u64>,
     quiet: bool,
 }
+
+/// Seed used by a bare `--shuffle` (no explicit seed argument).
+const DEFAULT_SHUFFLE_SEED: u64 = 0x5EED;
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut spec = None;
     let mut out = None;
     let mut csv = None;
     let mut threads = 0usize;
+    let mut shuffle = None;
     let mut quiet = false;
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" | "-o" => {
@@ -75,12 +84,24 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                         .clone(),
                 )
             }
-            "--threads" | "-j" => {
+            "--jobs" | "--threads" | "-j" => {
                 threads = it
                     .next()
-                    .ok_or_else(|| "--threads needs a number".to_string())?
+                    .ok_or_else(|| "--jobs needs a number".to_string())?
                     .parse()
-                    .map_err(|_| "--threads needs a number".to_string())?;
+                    .map_err(|_| "--jobs needs a number".to_string())?;
+            }
+            "--shuffle" => {
+                // The seed argument is optional: `--shuffle 42` pins it,
+                // bare `--shuffle` uses a fixed default (still recorded in
+                // the report, so the claim order reproduces either way).
+                shuffle = match it.peek().and_then(|next| next.parse::<u64>().ok()) {
+                    Some(seed) => {
+                        it.next();
+                        Some(seed)
+                    }
+                    None => Some(DEFAULT_SHUFFLE_SEED),
+                };
             }
             "--quiet" | "-q" => quiet = true,
             other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
@@ -92,6 +113,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         out,
         csv,
         threads,
+        shuffle,
         quiet,
     })
 }
@@ -103,6 +125,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         &matrix,
         &RunnerConfig {
             threads: args.threads,
+            shuffle: args.shuffle,
         },
     )
     .map_err(|e| e.to_string())?;
@@ -156,6 +179,10 @@ fn cmd_expand(args: &[String]) -> Result<ExitCode, String> {
                 ("delay".into(), Value::String(r.delay.label())),
                 ("start".into(), Value::String(r.start.label())),
                 ("faults".into(), Value::String(r.faults.label())),
+                (
+                    "executor".into(),
+                    Value::String(r.executor.label().to_string()),
+                ),
                 ("seed".into(), Value::UInt(r.seed)),
                 ("root".into(), Value::UInt(r.root as u64)),
             ])

@@ -20,9 +20,16 @@
 //!
 //! ```text
 //! scenario run examples/sweep.toml --out campaign.json --csv campaign.csv
+//! scenario run examples/executors.toml --jobs 4 --shuffle 42
 //! scenario expand examples/sweep.toml     # print the resolved run list
 //! scenario validate examples/sweep.toml   # check the spec without running it
 //! ```
+//!
+//! `--jobs N` (alias `--threads`) caps runner parallelism; without it the
+//! spec's `campaign.parallelism` key, then one thread per CPU, applies.
+//! `--shuffle [SEED]` claims runs in a seeded random order so long runs
+//! start early; the seed lands in the report and the records stay in
+//! expansion order.
 //!
 //! ## Spec format
 //!
@@ -45,7 +52,32 @@
 //!
 //! Every list-valued field is an axis; the run list is the cartesian product
 //! of all axes (graph parameters included). Checked-in examples live at
-//! `examples/sweep.toml` and `examples/faults.toml` in the repository root.
+//! `examples/sweep.toml`, `examples/faults.toml` and
+//! `examples/executors.toml` in the repository root.
+//!
+//! ## Executor axis
+//!
+//! The optional `executor` axis picks the `mdst_netsim` backend per run:
+//!
+//! ```text
+//! executor = ["sim", "threaded", "pool"]   # default: "sim"
+//! workers = 8                              # pool worker cap (0 / omitted = auto)
+//! ```
+//!
+//! * `sim` — the deterministic discrete-event simulator (full delay/fault
+//!   support, trace recording);
+//! * `threaded` — one OS thread per node over FIFO channels (real
+//!   nondeterministic scheduling);
+//! * `pool` — a fixed work-stealing worker pool multiplexing thousands of
+//!   nodes (the scale backend).
+//!
+//! The non-sim backends schedule on real threads, so they only combine with
+//! unit delays, simultaneous starts and fault-free plans; the parser rejects
+//! any other combination at load time. The backend label and its measured
+//! `exec_wall_ms` appear in every run record, so cross-backend campaigns
+//! double as agreement checks: the improvement protocol is
+//! message-deterministic and every backend must land inside the paper's
+//! degree bound on the same seed/topology.
 //!
 //! ## Fault model
 //!

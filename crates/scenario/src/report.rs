@@ -25,6 +25,7 @@ pub const CSV_COLUMNS: &[&str] = &[
     "delay",
     "start",
     "faults",
+    "executor",
     "seed",
     "n",
     "m",
@@ -44,6 +45,7 @@ pub const CSV_COLUMNS: &[&str] = &[
     "quiescence_time",
     "rounds",
     "improvements",
+    "exec_wall_ms",
     "wall_ms",
     "error",
 ];
@@ -69,6 +71,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             csv_escape(&run.delay),
             csv_escape(&run.start),
             csv_escape(&run.faults),
+            csv_escape(&run.executor),
             run.seed.to_string(),
             run.n.to_string(),
             run.m.to_string(),
@@ -88,6 +91,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             run.quiescence_time.to_string(),
             run.rounds.to_string(),
             run.improvements.to_string(),
+            format!("{:.3}", run.exec_wall_ms),
             format!("{:.3}", run.wall_ms),
             csv_escape(run.error.as_deref().unwrap_or("")),
         ];
@@ -152,7 +156,14 @@ mod tests {
             seeds = [1, 2]
         "#;
         let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
-        run_campaign(&matrix, &RunnerConfig { threads: 1 }).unwrap()
+        run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]

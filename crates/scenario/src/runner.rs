@@ -11,6 +11,8 @@
 use crate::spec::{RunSpec, ScenarioMatrix, SpecError};
 use mdst_core::bounds;
 use mdst_core::{run_pipeline_with_faults, RunStatus};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,8 +76,15 @@ impl Deserialize for RunOutcome {
 /// Runner configuration.
 #[derive(Debug, Clone, Default)]
 pub struct RunnerConfig {
-    /// Worker threads; `0` means one per available CPU.
+    /// Worker threads; `0` means the spec's `campaign.parallelism` (when
+    /// set) or one per available CPU. The CLI `--jobs` flag lands here.
     pub threads: usize,
+    /// When set, runs are *claimed* in a seeded random order instead of
+    /// expansion order, so the long runs of a skewed campaign start early
+    /// and stop dominating the tail. Results stay in expansion order and the
+    /// seed is recorded in [`CampaignReport::shuffle_seed`], so a shuffled
+    /// campaign reproduces exactly.
+    pub shuffle: Option<u64>,
 }
 
 /// Outcome of one run of the campaign.
@@ -93,6 +102,8 @@ pub struct RunRecord {
     pub start: String,
     /// Fault plan label (`"none"` for fault-free runs).
     pub faults: String,
+    /// Executor backend label (`"sim"`, `"threaded"`, `"pool"`).
+    pub executor: String,
     /// Seed of the run.
     pub seed: u64,
     /// Nodes of the input graph.
@@ -136,7 +147,13 @@ pub struct RunRecord {
     pub rounds: u32,
     /// Edge exchanges performed.
     pub improvements: u32,
-    /// Wall-clock milliseconds spent on this run.
+    /// Wall-clock milliseconds of the improvement execution alone, as
+    /// reported by the backend that ran it (the simulator's event loop, the
+    /// threaded runtime's first-wake-up-to-quiescence span, the pool's
+    /// worker lifetime).
+    pub exec_wall_ms: f64,
+    /// Wall-clock milliseconds spent on this run end to end (graph build,
+    /// construction, improvement, verification).
     pub wall_ms: f64,
     /// Failure description. Setup failures (`outcome = Failed`) leave the
     /// numeric fields zero; a fault-free run with a degraded outcome keeps
@@ -240,6 +257,10 @@ pub struct CampaignReport {
     pub name: String,
     /// Worker threads used.
     pub threads: usize,
+    /// Seed of the claim-order shuffle, when one was requested (`None` for
+    /// expansion-order execution). Runs in [`CampaignReport::runs`] are
+    /// always in expansion order either way.
+    pub shuffle_seed: Option<u64>,
     /// Wall-clock milliseconds for the whole campaign.
     pub wall_ms: f64,
     /// Campaign-wide aggregate (scenario = `"TOTAL"`).
@@ -266,6 +287,7 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
         delay: spec.delay.label(),
         start: spec.start.label(),
         faults: spec.faults.label(),
+        executor: spec.executor.label().to_string(),
         seed: spec.seed,
         n: 0,
         m: 0,
@@ -285,6 +307,7 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
         quiescence_time: 0,
         rounds: 0,
         improvements: 0,
+        exec_wall_ms: 0.0,
         wall_ms: 0.0,
         error: None,
     };
@@ -347,6 +370,7 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
         record.quiescence_time = report.improvement_metrics.quiescence_time;
         record.rounds = report.rounds;
         record.improvements = report.improvements;
+        record.exec_wall_ms = report.wall_ms;
         if spec.faults.is_none() && record.outcome != RunOutcome::QuiescedCorrect {
             return Err(format!(
                 "fault-free run ended {}: the protocol must terminate with a \
@@ -363,13 +387,18 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
     record
 }
 
-/// Expands `matrix` and executes every run in parallel.
+/// Expands `matrix` and executes every run in parallel. A non-zero
+/// `config.threads` wins over the spec's `campaign.parallelism` default.
 pub fn run_campaign(
     matrix: &ScenarioMatrix,
     config: &RunnerConfig,
 ) -> Result<CampaignReport, SpecError> {
     let runs = matrix.expand()?;
-    let report = execute_runs(&matrix.name, &matrix.scenario_order(), runs, config);
+    let mut config = config.clone();
+    if config.threads == 0 {
+        config.threads = matrix.parallelism.unwrap_or(0);
+    }
+    let report = execute_runs(&matrix.name, &matrix.scenario_order(), runs, &config);
     Ok(report)
 }
 
@@ -390,22 +419,35 @@ pub fn execute_runs(
 ) -> CampaignReport {
     let started = Instant::now();
     let threads = effective_threads(config.threads, runs.len());
+    // Claim order: expansion order, or a seeded Fisher–Yates permutation of
+    // it. Records land in expansion-order slots either way, so the report is
+    // identical up to wall times.
+    let order: Vec<usize> = {
+        let mut order: Vec<usize> = (0..runs.len()).collect();
+        if let Some(seed) = config.shuffle {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+        }
+        order
+    };
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunRecord>>> = runs.iter().map(|_| Mutex::new(None)).collect();
 
     if threads <= 1 {
-        for (spec, slot) in runs.iter().zip(&slots) {
-            *slot.lock().expect("slot poisoned") = Some(execute_run(spec));
+        for &idx in &order {
+            *slots[idx].lock().expect("slot poisoned") = Some(execute_run(&runs[idx]));
         }
     } else {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = runs.get(idx) else {
+                    let claim = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = order.get(claim) else {
                         break;
                     };
-                    let record = execute_run(spec);
+                    let record = execute_run(&runs[idx]);
                     *slots[idx].lock().expect("slot poisoned") = Some(record);
                 });
             }
@@ -440,6 +482,7 @@ pub fn execute_runs(
     CampaignReport {
         name: name.to_string(),
         threads,
+        shuffle_seed: config.shuffle,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         total: stats_over("TOTAL", &all),
         scenarios,
@@ -501,13 +544,28 @@ mod tests {
     #[test]
     fn parallel_and_serial_executions_agree() {
         let matrix = ScenarioMatrix::from_toml_str(SPEC).unwrap();
-        let serial = run_campaign(&matrix, &RunnerConfig { threads: 1 }).unwrap();
-        let parallel = run_campaign(&matrix, &RunnerConfig { threads: 4 }).unwrap();
+        let serial = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let parallel = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(serial.runs.len(), parallel.runs.len());
         for (a, b) in serial.runs.iter().zip(&parallel.runs) {
-            // Wall time differs; everything measured must not.
+            // Wall times differ; everything measured must not.
             let mut b = b.clone();
             b.wall_ms = a.wall_ms;
+            b.exec_wall_ms = a.exec_wall_ms;
             assert_eq!(a, &b);
         }
         assert_eq!(serial.total.messages_total, parallel.total.messages_total);
@@ -540,8 +598,22 @@ mod tests {
             seeds = [1, 2]
         "#;
         let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
-        let a = run_campaign(&matrix, &RunnerConfig { threads: 1 }).unwrap();
-        let b = run_campaign(&matrix, &RunnerConfig { threads: 4 }).unwrap();
+        let a = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a.total.runs, 6);
         // Every run is classified, and the classification plus the drop and
         // crash counters reproduce exactly across executions.

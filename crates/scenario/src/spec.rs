@@ -14,7 +14,7 @@ use crate::io::GraphFormat;
 use crate::toml;
 use mdst_graph::{generators, Graph, NodeId};
 use mdst_netsim::sim::StartModel;
-use mdst_netsim::{CrashAt, CutAt, DelayModel, FaultPlan, SimConfig};
+use mdst_netsim::{CrashAt, CutAt, DelayModel, ExecutorKind, FaultPlan, SimConfig};
 use mdst_spanning::InitialTreeKind;
 use serde::Value;
 use std::fmt;
@@ -40,6 +40,10 @@ fn spec_err<T>(msg: impl Into<String>) -> Result<T, SpecError> {
 pub struct ScenarioMatrix {
     /// Campaign name (used in reports).
     pub name: String,
+    /// Default cap on runner worker threads (`[campaign] parallelism = N`);
+    /// `None` means one per available CPU. A non-zero
+    /// `RunnerConfig::threads` (the CLI `--jobs` flag) overrides it.
+    pub parallelism: Option<usize>,
     /// The scenarios; each expands independently.
     pub scenarios: Vec<ScenarioSpec>,
 }
@@ -59,6 +63,12 @@ pub struct ScenarioSpec {
     pub start: Vec<StartSpec>,
     /// Fault plans to sweep (message loss, node crashes, link cuts).
     pub faults: Vec<FaultSpec>,
+    /// Executor backends to sweep (`"sim"`, `"threaded"`, `"pool"`). The
+    /// non-sim backends only combine with unit delays, simultaneous starts
+    /// and benign fault plans; the spec parser rejects anything else.
+    pub executor: Vec<ExecutorKind>,
+    /// Worker threads for pool-backed runs (`0` = auto).
+    pub workers: usize,
     /// Seeds to sweep; each seed produces an independent run (and, for seeded
     /// generator families, an independent graph).
     pub seeds: Vec<u64>,
@@ -575,6 +585,10 @@ pub struct RunSpec {
     pub start: StartSpec,
     /// Fault-injection axis entry.
     pub faults: FaultSpec,
+    /// Executor backend of this run.
+    pub executor: ExecutorKind,
+    /// Worker threads for the pool backend (`0` = auto).
+    pub workers: usize,
     /// Seed of the run (drives graph generation, delays, start offsets and
     /// the loss coin stream).
     pub seed: u64,
@@ -597,6 +611,8 @@ impl RunSpec {
                 record_trace: false,
                 faults: self.faults.to_plan(self.seed ^ 0x1F85_D2F6_0B5E_AD4C),
             },
+            executor: self.executor,
+            workers: self.workers,
         })
     }
 }
@@ -658,6 +674,18 @@ impl ScenarioMatrix {
                 .to_string(),
             None => "campaign".to_string(),
         };
+        let parallelism = match value.get("campaign").and_then(|c| c.get("parallelism")) {
+            None => None,
+            Some(v) => {
+                let p = v.as_u64().ok_or_else(|| {
+                    SpecError("campaign.parallelism must be a positive integer".into())
+                })?;
+                if p == 0 {
+                    return spec_err("campaign.parallelism must be at least 1");
+                }
+                Some(p as usize)
+            }
+        };
         let Some(list) = value.get("scenario") else {
             return spec_err("spec has no [[scenario]] entries");
         };
@@ -671,7 +699,11 @@ impl ScenarioMatrix {
             .iter()
             .map(ScenarioSpec::from_spec_value)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(ScenarioMatrix { name, scenarios })
+        Ok(ScenarioMatrix {
+            name,
+            parallelism,
+            scenarios,
+        })
     }
 
     /// Expands every scenario into its cartesian product of runs.
@@ -726,6 +758,55 @@ impl ScenarioSpec {
                 .map(|f| FaultSpec::from_spec_value(f, &name))
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let executor = match value.get("executor") {
+            None => vec![ExecutorKind::Sim],
+            Some(v) => {
+                let names = string_list(v).ok_or_else(|| {
+                    SpecError(format!(
+                        "scenario `{name}`: `executor` must be a string or list of strings"
+                    ))
+                })?;
+                names
+                    .iter()
+                    .map(|s| {
+                        ExecutorKind::parse(s)
+                            .map_err(|e| SpecError(format!("scenario `{name}`: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+        // The non-sim backends schedule on real threads: no simulated delays,
+        // no staggered clock, no fault injection. Reject the cross product at
+        // parse time instead of failing runs one by one — the author should
+        // split the scenario.
+        if executor.iter().any(|&e| e != ExecutorKind::Sim) {
+            if delay.iter().any(|d| !matches!(d, DelaySpec::Unit)) {
+                return spec_err(format!(
+                    "scenario `{name}`: executor `threaded`/`pool` cannot combine with a \
+                     non-unit `delay` axis; split the scenario or drop the delay models"
+                ));
+            }
+            if start.iter().any(|s| !matches!(s, StartSpec::Simultaneous)) {
+                return spec_err(format!(
+                    "scenario `{name}`: executor `threaded`/`pool` cannot combine with a \
+                     staggered `start` axis; split the scenario"
+                ));
+            }
+            if faults.iter().any(|f| !f.is_none()) {
+                return spec_err(format!(
+                    "scenario `{name}`: executor `threaded`/`pool` cannot combine with a \
+                     `faults` axis (fault injection needs the simulated clock); split the scenario"
+                ));
+            }
+        }
+        let workers = match value.get("workers") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or_else(|| {
+                SpecError(format!(
+                    "scenario `{name}`: `workers` must be a non-negative integer"
+                ))
+            })? as usize,
+        };
         let seeds = match value.get("seeds") {
             None => vec![1],
             Some(v) => u64_list(v).ok_or_else(|| {
@@ -755,6 +836,7 @@ impl ScenarioSpec {
             || delay.is_empty()
             || start.is_empty()
             || faults.is_empty()
+            || executor.is_empty()
         {
             return spec_err(format!("scenario `{name}`: empty sweep axis"));
         }
@@ -765,6 +847,8 @@ impl ScenarioSpec {
             delay,
             start,
             faults,
+            executor,
+            workers,
             seeds,
             root,
             max_events,
@@ -777,18 +861,22 @@ impl ScenarioSpec {
                 for delay in &self.delay {
                     for start in &self.start {
                         for faults in &self.faults {
-                            for &seed in &self.seeds {
-                                runs.push(RunSpec {
-                                    scenario: self.name.clone(),
-                                    graph: graph.clone(),
-                                    initial: initial.clone(),
-                                    delay: *delay,
-                                    start: *start,
-                                    faults: faults.clone(),
-                                    seed,
-                                    root: self.root,
-                                    max_events: self.max_events,
-                                });
+                            for &executor in &self.executor {
+                                for &seed in &self.seeds {
+                                    runs.push(RunSpec {
+                                        scenario: self.name.clone(),
+                                        graph: graph.clone(),
+                                        initial: initial.clone(),
+                                        delay: *delay,
+                                        start: *start,
+                                        faults: faults.clone(),
+                                        executor,
+                                        workers: self.workers,
+                                        seed,
+                                        root: self.root,
+                                        max_events: self.max_events,
+                                    });
+                                }
                             }
                         }
                     }

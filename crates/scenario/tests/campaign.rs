@@ -81,7 +81,14 @@ fn edge_list_file_runs_through_the_full_pipeline() {
         file.path_str()
     );
     let matrix = ScenarioMatrix::from_toml_str(&spec).unwrap();
-    let report = run_campaign(&matrix, &RunnerConfig { threads: 2 }).unwrap();
+    let report = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(report.total.runs, 2);
     assert_eq!(report.total.failures, 0);
     assert_eq!(report.total.bound_violations, 0);
@@ -110,7 +117,14 @@ fn checked_in_sweep_example_runs_in_parallel_within_the_paper_bound() {
     let seeds: std::collections::BTreeSet<u64> = runs.iter().map(|r| r.seed).collect();
     assert!(seeds.len() >= 2, "sweep must cover ≥ 2 seeds");
 
-    let report = run_campaign(&matrix, &RunnerConfig { threads: 4 }).unwrap();
+    let report = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!(report.threads > 1, "campaign must actually run in parallel");
     assert_eq!(report.total.runs, runs.len());
     assert_eq!(report.total.failures, 0);

@@ -41,21 +41,44 @@ fn benign_fault_axis_is_bit_identical_to_no_fault_axis() {
     let with_faults = format!("{BASE}    faults = [ \"none\" ]\n");
     let without = ScenarioMatrix::from_toml_str(BASE).unwrap();
     let with = ScenarioMatrix::from_toml_str(&with_faults).unwrap();
-    let a = run_campaign(&without, &RunnerConfig { threads: 1 }).unwrap();
-    let b = run_campaign(&with, &RunnerConfig { threads: 1 }).unwrap();
+    let a = run_campaign(
+        &without,
+        &RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let b = run_campaign(
+        &with,
+        &RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(a.runs.len(), b.runs.len());
     for (x, y) in a.runs.iter().zip(&b.runs) {
         let mut y = y.clone();
         y.wall_ms = x.wall_ms;
+        y.exec_wall_ms = x.exec_wall_ms;
         assert_eq!(*x, y, "benign fault axis changed a run record");
     }
     // `{ loss = 0.0 }` is the same benign entry spelled differently.
     let zero_loss = format!("{BASE}    faults = [ {{ loss = 0.0 }} ]\n");
     let zero = ScenarioMatrix::from_toml_str(&zero_loss).unwrap();
-    let c = run_campaign(&zero, &RunnerConfig { threads: 1 }).unwrap();
+    let c = run_campaign(
+        &zero,
+        &RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for (x, y) in a.runs.iter().zip(&c.runs) {
         let mut y = y.clone();
         y.wall_ms = x.wall_ms;
+        y.exec_wall_ms = x.exec_wall_ms;
         assert_eq!(*x, y, "loss = 0.0 changed a run record");
     }
 }
@@ -100,7 +123,14 @@ fn faulty_campaign_classifies_and_reproduces() {
     }
     // Seed-reproducible: run the whole campaign again and compare the fault
     // accounting of every run.
-    let again = run_campaign(&matrix, &RunnerConfig { threads: 2 }).unwrap();
+    let again = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     for (x, y) in report.runs.iter().zip(&again.runs) {
         assert_eq!(x.outcome, y.outcome);
         assert_eq!(x.dropped_messages, y.dropped_messages);

@@ -22,6 +22,7 @@ fn main() {
         initial: InitialTreeKind::DistributedFlooding,
         root: NodeId(0),
         sim: SimConfig::default(),
+        ..Default::default()
     };
     let report = run_pipeline(&graph, &config).expect("pipeline runs to completion");
 

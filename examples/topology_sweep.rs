@@ -42,6 +42,7 @@ fn main() {
             initial: InitialTreeKind::GreedyHub,
             root: NodeId(0),
             sim: SimConfig::default(),
+            ..Default::default()
         };
         let report = run_pipeline(&graph, &config).expect("pipeline runs");
         let lb = degree_lower_bound(&graph);

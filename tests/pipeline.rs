@@ -55,6 +55,7 @@ fn all_initial_constructions_agree_on_reachability_of_low_degree() {
             initial: kind,
             root: NodeId(0),
             sim: SimConfig::default(),
+            ..Default::default()
         };
         let report = run_pipeline(&graph, &config).unwrap();
         let mirror = paper_local_search(&graph, &report.initial_tree).unwrap();
@@ -101,6 +102,7 @@ fn pipeline_works_under_every_delay_and_start_model() {
                     start: start.clone(),
                     ..Default::default()
                 },
+                ..Default::default()
             };
             let report = run_pipeline(&graph, &config).unwrap();
             assert!(report.final_tree.is_spanning_tree_of(&graph));

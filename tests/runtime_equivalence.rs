@@ -1,6 +1,7 @@
-//! The discrete-event simulator and the threaded crossbeam runtime must agree:
-//! the protocol's outcome depends only on the tree structure, never on message
-//! timing, so running it under real OS scheduling is an end-to-end check that
+//! The discrete-event simulator, the threaded crossbeam runtime and the
+//! work-stealing pool must agree: the protocol's outcome depends only on the
+//! tree structure, never on message timing, so running it under real OS
+//! scheduling (thread-per-node or multiplexed) is an end-to-end check that
 //! no hidden synchrony assumption crept in.
 
 use mdst::core::distributed::MdstNode;
@@ -48,6 +49,59 @@ fn threaded_and_simulated_runs_exchange_the_same_messages() {
     assert_eq!(sim_metrics.messages_total, thr_metrics.messages_total);
     assert_eq!(sim_metrics.messages_by_kind, thr_metrics.messages_by_kind);
     assert_eq!(sim_metrics.bits_total, thr_metrics.bits_total);
+}
+
+#[test]
+fn pool_and_simulated_runs_produce_the_same_tree() {
+    for seed in 0..5u64 {
+        let graph = generators::gnp_connected(24, 0.2, seed).unwrap();
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let sim_run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+        let pool_run = run_distributed_mdst_on(
+            ExecutorKind::Pool,
+            &graph,
+            &initial,
+            &ExecConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pool_run.executor, ExecutorKind::Pool);
+        let a: std::collections::BTreeSet<_> = sim_run
+            .final_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        let b: std::collections::BTreeSet<_> = pool_run
+            .final_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        assert_eq!(a, b, "seed {seed}");
+        assert_eq!(
+            sim_run.metrics.messages_by_kind, pool_run.metrics.messages_by_kind,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn spanning_tree_constructions_also_run_on_the_pool() {
+    use mdst::spanning::flooding::FloodingSt;
+    let graph = generators::grid(8, 8).unwrap();
+    let run = PoolRuntime::run(
+        &graph,
+        |id, _| FloodingSt::new(id, NodeId(0)),
+        &PoolConfig::default(),
+    )
+    .unwrap();
+    let tree = collect_tree(&run.nodes).unwrap();
+    assert!(tree.is_spanning_tree_of(&graph));
+    assert_eq!(tree.root(), NodeId(0));
+    let m = graph.edge_count() as u64;
+    let n = graph.node_count() as u64;
+    assert_eq!(run.metrics.messages_total, 2 * m + (n - 1));
 }
 
 #[test]
