@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_approximation_quality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_approximation_quality");
@@ -11,7 +12,7 @@ fn bench_approximation_quality(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &n in &[8usize, 10, 12] {
-        let graph = generators::gnp_connected(n, 0.3, 4).unwrap();
+        let graph = Arc::new(generators::gnp_connected(n, 0.3, 4).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(exact_min_degree(&graph).unwrap()))

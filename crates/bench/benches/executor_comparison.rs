@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
 use mdst::spanning::flooding::FloodingSt;
+use std::sync::Arc;
 
 const N: usize = 1_000;
 
@@ -19,7 +20,7 @@ fn bench_flood_broadcast(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(1500));
-    let graph = generators::random_connected(N, N / 2, 11).unwrap();
+    let graph = Arc::new(generators::random_connected(N, N / 2, 11).unwrap());
     group.bench_with_input(BenchmarkId::new("sim", N), &N, |b, _| {
         b.iter(|| {
             let mut sim = Simulator::new(&graph, SimConfig::default(), |id, _| {
@@ -57,7 +58,7 @@ fn bench_thread_per_node_small(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(1500));
-    let graph = generators::random_connected(SMALL, SMALL / 2, 11).unwrap();
+    let graph = Arc::new(generators::random_connected(SMALL, SMALL / 2, 11).unwrap());
     group.bench_with_input(BenchmarkId::new("threaded", SMALL), &SMALL, |b, _| {
         b.iter(|| {
             let run = ThreadedRuntime::run(&graph, |id, _| FloodingSt::new(id, NodeId(0)));
@@ -86,7 +87,7 @@ fn bench_mdst_improvement(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(2000));
-    let graph = generators::random_connected(N, N / 4, 11).unwrap();
+    let graph = Arc::new(generators::random_connected(N, N / 4, 11).unwrap());
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     group.bench_with_input(BenchmarkId::new("sim", N), &N, |b, _| {
         b.iter(|| {

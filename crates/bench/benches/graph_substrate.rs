@@ -1,0 +1,109 @@
+//! Criterion experiment E9: the CSR graph substrate against the former
+//! `Vec<Vec<(NodeId, EdgeId)>>` adjacency baseline, on the two operations a
+//! campaign pays per run — building the topology and iterating neighbours.
+//!
+//! Construction compares `GraphBuilder::build` (CSR assembly) with the
+//! shared pre-CSR baseline replica from `mdst_bench::substrate` (the same
+//! fixture the harness E9 table measures, so the two reports cannot drift).
+//! Iteration compares a full neighbour sweep through the CSR rows (both the
+//! iterator and the zero-copy `neighbor_slice` view the executors use)
+//! against the same sweep over the baseline nested vectors. The third group
+//! measures what the `Arc<Graph>` sharing actually removed: the per-run
+//! adjacency re-materialisation every backend used to perform versus the
+//! `Arc::clone` that replaced it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdst::prelude::*;
+use std::sync::Arc;
+
+use mdst_bench::substrate::{build_baseline_adjacency, build_csr, e9_workload_edges};
+
+fn bench_construction(c: &mut Criterion) {
+    let (n, edges) = e9_workload_edges();
+    let mut group = c.benchmark_group("e9_graph_construction_5k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+        b.iter(|| std::hint::black_box(build_csr(n, &edges)))
+    });
+    group.bench_with_input(BenchmarkId::new("baseline_vecvec", n), &n, |b, _| {
+        b.iter(|| std::hint::black_box(build_baseline_adjacency(n, &edges)))
+    });
+    group.finish();
+}
+
+fn bench_neighbor_iteration(c: &mut Criterion) {
+    let (n, edges) = e9_workload_edges();
+    let graph = build_csr(n, &edges);
+    let baseline = build_baseline_adjacency(n, &edges);
+    let mut group = c.benchmark_group("e9_neighbor_sweep_5k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_with_input(BenchmarkId::new("csr_iter", n), &n, |b, _| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for u in graph.nodes() {
+                for v in graph.neighbors(u) {
+                    acc = acc.wrapping_add(v.index());
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("csr_slice", n), &n, |b, _| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for u in graph.nodes() {
+                for &v in graph.neighbor_slice(u) {
+                    acc = acc.wrapping_add(v.index());
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("baseline_vecvec", n), &n, |b, _| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for row in &baseline {
+                for &(v, _) in row {
+                    acc = acc.wrapping_add(v.index());
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_per_run_topology_cost(c: &mut Criterion) {
+    let (n, edges) = e9_workload_edges();
+    let graph = Arc::new(build_csr(n, &edges));
+    let mut group = c.benchmark_group("e9_per_run_topology_5k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    // What every backend used to do once per run.
+    group.bench_with_input(BenchmarkId::new("rematerialize", n), &n, |b, _| {
+        b.iter(|| {
+            let neighbors: Vec<Vec<NodeId>> = (0..n)
+                .map(|u| graph.neighbors(NodeId(u)).collect())
+                .collect();
+            std::hint::black_box(neighbors)
+        })
+    });
+    // What a run costs now.
+    group.bench_with_input(BenchmarkId::new("arc_clone", n), &n, |b, _| {
+        b.iter(|| std::hint::black_box(Arc::clone(&graph)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_neighbor_iteration,
+    bench_per_run_topology_cost
+);
+criterion_main!(benches);

@@ -3,13 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_initial_tree_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_initial_tree_sensitivity");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
-    let graph = generators::gnp_connected(48, 0.1, 77).unwrap();
+    let graph = Arc::new(generators::gnp_connected(48, 0.1, 77).unwrap());
     for kind in InitialTreeKind::all(9) {
         let config = PipelineConfig {
             initial: kind,

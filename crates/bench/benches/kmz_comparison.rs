@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_kmz(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_kmz_complete_graphs");
@@ -10,7 +11,7 @@ fn bench_kmz(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &n in &[8usize, 16, 32] {
-        let graph = generators::complete(n).unwrap();
+        let graph = Arc::new(generators::complete(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_messages_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_messages_scaling");
@@ -10,7 +11,7 @@ fn bench_messages_scaling(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &n in &[16usize, 32, 64] {
-        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let graph = Arc::new(generators::star_with_leaf_edges(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::new("star_plus_path", n), &n, |b, _| {
             b.iter(|| {
@@ -18,7 +19,7 @@ fn bench_messages_scaling(c: &mut Criterion) {
                 std::hint::black_box(run.metrics.messages_total)
             })
         });
-        let gnp = generators::gnp_connected(n, 0.1, 7).unwrap();
+        let gnp = Arc::new(generators::gnp_connected(n, 0.1, 7).unwrap());
         let gnp_initial = algorithms::greedy_high_degree_tree(&gnp, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::new("gnp_0.1", n), &n, |b, _| {
             b.iter(|| {

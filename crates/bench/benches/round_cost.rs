@@ -4,17 +4,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 /// A graph and tree where only one exchange is possible: the hub's degree can
 /// drop exactly once, so a run is "one working round plus one closing round".
-fn one_improvement_instance(branches: usize) -> (Graph, RootedTree) {
-    let graph = generators::high_optimum(branches, 2).unwrap();
+fn one_improvement_instance(branches: usize) -> (Arc<Graph>, RootedTree) {
+    let graph = Arc::new(generators::high_optimum(branches, 2).unwrap());
     // Add one extra edge between the tips of the first two branches so exactly
     // one exchange becomes available when the initial tree hangs both branch
     // interiors off the hub... the simplest such instance is the wheel.
     let graph = {
         let _ = graph;
-        generators::wheel(branches + 1).unwrap()
+        Arc::new(generators::wheel(branches + 1).unwrap())
     };
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     (graph, initial)

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_runtime_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("a4_runtime_comparison");
@@ -12,7 +13,7 @@ fn bench_runtime_comparison(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &n in &[16usize, 32] {
-        let graph = generators::gnp_connected(n, 0.15, 3).unwrap();
+        let graph = Arc::new(generators::gnp_connected(n, 0.15, 3).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::new("simulator", n), &n, |b, _| {
             b.iter(|| {

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn bench_time_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_time_scaling");
@@ -10,7 +11,7 @@ fn bench_time_scaling(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     for &n in &[16usize, 32, 64] {
-        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let graph = Arc::new(generators::star_with_leaf_edges(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

@@ -6,6 +6,7 @@
 use crate::table::Table;
 use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn fmt_f(x: f64) -> String {
@@ -21,17 +22,17 @@ pub fn e1_message_scaling() -> Table {
             "workload", "n", "m", "k", "k*", "rounds", "messages", "budget", "ratio",
         ],
     );
-    let mut workloads: Vec<(String, Graph)> = Vec::new();
+    let mut workloads: Vec<(String, Arc<Graph>)> = Vec::new();
     for &n in &[32usize, 64, 128] {
         for &p in &[0.05f64, 0.15] {
             workloads.push((
                 format!("gnp({n},{p})"),
-                generators::gnp_connected(n, p, 1000 + n as u64).unwrap(),
+                Arc::new(generators::gnp_connected(n, p, 1000 + n as u64).unwrap()),
             ));
         }
         workloads.push((
             format!("star+path({n})"),
-            generators::star_with_leaf_edges(n).unwrap(),
+            Arc::new(generators::star_with_leaf_edges(n).unwrap()),
         ));
     }
     for (name, graph) in workloads {
@@ -63,7 +64,7 @@ pub fn e2_time_scaling() -> Table {
         &["workload", "n", "k", "k*", "time", "budget", "ratio"],
     );
     for &n in &[16usize, 32, 64, 128] {
-        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let graph = Arc::new(generators::star_with_leaf_edges(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let k = initial.max_degree();
@@ -88,7 +89,7 @@ pub fn e3_round_breakdown() -> Table {
         "E3: messages by kind, total and per round (star+path(32), greedy-hub seed)",
         &["kind", "total", "per round", "paper per-round bound"],
     );
-    let graph = generators::star_with_leaf_edges(32).unwrap();
+    let graph = Arc::new(generators::star_with_leaf_edges(32).unwrap());
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
     let rounds = run.rounds as f64;
@@ -128,7 +129,7 @@ pub fn e4_message_size() -> Table {
         &["n", "log2(n)", "max bits", "mean bits"],
     );
     for &n in &[8usize, 16, 32, 64, 128, 256] {
-        let graph = generators::star_with_leaf_edges(n).unwrap();
+        let graph = Arc::new(generators::star_with_leaf_edges(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         table.add_row(vec![
@@ -156,30 +157,36 @@ pub fn e5_approximation_quality() -> Table {
             "gap to opt",
         ],
     );
-    let small: Vec<(String, Graph)> = vec![
-        ("complete(10)".into(), generators::complete(10).unwrap()),
+    let small: Vec<(String, Arc<Graph>)> = vec![
+        (
+            "complete(10)".into(),
+            Arc::new(generators::complete(10).unwrap()),
+        ),
         (
             "star+path(12)".into(),
-            generators::star_with_leaf_edges(12).unwrap(),
+            Arc::new(generators::star_with_leaf_edges(12).unwrap()),
         ),
-        ("wheel(10)".into(), generators::wheel(10).unwrap()),
+        ("wheel(10)".into(), Arc::new(generators::wheel(10).unwrap())),
         (
             "K(3,7)".into(),
-            generators::complete_bipartite(3, 7).unwrap(),
+            Arc::new(generators::complete_bipartite(3, 7).unwrap()),
         ),
-        ("petersen".into(), generators::petersen().unwrap()),
-        ("broom(4,2)".into(), generators::high_optimum(4, 2).unwrap()),
+        ("petersen".into(), Arc::new(generators::petersen().unwrap())),
+        (
+            "broom(4,2)".into(),
+            Arc::new(generators::high_optimum(4, 2).unwrap()),
+        ),
         (
             "gnp(12,0.25)#1".into(),
-            generators::gnp_connected(12, 0.25, 1).unwrap(),
+            Arc::new(generators::gnp_connected(12, 0.25, 1).unwrap()),
         ),
         (
             "gnp(12,0.25)#2".into(),
-            generators::gnp_connected(12, 0.25, 2).unwrap(),
+            Arc::new(generators::gnp_connected(12, 0.25, 2).unwrap()),
         ),
         (
             "gnp(12,0.25)#3".into(),
-            generators::gnp_connected(12, 0.25, 3).unwrap(),
+            Arc::new(generators::gnp_connected(12, 0.25, 3).unwrap()),
         ),
     ];
     for (name, graph) in small {
@@ -199,7 +206,7 @@ pub fn e5_approximation_quality() -> Table {
     }
     // Larger instances: exact is out of reach, report against the lower bound.
     for &n in &[64usize, 128] {
-        let graph = generators::gnp_connected(n, 0.08, 5).unwrap();
+        let graph = Arc::new(generators::gnp_connected(n, 0.08, 5).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         table.add_row(vec![
@@ -222,7 +229,7 @@ pub fn e6_kmz_comparison() -> Table {
         &["n", "m", "k*", "messages", "n^2/k*", "ratio"],
     );
     for &n in &[8usize, 16, 32, 64] {
-        let graph = generators::complete(n).unwrap();
+        let graph = Arc::new(generators::complete(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let k_star = run.final_tree.max_degree();
@@ -303,21 +310,30 @@ pub fn a1_algorithm_comparison() -> Table {
             "LB",
         ],
     );
-    let workloads: Vec<(String, Graph)> = vec![
-        ("complete(24)".into(), generators::complete(24).unwrap()),
+    let workloads: Vec<(String, Arc<Graph>)> = vec![
+        (
+            "complete(24)".into(),
+            Arc::new(generators::complete(24).unwrap()),
+        ),
         (
             "star+path(24)".into(),
-            generators::star_with_leaf_edges(24).unwrap(),
+            Arc::new(generators::star_with_leaf_edges(24).unwrap()),
         ),
-        ("grid(5x5)".into(), generators::grid(5, 5).unwrap()),
-        ("hypercube(5)".into(), generators::hypercube(5).unwrap()),
+        (
+            "grid(5x5)".into(),
+            Arc::new(generators::grid(5, 5).unwrap()),
+        ),
+        (
+            "hypercube(5)".into(),
+            Arc::new(generators::hypercube(5).unwrap()),
+        ),
         (
             "gnp(40,0.1)".into(),
-            generators::gnp_connected(40, 0.1, 13).unwrap(),
+            Arc::new(generators::gnp_connected(40, 0.1, 13).unwrap()),
         ),
         (
             "geometric(40)".into(),
-            generators::random_geometric_connected(40, 0.25, 13).unwrap(),
+            Arc::new(generators::random_geometric_connected(40, 0.25, 13).unwrap()),
         ),
     ];
     for (name, graph) in workloads {
@@ -349,7 +365,7 @@ pub fn a2_delay_sensitivity() -> Table {
             "quiescence clock",
         ],
     );
-    let graph = generators::gnp_connected(32, 0.12, 8).unwrap();
+    let graph = Arc::new(generators::gnp_connected(32, 0.12, 8).unwrap());
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     let models: Vec<(String, DelayModel)> = vec![
         ("unit".into(), DelayModel::Unit),
@@ -407,11 +423,11 @@ pub fn a3_improvement_policy() -> Table {
             "optimum",
         ],
     );
-    let workloads: Vec<(String, Graph)> = (0..6u64)
+    let workloads: Vec<(String, Arc<Graph>)> = (0..6u64)
         .map(|seed| {
             (
                 format!("gnp(14,0.2)#{seed}"),
-                generators::gnp_connected(14, 0.2, seed).unwrap(),
+                Arc::new(generators::gnp_connected(14, 0.2, seed).unwrap()),
             )
         })
         .collect();
@@ -446,7 +462,7 @@ pub fn a4_runtime_comparison() -> Table {
         ],
     );
     for &n in &[16usize, 32, 64] {
-        let graph = generators::gnp_connected(n, 0.12, 3).unwrap();
+        let graph = Arc::new(generators::gnp_connected(n, 0.12, 3).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let t0 = Instant::now();
         let sim = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
@@ -485,7 +501,7 @@ pub fn f1_figure1() -> Table {
     for (u, v) in [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (3, 5)] {
         builder.add_edge(NodeId(u), NodeId(v)).unwrap();
     }
-    let graph = builder.build();
+    let graph = Arc::new(builder.build());
     let parents = vec![
         None,
         Some(NodeId(0)),
@@ -545,7 +561,7 @@ pub fn f2_figure2() -> Table {
     }
     builder.add_edge(NodeId(7), NodeId(8)).unwrap();
     builder.add_edge(NodeId(8), NodeId(9)).unwrap();
-    let graph = builder.build();
+    let graph = Arc::new(builder.build());
     let initial = RootedTree::from_edges(
         10,
         NodeId(0),
@@ -576,6 +592,89 @@ pub fn f2_figure2() -> Table {
     table
 }
 
+/// E9 — the CSR graph substrate against the former nested-vector adjacency,
+/// timed on the operations a campaign pays per run: building the topology,
+/// sweeping every neighbour list, and preparing a run's topology view (the
+/// `Arc::clone` that replaced the per-run adjacency re-materialisation).
+/// The criterion sibling lives in `benches/graph_substrate.rs`; this table
+/// records the same comparison in the harness output.
+pub fn e9_graph_substrate() -> Table {
+    use crate::substrate;
+    let mut table = Table::new(
+        "E9: CSR substrate vs Vec<Vec> adjacency baseline (random_connected(5000, 15000))",
+        &["operation", "csr (µs)", "baseline (µs)", "speedup"],
+    );
+    let (n, edges) = substrate::e9_workload_edges();
+    let build_baseline = || substrate::build_baseline_adjacency(n, &edges);
+    let build_csr = || substrate::build_csr(n, &edges);
+    const REPS: u32 = 5;
+    let time_us = |f: &dyn Fn()| {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / REPS as f64
+    };
+
+    let csr_build = time_us(&|| {
+        std::hint::black_box(build_csr());
+    });
+    let base_build = time_us(&|| {
+        std::hint::black_box(build_baseline());
+    });
+    table.add_row(vec![
+        "construction".into(),
+        fmt_f(csr_build),
+        fmt_f(base_build),
+        fmt_f(base_build / csr_build),
+    ]);
+
+    let graph = build_csr();
+    let baseline = build_baseline();
+    let csr_sweep = time_us(&|| {
+        let mut acc = 0usize;
+        for u in graph.nodes() {
+            for &v in graph.neighbor_slice(u) {
+                acc = acc.wrapping_add(v.index());
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let base_sweep = time_us(&|| {
+        let mut acc = 0usize;
+        for row in &baseline {
+            for &(v, _) in row {
+                acc = acc.wrapping_add(v.index());
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    table.add_row(vec![
+        "full neighbour sweep".into(),
+        fmt_f(csr_sweep),
+        fmt_f(base_sweep),
+        fmt_f(base_sweep / csr_sweep),
+    ]);
+
+    let shared = Arc::new(graph);
+    let arc_view = time_us(&|| {
+        std::hint::black_box(Arc::clone(&shared));
+    });
+    let remat = time_us(&|| {
+        let neighbors: Vec<Vec<NodeId>> = (0..n)
+            .map(|u| shared.neighbors(NodeId(u)).collect())
+            .collect();
+        std::hint::black_box(neighbors);
+    });
+    table.add_row(vec![
+        "per-run topology view".into(),
+        fmt_f(arc_view),
+        fmt_f(remat),
+        fmt_f(remat / arc_view.max(1e-3)),
+    ]);
+    table
+}
+
 /// An experiment: a nullary function producing its table.
 pub type ExperimentFn = fn() -> Table;
 
@@ -591,6 +690,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e5", e5_approximation_quality),
         ("e6", e6_kmz_comparison),
         ("e7", e7_initial_tree_sensitivity),
+        ("e9", e9_graph_substrate),
         ("a1", a1_algorithm_comparison),
         ("a2", a2_delay_sensitivity),
         ("a3", a3_improvement_policy),
@@ -624,7 +724,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 14);
         let ids: std::collections::BTreeSet<&str> = all.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.len(), all.len());
     }

@@ -1,0 +1,68 @@
+//! Shared fixtures of experiment E9: the CSR graph substrate measured against
+//! the former nested-vector adjacency. Both the criterion bench
+//! (`benches/graph_substrate.rs`) and the harness table
+//! ([`crate::experiments::e9_graph_substrate`]) compare against *this* one
+//! baseline replica, so the two reports can never drift apart.
+
+use mdst::graph::EdgeId;
+use mdst::prelude::*;
+
+/// Node count of the E9 workload.
+pub const E9_NODES: usize = 5_000;
+
+/// The E9 workload: a 5,000-node random connected graph with 3n extra edges,
+/// flattened to its edge list (the input both builders consume).
+pub fn e9_workload_edges() -> (usize, Vec<(NodeId, NodeId)>) {
+    let graph = generators::random_connected(E9_NODES, 3 * E9_NODES, 17).unwrap();
+    (graph.node_count(), graph.edges().collect())
+}
+
+/// The pre-CSR build, replicated faithfully end to end: the old
+/// `GraphBuilder` also deduplicated through a `BTreeSet`, then filled
+/// per-node `Vec`s and sorted each row by neighbour — so both sides of the
+/// construction comparison pay the same edge-set maintenance and differ only
+/// in the assembly.
+pub fn build_baseline_adjacency(
+    n: usize,
+    edges: &[(NodeId, NodeId)],
+) -> Vec<Vec<(NodeId, EdgeId)>> {
+    let mut set = std::collections::BTreeSet::new();
+    for &(u, v) in edges {
+        set.insert(if u < v { (u, v) } else { (v, u) });
+    }
+    let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
+    for (i, (u, v)) in set.into_iter().enumerate() {
+        adj[u.index()].push((v, EdgeId(i)));
+        adj[v.index()].push((u, EdgeId(i)));
+    }
+    for row in &mut adj {
+        row.sort_unstable_by_key(|&(v, _)| v);
+    }
+    adj
+}
+
+/// The CSR build from the same edge list, through the real `GraphBuilder`.
+pub fn build_csr(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        builder.add_edge(u, v).unwrap();
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_and_csr_agree_on_the_workload() {
+        let (n, edges) = e9_workload_edges();
+        let graph = build_csr(n, &edges);
+        let baseline = build_baseline_adjacency(n, &edges);
+        assert_eq!(graph.node_count(), n);
+        for u in graph.nodes() {
+            let row: Vec<(NodeId, EdgeId)> = graph.neighbors_with_edges(u).collect();
+            assert_eq!(row, baseline[u.index()]);
+        }
+    }
+}

@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn paper_degree_bound_admits_the_local_search_result() {
         for seed in 0..4u64 {
-            let g = generators::gnp_connected(24, 0.2, seed).unwrap();
+            let g = std::sync::Arc::new(generators::gnp_connected(24, 0.2, seed).unwrap());
             let initial = mdst_graph::algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
             let run = crate::driver::run_distributed_mdst(
                 &g,

@@ -705,7 +705,10 @@ mod tests {
 
     /// Runs the improvement protocol on `graph` starting from `initial` and
     /// returns the final tree plus the simulator.
-    fn run(graph: &mdst_graph::Graph, initial: &RootedTree) -> (RootedTree, Simulator<MdstNode>) {
+    fn run(
+        graph: &std::sync::Arc<mdst_graph::Graph>,
+        initial: &RootedTree,
+    ) -> (RootedTree, Simulator<MdstNode>) {
         let nodes = MdstNode::from_tree(initial);
         let mut sim = Simulator::new(graph, SimConfig::default(), |id, _| {
             nodes[id.index()].clone()
@@ -724,7 +727,7 @@ mod tests {
         // The canonical worst case: the graph is a star plus a path through the
         // leaves; the initial tree is the star (degree n − 1); the optimum is a
         // Hamiltonian path of degree 2.
-        let g = generators::star_with_leaf_edges(8).unwrap();
+        let g = std::sync::Arc::new(generators::star_with_leaf_edges(8).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
         assert_eq!(initial.max_degree(), 7);
         let (final_tree, _) = run(&g, &initial);
@@ -734,13 +737,13 @@ mod tests {
 
     #[test]
     fn single_node_and_single_edge_terminate_immediately() {
-        let g1 = mdst_graph::Graph::empty(1);
+        let g1 = std::sync::Arc::new(mdst_graph::Graph::empty(1));
         let t1 = RootedTree::from_parents(NodeId(0), vec![None]).unwrap();
         let (f1, sim1) = run(&g1, &t1);
         assert_eq!(f1.node_count(), 1);
         assert_eq!(sim1.metrics().messages_total, 0);
 
-        let g2 = generators::path(2).unwrap();
+        let g2 = std::sync::Arc::new(generators::path(2).unwrap());
         let t2 = algorithms::bfs_tree(&g2, NodeId(0)).unwrap();
         let (f2, _) = run(&g2, &t2);
         assert_eq!(f2.max_degree(), 1);
@@ -748,7 +751,7 @@ mod tests {
 
     #[test]
     fn already_optimal_chain_stops_after_one_search() {
-        let g = generators::cycle(8).unwrap();
+        let g = std::sync::Arc::new(generators::cycle(8).unwrap());
         let initial = algorithms::dfs_tree(&g, NodeId(0)).unwrap();
         assert_eq!(initial.max_degree(), 2);
         let (final_tree, sim) = run(&g, &initial);
@@ -761,7 +764,7 @@ mod tests {
 
     #[test]
     fn degree_never_increases_and_improves_on_complete_graph() {
-        let g = generators::complete(10).unwrap();
+        let g = std::sync::Arc::new(generators::complete(10).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
         assert_eq!(initial.max_degree(), 9);
         let (final_tree, sim) = run(&g, &initial);
@@ -781,7 +784,7 @@ mod tests {
     #[test]
     fn random_graphs_yield_valid_locally_improved_trees() {
         for seed in 0..6u64 {
-            let g = generators::gnp_connected(26, 0.15, seed).unwrap();
+            let g = std::sync::Arc::new(generators::gnp_connected(26, 0.15, seed).unwrap());
             let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
             let (final_tree, _) = run(&g, &initial);
             assert!(
@@ -795,7 +798,7 @@ mod tests {
     #[test]
     fn works_under_adversarial_delays() {
         use mdst_netsim::DelayModel;
-        let g = generators::gnp_connected(20, 0.2, 3).unwrap();
+        let g = std::sync::Arc::new(generators::gnp_connected(20, 0.2, 3).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
         let unit_final = {
             let (t, _) = run(&g, &initial);

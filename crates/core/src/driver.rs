@@ -17,6 +17,7 @@ use mdst_graph::{GraphError, NodeId, RootedTree};
 use mdst_netsim::{ExecConfig, ExecStatus, ExecutorKind, Metrics, SimConfig};
 use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Result of running the distributed improvement on one initial tree.
 #[derive(Debug, Clone, Serialize)]
@@ -132,7 +133,7 @@ impl PipelineReport {
 /// discrete-event simulator. Shorthand for [`run_distributed_mdst_on`] with
 /// [`ExecutorKind::Sim`].
 pub fn run_distributed_mdst(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     initial: &RootedTree,
     sim_config: SimConfig,
 ) -> Result<MdstRun, GraphError> {
@@ -151,7 +152,7 @@ pub fn run_distributed_mdst(
 /// wall time) differs.
 pub fn run_distributed_mdst_on(
     executor: ExecutorKind,
-    graph: &Graph,
+    graph: &Arc<Graph>,
     initial: &RootedTree,
     config: &ExecConfig,
 ) -> Result<MdstRun, GraphError> {
@@ -243,7 +244,7 @@ pub struct FaultPipelineReport {
 /// run yields `correct_tree = true` with exactly the numbers
 /// [`run_pipeline`] would report.
 pub fn run_pipeline_with_faults(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     config: &PipelineConfig,
 ) -> Result<FaultPipelineReport, GraphError> {
     let (initial_tree, construction_metrics) =
@@ -288,7 +289,10 @@ pub fn run_pipeline_with_faults(
 
 /// Runs the full pipeline (construction + improvement) and assembles the
 /// experiment report.
-pub fn run_pipeline(graph: &Graph, config: &PipelineConfig) -> Result<PipelineReport, GraphError> {
+pub fn run_pipeline(
+    graph: &Arc<Graph>,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, GraphError> {
     let (initial_tree, construction_metrics) =
         build_initial_tree(graph, config.root, config.initial)?;
     let run =
@@ -317,7 +321,7 @@ mod tests {
 
     #[test]
     fn pipeline_report_carries_consistent_numbers() {
-        let g = generators::star_with_leaf_edges(12).unwrap();
+        let g = Arc::new(generators::star_with_leaf_edges(12).unwrap());
         let report = run_pipeline(&g, &PipelineConfig::default()).unwrap();
         assert_eq!(report.n, 12);
         assert_eq!(report.m, g.edge_count());
@@ -335,7 +339,7 @@ mod tests {
 
     #[test]
     fn paper_budgets_scale_with_degree_drop() {
-        let g = generators::complete(9).unwrap();
+        let g = Arc::new(generators::complete(9).unwrap());
         let report = run_pipeline(&g, &PipelineConfig::default()).unwrap();
         assert_eq!(
             report.paper_message_budget(),
@@ -349,7 +353,7 @@ mod tests {
 
     #[test]
     fn distributed_initial_trees_report_construction_metrics() {
-        let g = generators::gnp_connected(24, 0.2, 9).unwrap();
+        let g = Arc::new(generators::gnp_connected(24, 0.2, 9).unwrap());
         let config = PipelineConfig {
             initial: InitialTreeKind::DistributedFlooding,
             ..Default::default()
@@ -361,7 +365,7 @@ mod tests {
 
     #[test]
     fn benign_fault_pipeline_matches_the_strict_pipeline() {
-        let g = generators::gnp_connected(18, 0.25, 3).unwrap();
+        let g = Arc::new(generators::gnp_connected(18, 0.25, 3).unwrap());
         let config = PipelineConfig::default();
         let strict = run_pipeline(&g, &config).unwrap();
         let faulty = run_pipeline_with_faults(&g, &config).unwrap();
@@ -383,7 +387,7 @@ mod tests {
     fn heavy_loss_is_an_outcome_not_an_error() {
         // Losing 70% of all messages wrecks the improvement protocol; the
         // fault pipeline must classify the wreckage instead of erroring.
-        let g = generators::star_with_leaf_edges(12).unwrap();
+        let g = Arc::new(generators::star_with_leaf_edges(12).unwrap());
         let config = PipelineConfig {
             sim: SimConfig {
                 faults: mdst_netsim::FaultPlan {
@@ -412,7 +416,7 @@ mod tests {
 
     #[test]
     fn crashes_shrink_the_survivor_component() {
-        let g = generators::gnp_connected(16, 0.3, 9).unwrap();
+        let g = Arc::new(generators::gnp_connected(16, 0.3, 9).unwrap());
         let config = PipelineConfig {
             sim: SimConfig {
                 faults: mdst_netsim::FaultPlan {
@@ -437,7 +441,7 @@ mod tests {
     fn every_executor_backend_drives_the_pipeline_to_the_same_tree() {
         // The improvement protocol is message-deterministic: whichever
         // backend schedules it, the locally optimal tree is the same.
-        let g = generators::star_with_leaf_edges(14).unwrap();
+        let g = Arc::new(generators::star_with_leaf_edges(14).unwrap());
         let reference = run_pipeline(&g, &PipelineConfig::default()).unwrap();
         for executor in ExecutorKind::all() {
             let config = PipelineConfig {
@@ -459,7 +463,7 @@ mod tests {
 
     #[test]
     fn fault_pipeline_runs_on_every_backend_under_benign_plans() {
-        let g = generators::gnp_connected(16, 0.3, 2).unwrap();
+        let g = Arc::new(generators::gnp_connected(16, 0.3, 2).unwrap());
         for executor in ExecutorKind::all() {
             let config = PipelineConfig {
                 executor,
@@ -475,7 +479,7 @@ mod tests {
 
     #[test]
     fn concurrent_backends_reject_fault_plans_loudly() {
-        let g = generators::path(6).unwrap();
+        let g = Arc::new(generators::path(6).unwrap());
         for executor in [ExecutorKind::Threaded, ExecutorKind::Pool] {
             let config = PipelineConfig {
                 executor,
@@ -498,7 +502,7 @@ mod tests {
 
     #[test]
     fn rejects_initial_trees_that_do_not_span_the_graph() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let other = generators::star(4).unwrap();
         let t = mdst_graph::algorithms::bfs_tree(&other, NodeId(0)).unwrap();
         assert!(run_distributed_mdst(&g, &t, SimConfig::default()).is_err());
@@ -506,7 +510,7 @@ mod tests {
 
     #[test]
     fn every_initial_kind_runs_through_the_pipeline() {
-        let g = generators::gnp_connected(20, 0.25, 5).unwrap();
+        let g = Arc::new(generators::gnp_connected(20, 0.25, 5).unwrap());
         for kind in InitialTreeKind::all(7) {
             let config = PipelineConfig {
                 initial: kind,

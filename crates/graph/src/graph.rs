@@ -1,9 +1,22 @@
-//! Undirected simple graph stored as adjacency lists.
+//! Undirected simple graph stored in CSR (compressed sparse row) layout.
 //!
 //! This is the communication graph of the paper's model: nodes are processors,
 //! edges are bidirectional, non-interfering links. The structure is immutable
 //! once built (networks do not change during a run), which lets the simulator
-//! and every protocol share it behind a plain reference.
+//! and every protocol share it behind a plain reference — or, at campaign
+//! scale, behind one `Arc<Graph>` borrowed by thousands of runs.
+//!
+//! The CSR layout keeps the whole topology in three flat arrays:
+//!
+//! * `offsets[u] .. offsets[u + 1]` delimits node `u`'s row,
+//! * `targets[row]` holds the neighbours, sorted by identity,
+//! * `edge_ids[row]` holds the connecting edge identifier in parallel.
+//!
+//! Compared to the former `Vec<Vec<(NodeId, EdgeId)>>` adjacency this is one
+//! allocation instead of `n + 1`, cache-linear neighbour iteration, and —
+//! crucially for the executor layer — neighbour lists are borrowable as plain
+//! `&[NodeId]` slices ([`Graph::neighbor_slice`]), so no runtime ever has to
+//! re-materialise per-node neighbour vectors before a run.
 
 use crate::error::GraphError;
 use crate::node::NodeId;
@@ -23,16 +36,23 @@ impl EdgeId {
     }
 }
 
-/// An immutable undirected simple graph (no self loops, no parallel edges).
+/// An immutable undirected simple graph (no self loops, no parallel edges) in
+/// CSR layout.
 ///
-/// Nodes are the dense range `0..node_count()`; adjacency lists are kept sorted
+/// Nodes are the dense range `0..node_count()`; each CSR row is kept sorted
 /// by neighbour identity so iteration order is deterministic, which in turn
 /// keeps the discrete-event simulator reproducible.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    /// `adj[u]` lists `(neighbour, edge id)` pairs sorted by neighbour.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
-    /// Edge table: `edges[e] = (u, v)` with `u < v`.
+    /// Row boundaries: node `u`'s neighbours live at `offsets[u]..offsets[u+1]`.
+    /// Always `n + 1` entries with `offsets[0] == 0` and `offsets[n] == 2·|E|`.
+    offsets: Vec<usize>,
+    /// Neighbour identities, sorted within each row. Length `2·|E|`.
+    targets: Vec<NodeId>,
+    /// Edge identifier of each `(row node, target)` incidence, parallel to
+    /// `targets`. Length `2·|E|`.
+    edge_ids: Vec<EdgeId>,
+    /// Edge table: `edges[e] = (u, v)` with `u < v`, sorted lexicographically.
     edges: Vec<(NodeId, NodeId)>,
 }
 
@@ -40,7 +60,9 @@ impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
         Graph {
-            adj: vec![Vec::new(); n],
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            edge_ids: Vec::new(),
             edges: Vec::new(),
         }
     }
@@ -48,7 +70,7 @@ impl Graph {
     /// Number of nodes `|V|`.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges `|E|`.
@@ -80,20 +102,39 @@ impl Graph {
         self.edges[e.index()]
     }
 
+    /// The CSR row bounds of node `u`.
+    #[inline]
+    fn row(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.offsets[u.index()]..self.offsets[u.index() + 1]
+    }
+
+    /// Sorted neighbours of `u` as a borrowable slice. This is the zero-copy
+    /// view the executor backends hand to protocol factories: it lives as
+    /// long as the graph, so a shared `Arc<Graph>` serves every run without
+    /// per-run adjacency re-materialisation.
+    #[inline]
+    pub fn neighbor_slice(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.row(u)]
+    }
+
     /// Sorted neighbours of `u`.
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.adj[u.index()].iter().map(|&(v, _)| v)
+        self.neighbor_slice(u).iter().copied()
     }
 
     /// Sorted neighbours of `u` together with the connecting edge identifiers.
     pub fn neighbors_with_edges(&self, u: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
-        self.adj[u.index()].iter().copied()
+        let row = self.row(u);
+        self.targets[row.clone()]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[row].iter().copied())
     }
 
     /// Degree of `u` in the graph (number of incident links).
     #[inline]
     pub fn degree(&self, u: NodeId) -> usize {
-        self.adj[u.index()].len()
+        self.row(u).len()
     }
 
     /// Maximum degree over all nodes, `0` for the empty graph.
@@ -122,10 +163,11 @@ impl Graph {
         if u.index() >= self.node_count() || v.index() >= self.node_count() {
             return None;
         }
-        self.adj[u.index()]
-            .binary_search_by_key(&v, |&(w, _)| w)
+        let row = self.row(u);
+        self.targets[row.clone()]
+            .binary_search(&v)
             .ok()
-            .map(|pos| self.adj[u.index()][pos].1)
+            .map(|pos| self.edge_ids[row.start + pos])
     }
 
     /// Checks that `u` is a valid node of this graph.
@@ -142,7 +184,7 @@ impl Graph {
 
     /// Sum of all degrees; always `2·|E|`.
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.targets.len()
     }
 
     /// Returns the complement set of edges (pairs of distinct nodes that are
@@ -183,8 +225,8 @@ impl Graph {
 /// Incremental builder for [`Graph`].
 ///
 /// The builder enforces the model's structural constraints (no self loops, no
-/// parallel edges, identifiers in range) and sorts adjacency lists on
-/// [`GraphBuilder::build`].
+/// parallel edges, identifiers in range) and assembles the CSR arrays directly
+/// on [`GraphBuilder::build`] — no intermediate per-node vectors.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
     n: usize,
@@ -259,19 +301,46 @@ impl GraphBuilder {
         Ok(true)
     }
 
-    /// Finalises the graph.
+    /// Finalises the graph, assembling the CSR arrays in two passes: a degree
+    /// count, then a single placement sweep over the lexicographically sorted
+    /// edge set.
+    ///
+    /// Each row comes out sorted without a per-row sort: for row `w`, the
+    /// neighbours `x < w` arrive from edges `(x, w)` in increasing `x` (every
+    /// such edge precedes any `(w, ·)` edge lexicographically), and the
+    /// neighbours `y > w` arrive from edges `(w, y)` in increasing `y`.
     pub fn build(self) -> Graph {
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
-        let mut edges = Vec::with_capacity(self.edges.len());
+        let n = self.n;
+        let m = self.edges.len();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![NodeId(0); 2 * m];
+        let mut edge_ids = vec![EdgeId(0); 2 * m];
+        let mut cursor = offsets.clone();
+        let mut edges = Vec::with_capacity(m);
         for (i, (u, v)) in self.edges.into_iter().enumerate() {
-            adj[u.index()].push((v, EdgeId(i)));
-            adj[v.index()].push((u, EdgeId(i)));
+            let cu = cursor[u.index()];
+            targets[cu] = v;
+            edge_ids[cu] = EdgeId(i);
+            cursor[u.index()] += 1;
+            let cv = cursor[v.index()];
+            targets[cv] = u;
+            edge_ids[cv] = EdgeId(i);
+            cursor[v.index()] += 1;
             edges.push((u, v));
         }
-        for list in &mut adj {
-            list.sort_unstable_by_key(|&(v, _)| v);
+        Graph {
+            offsets,
+            targets,
+            edge_ids,
+            edges,
         }
-        Graph { adj, edges }
     }
 }
 
@@ -349,12 +418,35 @@ mod tests {
     }
 
     #[test]
+    fn neighbor_slices_match_the_iterator_view() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 4), (1, 2), (2, 3), (3, 4), (1, 4)]).unwrap();
+        for u in g.nodes() {
+            let from_iter: Vec<NodeId> = g.neighbors(u).collect();
+            assert_eq!(g.neighbor_slice(u), from_iter.as_slice());
+            assert_eq!(g.neighbor_slice(u).len(), g.degree(u));
+            assert!(g.neighbor_slice(u).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
     fn edge_ids_are_stable_and_consistent() {
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         for (id, u, v) in g.edges_with_ids() {
             assert_eq!(g.endpoints(id), (u, v));
             assert_eq!(g.edge_id(u, v), Some(id));
             assert_eq!(g.edge_id(v, u), Some(id));
+        }
+    }
+
+    #[test]
+    fn neighbors_with_edges_agrees_with_edge_id() {
+        let g = graph_from_edges(5, &[(0, 2), (2, 4), (1, 2), (0, 4)]).unwrap();
+        for u in g.nodes() {
+            for (v, e) in g.neighbors_with_edges(u) {
+                assert_eq!(g.edge_id(u, v), Some(e));
+                let (a, b) = g.endpoints(e);
+                assert!((a, b) == (u, v) || (a, b) == (v, u));
+            }
         }
     }
 

@@ -12,8 +12,9 @@
 //! use mdst::prelude::*;
 //!
 //! // A network: a star whose leaves also form a path (the paper's worst case
-//! // for an initial spanning tree of degree n − 1).
-//! let graph = generators::star_with_leaf_edges(10).unwrap();
+//! // for an initial spanning tree of degree n − 1). Topologies are shared
+//! // behind an `Arc` so campaigns can reuse one CSR graph across runs.
+//! let graph = Arc::new(generators::star_with_leaf_edges(10).unwrap());
 //!
 //! // Full pipeline: build an initial spanning tree with the greedy-hub
 //! // construction, then run the distributed improvement protocol.
@@ -80,6 +81,9 @@ pub mod prelude {
         ScenarioMatrix,
     };
     pub use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind, TreeState};
+    // Topologies are shared across executors and campaign runs behind an
+    // `Arc<Graph>`; re-exported so every example and doc test has it in scope.
+    pub use std::sync::Arc;
 }
 
 #[cfg(test)]
@@ -88,7 +92,7 @@ mod tests {
 
     #[test]
     fn prelude_exposes_a_working_pipeline() {
-        let graph = generators::complete(8).unwrap();
+        let graph = Arc::new(generators::complete(8).unwrap());
         let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
         assert!(report.final_degree <= 3);
         assert!(verify_termination_certificate(&graph, &report.final_tree));

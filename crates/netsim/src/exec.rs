@@ -32,6 +32,7 @@ use crate::threaded::ThreadedRuntime;
 use crate::trace::TraceRecorder;
 use mdst_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which backend executes a run. The string forms (`"sim"`, `"threaded"`,
@@ -84,7 +85,7 @@ impl ExecutorKind {
     /// struct; this is the dynamic-dispatch entry the campaign runner uses.
     pub fn run<P, F>(
         self,
-        graph: &Graph,
+        graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
     ) -> Result<ExecRun<P>, SimError>
@@ -140,6 +141,11 @@ pub enum ExecStatus {
 
 /// The uniform result of one execution, whichever backend produced it.
 pub struct ExecRun<P> {
+    /// The shared topology the run executed on — the very `Arc` the caller
+    /// passed in, cloned, never a rebuilt copy. Campaign runners use pointer
+    /// equality on this field to assert that no backend re-materialises
+    /// adjacency per run.
+    pub topology: Arc<Graph>,
     /// Final protocol state of every node, indexed by identity.
     pub nodes: Vec<P>,
     /// Aggregated metrics (message counts, bits, causal depth, faults).
@@ -189,7 +195,7 @@ pub trait Executor {
     /// configuration asks for something the backend cannot honor.
     fn run<P, F>(
         &self,
-        graph: &Graph,
+        graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
     ) -> Result<ExecRun<P>, SimError>
@@ -208,7 +214,7 @@ impl Executor for SimExecutor {
 
     fn run<P, F>(
         &self,
-        graph: &Graph,
+        graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
     ) -> Result<ExecRun<P>, SimError>
@@ -227,6 +233,7 @@ impl Executor for SimExecutor {
         let crashed = sim.crashed().to_vec();
         let (nodes, metrics, trace) = sim.into_parts();
         Ok(ExecRun {
+            topology: Arc::clone(graph),
             nodes,
             metrics,
             trace,
@@ -303,7 +310,7 @@ impl Executor for ThreadedExecutor {
 
     fn run<P, F>(
         &self,
-        graph: &Graph,
+        graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
     ) -> Result<ExecRun<P>, SimError>
@@ -315,6 +322,7 @@ impl Executor for ThreadedExecutor {
         let run = ThreadedRuntime::run_capped(graph, factory, config.sim.max_events);
         let n = graph.node_count();
         Ok(ExecRun {
+            topology: Arc::clone(graph),
             nodes: run.nodes,
             metrics: run.metrics,
             trace: TraceRecorder::disabled(),
@@ -336,7 +344,7 @@ impl Executor for PoolExecutor {
 
     fn run<P, F>(
         &self,
-        graph: &Graph,
+        graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
     ) -> Result<ExecRun<P>, SimError>
@@ -353,6 +361,7 @@ impl Executor for PoolExecutor {
         let run = PoolRuntime::run(graph, factory, &pool_config)?;
         let n = graph.node_count();
         Ok(ExecRun {
+            topology: Arc::clone(graph),
             nodes: run.nodes,
             metrics: run.metrics,
             trace: TraceRecorder::disabled(),
@@ -385,7 +394,7 @@ mod tests {
     fn all_backends_agree_on_deterministic_message_totals() {
         // Flooding on a tree is schedule-independent: every backend must
         // deliver exactly the same multiset of messages.
-        let g = generators::path(10).unwrap();
+        let g = Arc::new(generators::path(10).unwrap());
         let config = ExecConfig::default();
         let mut totals = Vec::new();
         for kind in ExecutorKind::all() {
@@ -402,7 +411,7 @@ mod tests {
 
     #[test]
     fn concurrent_backends_reject_sim_only_configuration() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let delayed = ExecConfig {
             sim: SimConfig {
                 delay: DelayModel::UniformRandom {
@@ -445,7 +454,7 @@ mod tests {
 
     #[test]
     fn selected_start_is_pool_but_not_threaded() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let config = ExecConfig {
             sim: SimConfig {
                 start: StartModel::Selected(vec![NodeId(0)]),
@@ -464,7 +473,7 @@ mod tests {
 
     #[test]
     fn event_limit_is_uniform_across_backends() {
-        let g = generators::complete(8).unwrap();
+        let g = Arc::new(generators::complete(8).unwrap());
         let config = ExecConfig {
             sim: SimConfig {
                 max_events: 3,
@@ -480,7 +489,7 @@ mod tests {
 
     #[test]
     fn exec_run_reports_worker_counts() {
-        let g = generators::cycle(6).unwrap();
+        let g = Arc::new(generators::cycle(6).unwrap());
         let sim = ExecutorKind::Sim
             .run(&g, flood, &ExecConfig::default())
             .unwrap();

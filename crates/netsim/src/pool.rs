@@ -36,7 +36,7 @@ use crate::sim::{SimError, StartModel};
 use mdst_graph::{Graph, NodeId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Pool runtime configuration.
@@ -103,7 +103,9 @@ struct NodeCell<P: Protocol> {
 struct Shared<P: Protocol> {
     cells: Vec<Mutex<NodeCell<P>>>,
     queues: Vec<Mutex<VecDeque<usize>>>,
-    neighbors: Vec<Vec<NodeId>>,
+    /// Shared topology; workers borrow neighbour slices from its CSR rows,
+    /// so the pool allocates no per-run adjacency at all.
+    graph: Arc<Graph>,
     /// Queued-or-processing work units; zero means quiescent forever.
     in_flight: AtomicI64,
     processed: AtomicU64,
@@ -176,7 +178,7 @@ impl PoolRuntime {
     /// [`StartModel::Staggered`] return [`SimError::InvalidConfig`] instead
     /// of panicking (or silently succeeding) inside a worker.
     pub fn run<P, F>(
-        graph: &Graph,
+        graph: &Arc<Graph>,
         mut factory: F,
         config: &PoolConfig,
     ) -> Result<PoolRun<P>, SimError>
@@ -186,9 +188,6 @@ impl PoolRuntime {
     {
         let n = graph.node_count();
         let workers = Self::effective_workers(config.workers, n);
-        let neighbors: Vec<Vec<NodeId>> = (0..n)
-            .map(|u| graph.neighbors(NodeId(u)).collect())
-            .collect();
         let starters: Vec<usize> = match &config.start {
             StartModel::Selected(list) => {
                 if list.is_empty() {
@@ -223,7 +222,7 @@ impl PoolRuntime {
         let cells: Vec<Mutex<NodeCell<P>>> = (0..n)
             .map(|u| {
                 Mutex::new(NodeCell {
-                    protocol: factory(NodeId(u), &neighbors[u]),
+                    protocol: factory(NodeId(u), graph.neighbor_slice(NodeId(u))),
                     mailbox: VecDeque::new(),
                     scheduled: false,
                     pending_start: false,
@@ -247,7 +246,7 @@ impl PoolRuntime {
         let shared = Shared {
             cells,
             queues,
-            neighbors,
+            graph: Arc::clone(graph),
             in_flight: AtomicI64::new(starters.len() as i64),
             processed: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
@@ -403,7 +402,7 @@ fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &m
             };
             let mut ctx = PoolCtx {
                 id: NodeId(u),
-                neighbors: &shared.neighbors[u],
+                neighbors: shared.graph.neighbor_slice(NodeId(u)),
                 network_size: shared.n,
                 outbox: &mut outbox,
                 current_depth: wake_depth,
@@ -424,7 +423,7 @@ fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &m
         for envelope in batch {
             let mut ctx = PoolCtx {
                 id: NodeId(u),
-                neighbors: &shared.neighbors[u],
+                neighbors: shared.graph.neighbor_slice(NodeId(u)),
                 network_size: shared.n,
                 outbox: &mut outbox,
                 current_depth: envelope.causal_depth,
@@ -490,7 +489,7 @@ mod tests {
 
     #[test]
     fn flood_terminates_and_reaches_everyone() {
-        let g = generators::gnp_connected(60, 0.1, 4).unwrap();
+        let g = Arc::new(generators::gnp_connected(60, 0.1, 4).unwrap());
         let run = PoolRuntime::run(&g, flood, &PoolConfig::default()).unwrap();
         assert_eq!(run.status, ExecStatus::Quiesced);
         assert_eq!(run.nodes.len(), 60);
@@ -500,7 +499,7 @@ mod tests {
 
     #[test]
     fn message_totals_match_the_simulator_for_deterministic_protocols() {
-        let g = generators::path(16).unwrap();
+        let g = Arc::new(generators::path(16).unwrap());
         let run = PoolRuntime::run(&g, flood, &PoolConfig::default()).unwrap();
         let mut sim = Simulator::new(&g, SimConfig::default(), flood).unwrap();
         sim.run().unwrap();
@@ -515,7 +514,7 @@ mod tests {
 
     #[test]
     fn single_worker_pool_is_effectively_sequential_and_correct() {
-        let g = generators::complete(9).unwrap();
+        let g = Arc::new(generators::complete(9).unwrap());
         let run = PoolRuntime::run(
             &g,
             flood,
@@ -531,7 +530,7 @@ mod tests {
 
     #[test]
     fn worker_count_is_clamped_to_the_node_count() {
-        let g = generators::path(3).unwrap();
+        let g = Arc::new(generators::path(3).unwrap());
         let run = PoolRuntime::run(
             &g,
             flood,
@@ -566,7 +565,7 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: Ping, _: &mut dyn Context<Ping>) {}
         }
-        let g = generators::path(5).unwrap();
+        let g = Arc::new(generators::path(5).unwrap());
         let run = PoolRuntime::run(
             &g,
             |_, _| Counter {
@@ -586,7 +585,7 @@ mod tests {
 
     #[test]
     fn invalid_start_models_are_rejected_at_construction() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let cases = [
             StartModel::Selected(Vec::new()),
             StartModel::Selected(vec![NodeId(0), NodeId(9)]),
@@ -628,7 +627,7 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
         }
-        let g = generators::path(6).unwrap();
+        let g = Arc::new(generators::path(6).unwrap());
         let start = StartModel::Selected(vec![NodeId(0)]);
         let mut sim = Simulator::new(
             &g,
@@ -682,7 +681,7 @@ mod tests {
                 ctx.send(from, Ball);
             }
         }
-        let g = generators::path(2).unwrap();
+        let g = Arc::new(generators::path(2).unwrap());
         let run = PoolRuntime::run(
             &g,
             |_, _| PingPong,
@@ -729,7 +728,7 @@ mod tests {
                 }
             }
         }
-        let g = generators::path(2).unwrap();
+        let g = Arc::new(generators::path(2).unwrap());
         let run = PoolRuntime::run(
             &g,
             |id, _| {
@@ -763,7 +762,7 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
         }
-        let g = generators::path(3).unwrap();
+        let g = Arc::new(generators::path(3).unwrap());
         // Node 0's only neighbour is node 1; the send panics on a worker and
         // the scope propagates it.
         let _ = PoolRuntime::run(&g, |_, _| Bad, &PoolConfig::default()).unwrap();

@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// When each node spontaneously wakes up.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -176,7 +177,10 @@ impl<M: NetMessage> Context<M> for SimCtx<'_, M> {
 /// The discrete-event simulator. See the module documentation.
 pub struct Simulator<P: Protocol> {
     nodes: Vec<P>,
-    neighbors: Vec<Vec<NodeId>>,
+    /// Shared, immutable topology. Neighbour lists are borrowed straight out
+    /// of the graph's CSR rows — the simulator materialises no adjacency of
+    /// its own, so thousands of runs can share one `Arc<Graph>`.
+    graph: Arc<Graph>,
     queue: BinaryHeap<Event<P::Message>>,
     seq: u64,
     clock: u64,
@@ -211,16 +215,15 @@ impl<P: Protocol> Simulator<P> {
     /// return [`SimError::InvalidConfig`] instead of panicking (or silently
     /// succeeding) deep inside [`Simulator::step`].
     pub fn new(
-        graph: &Graph,
+        graph: &Arc<Graph>,
         config: SimConfig,
         mut factory: impl FnMut(NodeId, &[NodeId]) -> P,
     ) -> Result<Self, SimError> {
         Self::validate_config(graph, &config)?;
         let n = graph.node_count();
-        let neighbors: Vec<Vec<NodeId>> = (0..n)
-            .map(|u| graph.neighbors(NodeId(u)).collect())
+        let nodes: Vec<P> = (0..n)
+            .map(|u| factory(NodeId(u), graph.neighbor_slice(NodeId(u))))
             .collect();
-        let nodes: Vec<P> = (0..n).map(|u| factory(NodeId(u), &neighbors[u])).collect();
         let trace = if config.record_trace {
             TraceRecorder::enabled()
         } else {
@@ -242,7 +245,7 @@ impl<P: Protocol> Simulator<P> {
         }
         let mut sim = Simulator {
             nodes,
-            neighbors,
+            graph: Arc::clone(graph),
             queue: BinaryHeap::new(),
             seq: 0,
             clock: 0,
@@ -337,6 +340,11 @@ impl<P: Protocol> Simulator<P> {
         self.nodes.len()
     }
 
+    /// The shared topology this simulator runs on.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
     /// Immutable access to a node's protocol state (for assertions and
     /// extracting results after a run).
     pub fn node(&self, id: NodeId) -> &P {
@@ -420,11 +428,11 @@ impl<P: Protocol> Simulator<P> {
         // report the true final clock (not just the last delivery time).
         self.metrics.record_activity(event.time);
         let (causal_depth, sends) = {
-            // Split borrows: the node is taken from `nodes`, the neighbour list
-            // from `neighbors`; both are disjoint fields.
+            // Split borrows: the node is taken from `nodes`, the neighbour
+            // slice straight from the shared graph; both are disjoint fields.
             let mut ctx = SimCtx {
                 id: to,
-                neighbors: &self.neighbors[to.index()],
+                neighbors: self.graph.neighbor_slice(to),
                 network_size: self.nodes.len(),
                 outbox: Vec::new(),
             };
@@ -647,7 +655,7 @@ mod tests {
         }
     }
 
-    fn flood_sim(g: &Graph, config: SimConfig) -> Simulator<Flood> {
+    fn flood_sim(g: &Arc<Graph>, config: SimConfig) -> Simulator<Flood> {
         Simulator::new(g, config, |id, _| Flood {
             id,
             seen: false,
@@ -658,7 +666,7 @@ mod tests {
 
     #[test]
     fn flood_reaches_every_node_on_a_path() {
-        let g = generators::path(6).unwrap();
+        let g = Arc::new(generators::path(6).unwrap());
         let mut sim = flood_sim(&g, SimConfig::default());
         sim.run().unwrap();
         assert!(sim.all_terminated());
@@ -672,7 +680,7 @@ mod tests {
 
     #[test]
     fn flood_message_count_on_complete_graph_is_quadratic() {
-        let g = generators::complete(8).unwrap();
+        let g = Arc::new(generators::complete(8).unwrap());
         let mut sim = flood_sim(&g, SimConfig::default());
         sim.run().unwrap();
         assert!(sim.all_terminated());
@@ -686,7 +694,7 @@ mod tests {
 
     #[test]
     fn unit_delay_runs_are_deterministic() {
-        let g = generators::gnp_connected(24, 0.2, 3).unwrap();
+        let g = Arc::new(generators::gnp_connected(24, 0.2, 3).unwrap());
         let mut a = flood_sim(&g, SimConfig::default());
         let mut b = flood_sim(&g, SimConfig::default());
         a.run().unwrap();
@@ -696,7 +704,7 @@ mod tests {
 
     #[test]
     fn random_delay_runs_are_seed_deterministic() {
-        let g = generators::gnp_connected(20, 0.3, 9).unwrap();
+        let g = Arc::new(generators::gnp_connected(20, 0.3, 9).unwrap());
         let cfg = SimConfig {
             delay: DelayModel::UniformRandom {
                 min: 1,
@@ -715,7 +723,7 @@ mod tests {
 
     #[test]
     fn staggered_start_still_terminates() {
-        let g = generators::grid(4, 4).unwrap();
+        let g = Arc::new(generators::grid(4, 4).unwrap());
         let cfg = SimConfig {
             start: StartModel::Staggered {
                 max_offset: 50,
@@ -730,7 +738,7 @@ mod tests {
 
     #[test]
     fn selected_start_wakes_only_initiator_until_messages_arrive() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let cfg = SimConfig {
             start: StartModel::Selected(vec![NodeId(0)]),
             ..Default::default()
@@ -742,7 +750,7 @@ mod tests {
 
     #[test]
     fn selected_start_rejects_out_of_range_and_empty_lists() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let oob = SimConfig {
             start: StartModel::Selected(vec![NodeId(0), NodeId(7)]),
             ..Default::default()
@@ -773,7 +781,7 @@ mod tests {
 
     #[test]
     fn degenerate_delay_ranges_are_rejected_at_construction() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         for delay in [
             DelayModel::UniformRandom {
                 min: 0,
@@ -806,7 +814,7 @@ mod tests {
         // Node 3 of a path wakes long after the flood from node 0 has died
         // down; the quiescence clock must reflect that late start, matching
         // the final simulator clock.
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let cfg = SimConfig {
             start: StartModel::Staggered {
                 max_offset: 500,
@@ -830,7 +838,7 @@ mod tests {
         // corpse at t=1 — the last *activity*. Neither the late crash event
         // nor anything after it may advance the quiescence clock, even though
         // the simulator clock itself runs on to the crash time.
-        let g = generators::path(2).unwrap();
+        let g = Arc::new(generators::path(2).unwrap());
         let cfg = SimConfig {
             faults: FaultPlan {
                 crashes: vec![
@@ -886,7 +894,7 @@ mod tests {
 
     #[test]
     fn full_loss_drops_every_message() {
-        let g = generators::complete(6).unwrap();
+        let g = Arc::new(generators::complete(6).unwrap());
         let cfg = SimConfig {
             faults: FaultPlan {
                 loss: 1.0,
@@ -905,7 +913,7 @@ mod tests {
 
     #[test]
     fn lossy_runs_are_seed_deterministic() {
-        let g = generators::gnp_connected(18, 0.3, 4).unwrap();
+        let g = Arc::new(generators::gnp_connected(18, 0.3, 4).unwrap());
         let cfg = SimConfig {
             faults: FaultPlan {
                 loss: 0.4,
@@ -941,7 +949,7 @@ mod tests {
 
     #[test]
     fn zero_loss_plan_is_bit_identical_to_no_plan() {
-        let g = generators::gnp_connected(20, 0.25, 8).unwrap();
+        let g = Arc::new(generators::gnp_connected(20, 0.25, 8).unwrap());
         let explicit = SimConfig {
             faults: FaultPlan {
                 loss: 0.0,
@@ -962,7 +970,7 @@ mod tests {
     fn crashed_nodes_stop_processing_and_eat_messages() {
         // Crash node 0 (the initiator) at time 0: the crash event is scheduled
         // before the starts, so the flood never begins.
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let cfg = SimConfig {
             faults: FaultPlan {
                 crashes: vec![CrashAt {
@@ -1019,7 +1027,7 @@ mod tests {
     fn cut_links_stop_carrying_messages_in_both_directions() {
         // Cut the middle edge of a path at time 0: the flood reaches node 1
         // and no further.
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let cfg = SimConfig {
             faults: FaultPlan {
                 cuts: vec![CutAt {
@@ -1041,7 +1049,7 @@ mod tests {
 
     #[test]
     fn fault_plans_referencing_missing_nodes_or_edges_are_rejected() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         let bad_crash = SimConfig {
             faults: FaultPlan {
                 crashes: vec![CrashAt {
@@ -1083,7 +1091,7 @@ mod tests {
 
     #[test]
     fn event_limit_is_enforced() {
-        let g = generators::complete(10).unwrap();
+        let g = Arc::new(generators::complete(10).unwrap());
         let cfg = SimConfig {
             max_events: 5,
             ..Default::default()
@@ -1095,7 +1103,7 @@ mod tests {
 
     #[test]
     fn causal_time_is_delay_independent() {
-        let g = generators::path(8).unwrap();
+        let g = Arc::new(generators::path(8).unwrap());
         let slow = SimConfig {
             delay: DelayModel::PerLinkFixed {
                 min: 1,
@@ -1116,7 +1124,7 @@ mod tests {
 
     #[test]
     fn trace_records_sends_and_deliveries() {
-        let g = generators::path(3).unwrap();
+        let g = Arc::new(generators::path(3).unwrap());
         let cfg = SimConfig {
             record_trace: true,
             ..Default::default()
@@ -1150,7 +1158,7 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
         }
-        let g = generators::path(3).unwrap();
+        let g = Arc::new(generators::path(3).unwrap());
         let mut sim = Simulator::new(&g, SimConfig::default(), |_, _| Bad).unwrap();
         // Node 0's only neighbour is node 1, so this panics during run().
         sim.run().unwrap();
@@ -1192,7 +1200,7 @@ mod tests {
                 }
             }
         }
-        let g = generators::path(2).unwrap();
+        let g = Arc::new(generators::path(2).unwrap());
         let cfg = SimConfig {
             delay: DelayModel::UniformRandom {
                 min: 1,

@@ -94,7 +94,7 @@ impl ThreadedRuntime {
     /// node states plus metrics. All nodes wake up spontaneously (the
     /// simultaneous start model); protocols that need a single initiator
     /// simply make `on_start` a no-op on the other nodes.
-    pub fn run<P, F>(graph: &Graph, factory: F) -> ThreadedRun<P>
+    pub fn run<P, F>(graph: &Arc<Graph>, factory: F) -> ThreadedRun<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
@@ -107,17 +107,14 @@ impl ThreadedRuntime {
     /// guard as the simulator's `max_events`, reported through
     /// [`ThreadedRun::status`] instead of an error so the partial node states
     /// and metrics survive.
-    pub fn run_capped<P, F>(graph: &Graph, mut factory: F, max_events: u64) -> ThreadedRun<P>
+    pub fn run_capped<P, F>(graph: &Arc<Graph>, mut factory: F, max_events: u64) -> ThreadedRun<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
         let n = graph.node_count();
-        let neighbors: Vec<Vec<NodeId>> = (0..n)
-            .map(|u| graph.neighbors(NodeId(u)).collect())
-            .collect();
         let mut protocols: Vec<Option<P>> = (0..n)
-            .map(|u| Some(factory(NodeId(u), &neighbors[u])))
+            .map(|u| Some(factory(NodeId(u), graph.neighbor_slice(NodeId(u)))))
             .collect();
 
         let mut senders: Vec<Sender<Envelope<P::Message>>> = Vec::with_capacity(n);
@@ -143,9 +140,12 @@ impl ThreadedRuntime {
             let shutdown = Arc::clone(&shutdown);
             let processed = Arc::clone(&processed);
             let aborted = Arc::clone(&aborted);
-            let my_neighbors = neighbors[u].clone();
+            // One Arc clone per thread instead of one neighbour-vector clone:
+            // each node thread borrows its CSR row from the shared graph.
+            let graph = Arc::clone(graph);
             let mut protocol = protocols[u].take().expect("each node taken once");
             let handle = std::thread::spawn(move || {
+                let my_neighbors = graph.neighbor_slice(NodeId(u));
                 let mut metrics = Metrics::new(n);
                 // Counts a processed work unit against the cap; every thread
                 // observing the overflow raises the shared abort.
@@ -158,7 +158,7 @@ impl ThreadedRuntime {
                 {
                     let mut ctx = ThreadCtx {
                         id: NodeId(u),
-                        neighbors: &my_neighbors,
+                        neighbors: my_neighbors,
                         network_size: n,
                         senders: &senders,
                         outstanding: &outstanding,
@@ -184,7 +184,7 @@ impl ThreadedRuntime {
                         );
                         let mut ctx = ThreadCtx {
                             id: NodeId(u),
-                            neighbors: &my_neighbors,
+                            neighbors: my_neighbors,
                             network_size: n,
                             senders: &senders,
                             outstanding: &outstanding,
@@ -295,7 +295,7 @@ mod tests {
 
     #[test]
     fn flood_terminates_and_reaches_everyone() {
-        let g = generators::gnp_connected(30, 0.15, 4).unwrap();
+        let g = Arc::new(generators::gnp_connected(30, 0.15, 4).unwrap());
         let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
         assert_eq!(run.nodes.len(), 30);
         assert!(run.nodes.iter().all(|p| p.seen));
@@ -307,7 +307,7 @@ mod tests {
         // Flooding on a tree sends exactly one message per edge direction away
         // from the initiator, regardless of scheduling, so the threaded count
         // must equal the simulated count.
-        let g = generators::path(12).unwrap();
+        let g = Arc::new(generators::path(12).unwrap());
         let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
         let mut sim = crate::sim::Simulator::new(&g, crate::sim::SimConfig::default(), |id, _| {
             Flood { id, seen: false }
@@ -320,7 +320,7 @@ mod tests {
 
     #[test]
     fn per_node_counters_are_consistent() {
-        let g = generators::complete(6).unwrap();
+        let g = Arc::new(generators::complete(6).unwrap());
         let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
         let sent: u64 = run.metrics.sent_per_node.iter().sum();
         let received: u64 = run.metrics.received_per_node.iter().sum();
@@ -336,7 +336,7 @@ mod tests {
             fn on_start(&mut self, _: &mut dyn Context<Token>) {}
             fn on_message(&mut self, _: NodeId, _: Token, _: &mut dyn Context<Token>) {}
         }
-        let g = generators::cycle(5).unwrap();
+        let g = Arc::new(generators::cycle(5).unwrap());
         let run = ThreadedRuntime::run(&g, |_, _| Silent);
         assert_eq!(run.metrics.messages_total, 0);
     }

@@ -5,6 +5,7 @@
 //!              [--jobs N] [--shuffle [SEED]] [--quiet]
 //! scenario expand <spec>      # print the resolved run list as JSON
 //! scenario validate <spec>    # check the spec (graphs buildable, files readable)
+//! scenario diff <a.json> <b.json> [--quiet]   # compare two campaign reports
 //! ```
 //!
 //! `--jobs` (alias `--threads`) caps runner parallelism; when omitted, the
@@ -13,6 +14,11 @@
 //! the seed is recorded in the report. `run` exits non-zero when any run
 //! fails or violates the paper's degree bound, so campaigns double as
 //! large-scale correctness checks in CI.
+//!
+//! `diff` compares a baseline report (first argument) against a candidate
+//! (second argument) produced by the same spec at a different code revision
+//! and exits non-zero on outcome or degree-bound regressions — or on a run
+//! set mismatch, which makes "no regressions" unprovable.
 
 use mdst_scenario::prelude::*;
 use serde::Value;
@@ -21,7 +27,8 @@ use std::process::ExitCode;
 const USAGE: &str = "usage:
   scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--jobs N] [--shuffle [SEED]] [--quiet]
   scenario expand <spec>
-  scenario validate <spec>";
+  scenario validate <spec>
+  scenario diff <baseline.json> <candidate.json> [--quiet]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +40,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "expand" => cmd_expand(rest),
         "validate" => cmd_validate(rest),
+        "diff" => cmd_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -194,6 +202,45 @@ fn cmd_expand(args: &[String]) -> Result<ExitCode, String> {
         ("runs".into(), Value::Array(items)),
     ]);
     println!("{}", doc.to_json_pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load_report(path: &str) -> Result<CampaignReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = serde::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    use serde::Deserialize;
+    CampaignReport::from_value(&value).map_err(|e| format!("{path}: not a campaign report: {e}"))
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut quiet = false;
+    let mut paths = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let [baseline, candidate] = paths.as_slice() else {
+        return Err(format!(
+            "diff takes exactly two report files (baseline, candidate)\n{USAGE}"
+        ));
+    };
+    let base = load_report(baseline)?;
+    let cand = load_report(candidate)?;
+    let diff = diff_reports(&base, &cand);
+    if !quiet || diff.has_regressions() {
+        print!("{}", diff.render());
+    }
+    if diff.has_regressions() {
+        eprintln!(
+            "scenario: candidate regressed ({} regressions, {} unmatched runs)",
+            diff.regressions.len(),
+            diff.only_in_baseline.len() + diff.only_in_candidate.len(),
+        );
+        return Ok(ExitCode::FAILURE);
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -1,0 +1,385 @@
+//! Campaign report diffing: `scenario diff a.json b.json`.
+//!
+//! Compares two [`CampaignReport`]s produced by the *same spec* at different
+//! code revisions and classifies every matched run pair, so CI can gate on
+//! quality regressions the way it already gates on absolute bound violations.
+//! Runs are matched on their full configuration key — scenario, graph,
+//! initial tree, delay, start, faults, executor and seed — which is exactly
+//! the identity of one cell of the sweep matrix.
+//!
+//! A **regression** (candidate worse than baseline) is any of:
+//!
+//! * the outcome degrades along `quiesced-correct → quiesced-partial →
+//!   event-limit-abort → failed`;
+//! * the paper degree-bound verdict flips from respected to violated;
+//! * the final tree degree increases;
+//! * a run that used to succeed now records an error.
+//!
+//! The mirror conditions count as **improvements**; changed message or round
+//! counts with an unchanged verdict are reported as informational **drift**.
+//! Run sets that do not match (runs only in one report) make the diff
+//! non-comparable — a spec mismatch is an answer, not a pass.
+
+use crate::runner::{CampaignReport, RunOutcome, RunRecord};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// One classified difference between a matched pair of runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffFinding {
+    /// The run's configuration key, e.g.
+    /// `suite / file(data/sample.mtx.gz) / greedy_hub / sim / seed 1`.
+    pub key: String,
+    /// Which quantity changed.
+    pub what: String,
+    /// Value in the baseline report.
+    pub baseline: String,
+    /// Value in the candidate report.
+    pub candidate: String,
+}
+
+impl DiffFinding {
+    fn new(
+        key: &str,
+        what: impl Into<String>,
+        baseline: impl ToString,
+        candidate: impl ToString,
+    ) -> DiffFinding {
+        DiffFinding {
+            key: key.to_string(),
+            what: what.into(),
+            baseline: baseline.to_string(),
+            candidate: candidate.to_string(),
+        }
+    }
+}
+
+/// The classified comparison of two campaign reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDiff {
+    /// Baseline campaign name.
+    pub baseline_name: String,
+    /// Candidate campaign name.
+    pub candidate_name: String,
+    /// Matched run pairs.
+    pub matched: usize,
+    /// Keys present only in the baseline (spec mismatch).
+    pub only_in_baseline: Vec<String>,
+    /// Keys present only in the candidate (spec mismatch).
+    pub only_in_candidate: Vec<String>,
+    /// Candidate-worse findings (outcome, bound verdict, degree, errors).
+    pub regressions: Vec<DiffFinding>,
+    /// Candidate-better findings.
+    pub improvements: Vec<DiffFinding>,
+    /// Verdict-neutral changes (message/round counts), informational only.
+    pub drift: Vec<DiffFinding>,
+}
+
+impl ReportDiff {
+    /// Whether the two reports cover the same run set.
+    pub fn is_comparable(&self) -> bool {
+        self.only_in_baseline.is_empty() && self.only_in_candidate.is_empty()
+    }
+
+    /// Whether the candidate regressed anywhere (or the run sets diverge,
+    /// which makes "no regressions" unprovable).
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty() || !self.is_comparable()
+    }
+
+    /// Human-readable summary, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "diff `{}` (baseline) vs `{}` (candidate): {} matched runs, \
+             {} regressions, {} improvements, {} drifted",
+            self.baseline_name,
+            self.candidate_name,
+            self.matched,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.drift.len(),
+        );
+        for (label, keys) in [
+            ("only in baseline", &self.only_in_baseline),
+            ("only in candidate", &self.only_in_candidate),
+        ] {
+            if !keys.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  {label}: {} runs (spec mismatch — reports are not comparable)",
+                    keys.len()
+                );
+                for key in keys.iter().take(5) {
+                    let _ = writeln!(out, "    {key}");
+                }
+                if keys.len() > 5 {
+                    let _ = writeln!(out, "    … and {} more", keys.len() - 5);
+                }
+            }
+        }
+        for (label, findings) in [
+            ("REGRESSION", &self.regressions),
+            ("improvement", &self.improvements),
+            ("drift", &self.drift),
+        ] {
+            for f in findings {
+                let _ = writeln!(
+                    out,
+                    "  {label}: {} — {}: {} -> {}",
+                    f.key, f.what, f.baseline, f.candidate
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Severity rank of an outcome: higher is worse.
+fn outcome_rank(outcome: RunOutcome) -> u8 {
+    match outcome {
+        RunOutcome::QuiescedCorrect => 0,
+        RunOutcome::QuiescedPartial => 1,
+        RunOutcome::EventLimitAbort => 2,
+        RunOutcome::Failed => 3,
+    }
+}
+
+fn run_key(run: &RunRecord) -> String {
+    format!(
+        "{} / {} / {} / {} / {} / {} / {} / seed {}",
+        run.scenario,
+        run.graph,
+        run.initial,
+        run.delay,
+        run.start,
+        run.faults,
+        run.executor,
+        run.seed
+    )
+}
+
+/// Diffs `candidate` against `baseline`. See the module docs for the
+/// classification rules.
+///
+/// Keys are matched as a multiset: a spec can legitimately expand several
+/// runs with identical configuration labels (e.g. a repeated seed), and
+/// those pair up in expansion order instead of collapsing onto one entry —
+/// a report diffed against itself is always clean.
+pub fn diff_reports(baseline: &CampaignReport, candidate: &CampaignReport) -> ReportDiff {
+    let mut base_by_key: BTreeMap<String, VecDeque<&RunRecord>> = BTreeMap::new();
+    for run in &baseline.runs {
+        base_by_key.entry(run_key(run)).or_default().push_back(run);
+    }
+    let mut diff = ReportDiff {
+        baseline_name: baseline.name.clone(),
+        candidate_name: candidate.name.clone(),
+        matched: 0,
+        only_in_baseline: Vec::new(),
+        only_in_candidate: Vec::new(),
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+        drift: Vec::new(),
+    };
+    for cand in &candidate.runs {
+        let key = run_key(cand);
+        let Some(base) = base_by_key.get_mut(&key).and_then(VecDeque::pop_front) else {
+            diff.only_in_candidate.push(key);
+            continue;
+        };
+        diff.matched += 1;
+        compare_pair(&key, base, cand, &mut diff);
+    }
+    diff.only_in_baseline = base_by_key
+        .into_iter()
+        .flat_map(|(key, leftovers)| std::iter::repeat_n(key, leftovers.len()))
+        .collect();
+    diff
+}
+
+fn compare_pair(key: &str, base: &RunRecord, cand: &RunRecord, diff: &mut ReportDiff) {
+    let base_rank = outcome_rank(base.outcome);
+    let cand_rank = outcome_rank(cand.outcome);
+    if cand_rank != base_rank {
+        let finding = DiffFinding::new(key, "outcome", base.outcome.label(), cand.outcome.label());
+        if cand_rank > base_rank {
+            diff.regressions.push(finding);
+        } else {
+            diff.improvements.push(finding);
+        }
+    }
+    if base.within_bound != cand.within_bound {
+        let finding = DiffFinding::new(
+            key,
+            "degree-bound verdict",
+            if base.within_bound {
+                "within"
+            } else {
+                "violated"
+            },
+            if cand.within_bound {
+                "within"
+            } else {
+                "violated"
+            },
+        );
+        if base.within_bound {
+            diff.regressions.push(finding);
+        } else {
+            diff.improvements.push(finding);
+        }
+    }
+    if base.final_degree != cand.final_degree {
+        let finding = DiffFinding::new(key, "final degree", base.final_degree, cand.final_degree);
+        if cand.final_degree > base.final_degree {
+            diff.regressions.push(finding);
+        } else {
+            diff.improvements.push(finding);
+        }
+    }
+    match (&base.error, &cand.error) {
+        (None, Some(e)) => diff
+            .regressions
+            .push(DiffFinding::new(key, "error", "none", e.clone())),
+        (Some(e), None) => {
+            diff.improvements
+                .push(DiffFinding::new(key, "error", e.clone(), "none"))
+        }
+        _ => {}
+    }
+    // Verdict-neutral performance drift, worth a line but never an exit code.
+    if base.messages != cand.messages {
+        diff.drift.push(DiffFinding::new(
+            key,
+            "messages",
+            base.messages,
+            cand.messages,
+        ));
+    }
+    if base.rounds != cand.rounds {
+        diff.drift
+            .push(DiffFinding::new(key, "rounds", base.rounds, cand.rounds));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_campaign, RunnerConfig};
+    use crate::spec::ScenarioMatrix;
+
+    fn report() -> CampaignReport {
+        let spec = r#"
+            [[scenario]]
+            name = "mini"
+            graph = { family = "star_with_leaf_edges", n = [8, 10] }
+            seeds = [1, 2]
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+        run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_diff_clean() {
+        let a = report();
+        let diff = diff_reports(&a, &a.clone());
+        assert_eq!(diff.matched, a.runs.len());
+        assert!(diff.is_comparable());
+        assert!(!diff.has_regressions());
+        assert!(diff.regressions.is_empty());
+        assert!(diff.improvements.is_empty());
+        assert!(diff.drift.is_empty());
+        assert!(diff.render().contains("0 regressions"));
+    }
+
+    #[test]
+    fn degraded_outcome_and_degree_are_regressions() {
+        let base = report();
+        let mut cand = base.clone();
+        cand.runs[0].outcome = RunOutcome::QuiescedPartial;
+        cand.runs[1].final_degree += 1;
+        cand.runs[2].within_bound = false;
+        cand.runs[3].error = Some("boom".to_string());
+        let diff = diff_reports(&base, &cand);
+        assert!(diff.has_regressions());
+        assert_eq!(diff.regressions.len(), 4);
+        assert!(diff.improvements.is_empty());
+        let rendered = diff.render();
+        assert!(rendered.contains("REGRESSION"), "{rendered}");
+        assert!(rendered.contains("outcome"), "{rendered}");
+        assert!(rendered.contains("final degree"), "{rendered}");
+        assert!(rendered.contains("degree-bound verdict"), "{rendered}");
+        // The mirror direction counts as improvements, not regressions.
+        let mirror = diff_reports(&cand, &base);
+        assert!(!mirror.has_regressions());
+        assert_eq!(mirror.improvements.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_run_keys_match_as_a_multiset() {
+        // A spec can expand several runs with identical configuration labels
+        // (e.g. seeds = [1, 1]); self-diffing such a report must stay clean
+        // instead of collapsing the duplicates into a phantom mismatch.
+        let spec = r#"
+            [[scenario]]
+            name = "dup"
+            graph = { family = "path", n = 6 }
+            seeds = [1, 1]
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+        let report = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.runs.len(), 2);
+        let diff = diff_reports(&report, &report.clone());
+        assert_eq!(diff.matched, 2);
+        assert!(diff.is_comparable());
+        assert!(!diff.has_regressions());
+        // Dropping one duplicate is still detected as a mismatch.
+        let mut shorter = report.clone();
+        shorter.runs.pop();
+        let diff = diff_reports(&report, &shorter);
+        assert_eq!(diff.only_in_baseline.len(), 1);
+        assert!(diff.has_regressions());
+    }
+
+    #[test]
+    fn message_drift_is_informational_only() {
+        let base = report();
+        let mut cand = base.clone();
+        cand.runs[0].messages += 100;
+        cand.runs[0].rounds += 1;
+        let diff = diff_reports(&base, &cand);
+        assert!(!diff.has_regressions());
+        assert_eq!(diff.drift.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_run_sets_are_not_comparable() {
+        let base = report();
+        let mut cand = base.clone();
+        let moved = cand.runs.pop().unwrap();
+        let diff = diff_reports(&base, &cand);
+        assert!(!diff.is_comparable());
+        assert!(
+            diff.has_regressions(),
+            "mismatch cannot certify no-regression"
+        );
+        assert_eq!(diff.only_in_baseline.len(), 1);
+        assert!(diff.only_in_baseline[0].contains(&moved.scenario));
+        assert!(diff.render().contains("spec mismatch"));
+    }
+}

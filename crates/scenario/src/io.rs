@@ -1,19 +1,33 @@
-//! Graph file I/O: edge-list and DIMACS formats.
+//! Graph file I/O: edge-list, DIMACS, METIS and MatrixMarket formats, with
+//! transparent gzip decompression.
 //!
-//! External graphs become first-class pipeline inputs through this module. Two
-//! interchange formats are supported, both line-oriented and widely used by
-//! graph repositories:
+//! External graphs become first-class pipeline inputs through this module.
+//! Four interchange formats are supported, all line-oriented and widely used
+//! by graph repositories:
 //!
 //! * **edge list** — one `u v` pair per line, 0-based, `#`/`%` comments; the
 //!   node count is `max(endpoint) + 1`;
 //! * **DIMACS** — `c` comment lines, one `p edge <n> <m>` problem line, then
 //!   `m` lines `e u v` with 1-based endpoints (the format of the DIMACS
-//!   colouring/clique benchmarks, also produced by many generators).
+//!   colouring/clique benchmarks, also produced by many generators);
+//! * **METIS** — a `<n> <m> [fmt [ncon]]` header followed by one adjacency
+//!   line per vertex (1-based neighbours, `%` comments), the input format of
+//!   the METIS/KaHIP partitioner family. Vertex and edge weights are parsed
+//!   and discarded (the model's links are uniform);
+//! * **MatrixMarket** — `%%MatrixMarket matrix coordinate … …` sparse
+//!   matrices read as adjacency structure (1-based `i j [value]` entries,
+//!   diagonal entries dropped, values discarded) — the format of the
+//!   SuiteSparse collection most MDST-adjacent papers benchmark on.
 //!
-//! Both readers reject self loops and out-of-range endpoints; duplicate edges
-//! are tolerated (many published DIMACS files list both orientations).
-//! Writers produce canonical output (edges sorted, `u < v`), so
-//! `read(write(g))` reproduces `g` exactly.
+//! All readers reject self loops (METIS/edge-list/DIMACS) and out-of-range
+//! endpoints; duplicate edges and both orientations are tolerated where the
+//! ecosystem produces them. Writers produce canonical output, so
+//! `read(write(g))` reproduces `g` exactly for every format.
+//!
+//! Files ending in `.gz` (or starting with the gzip magic bytes, whatever
+//! the name) are decompressed transparently by [`load_graph`]; the format is
+//! inferred from the extension *under* the `.gz`, so `web.mtx.gz` is a
+//! gzipped MatrixMarket file.
 
 use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId};
 use std::fmt;
@@ -26,19 +40,36 @@ pub enum GraphFormat {
     EdgeList,
     /// DIMACS `p edge` / `e u v`, 1-based.
     Dimacs,
+    /// METIS adjacency file (`n m [fmt [ncon]]` header, 1-based).
+    Metis,
+    /// MatrixMarket coordinate matrix read as adjacency (1-based).
+    MatrixMarket,
 }
 
 impl GraphFormat {
-    /// Guesses the format from a file extension: `.col`, `.clq`, `.gr` and
-    /// `.dimacs` are DIMACS, everything else is an edge list.
+    /// Guesses the format from the file extension: `.col`, `.clq`, `.gr` and
+    /// `.dimacs` are DIMACS; `.graph` and `.metis` are METIS; `.mtx` is
+    /// MatrixMarket; everything else is an edge list. A trailing `.gz` is
+    /// stripped first, so double extensions (`.mtx.gz`, `.graph.gz`,
+    /// `.el.gz`) resolve to the format of the compressed payload.
     pub fn from_path(path: &Path) -> GraphFormat {
-        match path
+        let mut ext = path
             .extension()
             .and_then(|e| e.to_str())
-            .map(str::to_ascii_lowercase)
-            .as_deref()
-        {
+            .map(str::to_ascii_lowercase);
+        if ext.as_deref() == Some("gz") {
+            // `x.mtx.gz` → file_stem `x.mtx` → extension `mtx`.
+            ext = path
+                .file_stem()
+                .map(Path::new)
+                .and_then(|stem| stem.extension())
+                .and_then(|e| e.to_str())
+                .map(str::to_ascii_lowercase);
+        }
+        match ext.as_deref() {
             Some("col") | Some("clq") | Some("gr") | Some("dimacs") => GraphFormat::Dimacs,
+            Some("graph") | Some("metis") => GraphFormat::Metis,
+            Some("mtx") => GraphFormat::MatrixMarket,
             _ => GraphFormat::EdgeList,
         }
     }
@@ -48,6 +79,8 @@ impl GraphFormat {
         match self {
             GraphFormat::EdgeList => "edge-list",
             GraphFormat::Dimacs => "dimacs",
+            GraphFormat::Metis => "metis",
+            GraphFormat::MatrixMarket => "matrix-market",
         }
     }
 }
@@ -297,6 +330,314 @@ pub fn to_dimacs(graph: &Graph) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// METIS
+// ---------------------------------------------------------------------------
+
+/// Parses a METIS adjacency file.
+///
+/// The header is `<n> <m> [fmt [ncon]]` where `m` counts *undirected* edges;
+/// `fmt` is up to three binary digits enabling, from the right, edge weights,
+/// vertex weights and vertex sizes; `ncon` is the number of vertex weights
+/// per vertex. Weights are validated as numbers and discarded. Each of the
+/// `n` following data lines lists the 1-based neighbours of one vertex; every
+/// edge must appear in both endpoint lists (the file is an adjacency
+/// structure, not an edge list), which the parser enforces by requiring
+/// exactly `2·m` neighbour entries and `m` distinct edges.
+pub fn parse_metis(input: &str) -> Result<Graph, IoError> {
+    // Comments vanish; empty lines are *kept* for the data section, because a
+    // METIS file is positional — an isolated vertex is exactly one blank
+    // adjacency line.
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(idx, raw)| (idx + 1, raw.trim()))
+        .filter(|(_, line)| !line.starts_with('%'));
+    let (header_no, header) = loop {
+        match lines.next() {
+            None => {
+                return Err(IoError::Empty {
+                    what: "METIS file (no header line)",
+                })
+            }
+            Some((_, "")) => continue,
+            Some(found) => break found,
+        }
+    };
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if !(2..=4).contains(&fields.len()) {
+        return parse_err(header_no, "METIS header must be `n m [fmt [ncon]]`");
+    }
+    let n: usize = fields[0].parse().map_err(|_| IoError::Parse {
+        line: header_no,
+        message: format!("`{}` is not a node count", fields[0]),
+    })?;
+    let m: usize = fields[1].parse().map_err(|_| IoError::Parse {
+        line: header_no,
+        message: format!("`{}` is not an edge count", fields[1]),
+    })?;
+    if n == 0 {
+        return parse_err(header_no, "METIS graph must have at least one vertex");
+    }
+    let fmt = fields.get(2).copied().unwrap_or("0");
+    if fmt.len() > 3 || !fmt.bytes().all(|b| b == b'0' || b == b'1') {
+        return parse_err(header_no, format!("invalid METIS fmt field `{fmt}`"));
+    }
+    let fmt_bits = usize::from_str_radix(fmt, 2).expect("validated as binary");
+    let has_edge_weights = fmt_bits & 0b001 != 0;
+    let has_vertex_weights = fmt_bits & 0b010 != 0;
+    let has_vertex_sizes = fmt_bits & 0b100 != 0;
+    let ncon: usize = match fields.get(3) {
+        None => usize::from(has_vertex_weights),
+        Some(t) => t.parse().map_err(|_| IoError::Parse {
+            line: header_no,
+            message: format!("`{t}` is not an ncon count"),
+        })?,
+    };
+
+    let mut builder = GraphBuilder::new(n);
+    // Every directed neighbour mention `(u, v)`, used to enforce symmetry.
+    let mut mentions: std::collections::BTreeSet<(usize, usize)> =
+        std::collections::BTreeSet::new();
+    let mut vertex = 0usize;
+    for (line_no, line) in lines.by_ref() {
+        if vertex >= n {
+            if line.is_empty() {
+                continue; // tolerate trailing blank lines after the last vertex
+            }
+            return parse_err(line_no, format!("more than {n} vertex lines"));
+        }
+        let u = vertex;
+        vertex += 1;
+        let mut tokens = line.split_whitespace();
+        fn skip_number(
+            tokens: &mut std::str::SplitWhitespace<'_>,
+            line_no: usize,
+            what: &str,
+        ) -> Result<(), IoError> {
+            let token = tokens.next().ok_or_else(|| IoError::Parse {
+                line: line_no,
+                message: format!("vertex line ends before its {what}"),
+            })?;
+            token.parse::<f64>().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: format!("`{token}` is not a numeric {what}"),
+            })?;
+            Ok(())
+        }
+        if has_vertex_sizes {
+            skip_number(&mut tokens, line_no, "vertex size")?;
+        }
+        for _ in 0..if has_vertex_weights { ncon } else { 0 } {
+            skip_number(&mut tokens, line_no, "vertex weight")?;
+        }
+        while let Some(token) = tokens.next() {
+            let v: usize = token.parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: format!("`{token}` is not a neighbour index"),
+            })?;
+            if v == 0 || v > n {
+                return parse_err(line_no, format!("neighbour {v} out of range 1..={n}"));
+            }
+            if v - 1 == u {
+                return parse_err(line_no, format!("self loop on vertex {}", u + 1));
+            }
+            if !mentions.insert((u, v - 1)) {
+                return parse_err(
+                    line_no,
+                    format!("vertex {} lists neighbour {v} twice", u + 1),
+                );
+            }
+            builder.add_edge_idempotent(NodeId(u), NodeId(v - 1))?;
+            if has_edge_weights {
+                skip_number(&mut tokens, line_no, "edge weight")?;
+            }
+        }
+    }
+    if vertex != n {
+        return Err(IoError::Inconsistent {
+            message: format!("header declares {n} vertices but the file has {vertex} data lines"),
+        });
+    }
+    // With duplicate directed mentions rejected above, `2·m` distinct
+    // directed mentions over `m` distinct undirected edges pigeonholes to
+    // exactly both orientations of every edge — the symmetry METIS requires.
+    if builder.edge_count() != m || mentions.len() != 2 * m {
+        return Err(IoError::Inconsistent {
+            message: format!(
+                "header declares {m} edges but the adjacency lists carry {} \
+                 neighbour entries ({} distinct edges); every edge must appear in \
+                 both endpoint lists",
+                mentions.len(),
+                builder.edge_count()
+            ),
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph as a canonical METIS adjacency file.
+pub fn to_metis(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("% generated by mdst-scenario\n");
+    out.push_str(&format!("{} {}\n", graph.node_count(), graph.edge_count()));
+    for u in graph.nodes() {
+        let row: Vec<String> = graph
+            .neighbors(u)
+            .map(|v| (v.index() + 1).to_string())
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// MatrixMarket
+// ---------------------------------------------------------------------------
+
+/// Parses a MatrixMarket coordinate file as an undirected graph.
+///
+/// Accepts `matrix coordinate` headers with any field type (`pattern`,
+/// `real`, `integer`, `complex`) and any symmetry (`general`, `symmetric`,
+/// `skew-symmetric`, `hermitian`); values are discarded — only the sparsity
+/// pattern matters to the network model. The matrix must be square; its
+/// dimension is the node count, so isolated nodes survive a round trip.
+/// Diagonal entries (self loops in graph terms) are dropped, as customary
+/// when sparse-matrix benchmarks are read as graphs, and both orientations
+/// of an off-diagonal entry collapse onto one undirected edge.
+pub fn parse_matrix_market(input: &str) -> Result<Graph, IoError> {
+    let mut lines = input.lines().enumerate();
+    let Some((_, banner)) = lines.next() else {
+        return Err(IoError::Empty {
+            what: "MatrixMarket file",
+        });
+    };
+    let banner_fields: Vec<String> = banner
+        .split_whitespace()
+        .map(str::to_ascii_lowercase)
+        .collect();
+    if banner_fields.first().map(String::as_str) != Some("%%matrixmarket") {
+        return parse_err(1, "missing `%%MatrixMarket` banner");
+    }
+    if banner_fields.len() != 5 {
+        return parse_err(
+            1,
+            "banner must be `%%MatrixMarket matrix coordinate <field> <symmetry>`",
+        );
+    }
+    if banner_fields[1] != "matrix" {
+        return parse_err(1, format!("unsupported object `{}`", banner_fields[1]));
+    }
+    if banner_fields[2] != "coordinate" {
+        return parse_err(
+            1,
+            format!(
+                "unsupported format `{}` (only sparse `coordinate` matrices describe graphs)",
+                banner_fields[2]
+            ),
+        );
+    }
+    if !matches!(
+        banner_fields[3].as_str(),
+        "pattern" | "real" | "integer" | "double" | "complex"
+    ) {
+        return parse_err(1, format!("unsupported field type `{}`", banner_fields[3]));
+    }
+    if !matches!(
+        banner_fields[4].as_str(),
+        "general" | "symmetric" | "skew-symmetric" | "hermitian"
+    ) {
+        return parse_err(1, format!("unsupported symmetry `{}`", banner_fields[4]));
+    }
+
+    let mut data = lines.filter_map(|(idx, raw)| {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('%') {
+            None
+        } else {
+            Some((idx + 1, line))
+        }
+    });
+    let Some((size_no, size_line)) = data.next() else {
+        return Err(IoError::Empty {
+            what: "MatrixMarket file (banner but no size line)",
+        });
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return parse_err(size_no, "size line must be `rows cols nnz`");
+    }
+    let parse_dim = |token: &str| -> Result<usize, IoError> {
+        token.parse().map_err(|_| IoError::Parse {
+            line: size_no,
+            message: format!("`{token}` is not a matrix dimension"),
+        })
+    };
+    let rows = parse_dim(dims[0])?;
+    let cols = parse_dim(dims[1])?;
+    let nnz = parse_dim(dims[2])?;
+    if rows != cols {
+        return Err(IoError::Inconsistent {
+            message: format!("matrix is {rows}×{cols}; only square matrices describe graphs"),
+        });
+    }
+    if rows == 0 {
+        return parse_err(size_no, "matrix must have at least one row");
+    }
+
+    let mut builder = GraphBuilder::new(rows);
+    let mut entries = 0usize;
+    for (line_no, line) in data {
+        let mut fields = line.split_whitespace();
+        let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
+            return parse_err(line_no, format!("expected `i j [value]`, got `{line}`"));
+        };
+        let i: usize = a.parse().map_err(|_| IoError::Parse {
+            line: line_no,
+            message: format!("`{a}` is not a row index"),
+        })?;
+        let j: usize = b.parse().map_err(|_| IoError::Parse {
+            line: line_no,
+            message: format!("`{b}` is not a column index"),
+        })?;
+        if i == 0 || i > rows || j == 0 || j > rows {
+            return parse_err(
+                line_no,
+                format!("entry ({i}, {j}) outside a {rows}×{rows} matrix"),
+            );
+        }
+        entries += 1;
+        if i != j {
+            builder.add_edge_idempotent(NodeId(i - 1), NodeId(j - 1))?;
+        }
+    }
+    if entries != nnz {
+        return Err(IoError::Inconsistent {
+            message: format!("size line declares {nnz} entries but the file has {entries}"),
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Renders a graph as a canonical MatrixMarket file (`pattern symmetric`,
+/// lower-triangular entries).
+pub fn to_matrix_market(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("%%MatrixMarket matrix coordinate pattern symmetric\n");
+    out.push_str("% generated by mdst-scenario\n");
+    out.push_str(&format!(
+        "{n} {n} {m}\n",
+        n = graph.node_count(),
+        m = graph.edge_count()
+    ));
+    for (u, v) in graph.edges() {
+        // Symmetric storage keeps the lower triangle: row ≥ column.
+        out.push_str(&format!("{} {}\n", v.index() + 1, u.index() + 1));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
 // File-level helpers
 // ---------------------------------------------------------------------------
 
@@ -305,6 +646,8 @@ pub fn parse_graph(input: &str, format: GraphFormat) -> Result<Graph, IoError> {
     match format {
         GraphFormat::EdgeList => parse_edge_list(input),
         GraphFormat::Dimacs => parse_dimacs(input),
+        GraphFormat::Metis => parse_metis(input),
+        GraphFormat::MatrixMarket => parse_matrix_market(input),
     }
 }
 
@@ -313,20 +656,40 @@ pub fn render_graph(graph: &Graph, format: GraphFormat) -> String {
     match format {
         GraphFormat::EdgeList => to_edge_list(graph),
         GraphFormat::Dimacs => to_dimacs(graph),
+        GraphFormat::Metis => to_metis(graph),
+        GraphFormat::MatrixMarket => to_matrix_market(graph),
     }
 }
 
+/// The two magic bytes every gzip member starts with.
+const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
+
 /// Loads a graph from a file, inferring the format from the extension when
-/// none is given.
+/// none is given and gunzipping transparently: content starting with the
+/// gzip magic is decompressed whatever the file is called, so benchmark
+/// suites work whether or not their compression shows in the name.
 pub fn load_graph(path: impl AsRef<Path>, format: Option<GraphFormat>) -> Result<Graph, IoError> {
     let path = path.as_ref();
     let format = format.unwrap_or_else(|| GraphFormat::from_path(path));
-    let content = std::fs::read_to_string(path)
-        .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    let raw = std::fs::read(path).map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    let bytes = if raw.starts_with(&GZIP_MAGIC) {
+        use std::io::Read;
+        let mut decoder = flate2::read::GzDecoder::new(&raw[..]);
+        let mut out = Vec::new();
+        decoder
+            .read_to_end(&mut out)
+            .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+        out
+    } else {
+        raw
+    };
+    let content = String::from_utf8(bytes)
+        .map_err(|e| IoError::Io(format!("{}: not valid UTF-8: {e}", path.display())))?;
     parse_graph(&content, format)
 }
 
-/// Writes a graph to a file in the given (or extension-inferred) format.
+/// Writes a graph to a file in the given (or extension-inferred) format,
+/// gzip-compressing when the path ends in `.gz`.
 pub fn save_graph(
     path: impl AsRef<Path>,
     graph: &Graph,
@@ -334,8 +697,21 @@ pub fn save_graph(
 ) -> Result<(), IoError> {
     let path = path.as_ref();
     let format = format.unwrap_or_else(|| GraphFormat::from_path(path));
-    std::fs::write(path, render_graph(graph, format))
-        .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))
+    let rendered = render_graph(graph, format);
+    let io_err = |e: std::io::Error| IoError::Io(format!("{}: {e}", path.display()));
+    let is_gz = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .is_some_and(|e| e.eq_ignore_ascii_case("gz"));
+    if is_gz {
+        use std::io::Write;
+        let mut encoder = flate2::write::GzEncoder::new(Vec::new(), flate2::Compression::default());
+        encoder.write_all(rendered.as_bytes()).map_err(io_err)?;
+        let compressed = encoder.finish().map_err(io_err)?;
+        std::fs::write(path, compressed).map_err(io_err)
+    } else {
+        std::fs::write(path, rendered).map_err(io_err)
+    }
 }
 
 #[cfg(test)]
@@ -435,5 +811,202 @@ mod tests {
             GraphFormat::from_path(Path::new("noext")),
             GraphFormat::EdgeList
         );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("road.graph")),
+            GraphFormat::Metis
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("road.metis")),
+            GraphFormat::Metis
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("web.mtx")),
+            GraphFormat::MatrixMarket
+        );
+    }
+
+    #[test]
+    fn double_extensions_resolve_to_the_inner_format() {
+        assert_eq!(
+            GraphFormat::from_path(Path::new("suite/web.mtx.gz")),
+            GraphFormat::MatrixMarket
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("suite/road.graph.gz")),
+            GraphFormat::Metis
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("suite/pairs.el.gz")),
+            GraphFormat::EdgeList
+        );
+        assert_eq!(
+            GraphFormat::from_path(Path::new("suite/bench.col.GZ")),
+            GraphFormat::Dimacs
+        );
+        // A bare `.gz` with no inner extension still defaults to edge list.
+        assert_eq!(
+            GraphFormat::from_path(Path::new("mystery.gz")),
+            GraphFormat::EdgeList
+        );
+    }
+
+    #[test]
+    fn metis_round_trips() {
+        let g = generators::gnp_connected(25, 0.2, 6).unwrap();
+        let text = to_metis(&g);
+        let back = parse_metis(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn metis_parses_weights_and_discards_them() {
+        // fmt=011: vertex weights (ncon=2) and edge weights.
+        let text = "% weighted\n3 2 011 2\n\
+                    7 1 2 5 3 9\n\
+                    1 1 1 5\n\
+                    2 2 1 9\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        // fmt=100: vertex sizes only.
+        let text = "2 1 100\n9 2\n4 1\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn metis_keeps_isolated_vertices() {
+        let g = parse_metis("4 1\n2\n1\n\n\n").unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn metis_rejects_malformed_input() {
+        // No header at all.
+        assert!(matches!(
+            parse_metis("% only comments\n"),
+            Err(IoError::Empty { .. })
+        ));
+        // Header arity and values.
+        assert!(parse_metis("3\n").is_err());
+        assert!(parse_metis("0 0\n").is_err());
+        assert!(parse_metis("a b\n1\n").is_err());
+        assert!(parse_metis("2 1 7\n2\n1\n").is_err()); // fmt not binary digits
+                                                        // Wrong number of vertex lines.
+        assert!(matches!(
+            parse_metis("3 1\n2\n1\n"),
+            Err(IoError::Inconsistent { .. })
+        ));
+        assert!(parse_metis("1 0\n\n2\n").is_err()); // surplus non-empty line
+                                                     // Neighbour out of range / 0-based / self loop.
+        assert!(parse_metis("2 1\n3\n1\n").is_err());
+        assert!(parse_metis("2 1\n0\n1\n").is_err());
+        assert!(parse_metis("2 1\n1\n2\n").is_err());
+        // Asymmetric adjacency: edge listed only at one endpoint.
+        assert!(matches!(
+            parse_metis("2 1\n2\n\n"),
+            Err(IoError::Inconsistent { .. })
+        ));
+        // A duplicated mention cannot impersonate the missing orientation.
+        assert!(matches!(
+            parse_metis("2 1\n2 2\n\n"),
+            Err(IoError::Parse { .. })
+        ));
+        // Declared edge count disagrees with the lists.
+        assert!(matches!(
+            parse_metis("2 2\n2\n1\n"),
+            Err(IoError::Inconsistent { .. })
+        ));
+        // Missing edge weight when fmt declares them.
+        assert!(parse_metis("2 1 001\n2\n1 5\n").is_err());
+    }
+
+    #[test]
+    fn matrix_market_round_trips() {
+        let g = generators::gnp_connected(30, 0.15, 9).unwrap();
+        let text = to_matrix_market(&g);
+        let back = parse_matrix_market(&text).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn matrix_market_accepts_values_diagonals_and_general_symmetry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a 3x3 adjacency matrix with values and a diagonal\n\
+                    3 3 5\n\
+                    1 2 0.5\n\
+                    2 1 0.5\n\
+                    2 2 9.0\n\
+                    1 3 -2.0\n\
+                    3 1 -2.0\n";
+        let g = parse_matrix_market(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2, "diagonal dropped, orientations merged");
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn matrix_market_preserves_isolated_nodes() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n5 5 1\n2 1\n";
+        let g = parse_matrix_market(text).unwrap();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn matrix_market_rejects_malformed_input() {
+        assert!(matches!(
+            parse_matrix_market(""),
+            Err(IoError::Empty { .. })
+        ));
+        assert!(parse_matrix_market("1 2\n").is_err()); // no banner
+        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket vector coordinate real general\n").is_err());
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate pattern weird\n1 1 0\n").is_err()
+        );
+        // Banner but nothing else.
+        assert!(matches!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate pattern general\n% x\n"),
+            Err(IoError::Empty { .. })
+        ));
+        // Non-square, bad size line, entry out of range, nnz mismatch.
+        let banner = "%%MatrixMarket matrix coordinate pattern general\n";
+        assert!(parse_matrix_market(&format!("{banner}2 3 1\n1 2\n")).is_err());
+        assert!(parse_matrix_market(&format!("{banner}2 2\n")).is_err());
+        assert!(parse_matrix_market(&format!("{banner}2 2 1\n1 3\n")).is_err());
+        assert!(parse_matrix_market(&format!("{banner}2 2 1\n0 1\n")).is_err());
+        assert!(matches!(
+            parse_matrix_market(&format!("{banner}2 2 2\n1 2\n")),
+            Err(IoError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn gzipped_files_load_transparently_in_every_format() {
+        let g = generators::gnp_connected(18, 0.25, 4).unwrap();
+        let dir = std::env::temp_dir().join("mdst-io-gz-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, format) in [
+            ("g.el.gz", GraphFormat::EdgeList),
+            ("g.col.gz", GraphFormat::Dimacs),
+            ("g.graph.gz", GraphFormat::Metis),
+            ("g.mtx.gz", GraphFormat::MatrixMarket),
+        ] {
+            let path = dir.join(name);
+            save_graph(&path, &g, None).unwrap();
+            assert_eq!(GraphFormat::from_path(&path), format, "{name}");
+            // The file on disk really is gzip, not plain text.
+            let raw = std::fs::read(&path).unwrap();
+            assert_eq!(&raw[..2], &GZIP_MAGIC, "{name}");
+            let back = load_graph(&path, None).unwrap();
+            assert_eq!(back, g, "{name}");
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 }

@@ -11,18 +11,21 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`spec`] | `ScenarioMatrix` / `ScenarioSpec` / `RunSpec`: the declarative spec language and its cartesian expansion |
-//! | [`io`] | edge-list and DIMACS graph readers/writers — external graph files as first-class pipeline inputs |
+//! | [`io`] | edge-list, DIMACS, METIS and MatrixMarket readers/writers with transparent gzip — external graph files (and whole benchmark suites) as first-class pipeline inputs |
 //! | [`toml`] | self-contained TOML subset parser feeding [`spec`] (the registry `toml` crate is unavailable offline) |
-//! | [`runner`] | the parallel batch runner: scoped thread pool, per-run records, per-scenario and campaign aggregates |
+//! | [`runner`] | the parallel batch runner: scoped thread pool, campaign-wide [`runner::TopologyCache`] (one shared `Arc<Graph>` per distinct source), per-run records, per-scenario and campaign aggregates |
 //! | [`report`] | JSON / CSV sinks and the human-readable summary |
+//! | [`diff`] | report-vs-report comparison behind `scenario diff` (regression gate for CI) |
 //!
 //! The `scenario` binary wires these together:
 //!
 //! ```text
 //! scenario run examples/sweep.toml --out campaign.json --csv campaign.csv
 //! scenario run examples/executors.toml --jobs 4 --shuffle 42
+//! scenario run examples/suite.toml        # on-disk benchmark files (graph_files axis)
 //! scenario expand examples/sweep.toml     # print the resolved run list
 //! scenario validate examples/sweep.toml   # check the spec without running it
+//! scenario diff base.json cand.json       # regression gate between two reports
 //! ```
 //!
 //! `--jobs N` (alias `--threads`) caps runner parallelism; without it the
@@ -47,13 +50,21 @@
 //!
 //! [[scenario]]
 //! name = "external"
-//! graph = { path = "data/network.col" }    # DIMACS or edge-list file
+//! graph = { path = "data/network.col" }    # edge-list / DIMACS / METIS / MatrixMarket
+//!
+//! [[scenario]]
+//! name = "suite"                           # a whole on-disk suite as an axis
+//! graph_files = ["data/sample.mtx.gz", "data/sample.graph", "data/sample.el.gz"]
 //! ```
 //!
 //! Every list-valued field is an axis; the run list is the cartesian product
-//! of all axes (graph parameters included). Checked-in examples live at
-//! `examples/sweep.toml`, `examples/faults.toml` and
-//! `examples/executors.toml` in the repository root.
+//! of all axes (graph parameters included). File formats are inferred from
+//! the extension under an optional `.gz` (gzip is decompressed
+//! transparently) or forced with `graph_format`. The campaign runner builds
+//! every distinct topology exactly once and shares it as an `Arc<Graph>`
+//! across all runs that sweep it. Checked-in examples live at
+//! `examples/sweep.toml`, `examples/faults.toml`, `examples/executors.toml`
+//! and `examples/suite.toml` in the repository root.
 //!
 //! ## Executor axis
 //!
@@ -144,24 +155,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod io;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod toml;
 
+pub use diff::{diff_reports, DiffFinding, ReportDiff};
 pub use io::{load_graph, save_graph, GraphFormat, IoError};
 pub use report::{campaign_to_csv, campaign_to_json};
-pub use runner::{execute_run, run_campaign, CampaignReport, RunOutcome, RunRecord, RunnerConfig};
+pub use runner::{
+    execute_run, run_campaign, CampaignReport, RunOutcome, RunRecord, RunnerConfig, TopologyCache,
+};
 pub use spec::{FaultSpec, RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
 
 /// Everything a campaign driver typically needs in scope.
 pub mod prelude {
+    pub use crate::diff::{diff_reports, DiffFinding, ReportDiff};
     pub use crate::io::{load_graph, parse_graph, render_graph, save_graph, GraphFormat, IoError};
     pub use crate::report::{campaign_to_csv, campaign_to_json, summarize, write_csv, write_json};
     pub use crate::runner::{
-        execute_run, execute_runs, run_campaign, CampaignReport, RunOutcome, RunRecord,
-        RunnerConfig, ScenarioStats,
+        execute_run, execute_run_cached, execute_runs, run_campaign, CampaignReport, RunOutcome,
+        RunRecord, RunnerConfig, ScenarioStats, TopologyCache,
     };
     pub use crate::spec::{
         parse_initial_kind, FaultSpec, GraphSpec, ResolvedGraph, RunSpec, ScenarioMatrix,

@@ -8,15 +8,16 @@
 //! paper's `O(Δ* + log n)` degree bound from [`mdst_core::bounds`]. Results
 //! aggregate into per-scenario and campaign-wide statistics.
 
-use crate::spec::{RunSpec, ScenarioMatrix, SpecError};
+use crate::spec::{ResolvedGraph, RunSpec, ScenarioMatrix, SpecError};
 use mdst_core::bounds;
 use mdst_core::{run_pipeline_with_faults, RunStatus};
+use mdst_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// How one run ended — the outcome taxonomy of the fault campaign.
@@ -85,6 +86,78 @@ pub struct RunnerConfig {
     /// seed is recorded in [`CampaignReport::shuffle_seed`], so a shuffled
     /// campaign reproduces exactly.
     pub shuffle: Option<u64>,
+}
+
+/// Campaign-wide topology cache: every distinct graph source is built exactly
+/// once and shared as an `Arc<Graph>` across all runs that sweep it.
+///
+/// Before the CSR substrate, each of a campaign's runs re-built (or re-read)
+/// its graph and every executor additionally re-materialised a
+/// `Vec<Vec<NodeId>>` adjacency — an `O(m)` tax multiplied by the run count.
+/// Now the expansion's repeated `(source, seed)` pairs resolve to one shared
+/// CSR graph whose neighbour slices every backend borrows directly.
+///
+/// Keys are `(graph label, seed)`; file sources ignore the seed (the same
+/// file is the same topology whatever the run seed), so a thousand-seed sweep
+/// over one benchmark file parses it once.
+pub struct TopologyCache {
+    map: Mutex<BTreeMap<TopologyKey, TopologySlot>>,
+}
+
+/// Cache key: graph label plus the effective generation seed.
+type TopologyKey = (String, u64);
+/// Cached outcome: the shared graph, or the build error verbatim.
+type TopologySlot = Result<Arc<Graph>, String>;
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TopologyCache {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn key(graph: &ResolvedGraph, seed: u64) -> (String, u64) {
+        let seed = match graph {
+            // Files ignore the run seed entirely; normalising the key lets
+            // every seed of a sweep share one parse.
+            ResolvedGraph::File { .. } => 0,
+            ResolvedGraph::Family { .. } => seed,
+        };
+        (graph.label(), seed)
+    }
+
+    /// The shared graph for `(graph, seed)`, building (or re-reporting the
+    /// build error) on first use. Concurrent callers may race to build the
+    /// same topology; the first insert wins so every run of a campaign
+    /// observes pointer-identical topology.
+    pub fn get(&self, graph: &ResolvedGraph, seed: u64) -> Result<Arc<Graph>, String> {
+        let key = Self::key(graph, seed);
+        if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
+            return hit.clone();
+        }
+        // Build outside the lock so a slow parse (a big gzipped benchmark
+        // file) does not serialise unrelated builds.
+        let built = graph.build(seed).map(Arc::new).map_err(|e| e.to_string());
+        let mut map = self.map.lock().expect("cache poisoned");
+        map.entry(key).or_insert(built).clone()
+    }
+
+    /// Number of distinct topologies built so far.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for TopologyCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Outcome of one run of the campaign.
@@ -271,14 +344,22 @@ pub struct CampaignReport {
     pub runs: Vec<RunRecord>,
 }
 
-/// Executes a single run (sequentially, on the calling thread).
+/// Executes a single run (sequentially, on the calling thread), building its
+/// topology privately. Campaign execution goes through
+/// [`execute_run_cached`] instead so runs share one [`Arc<Graph>`] per
+/// distinct source.
+pub fn execute_run(spec: &RunSpec) -> RunRecord {
+    execute_run_cached(spec, &TopologyCache::new())
+}
+
+/// Executes a single run against a shared topology cache.
 ///
 /// Every run — fault-free or not — goes through the fault-tolerant pipeline,
 /// so the outcome taxonomy is uniform. A fault-free run that does not end in
 /// [`RunOutcome::QuiescedCorrect`] is also recorded as an error, preserving
 /// the pre-fault contract that campaigns fail loudly when the protocol
 /// misbehaves on a reliable network.
-pub fn execute_run(spec: &RunSpec) -> RunRecord {
+pub fn execute_run_cached(spec: &RunSpec, topologies: &TopologyCache) -> RunRecord {
     let start = Instant::now();
     let mut record = RunRecord {
         scenario: spec.scenario.clone(),
@@ -312,7 +393,7 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
         error: None,
     };
     let outcome = (|| -> Result<(), String> {
-        let graph = spec.graph.build(spec.seed).map_err(|e| e.to_string())?;
+        let graph = topologies.get(&spec.graph, spec.seed)?;
         let config = spec.pipeline_config().map_err(|e| e.to_string())?;
         if spec.root >= graph.node_count() {
             return Err(format!(
@@ -434,10 +515,16 @@ pub fn execute_runs(
     };
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunRecord>>> = runs.iter().map(|_| Mutex::new(None)).collect();
+    // One topology per distinct (source, seed) for the whole campaign: every
+    // worker thread resolves its runs through this shared cache, so repeated
+    // sweeps over the same graph borrow one CSR structure instead of
+    // re-building (or re-parsing) it per run.
+    let topologies = TopologyCache::new();
 
     if threads <= 1 {
         for &idx in &order {
-            *slots[idx].lock().expect("slot poisoned") = Some(execute_run(&runs[idx]));
+            *slots[idx].lock().expect("slot poisoned") =
+                Some(execute_run_cached(&runs[idx], &topologies));
         }
     } else {
         std::thread::scope(|scope| {
@@ -447,7 +534,7 @@ pub fn execute_runs(
                     let Some(&idx) = order.get(claim) else {
                         break;
                     };
-                    let record = execute_run(&runs[idx]);
+                    let record = execute_run_cached(&runs[idx], &topologies);
                     *slots[idx].lock().expect("slot poisoned") = Some(record);
                 });
             }

@@ -89,11 +89,23 @@ pub enum GraphSpec {
         /// Parameter lists, in spec order.
         params: Vec<(String, Vec<ParamValue>)>,
     },
-    /// An external graph file (edge list or DIMACS).
+    /// An external graph file (edge list, DIMACS, METIS or MatrixMarket;
+    /// `.gz` variants decompress transparently).
     File {
         /// Path, relative to the process working directory.
         path: String,
         /// Explicit format; inferred from the extension when absent.
+        format: Option<GraphFormat>,
+    },
+    /// A list of external graph files swept as an axis
+    /// (`graph_files = ["a.mtx.gz", "b.graph", …]`): each file expands to
+    /// its own set of runs, so a published benchmark suite sweeps straight
+    /// from disk.
+    Files {
+        /// Paths, relative to the process working directory.
+        paths: Vec<String>,
+        /// Explicit format applied to every file; per-file extension
+        /// inference when absent.
         format: Option<GraphFormat>,
     },
 }
@@ -561,6 +573,20 @@ fn family_params(family: &str) -> Option<(&'static [&'static str], bool)> {
     })
 }
 
+/// Parses a graph-format spelling from a spec (`format` / `graph_format`).
+fn parse_format_name(spelling: &str, scenario: &str) -> Result<GraphFormat, SpecError> {
+    match spelling.to_ascii_lowercase().replace('-', "_").as_str() {
+        "edge_list" | "edgelist" | "el" => Ok(GraphFormat::EdgeList),
+        "dimacs" => Ok(GraphFormat::Dimacs),
+        "metis" | "graph" => Ok(GraphFormat::Metis),
+        "matrix_market" | "matrixmarket" | "mtx" => Ok(GraphFormat::MatrixMarket),
+        other => Err(SpecError(format!(
+            "scenario `{scenario}`: unknown graph format `{other}` \
+             (edge_list | dimacs | metis | matrix_market)"
+        ))),
+    }
+}
+
 /// Normalises the family aliases accepted by [`ResolvedGraph::build`].
 fn canonical_family(family: &str) -> &str {
     match family {
@@ -723,12 +749,35 @@ impl ScenarioSpec {
             .and_then(Value::as_str)
             .ok_or_else(|| SpecError("every scenario needs a string `name`".into()))?
             .to_string();
-        let graph = GraphSpec::from_spec_value(
-            value
-                .get("graph")
-                .ok_or_else(|| SpecError(format!("scenario `{name}` has no `graph` table")))?,
-            &name,
-        )?;
+        let graph = match (value.get("graph"), value.get("graph_files")) {
+            (Some(_), Some(_)) => {
+                return spec_err(format!(
+                    "scenario `{name}`: give either a `graph` table or a `graph_files` \
+                     list, not both"
+                ))
+            }
+            (Some(g), None) => GraphSpec::from_spec_value(g, &name)?,
+            (None, Some(files)) => {
+                let paths = string_list(files).ok_or_else(|| {
+                    SpecError(format!(
+                        "scenario `{name}`: `graph_files` must be a string or list of strings"
+                    ))
+                })?;
+                if paths.is_empty() {
+                    return spec_err(format!("scenario `{name}`: `graph_files` is empty"));
+                }
+                let format = match value.get("graph_format").and_then(Value::as_str) {
+                    None => None,
+                    Some(spelling) => Some(parse_format_name(spelling, &name)?),
+                };
+                GraphSpec::Files { paths, format }
+            }
+            (None, None) => {
+                return spec_err(format!(
+                    "scenario `{name}` has no `graph` table (or `graph_files` list)"
+                ))
+            }
+        };
         let initial = match value.get("initial") {
             None => vec!["greedy_hub".to_string()],
             Some(v) => string_list(v).ok_or_else(|| {
@@ -903,15 +952,7 @@ impl GraphSpec {
                 .to_string();
             let format = match value.get("format").and_then(Value::as_str) {
                 None => None,
-                Some("edge_list") | Some("edge-list") | Some("edgelist") => {
-                    Some(GraphFormat::EdgeList)
-                }
-                Some("dimacs") => Some(GraphFormat::Dimacs),
-                Some(other) => {
-                    return spec_err(format!(
-                        "scenario `{scenario}`: unknown graph format `{other}` (edge_list | dimacs)"
-                    ))
-                }
+                Some(spelling) => Some(parse_format_name(spelling, scenario)?),
             };
             return Ok(GraphSpec::File { path, format });
         }
@@ -943,13 +984,21 @@ impl GraphSpec {
         })
     }
 
-    /// All resolved parameter combinations (cartesian product of the lists).
+    /// All resolved parameter combinations (cartesian product of the lists;
+    /// one resolved source per file for the `graph_files` axis).
     pub fn resolve_all(&self) -> Result<Vec<ResolvedGraph>, SpecError> {
         match self {
             GraphSpec::File { path, format } => Ok(vec![ResolvedGraph::File {
                 path: path.clone(),
                 format: *format,
             }]),
+            GraphSpec::Files { paths, format } => Ok(paths
+                .iter()
+                .map(|path| ResolvedGraph::File {
+                    path: path.clone(),
+                    format: *format,
+                })
+                .collect()),
             GraphSpec::Family { family, params } => {
                 let Some((accepted, seeded)) = family_params(canonical_family(family)) else {
                     return spec_err(format!(
@@ -1349,6 +1398,97 @@ mod tests {
             );
             let err = ScenarioMatrix::from_toml_str(&spec);
             assert!(err.is_err(), "accepted malformed fault axis: {case}");
+        }
+    }
+
+    #[test]
+    fn graph_files_axis_expands_one_source_per_file() {
+        let spec = r#"
+            [[scenario]]
+            name = "suite"
+            graph_files = ["a.mtx.gz", "b.graph", "c.el"]
+            initial = ["greedy_hub", "bfs"]
+            seeds = [1, 2]
+        "#;
+        let runs = ScenarioMatrix::from_toml_str(spec)
+            .unwrap()
+            .expand()
+            .unwrap();
+        // 3 files × 2 initial × 2 seeds.
+        assert_eq!(runs.len(), 12);
+        let labels: std::collections::BTreeSet<String> =
+            runs.iter().map(|r| r.graph.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains("file(a.mtx.gz)"));
+        assert!(labels.contains("file(b.graph)"));
+        // A single string is accepted as a one-file list.
+        let single = "[[scenario]]\nname = \"s\"\ngraph_files = \"only.mtx\"\n";
+        let runs = ScenarioMatrix::from_toml_str(single)
+            .unwrap()
+            .expand()
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+    }
+
+    #[test]
+    fn graph_files_axis_rejects_conflicts_and_unknown_formats() {
+        let both = r#"
+            [[scenario]]
+            name = "x"
+            graph = { family = "path", n = 4 }
+            graph_files = ["a.el"]
+        "#;
+        let err = ScenarioMatrix::from_toml_str(both).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+
+        let empty = "[[scenario]]\nname = \"x\"\ngraph_files = []\n";
+        assert!(ScenarioMatrix::from_toml_str(empty).is_err());
+
+        let bad_format = r#"
+            [[scenario]]
+            name = "x"
+            graph_files = ["a.data"]
+            graph_format = "hdf5"
+        "#;
+        let err = ScenarioMatrix::from_toml_str(bad_format).unwrap_err();
+        assert!(err.to_string().contains("hdf5"), "{err}");
+
+        // An explicit format overrides extension inference for every file.
+        let forced = r#"
+            [[scenario]]
+            name = "x"
+            graph_files = ["a.data", "b.data"]
+            graph_format = "mtx"
+        "#;
+        let matrix = ScenarioMatrix::from_toml_str(forced).unwrap();
+        let runs = matrix.expand().unwrap();
+        for run in &runs {
+            let ResolvedGraph::File { format, .. } = &run.graph else {
+                panic!("file source expected");
+            };
+            assert_eq!(*format, Some(GraphFormat::MatrixMarket));
+        }
+    }
+
+    #[test]
+    fn graph_table_accepts_the_new_format_spellings() {
+        for (spelling, expected) in [
+            ("metis", GraphFormat::Metis),
+            ("matrix_market", GraphFormat::MatrixMarket),
+            ("matrix-market", GraphFormat::MatrixMarket),
+            ("mtx", GraphFormat::MatrixMarket),
+            ("edge_list", GraphFormat::EdgeList),
+            ("dimacs", GraphFormat::Dimacs),
+        ] {
+            let spec = format!(
+                "[[scenario]]\nname = \"x\"\ngraph = {{ path = \"g.data\", format = \"{spelling}\" }}\n"
+            );
+            let matrix = ScenarioMatrix::from_toml_str(&spec).unwrap();
+            let runs = matrix.expand().unwrap();
+            let ResolvedGraph::File { format, .. } = &runs[0].graph else {
+                panic!("file source expected");
+            };
+            assert_eq!(*format, Some(expected), "{spelling}");
         }
     }
 

@@ -3,7 +3,10 @@
 //! and DIMACS encodings.
 
 use mdst_graph::{algorithms, generators, Graph};
-use mdst_scenario::io::{parse_dimacs, parse_edge_list, to_dimacs, to_edge_list, GraphFormat};
+use mdst_scenario::io::{
+    parse_dimacs, parse_edge_list, parse_graph, parse_matrix_market, parse_metis, render_graph,
+    to_dimacs, to_edge_list, to_matrix_market, to_metis, GraphFormat,
+};
 use proptest::prelude::*;
 
 fn connected_graph() -> impl Strategy<Value = Graph> {
@@ -42,11 +45,52 @@ proptest! {
     }
 
     #[test]
+    fn metis_round_trip_preserves_the_graph(graph in connected_graph()) {
+        let text = to_metis(&graph);
+        let back = parse_metis(&text).expect("canonical output parses");
+        prop_assert_eq!(&back, &graph);
+        prop_assert!(algorithms::is_connected(&back));
+    }
+
+    #[test]
+    fn matrix_market_round_trip_preserves_the_graph(graph in connected_graph()) {
+        let text = to_matrix_market(&graph);
+        let back = parse_matrix_market(&text).expect("canonical output parses");
+        prop_assert_eq!(&back, &graph);
+        prop_assert!(algorithms::is_connected(&back));
+    }
+
+    #[test]
     fn cross_format_conversion_is_lossless(graph in connected_graph()) {
-        // edge list -> graph -> DIMACS -> graph is still the same graph.
-        let via_el = parse_edge_list(&to_edge_list(&graph)).unwrap();
-        let via_dimacs = parse_dimacs(&to_dimacs(&via_el)).unwrap();
-        prop_assert_eq!(&via_dimacs, &graph);
+        // Chaining every renderer/parser pair must reproduce the graph: the
+        // four formats are different encodings of one structure.
+        let mut current = graph.clone();
+        for format in [
+            GraphFormat::EdgeList,
+            GraphFormat::Metis,
+            GraphFormat::MatrixMarket,
+            GraphFormat::Dimacs,
+        ] {
+            current = parse_graph(&render_graph(&current, format), format).unwrap();
+        }
+        prop_assert_eq!(&current, &graph);
+    }
+
+    #[test]
+    fn truncated_metis_bodies_are_rejected(graph in connected_graph()) {
+        // Dropping the last vertex line must trip the vertex-count check.
+        let text = to_metis(&graph);
+        let lines: Vec<&str> = text.lines().collect();
+        let truncated = lines[..lines.len() - 1].join("\n");
+        prop_assert!(parse_metis(&truncated).is_err());
+    }
+
+    #[test]
+    fn truncated_matrix_market_bodies_are_rejected(graph in connected_graph()) {
+        let text = to_matrix_market(&graph);
+        let lines: Vec<&str> = text.lines().collect();
+        let truncated = lines[..lines.len() - 1].join("\n");
+        prop_assert!(parse_matrix_market(&truncated).is_err());
     }
 
     #[test]
@@ -76,4 +120,6 @@ fn malformed_files_produce_line_numbered_errors() {
 fn format_labels_are_stable() {
     assert_eq!(GraphFormat::EdgeList.label(), "edge-list");
     assert_eq!(GraphFormat::Dimacs.label(), "dimacs");
+    assert_eq!(GraphFormat::Metis.label(), "metis");
+    assert_eq!(GraphFormat::MatrixMarket.label(), "matrix-market");
 }

@@ -1,0 +1,132 @@
+//! End-to-end benchmark-suite ingestion: gzipped MatrixMarket and METIS
+//! files sweeping through a campaign via the `graph_files` axis, with the
+//! campaign-wide topology cache sharing one `Arc<Graph>` per source.
+
+use mdst_scenario::prelude::*;
+use mdst_scenario::runner::TopologyCache;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A scratch file that cleans up after itself.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn create(name: &str, graph: &mdst_graph::Graph) -> TempFile {
+        let mut path = std::env::temp_dir();
+        path.push(format!("mdst-suite-{}-{name}", std::process::id()));
+        save_graph(&path, graph, None).expect("temp dir is writable");
+        TempFile(path)
+    }
+
+    fn path_str(&self) -> &str {
+        self.0.to_str().expect("temp path is UTF-8")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn gzipped_mtx_and_metis_files_sweep_end_to_end() {
+    let graph = mdst_graph::generators::gnp_connected(24, 0.2, 5).unwrap();
+    let mtx = TempFile::create("suite.mtx.gz", &graph);
+    let metis = TempFile::create("suite.graph", &graph);
+
+    let spec = format!(
+        r#"
+        [campaign]
+        name = "suite-e2e"
+
+        [[scenario]]
+        name = "files"
+        graph_files = ["{}", "{}"]
+        initial = ["greedy_hub", "bfs"]
+        executor = ["sim", "pool"]
+        workers = 2
+        seeds = [1, 2]
+        "#,
+        mtx.path_str(),
+        metis.path_str(),
+    );
+    let matrix = ScenarioMatrix::from_toml_str(&spec).unwrap();
+    let report = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // 2 files × 2 initial × 2 executors × 2 seeds.
+    assert_eq!(report.total.runs, 16);
+    assert_eq!(report.total.failures, 0, "{:?}", report.runs[0].error);
+    assert_eq!(report.total.bound_violations, 0);
+    let mtx_rows: Vec<&RunRecord> = report
+        .runs
+        .iter()
+        .filter(|r| r.graph.contains(".mtx.gz"))
+        .collect();
+    let metis_rows: Vec<&RunRecord> = report
+        .runs
+        .iter()
+        .filter(|r| r.graph.contains(".graph"))
+        .collect();
+    assert_eq!(mtx_rows.len(), 8, "gzipped MatrixMarket rows in the report");
+    assert_eq!(metis_rows.len(), 8, "METIS rows in the report");
+    // Same underlying graph, whatever the encoding: every measured quantity
+    // that only depends on the topology must agree pairwise.
+    for (a, b) in mtx_rows.iter().zip(&metis_rows) {
+        assert_eq!(a.outcome, RunOutcome::QuiescedCorrect);
+        assert_eq!((a.n, a.m), (24, graph.edge_count()));
+        assert_eq!((a.n, a.m), (b.n, b.m));
+        assert_eq!(a.final_degree, b.final_degree);
+        assert_eq!(a.degree_upper_bound, b.degree_upper_bound);
+        assert_eq!(a.messages, b.messages);
+    }
+}
+
+#[test]
+fn topology_cache_shares_one_arc_per_source() {
+    let graph = mdst_graph::generators::gnp_connected(16, 0.3, 9).unwrap();
+    let file = TempFile::create("cache.el.gz", &graph);
+    let source = mdst_scenario::spec::ResolvedGraph::File {
+        path: file.path_str().to_string(),
+        format: None,
+    };
+    let cache = TopologyCache::new();
+    assert!(cache.is_empty());
+    let a = cache.get(&source, 1).unwrap();
+    // Different run seeds of a file source resolve to the *same* Arc: the
+    // file is parsed once for the whole campaign.
+    let b = cache.get(&source, 2).unwrap();
+    assert!(Arc::ptr_eq(&a, &b));
+    assert_eq!(cache.len(), 1);
+    assert_eq!(*a, graph);
+
+    // Seeded families cache per seed and stay pointer-stable per key.
+    let family = mdst_scenario::spec::ResolvedGraph::Family {
+        family: "gnp_connected".to_string(),
+        params: vec![
+            ("n".to_string(), mdst_scenario::spec::ParamValue::Int(12)),
+            ("p".to_string(), mdst_scenario::spec::ParamValue::Float(0.4)),
+        ],
+    };
+    let s1 = cache.get(&family, 1).unwrap();
+    let s1_again = cache.get(&family, 1).unwrap();
+    let s2 = cache.get(&family, 2).unwrap();
+    assert!(Arc::ptr_eq(&s1, &s1_again));
+    assert!(!Arc::ptr_eq(&s1, &s2));
+    assert_ne!(*s1, *s2, "different seeds generate different graphs");
+
+    // Build errors are cached per key, not silently retried into panics.
+    let missing = mdst_scenario::spec::ResolvedGraph::File {
+        path: "/nonexistent/mdst-suite-missing.el".to_string(),
+        format: None,
+    };
+    assert!(cache.get(&missing, 1).is_err());
+    assert!(cache.get(&missing, 7).is_err());
+}

@@ -18,6 +18,7 @@ use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
 use mdst_netsim::message::bits::message_bits;
 use mdst_netsim::{Context, Metrics, NetMessage, Protocol, SimConfig, Simulator};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Messages of the token construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,7 +183,7 @@ impl TreeState for DfsTokenSt {
 /// Runs the token construction on `graph` under `config` and returns the
 /// resulting tree plus the metrics of the run.
 pub fn build_token_tree(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     root: NodeId,
     config: SimConfig,
 ) -> Result<(RootedTree, Metrics), GraphError> {
@@ -203,13 +204,13 @@ mod tests {
     use mdst_graph::generators;
     use mdst_netsim::DelayModel;
 
-    fn unit(graph: &Graph, root: NodeId) -> (RootedTree, Metrics) {
+    fn unit(graph: &Arc<Graph>, root: NodeId) -> (RootedTree, Metrics) {
         build_token_tree(graph, root, SimConfig::default()).unwrap()
     }
 
     #[test]
     fn traversal_builds_a_spanning_tree() {
-        let g = generators::gnp_connected(25, 0.2, 8).unwrap();
+        let g = Arc::new(generators::gnp_connected(25, 0.2, 8).unwrap());
         let (t, _) = unit(&g, NodeId(0));
         assert!(t.is_spanning_tree_of(&g));
         assert_eq!(t.root(), NodeId(0));
@@ -217,7 +218,7 @@ mod tests {
 
     #[test]
     fn token_crosses_every_link_twice() {
-        let g = generators::gnp_connected(20, 0.25, 5).unwrap();
+        let g = Arc::new(generators::gnp_connected(20, 0.25, 5).unwrap());
         let (_, metrics) = unit(&g, NodeId(2));
         let m = g.edge_count() as u64;
         let n = g.node_count() as u64;
@@ -230,7 +231,7 @@ mod tests {
     fn traversal_tree_on_complete_graph_has_low_degree() {
         // Tarry's traversal on K_n follows a deep path-like structure, a useful
         // low-degree seed compared to flooding.
-        let g = generators::complete(12).unwrap();
+        let g = Arc::new(generators::complete(12).unwrap());
         let (t, _) = unit(&g, NodeId(0));
         assert!(t.is_spanning_tree_of(&g));
         assert!(
@@ -242,7 +243,7 @@ mod tests {
 
     #[test]
     fn works_under_random_delays() {
-        let g = generators::grid(5, 5).unwrap();
+        let g = Arc::new(generators::grid(5, 5).unwrap());
         for seed in 0..4u64 {
             let cfg = SimConfig {
                 delay: DelayModel::UniformRandom {
@@ -259,12 +260,12 @@ mod tests {
 
     #[test]
     fn single_node_and_single_edge_networks() {
-        let g1 = Graph::empty(1);
+        let g1 = Arc::new(Graph::empty(1));
         let (t1, m1) = unit(&g1, NodeId(0));
         assert_eq!(t1.node_count(), 1);
         assert_eq!(m1.messages_total, 0);
 
-        let g2 = generators::path(2).unwrap();
+        let g2 = Arc::new(generators::path(2).unwrap());
         let (t2, m2) = unit(&g2, NodeId(1));
         assert_eq!(t2.root(), NodeId(1));
         assert_eq!(t2.parent(NodeId(0)), Some(NodeId(1)));
@@ -273,7 +274,7 @@ mod tests {
 
     #[test]
     fn all_nodes_terminate() {
-        let g = generators::petersen().unwrap();
+        let g = Arc::new(generators::petersen().unwrap());
         let mut sim = Simulator::new(&g, SimConfig::default(), |id, _| {
             DfsTokenSt::new(id, NodeId(3))
         })

@@ -18,6 +18,7 @@ use mdst_graph::{Graph, GraphError, NodeId, RootedTree};
 use mdst_netsim::message::bits::message_bits;
 use mdst_netsim::{Context, Metrics, NetMessage, Protocol, SimConfig, Simulator};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Messages of the flooding construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -190,7 +191,7 @@ impl TreeState for FloodingSt {
 /// Runs the flooding construction on `graph` under `config` and returns the
 /// resulting tree plus the metrics of the run.
 pub fn build_flooding_tree(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     root: NodeId,
     config: SimConfig,
 ) -> Result<(RootedTree, Metrics), GraphError> {
@@ -211,13 +212,13 @@ mod tests {
     use mdst_graph::generators;
     use mdst_netsim::{DelayModel, StartModel};
 
-    fn unit(graph: &Graph, root: NodeId) -> (RootedTree, Metrics) {
+    fn unit(graph: &Arc<Graph>, root: NodeId) -> (RootedTree, Metrics) {
         build_flooding_tree(graph, root, SimConfig::default()).unwrap()
     }
 
     #[test]
     fn builds_bfs_tree_under_unit_delays() {
-        let g = generators::grid(4, 5).unwrap();
+        let g = Arc::new(generators::grid(4, 5).unwrap());
         let (t, _) = unit(&g, NodeId(0));
         assert!(t.is_spanning_tree_of(&g));
         assert_eq!(t.root(), NodeId(0));
@@ -230,7 +231,7 @@ mod tests {
 
     #[test]
     fn message_count_is_2m_plus_tree_edges() {
-        let g = generators::gnp_connected(30, 0.2, 11).unwrap();
+        let g = Arc::new(generators::gnp_connected(30, 0.2, 11).unwrap());
         let (t, metrics) = unit(&g, NodeId(3));
         assert!(t.is_spanning_tree_of(&g));
         let m = g.edge_count() as u64;
@@ -242,7 +243,7 @@ mod tests {
 
     #[test]
     fn every_node_terminates_by_process() {
-        let g = generators::hypercube(4).unwrap();
+        let g = Arc::new(generators::hypercube(4).unwrap());
         let mut sim = Simulator::new(&g, SimConfig::default(), |id, _| {
             FloodingSt::new(id, NodeId(5))
         })
@@ -253,7 +254,7 @@ mod tests {
 
     #[test]
     fn works_under_adversarial_delays_and_staggered_starts() {
-        let g = generators::gnp_connected(40, 0.1, 2).unwrap();
+        let g = Arc::new(generators::gnp_connected(40, 0.1, 2).unwrap());
         for seed in 0..5u64 {
             let cfg = SimConfig {
                 delay: DelayModel::PerLinkFixed {
@@ -275,7 +276,7 @@ mod tests {
 
     #[test]
     fn single_node_network_terminates_immediately() {
-        let g = Graph::empty(1);
+        let g = Arc::new(Graph::empty(1));
         let (t, metrics) = unit(&g, NodeId(0));
         assert_eq!(t.node_count(), 1);
         assert_eq!(metrics.messages_total, 0);
@@ -283,14 +284,14 @@ mod tests {
 
     #[test]
     fn star_root_produces_degree_n_minus_one_tree() {
-        let g = generators::star(9).unwrap();
+        let g = Arc::new(generators::star(9).unwrap());
         let (t, _) = unit(&g, NodeId(0));
         assert_eq!(t.max_degree(), 8);
     }
 
     #[test]
     fn message_size_is_logarithmic() {
-        let g = generators::complete(64).unwrap();
+        let g = Arc::new(generators::complete(64).unwrap());
         let (_, metrics) = unit(&g, NodeId(0));
         // Tag only: 4 bits.
         assert!(metrics.bits_max <= 8);
@@ -298,7 +299,7 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_root() {
-        let g = generators::path(4).unwrap();
+        let g = Arc::new(generators::path(4).unwrap());
         assert!(build_flooding_tree(&g, NodeId(9), SimConfig::default()).is_err());
     }
 }

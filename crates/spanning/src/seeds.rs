@@ -15,6 +15,7 @@ use crate::flooding::build_flooding_tree;
 use mdst_graph::{algorithms, Graph, GraphError, NodeId, RootedTree};
 use mdst_netsim::{Metrics, SimConfig};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which initial spanning-tree construction to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,7 +70,7 @@ impl InitialTreeKind {
 /// construction run (`None` for centralized extractions, which exchange no
 /// messages).
 pub fn build_initial_tree(
-    graph: &Graph,
+    graph: &Arc<Graph>,
     root: NodeId,
     kind: InitialTreeKind,
 ) -> Result<(RootedTree, Option<Metrics>), GraphError> {
@@ -98,7 +99,7 @@ mod tests {
 
     #[test]
     fn every_kind_builds_a_valid_spanning_tree() {
-        let g = generators::gnp_connected(30, 0.2, 17).unwrap();
+        let g = Arc::new(generators::gnp_connected(30, 0.2, 17).unwrap());
         for kind in InitialTreeKind::all(3) {
             let (t, _) = build_initial_tree(&g, NodeId(0), kind).unwrap();
             assert!(t.is_spanning_tree_of(&g), "{}", kind.label());
@@ -108,7 +109,7 @@ mod tests {
 
     #[test]
     fn greedy_hub_is_the_worst_seed_on_a_complete_graph() {
-        let g = generators::complete(10).unwrap();
+        let g = Arc::new(generators::complete(10).unwrap());
         let (hub, _) = build_initial_tree(&g, NodeId(0), InitialTreeKind::GreedyHub).unwrap();
         assert_eq!(hub.max_degree(), 9);
         let (dfs, _) = build_initial_tree(&g, NodeId(0), InitialTreeKind::Dfs).unwrap();
@@ -117,7 +118,7 @@ mod tests {
 
     #[test]
     fn distributed_kinds_report_metrics() {
-        let g = generators::grid(4, 4).unwrap();
+        let g = Arc::new(generators::grid(4, 4).unwrap());
         let (_, m) =
             build_initial_tree(&g, NodeId(0), InitialTreeKind::DistributedFlooding).unwrap();
         assert!(m.unwrap().messages_total > 0);
@@ -136,7 +137,7 @@ mod tests {
 
     #[test]
     fn disconnected_graphs_are_rejected_by_every_kind() {
-        let g = mdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let g = Arc::new(mdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]).unwrap());
         for kind in InitialTreeKind::all(0) {
             assert!(
                 build_initial_tree(&g, NodeId(0), kind).is_err(),

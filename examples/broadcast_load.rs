@@ -57,7 +57,7 @@ impl Protocol for TreeBroadcast {
     }
 }
 
-fn broadcast_load(graph: &Graph, tree: &RootedTree) -> (u64, u64) {
+fn broadcast_load(graph: &Arc<Graph>, tree: &RootedTree) -> (u64, u64) {
     let mut sim = Simulator::new(graph, SimConfig::default(), |id, _| TreeBroadcast {
         children: tree.children(id).iter().copied().collect(),
         is_root: tree.root() == id,
@@ -71,7 +71,7 @@ fn broadcast_load(graph: &Graph, tree: &RootedTree) -> (u64, u64) {
 }
 
 fn main() {
-    let graph = generators::gnp_connected(80, 0.06, 7).expect("valid parameters");
+    let graph = Arc::new(generators::gnp_connected(80, 0.06, 7).expect("valid parameters"));
     let config = PipelineConfig {
         initial: InitialTreeKind::GreedyHub,
         root: NodeId(0),

@@ -10,7 +10,7 @@
 use mdst::prelude::*;
 
 fn main() {
-    let graph = generators::star_with_leaf_edges(200).expect("valid parameters");
+    let graph = Arc::new(generators::star_with_leaf_edges(200).expect("valid parameters"));
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).expect("connected");
     println!(
         "n = {}, m = {}, initial tree degree = {}",

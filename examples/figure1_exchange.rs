@@ -18,7 +18,7 @@ fn main() {
     for (u, v) in [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (3, 5)] {
         builder.add_edge(NodeId(u), NodeId(v)).unwrap();
     }
-    let graph = builder.build();
+    let graph = Arc::new(builder.build());
 
     // Initial spanning tree: the star around p plus node 5 under node 1.
     let parents = vec![

@@ -32,7 +32,7 @@ fn main() {
     // Outgoing (cousin) edges between branches.
     builder.add_edge(NodeId(7), NodeId(8)).unwrap();
     builder.add_edge(NodeId(8), NodeId(9)).unwrap();
-    let graph = builder.build();
+    let graph = Arc::new(builder.build());
 
     let initial = RootedTree::from_edges(
         10,

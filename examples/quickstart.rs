@@ -8,7 +8,7 @@ use mdst::prelude::*;
 
 fn main() {
     // A random connected network of 64 processors.
-    let graph = generators::gnp_connected(64, 0.08, 42).expect("valid parameters");
+    let graph = Arc::new(generators::gnp_connected(64, 0.08, 42).expect("valid parameters"));
     println!(
         "network: n = {}, m = {}, max graph degree = {}",
         graph.node_count(),

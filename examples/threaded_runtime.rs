@@ -10,7 +10,7 @@ use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
 
 fn main() {
-    let graph = generators::gnp_connected(48, 0.1, 21).expect("valid parameters");
+    let graph = Arc::new(generators::gnp_connected(48, 0.1, 21).expect("valid parameters"));
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).expect("connected");
     println!(
         "n = {}, m = {}, initial tree degree = {}",

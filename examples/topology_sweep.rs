@@ -7,30 +7,43 @@
 //! ```
 
 use mdst::prelude::*;
+use std::sync::Arc;
 
 fn main() {
-    let workloads: Vec<(&str, Graph)> = vec![
-        ("complete K16", generators::complete(16).unwrap()),
+    let workloads: Vec<(&str, Arc<Graph>)> = vec![
+        ("complete K16", Arc::new(generators::complete(16).unwrap())),
         (
             "star+path 16",
-            generators::star_with_leaf_edges(16).unwrap(),
+            Arc::new(generators::star_with_leaf_edges(16).unwrap()),
         ),
-        ("wheel 16", generators::wheel(16).unwrap()),
-        ("grid 4x4", generators::grid(4, 4).unwrap()),
-        ("hypercube Q4", generators::hypercube(4).unwrap()),
-        ("petersen", generators::petersen().unwrap()),
-        ("K(4,12)", generators::complete_bipartite(4, 12).unwrap()),
-        ("lollipop 8+8", generators::lollipop(8, 8).unwrap()),
-        ("barbell 6|4|6", generators::barbell(6, 4).unwrap()),
+        ("wheel 16", Arc::new(generators::wheel(16).unwrap())),
+        ("grid 4x4", Arc::new(generators::grid(4, 4).unwrap())),
+        ("hypercube Q4", Arc::new(generators::hypercube(4).unwrap())),
+        ("petersen", Arc::new(generators::petersen().unwrap())),
+        (
+            "K(4,12)",
+            Arc::new(generators::complete_bipartite(4, 12).unwrap()),
+        ),
+        (
+            "lollipop 8+8",
+            Arc::new(generators::lollipop(8, 8).unwrap()),
+        ),
+        (
+            "barbell 6|4|6",
+            Arc::new(generators::barbell(6, 4).unwrap()),
+        ),
         (
             "gnp(32,0.15)",
-            generators::gnp_connected(32, 0.15, 11).unwrap(),
+            Arc::new(generators::gnp_connected(32, 0.15, 11).unwrap()),
         ),
         (
             "geometric 32",
-            generators::random_geometric_connected(32, 0.25, 3).unwrap(),
+            Arc::new(generators::random_geometric_connected(32, 0.25, 3).unwrap()),
         ),
-        ("broom 5x3", generators::high_optimum(5, 3).unwrap()),
+        (
+            "broom 5x3",
+            Arc::new(generators::high_optimum(5, 3).unwrap()),
+        ),
     ];
 
     println!(

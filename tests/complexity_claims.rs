@@ -2,12 +2,13 @@
 //! instances — the test-suite counterpart of harness experiments E1–E4, E6.
 
 use mdst::prelude::*;
+use std::sync::Arc;
 
 /// Builds the worst-case family of the complexity analysis: the initial tree
 /// is the star (degree n − 1) and the graph allows improvement down to a
 /// degree-2 or 3 tree, so the number of rounds is Θ(n).
-fn worst_case(n: usize) -> (Graph, RootedTree) {
-    let graph = generators::star_with_leaf_edges(n).unwrap();
+fn worst_case(n: usize) -> (Arc<Graph>, RootedTree) {
+    let graph = Arc::new(generators::star_with_leaf_edges(n).unwrap());
     let tree = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     (graph, tree)
 }
@@ -91,7 +92,7 @@ fn complete_graph_cost_stays_close_to_the_kmz_lower_bound() {
     // on complete graphs (it is O(n·m) = O(n³) in the worst case, but with the
     // greedy-hub seed the drop k − k* ≈ n so the comparison is n²-to-n²·…).
     for n in [8, 16, 32] {
-        let graph = generators::complete(n).unwrap();
+        let graph = Arc::new(generators::complete(n).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let k_star = run.final_tree.max_degree();

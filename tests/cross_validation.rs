@@ -2,6 +2,7 @@
 //! baselines and the exact optimum.
 
 use mdst::prelude::*;
+use std::sync::Arc;
 
 #[test]
 fn distributed_run_matches_the_sequential_mirror_exactly() {
@@ -10,7 +11,7 @@ fn distributed_run_matches_the_sequential_mirror_exactly() {
     // must produce the same tree, the same number of exchanges and the same
     // number of rounds.
     for seed in 0..10u64 {
-        let graph = generators::gnp_connected(24, 0.18, seed).unwrap();
+        let graph = Arc::new(generators::gnp_connected(24, 0.18, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let distributed = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let mirror = paper_local_search(&graph, &initial).unwrap();
@@ -42,7 +43,7 @@ fn distributed_run_matches_the_sequential_mirror_exactly() {
 #[test]
 fn furer_raghavachari_never_does_worse_than_the_paper_rule() {
     for seed in 0..10u64 {
-        let graph = generators::gnp_connected(22, 0.15, seed).unwrap();
+        let graph = Arc::new(generators::gnp_connected(22, 0.15, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let paper = paper_local_search(&graph, &initial).unwrap();
         let fr = furer_raghavachari(&graph, &initial, true).unwrap();
@@ -58,7 +59,7 @@ fn furer_raghavachari_never_does_worse_than_the_paper_rule() {
 #[test]
 fn distributed_result_is_sandwiched_between_optimum_and_initial_degree() {
     for seed in 0..8u64 {
-        let graph = generators::gnp_connected(12, 0.3, seed).unwrap();
+        let graph = Arc::new(generators::gnp_connected(12, 0.3, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let optimum = exact_min_degree(&graph).unwrap();
@@ -73,9 +74,9 @@ fn exact_solver_confirms_structured_optima_reached_by_the_protocol() {
     // On complete graphs and on the star-plus-path worst case, the protocol
     // reaches a tree within one of the optimum degree 2.
     for graph in [
-        generators::complete(10).unwrap(),
-        generators::star_with_leaf_edges(12).unwrap(),
-        generators::wheel(10).unwrap(),
+        Arc::new(generators::complete(10).unwrap()),
+        Arc::new(generators::star_with_leaf_edges(12).unwrap()),
+        Arc::new(generators::wheel(10).unwrap()),
     ] {
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
@@ -89,7 +90,7 @@ fn exact_solver_confirms_structured_optima_reached_by_the_protocol() {
 fn forced_hub_instances_are_recognised_as_unimprovable() {
     // Every spanning tree of the broom keeps the centre at degree `branches`,
     // so the protocol must stop immediately with zero exchanges.
-    let graph = generators::high_optimum(5, 2).unwrap();
+    let graph = Arc::new(generators::high_optimum(5, 2).unwrap());
     let initial = algorithms::bfs_tree(&graph, NodeId(0)).unwrap();
     let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
     assert_eq!(run.improvements, 0);

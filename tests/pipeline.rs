@@ -1,30 +1,37 @@
 //! End-to-end pipeline tests across topology families and configurations.
 
 use mdst::prelude::*;
+use std::sync::Arc;
 
-fn families(seed: u64) -> Vec<(&'static str, Graph)> {
+fn families(seed: u64) -> Vec<(&'static str, Arc<Graph>)> {
     vec![
-        ("complete", generators::complete(12).unwrap()),
+        ("complete", Arc::new(generators::complete(12).unwrap())),
         (
             "star_with_leaf_edges",
-            generators::star_with_leaf_edges(14).unwrap(),
+            Arc::new(generators::star_with_leaf_edges(14).unwrap()),
         ),
-        ("wheel", generators::wheel(12).unwrap()),
-        ("grid", generators::grid(4, 5).unwrap()),
-        ("hypercube", generators::hypercube(4).unwrap()),
-        ("petersen", generators::petersen().unwrap()),
+        ("wheel", Arc::new(generators::wheel(12).unwrap())),
+        ("grid", Arc::new(generators::grid(4, 5).unwrap())),
+        ("hypercube", Arc::new(generators::hypercube(4).unwrap())),
+        ("petersen", Arc::new(generators::petersen().unwrap())),
         (
             "complete_bipartite",
-            generators::complete_bipartite(3, 9).unwrap(),
+            Arc::new(generators::complete_bipartite(3, 9).unwrap()),
         ),
-        ("lollipop", generators::lollipop(6, 6).unwrap()),
-        ("barbell", generators::barbell(5, 3).unwrap()),
-        ("caterpillar", generators::caterpillar(5, 2).unwrap()),
-        ("broom", generators::high_optimum(4, 3).unwrap()),
-        ("gnp", generators::gnp_connected(30, 0.15, seed).unwrap()),
+        ("lollipop", Arc::new(generators::lollipop(6, 6).unwrap())),
+        ("barbell", Arc::new(generators::barbell(5, 3).unwrap())),
+        (
+            "caterpillar",
+            Arc::new(generators::caterpillar(5, 2).unwrap()),
+        ),
+        ("broom", Arc::new(generators::high_optimum(4, 3).unwrap())),
+        (
+            "gnp",
+            Arc::new(generators::gnp_connected(30, 0.15, seed).unwrap()),
+        ),
         (
             "geometric",
-            generators::random_geometric_connected(25, 0.3, seed).unwrap(),
+            Arc::new(generators::random_geometric_connected(25, 0.3, seed).unwrap()),
         ),
     ]
 }
@@ -49,7 +56,7 @@ fn all_initial_constructions_agree_on_reachability_of_low_degree() {
     // Regardless of how bad the initial tree is, the improvement must land at
     // a degree no worse than what the paper-rule sequential mirror reaches
     // from the same start.
-    let graph = generators::gnp_connected(28, 0.2, 9).unwrap();
+    let graph = Arc::new(generators::gnp_connected(28, 0.2, 9).unwrap());
     for kind in InitialTreeKind::all(5) {
         let config = PipelineConfig {
             initial: kind,
@@ -70,7 +77,7 @@ fn all_initial_constructions_agree_on_reachability_of_low_degree() {
 
 #[test]
 fn pipeline_works_under_every_delay_and_start_model() {
-    let graph = generators::gnp_connected(24, 0.18, 4).unwrap();
+    let graph = Arc::new(generators::gnp_connected(24, 0.18, 4).unwrap());
     let delays = [
         DelayModel::Unit,
         DelayModel::UniformRandom {
@@ -118,7 +125,7 @@ fn pipeline_works_under_every_delay_and_start_model() {
 
 #[test]
 fn message_kinds_match_the_papers_inventory() {
-    let graph = generators::star_with_leaf_edges(16).unwrap();
+    let graph = Arc::new(generators::star_with_leaf_edges(16).unwrap());
     let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
     let metrics = &report.improvement_metrics;
     // Every round performs SearchDegree, MoveRoot (possibly zero hops), Cut,
@@ -146,7 +153,7 @@ fn message_kinds_match_the_papers_inventory() {
 
 #[test]
 fn large_sparse_network_completes_with_reasonable_cost() {
-    let graph = generators::gnp_connected(150, 0.03, 17).unwrap();
+    let graph = Arc::new(generators::gnp_connected(150, 0.03, 17).unwrap());
     let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
     assert!(report.final_tree.is_spanning_tree_of(&graph));
     // Per-round cost is linear in m + n (§4.2); the serialised implementation

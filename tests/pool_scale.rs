@@ -5,11 +5,12 @@
 
 use mdst::prelude::*;
 use mdst::spanning::flooding::FloodingSt;
+use std::sync::Arc;
 
 #[test]
 fn pool_completes_a_5000_node_run_with_at_most_64_workers() {
     let n = 5_000;
-    let graph = generators::random_connected(n, n / 2, 7).unwrap();
+    let graph = Arc::new(generators::random_connected(n, n / 2, 7).unwrap());
     let m = graph.edge_count() as u64;
     let run = PoolRuntime::run(
         &graph,
@@ -36,11 +37,53 @@ fn pool_completes_a_5000_node_run_with_at_most_64_workers() {
 }
 
 #[test]
+fn pool_borrows_the_shared_topology_instead_of_rebuilding_adjacency() {
+    // The CSR substrate removed the per-run `Vec<Vec<NodeId>>` adjacency
+    // re-materialisation: every backend borrows neighbour slices straight
+    // out of one shared `Arc<Graph>`. Pointer equality proves it — the
+    // topology each run reports *is* the caller's Arc, across repeated runs
+    // and across backends, with no hidden copy in between.
+    let graph = Arc::new(generators::random_connected(400, 200, 3).unwrap());
+    let baseline = Arc::strong_count(&graph);
+    let config = ExecConfig {
+        workers: 8,
+        ..Default::default()
+    };
+    let first = ExecutorKind::Pool
+        .run(&graph, |id, _| FloodingSt::new(id, NodeId(0)), &config)
+        .unwrap();
+    let second = ExecutorKind::Pool
+        .run(&graph, |id, _| FloodingSt::new(id, NodeId(0)), &config)
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(&first.topology, &graph) && Arc::ptr_eq(&second.topology, &graph),
+        "every pool run must borrow the caller's Arc, not rebuild the topology"
+    );
+    assert!(Arc::ptr_eq(&first.topology, &second.topology));
+    // Each finished run holds exactly one extra reference (its `topology`
+    // field) — nothing else retained a clone, so no worker kept adjacency.
+    assert_eq!(Arc::strong_count(&graph), baseline + 2);
+    drop((first, second));
+    assert_eq!(Arc::strong_count(&graph), baseline);
+    // The other two backends satisfy the same contract.
+    for kind in [ExecutorKind::Sim, ExecutorKind::Threaded] {
+        let run = kind
+            .run(
+                &graph,
+                |id, _| FloodingSt::new(id, NodeId(0)),
+                &ExecConfig::default(),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&run.topology, &graph), "{kind}");
+    }
+}
+
+#[test]
 fn pool_runs_the_full_mdst_pipeline_beyond_the_threaded_scale() {
     // The full pipeline (construction + improvement) at a node count where
     // thread-per-node would already be painful: the pool executor drives the
     // improvement protocol to the same verdicts the simulator would reach.
-    let graph = generators::star_with_leaf_edges(600).unwrap();
+    let graph = Arc::new(generators::star_with_leaf_edges(600).unwrap());
     let config = PipelineConfig {
         executor: ExecutorKind::Pool,
         workers: 16,

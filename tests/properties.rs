@@ -4,6 +4,7 @@
 
 use mdst::prelude::*;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Strategy: a random connected graph described by (n, extra edges, seed).
 fn connected_graph() -> impl Strategy<Value = Graph> {
@@ -13,11 +14,11 @@ fn connected_graph() -> impl Strategy<Value = Graph> {
 }
 
 /// Strategy: a graph plus a random spanning tree of it.
-fn graph_with_tree() -> impl Strategy<Value = (Graph, RootedTree)> {
+fn graph_with_tree() -> impl Strategy<Value = (Arc<Graph>, RootedTree)> {
     (connected_graph(), any::<u64>()).prop_map(|(graph, seed)| {
         let root = NodeId((seed % graph.node_count() as u64) as usize);
         let tree = algorithms::random_spanning_tree(&graph, root, seed).expect("connected");
-        (graph, tree)
+        (Arc::new(graph), tree)
     })
 }
 
@@ -83,7 +84,7 @@ proptest! {
             ..Default::default()
         };
         let burst = 60u64;
-        let graph = generators::path(2).unwrap();
+        let graph = Arc::new(generators::path(2).unwrap());
         let mut sim = Simulator::new(&graph, cfg, |id, _| FifoProbe {
             id,
             burst,
@@ -154,7 +155,7 @@ proptest! {
     fn sequential_algorithms_respect_the_exact_optimum(
         (n, extra, seed) in (4usize..11, 0usize..12, any::<u64>())
     ) {
-        let graph = generators::random_connected(n, extra, seed).unwrap();
+        let graph = Arc::new(generators::random_connected(n, extra, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let optimum = exact_min_degree(&graph).unwrap();
         let paper = paper_local_search(&graph, &initial).unwrap();

@@ -6,8 +6,12 @@
 
 use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
+use std::sync::Arc;
 
-fn run_both(graph: &Graph, initial: &RootedTree) -> (RootedTree, RootedTree, Metrics, Metrics) {
+fn run_both(
+    graph: &Arc<Graph>,
+    initial: &RootedTree,
+) -> (RootedTree, RootedTree, Metrics, Metrics) {
     let sim_run = run_distributed_mdst(graph, initial, SimConfig::default()).unwrap();
     let nodes = MdstNode::from_tree(initial);
     let threaded = ThreadedRuntime::run(graph, |id, _| nodes[id.index()].clone());
@@ -23,7 +27,7 @@ fn run_both(graph: &Graph, initial: &RootedTree) -> (RootedTree, RootedTree, Met
 #[test]
 fn threaded_and_simulated_runs_produce_the_same_tree() {
     for seed in 0..5u64 {
-        let graph = generators::gnp_connected(20, 0.2, seed).unwrap();
+        let graph = Arc::new(generators::gnp_connected(20, 0.2, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let (sim_tree, thr_tree, _, _) = run_both(&graph, &initial);
         let a: std::collections::BTreeSet<_> = sim_tree
@@ -43,7 +47,7 @@ fn threaded_and_simulated_runs_produce_the_same_tree() {
 fn threaded_and_simulated_runs_exchange_the_same_messages() {
     // The protocol is message-deterministic: the same messages flow in both
     // runtimes, only their interleaving differs.
-    let graph = generators::star_with_leaf_edges(14).unwrap();
+    let graph = Arc::new(generators::star_with_leaf_edges(14).unwrap());
     let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
     let (_, _, sim_metrics, thr_metrics) = run_both(&graph, &initial);
     assert_eq!(sim_metrics.messages_total, thr_metrics.messages_total);
@@ -54,7 +58,7 @@ fn threaded_and_simulated_runs_exchange_the_same_messages() {
 #[test]
 fn pool_and_simulated_runs_produce_the_same_tree() {
     for seed in 0..5u64 {
-        let graph = generators::gnp_connected(24, 0.2, seed).unwrap();
+        let graph = Arc::new(generators::gnp_connected(24, 0.2, seed).unwrap());
         let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
         let sim_run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
         let pool_run = run_distributed_mdst_on(
@@ -89,7 +93,7 @@ fn pool_and_simulated_runs_produce_the_same_tree() {
 #[test]
 fn spanning_tree_constructions_also_run_on_the_pool() {
     use mdst::spanning::flooding::FloodingSt;
-    let graph = generators::grid(8, 8).unwrap();
+    let graph = Arc::new(generators::grid(8, 8).unwrap());
     let run = PoolRuntime::run(
         &graph,
         |id, _| FloodingSt::new(id, NodeId(0)),
@@ -107,7 +111,7 @@ fn spanning_tree_constructions_also_run_on_the_pool() {
 #[test]
 fn spanning_tree_constructions_also_run_on_threads() {
     use mdst::spanning::flooding::FloodingSt;
-    let graph = generators::grid(5, 5).unwrap();
+    let graph = Arc::new(generators::grid(5, 5).unwrap());
     let run = ThreadedRuntime::run(&graph, |id, _| FloodingSt::new(id, NodeId(0)));
     let tree = collect_tree(&run.nodes).unwrap();
     assert!(tree.is_spanning_tree_of(&graph));

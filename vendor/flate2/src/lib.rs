@@ -1,0 +1,669 @@
+//! Offline stand-in for `flate2`.
+//!
+//! Implements the subset of the `flate2` API the workspace uses to ingest
+//! gzipped benchmark graphs (`.mtx.gz`, `.graph.gz`, `.el.gz`):
+//!
+//! * [`read::GzDecoder`] — a complete RFC 1952 gzip reader over a full
+//!   RFC 1951 DEFLATE inflater (stored, fixed-Huffman and dynamic-Huffman
+//!   blocks), with CRC32 and size verification of the trailer. Files
+//!   produced by the real `gzip`/`zlib` toolchain decode byte-exactly.
+//! * [`write::GzEncoder`] — a gzip *writer* that emits stored (uncompressed)
+//!   DEFLATE blocks only. Compression ratio 1, but the output is a fully
+//!   valid gzip member that any inflater (including this one) accepts, which
+//!   is all the round-trip tests need.
+//! * [`Compression`] — accepted for API compatibility; the encoder always
+//!   stores, so the level is ignored.
+//!
+//! Like every `vendor/` shim, swapping back to the real crate is a
+//! Cargo.toml-only change: the types, module paths and method signatures
+//! match the crates.io `flate2` surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+
+/// Compression level (accepted for API compatibility; the store-only encoder
+/// ignores it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Compression(u32);
+
+impl Compression {
+    /// Construct a specific level (0–9 in the real crate).
+    pub fn new(level: u32) -> Compression {
+        Compression(level)
+    }
+    /// No compression.
+    pub fn none() -> Compression {
+        Compression(0)
+    }
+    /// Optimise for speed.
+    pub fn fast() -> Compression {
+        Compression(1)
+    }
+    /// Optimise for size.
+    pub fn best() -> Compression {
+        Compression(9)
+    }
+    /// The configured level.
+    pub fn level(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Compression {
+    fn default() -> Compression {
+        Compression(6)
+    }
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("gzip: {msg}"))
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE, the gzip checksum)
+// ---------------------------------------------------------------------------
+
+fn crc32(data: &[u8]) -> u32 {
+    let mut table = [0u32; 256];
+    for (n, slot) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// DEFLATE inflate (RFC 1951)
+// ---------------------------------------------------------------------------
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next byte index.
+    pos: usize,
+    /// Bit position inside `data[pos]` (0 = least significant).
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bit: 0,
+        }
+    }
+
+    fn take_bit(&mut self) -> io::Result<u32> {
+        let byte = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| corrupt("unexpected end of deflate stream"))?;
+        let bit = (byte >> self.bit) & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+        Ok(bit as u32)
+    }
+
+    fn take_bits(&mut self, count: u32) -> io::Result<u32> {
+        let mut out = 0u32;
+        for i in 0..count {
+            out |= self.take_bit()? << i;
+        }
+        Ok(out)
+    }
+
+    /// Discards the remainder of the current byte (stored-block alignment).
+    fn align_to_byte(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.pos += 1;
+        }
+    }
+
+    fn take_byte(&mut self) -> io::Result<u8> {
+        debug_assert_eq!(self.bit, 0, "byte reads only after alignment");
+        let byte = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| corrupt("unexpected end of deflate stream"))?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    /// Byte offset of the next unread byte (after alignment).
+    fn byte_pos(&self) -> usize {
+        self.pos + usize::from(self.bit != 0)
+    }
+}
+
+/// Canonical Huffman decoding table: symbol counts per code length plus the
+/// symbols sorted by (length, symbol) — the classic zlib `puff` layout.
+struct Huffman {
+    counts: [u16; 16],
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn build(lengths: &[u8]) -> io::Result<Huffman> {
+        let mut counts = [0u16; 16];
+        for &len in lengths {
+            if len > 15 {
+                return Err(corrupt("code length exceeds 15"));
+            }
+            counts[len as usize] += 1;
+        }
+        counts[0] = 0;
+        // Over-subscribed code sets are invalid (incomplete sets appear in
+        // legal streams with a single distance code, so they are allowed).
+        let mut left = 1i32;
+        for &count in counts.iter().skip(1) {
+            left = (left << 1) - count as i32;
+            if left < 0 {
+                return Err(corrupt("over-subscribed Huffman code"));
+            }
+        }
+        let mut offsets = [0u16; 16];
+        for len in 1..15 {
+            offsets[len + 1] = offsets[len] + counts[len];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l != 0).count()];
+        for (symbol, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbols[offsets[len as usize] as usize] = symbol as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, bits: &mut BitReader<'_>) -> io::Result<u16> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= bits.take_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(corrupt("invalid Huffman code"))
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// Order in which the code-length-code lengths are stored in a dynamic block.
+const CLC_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+fn fixed_literal_lengths() -> Vec<u8> {
+    let mut lengths = vec![8u8; 288];
+    lengths[144..256].iter_mut().for_each(|l| *l = 9);
+    lengths[256..280].iter_mut().for_each(|l| *l = 7);
+    lengths
+}
+
+fn inflate_codes(
+    bits: &mut BitReader<'_>,
+    literals: &Huffman,
+    distances: &Huffman,
+    out: &mut Vec<u8>,
+) -> io::Result<()> {
+    loop {
+        let symbol = literals.decode(bits)?;
+        match symbol {
+            0..=255 => out.push(symbol as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (symbol - 257) as usize;
+                let length =
+                    LENGTH_BASE[idx] as usize + bits.take_bits(LENGTH_EXTRA[idx])? as usize;
+                let dist_symbol = distances.decode(bits)? as usize;
+                if dist_symbol >= 30 {
+                    return Err(corrupt("invalid distance symbol"));
+                }
+                let distance = DIST_BASE[dist_symbol] as usize
+                    + bits.take_bits(DIST_EXTRA[dist_symbol])? as usize;
+                if distance > out.len() {
+                    return Err(corrupt("distance beyond output start"));
+                }
+                // Byte-by-byte copy: overlapping matches (distance < length)
+                // repeat the just-written bytes, exactly as DEFLATE requires.
+                let start = out.len() - distance;
+                for i in 0..length {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+/// Inflates one complete DEFLATE stream starting at `bits`. Returns the
+/// decoded bytes; the reader is left positioned after the final block.
+fn inflate(bits: &mut BitReader<'_>) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let bfinal = bits.take_bit()?;
+        let btype = bits.take_bits(2)?;
+        match btype {
+            0 => {
+                bits.align_to_byte();
+                let len = bits.take_byte()? as u16 | ((bits.take_byte()? as u16) << 8);
+                let nlen = bits.take_byte()? as u16 | ((bits.take_byte()? as u16) << 8);
+                if len != !nlen {
+                    return Err(corrupt("stored block LEN/NLEN mismatch"));
+                }
+                for _ in 0..len {
+                    out.push(bits.take_byte()?);
+                }
+            }
+            1 => {
+                let literals = Huffman::build(&fixed_literal_lengths())?;
+                let distances = Huffman::build(&[5u8; 30])?;
+                inflate_codes(bits, &literals, &distances, &mut out)?;
+            }
+            2 => {
+                let hlit = bits.take_bits(5)? as usize + 257;
+                let hdist = bits.take_bits(5)? as usize + 1;
+                let hclen = bits.take_bits(4)? as usize + 4;
+                if hlit > 286 || hdist > 30 {
+                    return Err(corrupt("dynamic block declares too many codes"));
+                }
+                let mut clc_lengths = [0u8; 19];
+                for &slot in CLC_ORDER.iter().take(hclen) {
+                    clc_lengths[slot] = bits.take_bits(3)? as u8;
+                }
+                let clc = Huffman::build(&clc_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0;
+                while i < lengths.len() {
+                    let symbol = clc.decode(bits)?;
+                    match symbol {
+                        0..=15 => {
+                            lengths[i] = symbol as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err(corrupt("repeat with no previous length"));
+                            }
+                            let prev = lengths[i - 1];
+                            let repeat = 3 + bits.take_bits(2)? as usize;
+                            for _ in 0..repeat {
+                                if i >= lengths.len() {
+                                    return Err(corrupt("length repeat overflows table"));
+                                }
+                                lengths[i] = prev;
+                                i += 1;
+                            }
+                        }
+                        17 | 18 => {
+                            let repeat = if symbol == 17 {
+                                3 + bits.take_bits(3)? as usize
+                            } else {
+                                11 + bits.take_bits(7)? as usize
+                            };
+                            for _ in 0..repeat {
+                                if i >= lengths.len() {
+                                    return Err(corrupt("zero repeat overflows table"));
+                                }
+                                lengths[i] = 0;
+                                i += 1;
+                            }
+                        }
+                        _ => return Err(corrupt("invalid code-length symbol")),
+                    }
+                }
+                if lengths[256] == 0 {
+                    return Err(corrupt("dynamic block has no end-of-block code"));
+                }
+                let literals = Huffman::build(&lengths[..hlit])?;
+                let distances = Huffman::build(&lengths[hlit..])?;
+                inflate_codes(bits, &literals, &distances, &mut out)?;
+            }
+            _ => return Err(corrupt("reserved block type 3")),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gzip container (RFC 1952)
+// ---------------------------------------------------------------------------
+
+const FHCRC: u8 = 1 << 1;
+const FEXTRA: u8 = 1 << 2;
+const FNAME: u8 = 1 << 3;
+const FCOMMENT: u8 = 1 << 4;
+
+/// Decodes the first gzip member of `input`, verifying the CRC32 and size
+/// trailer. Returns the decompressed payload.
+/// Decodes one gzip member starting at the beginning of `input`, returning
+/// the payload and the number of input bytes the member occupied (header,
+/// deflate stream and trailer).
+fn decode_gzip_member(input: &[u8]) -> io::Result<(Vec<u8>, usize)> {
+    if input.len() < 18 {
+        return Err(corrupt("input shorter than the smallest gzip member"));
+    }
+    if input[0] != 0x1f || input[1] != 0x8b {
+        return Err(corrupt("bad magic number (not a gzip file)"));
+    }
+    if input[2] != 8 {
+        return Err(corrupt("unsupported compression method (only deflate)"));
+    }
+    let flags = input[3];
+    // input[4..8] mtime, input[8] xfl, input[9] os: all ignored.
+    let mut pos = 10usize;
+    let need = |pos: usize, n: usize| -> io::Result<()> {
+        if pos + n > input.len() {
+            Err(corrupt("truncated gzip header"))
+        } else {
+            Ok(())
+        }
+    };
+    if flags & FEXTRA != 0 {
+        need(pos, 2)?;
+        let xlen = input[pos] as usize | ((input[pos + 1] as usize) << 8);
+        pos += 2;
+        need(pos, xlen)?;
+        pos += xlen;
+    }
+    for flag in [FNAME, FCOMMENT] {
+        if flags & flag != 0 {
+            let end = input[pos..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| corrupt("unterminated header string"))?;
+            pos += end + 1;
+        }
+    }
+    if flags & FHCRC != 0 {
+        need(pos, 2)?;
+        pos += 2;
+    }
+    let mut bits = BitReader::new(&input[pos..]);
+    let payload = inflate(&mut bits)?;
+    bits.align_to_byte();
+    let trailer_at = pos + bits.byte_pos();
+    if trailer_at + 8 > input.len() {
+        return Err(corrupt("missing CRC32/ISIZE trailer"));
+    }
+    let t = &input[trailer_at..trailer_at + 8];
+    let expected_crc =
+        t[0] as u32 | ((t[1] as u32) << 8) | ((t[2] as u32) << 16) | ((t[3] as u32) << 24);
+    let expected_size =
+        t[4] as u32 | ((t[5] as u32) << 8) | ((t[6] as u32) << 16) | ((t[7] as u32) << 24);
+    if crc32(&payload) != expected_crc {
+        return Err(corrupt("CRC32 mismatch"));
+    }
+    if payload.len() as u32 != expected_size {
+        return Err(corrupt("ISIZE mismatch"));
+    }
+    Ok((payload, trailer_at + 8))
+}
+
+/// Decodes a whole gzip file: one member, or several concatenated members
+/// (`cat a.gz b.gz`, pigz/bgzip output — all valid gzip), with the payloads
+/// appended in order. Trailing bytes that are not another member are an
+/// error, never silent truncation.
+fn decode_gzip(input: &[u8]) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut remaining = input;
+    loop {
+        let (payload, consumed) = decode_gzip_member(remaining)?;
+        out.extend_from_slice(&payload);
+        remaining = &remaining[consumed..];
+        if remaining.is_empty() {
+            return Ok(out);
+        }
+        if !remaining.starts_with(&[0x1f, 0x8b]) {
+            return Err(corrupt("trailing garbage after the last gzip member"));
+        }
+    }
+}
+
+/// Reader types.
+pub mod read {
+    use super::*;
+    use std::io::Read;
+
+    /// A gzip decoder wrapping an underlying reader, mirroring
+    /// `flate2::read::GzDecoder` — except that, like the real crate's
+    /// `MultiGzDecoder`, it also decodes concatenated multi-member files
+    /// (silently truncating them at member one would corrupt headerless
+    /// formats like edge lists). The whole input is decoded on first read
+    /// (the shim favours simplicity over streaming; benchmark graphs are
+    /// megabytes, not terabytes).
+    pub struct GzDecoder<R> {
+        inner: R,
+        decoded: Option<Vec<u8>>,
+        offset: usize,
+    }
+
+    impl<R: Read> GzDecoder<R> {
+        /// Wraps `inner`, which must yield a gzip member.
+        pub fn new(inner: R) -> GzDecoder<R> {
+            GzDecoder {
+                inner,
+                decoded: None,
+                offset: 0,
+            }
+        }
+
+        /// Consumes the decoder, returning the underlying reader.
+        pub fn into_inner(self) -> R {
+            self.inner
+        }
+    }
+
+    impl<R: Read> Read for GzDecoder<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.decoded.is_none() {
+                let mut raw = Vec::new();
+                self.inner.read_to_end(&mut raw)?;
+                self.decoded = Some(decode_gzip(&raw)?);
+            }
+            let decoded = self.decoded.as_ref().expect("decoded above");
+            let remaining = &decoded[self.offset.min(decoded.len())..];
+            let n = remaining.len().min(buf.len());
+            buf[..n].copy_from_slice(&remaining[..n]);
+            self.offset += n;
+            Ok(n)
+        }
+    }
+}
+
+/// Writer types.
+pub mod write {
+    use super::*;
+    use std::io::Write;
+
+    /// A gzip encoder wrapping an underlying writer, mirroring
+    /// `flate2::write::GzEncoder`. Emits stored (uncompressed) DEFLATE
+    /// blocks: ratio 1, but a fully valid gzip member.
+    pub struct GzEncoder<W> {
+        inner: W,
+        buf: Vec<u8>,
+    }
+
+    impl<W: Write> GzEncoder<W> {
+        /// Wraps `inner`. The compression level is accepted for API
+        /// compatibility and ignored (the shim always stores).
+        pub fn new(inner: W, _level: Compression) -> GzEncoder<W> {
+            GzEncoder {
+                inner,
+                buf: Vec::new(),
+            }
+        }
+
+        /// Finishes the member (header, stored blocks, CRC32/ISIZE trailer)
+        /// and returns the underlying writer.
+        pub fn finish(mut self) -> io::Result<W> {
+            let mut member = Vec::with_capacity(self.buf.len() + 32);
+            // Header: magic, deflate, no flags, zero mtime, no XFL, OS 255.
+            member.extend_from_slice(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255]);
+            let mut chunks = self.buf.chunks(65_535).peekable();
+            if chunks.peek().is_none() {
+                // Empty payload still needs one final stored block.
+                member.extend_from_slice(&[1, 0, 0, 0xFF, 0xFF]);
+            }
+            while let Some(chunk) = chunks.next() {
+                let bfinal = u8::from(chunks.peek().is_none());
+                let len = chunk.len() as u16;
+                member.push(bfinal);
+                member.extend_from_slice(&len.to_le_bytes());
+                member.extend_from_slice(&(!len).to_le_bytes());
+                member.extend_from_slice(chunk);
+            }
+            member.extend_from_slice(&crc32(&self.buf).to_le_bytes());
+            member.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+            self.inner.write_all(&member)?;
+            self.inner.flush()?;
+            Ok(self.inner)
+        }
+    }
+
+    impl<W: Write> Write for GzEncoder<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.buf.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn gzip_roundtrip(payload: &[u8]) -> Vec<u8> {
+        let encoder = write::GzEncoder::new(Vec::new(), Compression::default());
+        let mut encoder = encoder;
+        encoder.write_all(payload).unwrap();
+        let compressed = encoder.finish().unwrap();
+        let mut decoder = read::GzDecoder::new(&compressed[..]);
+        let mut out = Vec::new();
+        decoder.read_to_end(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn stored_roundtrip_preserves_bytes() {
+        for payload in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"hello gzip".to_vec(),
+            (0..=255u8).cycle().take(200_000).collect::<Vec<u8>>(),
+        ] {
+            assert_eq!(gzip_roundtrip(&payload), payload);
+        }
+    }
+
+    /// `printf 'hello hello hello hello\n' | gzip -9`: a fixed-Huffman member
+    /// produced by the real gzip, with back-references.
+    const REAL_GZIP_FIXED: &[u8] = &[
+        0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x02, 0x03, 0xcb, 0x48, 0xcd, 0xc9, 0xc9,
+        0x57, 0xc8, 0x40, 0x27, 0xb9, 0x00, 0x00, 0x88, 0x59, 0x0b, 0x18, 0x00, 0x00, 0x00,
+    ];
+
+    #[test]
+    fn decodes_real_gzip_output() {
+        let mut decoder = read::GzDecoder::new(REAL_GZIP_FIXED);
+        let mut out = String::new();
+        decoder.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello hello hello hello\n");
+    }
+
+    #[test]
+    fn concatenated_members_decode_in_full() {
+        // `cat a.gz b.gz` is valid gzip; truncating at member one would
+        // silently corrupt headerless formats like edge lists.
+        let mut a = write::GzEncoder::new(Vec::new(), Compression::default());
+        a.write_all(b"first part, ").unwrap();
+        let mut joined = a.finish().unwrap();
+        joined.extend_from_slice(REAL_GZIP_FIXED);
+        let mut decoder = read::GzDecoder::new(&joined[..]);
+        let mut out = String::new();
+        decoder.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "first part, hello hello hello hello\n");
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error_not_a_truncation() {
+        let mut member = REAL_GZIP_FIXED.to_vec();
+        member.extend_from_slice(b"and some plain text after");
+        let mut decoder = read::GzDecoder::new(&member[..]);
+        let mut out = Vec::new();
+        let err = decoder.read_to_end(&mut out).unwrap_err();
+        assert!(err.to_string().contains("trailing garbage"), "{err}");
+    }
+
+    #[test]
+    fn trailer_corruption_is_detected() {
+        let mut member = REAL_GZIP_FIXED.to_vec();
+        let last = member.len() - 9; // inside the CRC32
+        member[last] ^= 0xFF;
+        let mut decoder = read::GzDecoder::new(&member[..]);
+        let mut out = Vec::new();
+        let err = decoder.read_to_end(&mut out).unwrap_err();
+        assert!(err.to_string().contains("CRC32"), "{err}");
+    }
+
+    #[test]
+    fn non_gzip_input_is_rejected() {
+        for bad in [&b"plain text, nothing gzip about it"[..], &[0x1f, 0x8b][..]] {
+            let mut decoder = read::GzDecoder::new(bad);
+            let mut out = Vec::new();
+            assert!(decoder.read_to_end(&mut out).is_err());
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}
