@@ -3,7 +3,7 @@
 //! Two kinds of bounds appear in the paper's discussion:
 //!
 //! * the Korach–Moran–Zaks message lower bound `Ω(n²/k)` for constructing a
-//!   degree-restricted spanning tree in a complete network ([2] in the paper),
+//!   degree-restricted spanning tree in a complete network (\[2\] in the paper),
 //!   against which §5 claims the algorithm "is not far from the optimal";
 //! * implicit degree lower bounds on `Δ*` (the optimum), needed to interpret
 //!   the approximation quality on instances too large for the exact solver.

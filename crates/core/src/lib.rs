@@ -8,9 +8,13 @@
 //!   paper's rounds (SearchDegree, MoveRoot, Cut, BFS, BFSBack, Choose,
 //!   Update/Child, Stop), runnable on the `mdst-netsim` simulator or threaded
 //!   runtime.
-//! * [`driver`] — the experiment pipeline: build an initial spanning tree
-//!   (any `mdst-spanning` construction), run the distributed improvement, and
-//!   report degrees, rounds and message/time complexities.
+//! * [`driver`] — the experiment pipeline behind the unified [`Pipeline`]
+//!   session builder: build an initial spanning tree (any `mdst-spanning`
+//!   construction), run the distributed improvement on any executor backend,
+//!   and report degrees, rounds and message/time complexities through one
+//!   [`RunReport`] / [`Outcome`] shape.
+//! * [`observer`] — streaming [`Observer`] taps on a pipeline session
+//!   (construction-done, per-round, per-exchange, per-fault, finish).
 //! * [`sequential`] — centralized baselines: the paper's improvement rule as a
 //!   sequential mirror (used for cross-validation of the distributed run), a
 //!   Fürer–Raghavachari-style local search, and an exact branch-and-bound
@@ -25,12 +29,20 @@
 pub mod bounds;
 pub mod distributed;
 pub mod driver;
+pub mod observer;
 pub mod sequential;
 pub mod verify;
 
 pub use distributed::{Candidate, MdstMsg, MdstNode};
 pub use driver::{
-    run_distributed_mdst, run_distributed_mdst_on, run_pipeline, run_pipeline_with_faults,
-    FaultPipelineReport, MdstRun, PipelineConfig, PipelineReport, RunStatus,
+    run_distributed_mdst, run_distributed_mdst_on, MdstRun, Outcome, Pipeline, PipelineConfig,
+    PipelineError, RunReport,
+};
+#[allow(deprecated)]
+pub use driver::{
+    run_pipeline, run_pipeline_with_faults, FaultPipelineReport, PipelineReport, RunStatus,
+};
+pub use observer::{
+    ConstructionEvent, CountingObserver, ExchangeEvent, FaultEvent, Observer, RoundEvent,
 };
 pub use verify::{survivor_report, SurvivorReport};

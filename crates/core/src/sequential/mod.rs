@@ -10,7 +10,7 @@
 //!   breaking, the mirror must produce *the same sequence of trees*; the
 //!   cross-validation tests rely on that.
 //! * [`furer_raghavachari::furer_raghavachari`] — the sequential heuristic the
-//!   paper distributes ([3] in its bibliography), in a local-search
+//!   paper distributes (\[3\] in its bibliography), in a local-search
 //!   formulation that can also improve blocking degree-(k−1) vertices.
 //! * [`exact::exact_min_degree`] — branch-and-bound optimum for small
 //!   instances, the ground truth of the approximation-quality experiment (E5).

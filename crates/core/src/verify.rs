@@ -9,6 +9,7 @@
 //! property tests and the experiment harness.
 
 use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
+use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// Checks that `tree` is a spanning tree of `graph` (right node set, every
@@ -76,7 +77,7 @@ pub fn verify_termination_certificate(graph: &Graph, tree: &RootedTree) -> bool 
 /// What is left of a (possibly partial) tree snapshot on the live part of a
 /// network after a faulty run. Produced by [`survivor_report`]; consumed by
 /// the scenario runner's outcome taxonomy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SurvivorReport {
     /// Nodes that did not crash.
     pub live_nodes: usize,

@@ -3,10 +3,16 @@
 //! Facade crate of the reproduction of Blin & Butelle, *"The First
 //! Approximated Distributed Algorithm for the Minimum Degree Spanning Tree
 //! Problem on General Graphs"* (IPPS 2003 / IJFCS 2004). It re-exports the
-//! public API of the four implementation crates and hosts the workspace-level
+//! public API of the implementation crates and hosts the workspace-level
 //! examples and integration tests.
 //!
 //! ## Quick start
+//!
+//! One builder, one report: a [`Pipeline`](mdst_core::Pipeline) session
+//! builds an initial spanning tree, runs the distributed improvement
+//! protocol on the chosen executor backend, and returns a single
+//! [`RunReport`](mdst_core::RunReport) whose
+//! [`Outcome`](mdst_core::Outcome) says how it ended.
 //!
 //! ```
 //! use mdst::prelude::*;
@@ -18,11 +24,12 @@
 //!
 //! // Full pipeline: build an initial spanning tree with the greedy-hub
 //! // construction, then run the distributed improvement protocol.
-//! let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+//! let report = Pipeline::on(&graph).run().unwrap();
 //!
+//! assert_eq!(report.outcome, Outcome::Optimal);
 //! assert_eq!(report.initial_degree, 9);
 //! assert!(report.final_degree <= 3);
-//! assert!(report.final_tree.is_spanning_tree_of(&graph));
+//! assert!(report.tree().is_spanning_tree_of(&graph));
 //! println!(
 //!     "degree {} -> {} in {} rounds, {} messages",
 //!     report.initial_degree,
@@ -32,6 +39,60 @@
 //! );
 //! ```
 //!
+//! Every knob chains off the builder, and degraded endings (faults,
+//! event-limit aborts) are outcomes rather than errors:
+//!
+//! ```
+//! use mdst::prelude::*;
+//!
+//! let graph = Arc::new(generators::gnp_connected(32, 0.15, 7).unwrap());
+//! let report = Pipeline::on(&graph)
+//!     .initial(InitialTreeKind::Bfs)        // which construction seeds the run
+//!     .root(NodeId(0))                      // construction initiator
+//!     .executor(ExecutorKind::Pool)         // sim | threaded | pool
+//!     .workers(4)                           // pool width (0 = auto)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.outcome.is_optimal());
+//! ```
+//!
+//! Progress streams to any [`Observer`](mdst_core::Observer) registered on
+//! the builder — construction-done, per-round, per-exchange, per-fault and
+//! finish events — so campaigns, benches and dashboards follow a run without
+//! parsing traces:
+//!
+//! ```
+//! use mdst::prelude::*;
+//!
+//! let graph = Arc::new(generators::wheel(12).unwrap());
+//! let mut counts = CountingObserver::default();
+//! let report = Pipeline::on(&graph).observer(&mut counts).run().unwrap();
+//! assert_eq!(counts.rounds as u32, report.rounds);
+//! assert_eq!(counts.finishes, 1);
+//! ```
+//!
+//! ## Migrating from the pre-session API
+//!
+//! The forked entry points survive as `#[deprecated]` wrappers with
+//! bit-identical results (proven by the `api_equivalence` property test):
+//!
+//! | old call | new chain |
+//! |---|---|
+//! | `run_pipeline(&g, &config)?` | `Pipeline::on(&g).config(config.clone()).run()?` (check `report.outcome`) |
+//! | `run_pipeline_with_faults(&g, &config)?` | same chain — faults are just another outcome |
+//! | `PipelineReport { final_tree, .. }` | `RunReport { final_tree: Option<_>, .. }` / `report.tree()` |
+//! | `FaultPipelineReport { status, correct_tree, survivor, .. }` | `RunReport { outcome, survivor, .. }` |
+//! | `RunStatus::Quiesced` + `correct_tree` | `Outcome::Optimal` |
+//! | `RunStatus::Quiesced` + `!correct_tree` | `Outcome::PartialTree` |
+//! | `RunStatus::EventLimitExceeded` | `Outcome::EventLimitAborted` |
+//! | `GraphError::InvalidParameter(stringly)` | typed `PipelineError::{Graph, Exec}` |
+//!
+//! The improvement-only entry points `run_distributed_mdst(_on)` remain for
+//! benches that construct initial trees explicitly; they now return the
+//! typed [`PipelineError`](mdst_core::PipelineError) but deliberately skip
+//! the session extras (survivor grading, observer replay), so measured
+//! loops pay exactly the protocol's cost.
+//!
 //! ## Crate map
 //!
 //! | Crate | Contents |
@@ -39,8 +100,8 @@
 //! | [`mdst_graph`] | graphs, rooted trees, generators, classic algorithms |
 //! | [`mdst_netsim`] | asynchronous message-passing executors: discrete-event simulator, thread-per-node runtime, work-stealing pool |
 //! | [`mdst_spanning`] | distributed spanning-tree constructions (the startup step) |
-//! | [`mdst_core`] | the distributed MDegST protocol, baselines, bounds, verification |
-//! | [`mdst_scenario`] | declarative scenario harness: graph I/O, parallel campaigns, JSON reports |
+//! | [`mdst_core`] | the distributed MDegST protocol, the `Pipeline` session API, baselines, bounds, verification |
+//! | [`mdst_scenario`] | declarative scenario harness: graph I/O, parallel campaigns, JSON reports, report diffing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,8 +120,15 @@ pub mod prelude {
     };
     pub use mdst_core::distributed::{Candidate, MdstMsg, MdstNode};
     pub use mdst_core::driver::{
-        run_distributed_mdst, run_distributed_mdst_on, run_pipeline, run_pipeline_with_faults,
-        FaultPipelineReport, MdstRun, PipelineConfig, PipelineReport, RunStatus,
+        run_distributed_mdst, run_distributed_mdst_on, MdstRun, Outcome, Pipeline, PipelineConfig,
+        PipelineError, RunReport,
+    };
+    #[allow(deprecated)]
+    pub use mdst_core::driver::{
+        run_pipeline, run_pipeline_with_faults, FaultPipelineReport, PipelineReport, RunStatus,
+    };
+    pub use mdst_core::observer::{
+        ConstructionEvent, CountingObserver, ExchangeEvent, FaultEvent, Observer, RoundEvent,
     };
     pub use mdst_core::sequential::{
         exact_min_degree, furer_raghavachari, paper_local_search, spanning_tree_with_max_degree,
@@ -74,11 +142,11 @@ pub mod prelude {
     pub use mdst_netsim::{
         Context, CrashAt, CutAt, DelayModel, ExecConfig, ExecRun, ExecStatus, Executor,
         ExecutorKind, FaultPlan, Metrics, NetMessage, PoolConfig, PoolRun, PoolRuntime, Protocol,
-        SimConfig, SimError, Simulator, StartModel, ThreadedRun, ThreadedRuntime,
+        SimConfig, SimError, Simulator, StartModel, ThreadedRun, ThreadedRuntime, UnknownExecutor,
     };
     pub use mdst_scenario::{
-        run_campaign, CampaignReport, FaultSpec, GraphFormat, RunOutcome, RunRecord, RunnerConfig,
-        ScenarioMatrix,
+        diff_reports, diff_reports_with, run_campaign, CampaignReport, DiffOptions, FaultSpec,
+        GraphFormat, RunOutcome, RunRecord, RunnerConfig, ScenarioMatrix,
     };
     pub use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind, TreeState};
     // Topologies are shared across executors and campaign runs behind an
@@ -93,8 +161,19 @@ mod tests {
     #[test]
     fn prelude_exposes_a_working_pipeline() {
         let graph = Arc::new(generators::complete(8).unwrap());
-        let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+        let report = Pipeline::on(&graph).run().unwrap();
+        assert_eq!(report.outcome, Outcome::Optimal);
         assert!(report.final_degree <= 3);
-        assert!(verify_termination_certificate(&graph, &report.final_tree));
+        assert!(verify_termination_certificate(&graph, report.tree()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn prelude_keeps_the_deprecated_wrappers_callable() {
+        let graph = Arc::new(generators::complete(8).unwrap());
+        let old = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+        let new = Pipeline::on(&graph).run().unwrap();
+        assert_eq!(old.final_degree, new.final_degree);
+        assert_eq!(old.improvement_metrics, new.improvement_metrics);
     }
 }

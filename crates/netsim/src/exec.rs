@@ -68,16 +68,10 @@ impl ExecutorKind {
     }
 
     /// Parses a spec spelling. Accepts the labels plus a few aliases
-    /// (`"simulator"`, `"threads"`, `"work_stealing"`).
+    /// (`"simulator"`, `"threads"`, `"work_stealing"`). Shorthand for the
+    /// [`std::str::FromStr`] implementation with the error stringified.
     pub fn parse(name: &str) -> Result<ExecutorKind, String> {
-        match name.to_ascii_lowercase().replace('-', "_").as_str() {
-            "sim" | "simulator" | "discrete_event" => Ok(ExecutorKind::Sim),
-            "threaded" | "threads" | "thread_per_node" => Ok(ExecutorKind::Threaded),
-            "pool" | "work_stealing" | "worker_pool" => Ok(ExecutorKind::Pool),
-            other => Err(format!(
-                "unknown executor `{other}` (known: sim, threaded, pool)"
-            )),
-        }
+        name.parse().map_err(|e: UnknownExecutor| e.to_string())
     }
 
     /// Runs `factory`-built protocols on `graph` under the backend this kind
@@ -104,6 +98,37 @@ impl ExecutorKind {
 impl std::fmt::Display for ExecutorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error of parsing an [`ExecutorKind`] from an unknown spelling. Scenario
+/// specs surface this as a spec error with the scenario name attached — an
+/// unknown executor name is a user mistake, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExecutor(pub String);
+
+impl std::fmt::Display for UnknownExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown executor `{}` (known: sim, threaded, pool)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownExecutor {}
+
+impl std::str::FromStr for ExecutorKind {
+    type Err = UnknownExecutor;
+
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        match name.to_ascii_lowercase().replace('-', "_").as_str() {
+            "sim" | "simulator" | "discrete_event" => Ok(ExecutorKind::Sim),
+            "threaded" | "threads" | "thread_per_node" => Ok(ExecutorKind::Threaded),
+            "pool" | "work_stealing" | "worker_pool" => Ok(ExecutorKind::Pool),
+            other => Err(UnknownExecutor(other.to_string())),
+        }
     }
 }
 
@@ -388,6 +413,17 @@ mod tests {
         }
         assert_eq!(ExecutorKind::parse("Work-Stealing"), Ok(ExecutorKind::Pool));
         assert!(ExecutorKind::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn display_and_from_str_round_trip() {
+        for kind in ExecutorKind::all() {
+            let spelled = kind.to_string();
+            assert_eq!(spelled.parse::<ExecutorKind>(), Ok(kind), "{spelled}");
+        }
+        let err = "quantum".parse::<ExecutorKind>().unwrap_err();
+        assert_eq!(err, UnknownExecutor("quantum".to_string()));
+        assert!(err.to_string().contains("sim, threaded, pool"), "{err}");
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod trace;
 pub use delay::DelayModel;
 pub use exec::{
     ExecConfig, ExecRun, ExecStatus, Executor, ExecutorKind, PoolExecutor, SimExecutor,
-    ThreadedExecutor,
+    ThreadedExecutor, UnknownExecutor,
 };
 pub use fault::{CrashAt, CutAt, FaultPlan};
 pub use message::NetMessage;

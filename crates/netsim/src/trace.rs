@@ -38,7 +38,7 @@ pub struct TraceEvent {
 }
 
 /// Collects [`TraceEvent`]s during a simulated run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize)]
 pub struct TraceRecorder {
     enabled: bool,
     events: Vec<TraceEvent>,

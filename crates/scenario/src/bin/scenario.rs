@@ -2,33 +2,38 @@
 //!
 //! ```text
 //! scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv]
-//!              [--jobs N] [--shuffle [SEED]] [--quiet]
+//!              [--jobs N] [--shuffle [SEED]] [--progress] [--quiet]
 //! scenario expand <spec>      # print the resolved run list as JSON
 //! scenario validate <spec>    # check the spec (graphs buildable, files readable)
-//! scenario diff <a.json> <b.json> [--quiet]   # compare two campaign reports
+//! scenario diff <a.json> <b.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]
 //! ```
 //!
 //! `--jobs` (alias `--threads`) caps runner parallelism; when omitted, the
 //! spec's `campaign.parallelism` key (or one thread per CPU) applies.
 //! `--shuffle` claims runs in a seeded random order so long runs start early;
-//! the seed is recorded in the report. `run` exits non-zero when any run
-//! fails or violates the paper's degree bound, so campaigns double as
-//! large-scale correctness checks in CI.
+//! the seed is recorded in the report. `--progress` attaches a streaming
+//! `mdst_core::Observer` to every run and prints one line per finished run.
+//! `run` exits non-zero when any run fails or violates the paper's degree
+//! bound, so campaigns double as large-scale correctness checks in CI.
 //!
 //! `diff` compares a baseline report (first argument) against a candidate
 //! (second argument) produced by the same spec at a different code revision
 //! and exits non-zero on outcome or degree-bound regressions — or on a run
 //! set mismatch, which makes "no regressions" unprovable.
+//! `--wall-ms-tolerance PCT` additionally flags improvement-phase wall
+//! times that grew more than PCT percent as regressions (off by default);
+//! `--markdown` renders the findings as GitHub-flavored markdown tables for
+//! PR comments.
 
 use mdst_scenario::prelude::*;
 use serde::Value;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--jobs N] [--shuffle [SEED]] [--quiet]
+  scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--jobs N] [--shuffle [SEED]] [--progress] [--quiet]
   scenario expand <spec>
   scenario validate <spec>
-  scenario diff <baseline.json> <candidate.json> [--quiet]";
+  scenario diff <baseline.json> <candidate.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +67,7 @@ struct RunArgs {
     csv: Option<String>,
     threads: usize,
     shuffle: Option<u64>,
+    progress: bool,
     quiet: bool,
 }
 
@@ -74,6 +80,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut csv = None;
     let mut threads = 0usize;
     let mut shuffle = None;
+    let mut progress = false;
     let mut quiet = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -111,6 +118,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     None => Some(DEFAULT_SHUFFLE_SEED),
                 };
             }
+            "--progress" => progress = true,
             "--quiet" | "-q" => quiet = true,
             other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
@@ -122,6 +130,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         csv,
         threads,
         shuffle,
+        progress,
         quiet,
     })
 }
@@ -134,6 +143,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         &RunnerConfig {
             threads: args.threads,
             shuffle: args.shuffle,
+            progress: args.progress,
         },
     )
     .map_err(|e| e.to_string())?;
@@ -214,10 +224,27 @@ fn load_report(path: &str) -> Result<CampaignReport, String> {
 
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut quiet = false;
+    let mut markdown = false;
+    let mut options = DiffOptions::default();
     let mut paths = Vec::new();
-    for arg in args {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quiet" | "-q" => quiet = true,
+            "--markdown" => markdown = true,
+            "--wall-ms-tolerance" => {
+                let pct: f64 = it
+                    .next()
+                    .ok_or_else(|| "--wall-ms-tolerance needs a percentage".to_string())?
+                    .parse()
+                    .map_err(|_| "--wall-ms-tolerance needs a number (percent)".to_string())?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err(format!(
+                        "--wall-ms-tolerance must be a non-negative percentage, got {pct}"
+                    ));
+                }
+                options.wall_ms_tolerance = Some(pct);
+            }
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
@@ -229,9 +256,13 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     };
     let base = load_report(baseline)?;
     let cand = load_report(candidate)?;
-    let diff = diff_reports(&base, &cand);
+    let diff = diff_reports_with(&base, &cand, &options);
     if !quiet || diff.has_regressions() {
-        print!("{}", diff.render());
+        if markdown {
+            print!("{}", diff.render_markdown());
+        } else {
+            print!("{}", diff.render());
+        }
     }
     if diff.has_regressions() {
         eprintln!(

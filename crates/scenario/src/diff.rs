@@ -19,10 +19,33 @@
 //! counts with an unchanged verdict are reported as informational **drift**.
 //! Run sets that do not match (runs only in one report) make the diff
 //! non-comparable — a spec mismatch is an answer, not a pass.
+//!
+//! Wall time is ignored by default (it varies run to run), but an explicit
+//! tolerance ([`DiffOptions::wall_ms_tolerance`], the CLI's
+//! `--wall-ms-tolerance <pct>`) turns timing blowups beyond that percentage
+//! into regressions instead of invisible drift. Findings render as plain
+//! text ([`ReportDiff::render`]) or as GitHub-flavored markdown tables for
+//! PR comments ([`ReportDiff::render_markdown`], the CLI's `--markdown`).
 
 use crate::runner::{CampaignReport, RunOutcome, RunRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+
+/// Knobs of [`diff_reports_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffOptions {
+    /// Wall-time regression threshold in percent: a matched run whose
+    /// `exec_wall_ms` exceeds the baseline by more than this percentage
+    /// (and by at least [`WALL_MS_FLOOR`] absolute, so micro-run jitter
+    /// cannot trip it) is a regression; the mirror direction is an
+    /// improvement. `None` (the default) ignores wall time entirely.
+    pub wall_ms_tolerance: Option<f64>,
+}
+
+/// Absolute wall-time slack (milliseconds) under which timing changes are
+/// never flagged, whatever the percentage says — sub-millisecond runs jitter
+/// by integer factors without meaning anything.
+pub const WALL_MS_FLOOR: f64 = 1.0;
 
 /// One classified difference between a matched pair of runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +157,75 @@ impl ReportDiff {
         }
         out
     }
+
+    /// GitHub-flavored markdown rendering of the same findings, one table
+    /// per section, for posting as a PR comment.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.has_regressions() {
+            "❌ regressions"
+        } else {
+            "✅ clean"
+        };
+        let _ = writeln!(
+            out,
+            "### scenario diff: `{}` (baseline) vs `{}` (candidate) — {verdict}\n",
+            self.baseline_name, self.candidate_name
+        );
+        let _ = writeln!(
+            out,
+            "{} matched runs · {} regressions · {} improvements · {} drifted\n",
+            self.matched,
+            self.regressions.len(),
+            self.improvements.len(),
+            self.drift.len()
+        );
+        for (label, keys) in [
+            ("Only in baseline", &self.only_in_baseline),
+            ("Only in candidate", &self.only_in_candidate),
+        ] {
+            if !keys.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "**{label}** ({} runs — spec mismatch, reports are not comparable):\n",
+                    keys.len()
+                );
+                for key in keys {
+                    let _ = writeln!(out, "- `{}`", md_escape(key));
+                }
+                let _ = writeln!(out);
+            }
+        }
+        for (title, findings) in [
+            ("Regressions", &self.regressions),
+            ("Improvements", &self.improvements),
+            ("Drift (informational)", &self.drift),
+        ] {
+            if findings.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "**{title}** ({})\n", findings.len());
+            let _ = writeln!(out, "| run | what | baseline | candidate |");
+            let _ = writeln!(out, "|---|---|---|---|");
+            for f in findings {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | {} | {} |",
+                    md_escape(&f.key),
+                    md_escape(&f.what),
+                    md_escape(&f.baseline),
+                    md_escape(&f.candidate)
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Escapes the one character that breaks a GFM table cell.
+fn md_escape(text: &str) -> String {
+    text.replace('|', "\\|")
 }
 
 /// Severity rank of an outcome: higher is worse.
@@ -160,6 +252,12 @@ fn run_key(run: &RunRecord) -> String {
     )
 }
 
+/// Diffs `candidate` against `baseline` with the default options (wall time
+/// ignored). See the module docs for the classification rules.
+pub fn diff_reports(baseline: &CampaignReport, candidate: &CampaignReport) -> ReportDiff {
+    diff_reports_with(baseline, candidate, &DiffOptions::default())
+}
+
 /// Diffs `candidate` against `baseline`. See the module docs for the
 /// classification rules.
 ///
@@ -167,7 +265,11 @@ fn run_key(run: &RunRecord) -> String {
 /// runs with identical configuration labels (e.g. a repeated seed), and
 /// those pair up in expansion order instead of collapsing onto one entry —
 /// a report diffed against itself is always clean.
-pub fn diff_reports(baseline: &CampaignReport, candidate: &CampaignReport) -> ReportDiff {
+pub fn diff_reports_with(
+    baseline: &CampaignReport,
+    candidate: &CampaignReport,
+    options: &DiffOptions,
+) -> ReportDiff {
     let mut base_by_key: BTreeMap<String, VecDeque<&RunRecord>> = BTreeMap::new();
     for run in &baseline.runs {
         base_by_key.entry(run_key(run)).or_default().push_back(run);
@@ -189,7 +291,7 @@ pub fn diff_reports(baseline: &CampaignReport, candidate: &CampaignReport) -> Re
             continue;
         };
         diff.matched += 1;
-        compare_pair(&key, base, cand, &mut diff);
+        compare_pair(&key, base, cand, options, &mut diff);
     }
     diff.only_in_baseline = base_by_key
         .into_iter()
@@ -198,7 +300,13 @@ pub fn diff_reports(baseline: &CampaignReport, candidate: &CampaignReport) -> Re
     diff
 }
 
-fn compare_pair(key: &str, base: &RunRecord, cand: &RunRecord, diff: &mut ReportDiff) {
+fn compare_pair(
+    key: &str,
+    base: &RunRecord,
+    cand: &RunRecord,
+    options: &DiffOptions,
+    diff: &mut ReportDiff,
+) {
     let base_rank = outcome_rank(base.outcome);
     let cand_rank = outcome_rank(cand.outcome);
     if cand_rank != base_rank {
@@ -260,6 +368,38 @@ fn compare_pair(key: &str, base: &RunRecord, cand: &RunRecord, diff: &mut Report
     if base.rounds != cand.rounds {
         diff.drift
             .push(DiffFinding::new(key, "rounds", base.rounds, cand.rounds));
+    }
+    // Wall time only speaks when the caller set a tolerance: a percentage
+    // blowup past it (and past the absolute floor) is a regression, the
+    // mirror a genuine improvement; within tolerance it stays silent (wall
+    // times never match exactly, so reporting them as drift is pure noise).
+    // And it only compares like with like — when the outcome changed or
+    // either run errored, the timing of the two runs measures different
+    // work (a fixed baseline failure is not a timing regression).
+    let wall_comparable =
+        base.outcome == cand.outcome && base.error.is_none() && cand.error.is_none();
+    if let Some(pct) = options.wall_ms_tolerance.filter(|_| wall_comparable) {
+        let fmt = |ms: f64| format!("{ms:.3} ms");
+        let slack = pct.max(0.0) / 100.0;
+        if cand.exec_wall_ms > base.exec_wall_ms * (1.0 + slack)
+            && cand.exec_wall_ms - base.exec_wall_ms > WALL_MS_FLOOR
+        {
+            diff.regressions.push(DiffFinding::new(
+                key,
+                format!("exec wall time (+{pct}% tolerance)"),
+                fmt(base.exec_wall_ms),
+                fmt(cand.exec_wall_ms),
+            ));
+        } else if base.exec_wall_ms > cand.exec_wall_ms * (1.0 + slack)
+            && base.exec_wall_ms - cand.exec_wall_ms > WALL_MS_FLOOR
+        {
+            diff.improvements.push(DiffFinding::new(
+                key,
+                format!("exec wall time (+{pct}% tolerance)"),
+                fmt(base.exec_wall_ms),
+                fmt(cand.exec_wall_ms),
+            ));
+        }
     }
 }
 
@@ -354,6 +494,88 @@ mod tests {
         let diff = diff_reports(&report, &shorter);
         assert_eq!(diff.only_in_baseline.len(), 1);
         assert!(diff.has_regressions());
+    }
+
+    #[test]
+    fn wall_time_is_ignored_without_a_tolerance_and_gated_with_one() {
+        let base = report();
+        let mut cand = base.clone();
+        // Blow up one run's improvement wall time by 10x (and well past the
+        // absolute floor).
+        cand.runs[0].exec_wall_ms = base.runs[0].exec_wall_ms * 10.0 + 50.0;
+        // Default: invisible.
+        let diff = diff_reports(&base, &cand);
+        assert!(!diff.has_regressions());
+        assert!(diff.regressions.is_empty() && diff.drift.is_empty());
+        // With a 20% tolerance: a regression.
+        let opts = DiffOptions {
+            wall_ms_tolerance: Some(20.0),
+        };
+        let diff = diff_reports_with(&base, &cand, &opts);
+        assert!(diff.has_regressions());
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].what.contains("wall time"));
+        // The mirror direction is an improvement, not a regression.
+        let mirror = diff_reports_with(&cand, &base, &opts);
+        assert!(!mirror.has_regressions());
+        assert_eq!(mirror.improvements.len(), 1);
+        // Sub-floor jitter never trips, whatever the percentage.
+        let mut jitter = base.clone();
+        jitter.runs[0].exec_wall_ms = base.runs[0].exec_wall_ms + 0.5;
+        let diff = diff_reports_with(
+            &base,
+            &jitter,
+            &DiffOptions {
+                wall_ms_tolerance: Some(0.0),
+            },
+        );
+        assert!(!diff.has_regressions(), "{:?}", diff.regressions);
+    }
+
+    #[test]
+    fn wall_time_is_not_compared_across_different_outcomes_or_errors() {
+        // A baseline run that failed (exec_wall_ms left at 0) and now
+        // succeeds must count as an improvement, not a timing regression.
+        let cand = report();
+        let mut base = cand.clone();
+        base.runs[0].outcome = RunOutcome::Failed;
+        base.runs[0].error = Some("boom".to_string());
+        base.runs[0].exec_wall_ms = 0.0;
+        let diff = diff_reports_with(
+            &base,
+            &cand,
+            &DiffOptions {
+                wall_ms_tolerance: Some(50.0),
+            },
+        );
+        assert!(!diff.has_regressions(), "{:?}", diff.regressions);
+        assert!(
+            diff.regressions.iter().all(|f| !f.what.contains("wall")),
+            "{:?}",
+            diff.regressions
+        );
+        // Outcome improvements are still reported as such.
+        assert!(diff.improvements.iter().any(|f| f.what == "outcome"));
+    }
+
+    #[test]
+    fn markdown_rendering_tables_the_findings() {
+        let base = report();
+        let mut cand = base.clone();
+        cand.runs[0].outcome = RunOutcome::QuiescedPartial;
+        cand.runs[1].messages += 7;
+        let diff = diff_reports(&base, &cand);
+        let md = diff.render_markdown();
+        assert!(md.contains("### scenario diff"), "{md}");
+        assert!(md.contains("❌ regressions"), "{md}");
+        assert!(md.contains("| run | what | baseline | candidate |"), "{md}");
+        assert!(md.contains("**Regressions** (1)"), "{md}");
+        assert!(md.contains("**Drift (informational)** (1)"), "{md}");
+        assert!(md.contains("quiesced-partial"), "{md}");
+        // A clean diff renders a clean verdict and no tables.
+        let clean = diff_reports(&base, &base.clone()).render_markdown();
+        assert!(clean.contains("✅ clean"), "{clean}");
+        assert!(!clean.contains("| run |"), "{clean}");
     }
 
     #[test]

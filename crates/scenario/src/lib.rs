@@ -1,10 +1,10 @@
 //! # mdst-scenario
 //!
 //! Declarative scenario harness for the Blin–Butelle MDST reproduction: it
-//! turns the one-shot `mdst_core::run_pipeline` driver into a campaign
-//! engine. Experiments are described in TOML (or JSON), expanded into a
-//! cartesian product of runs, executed across threads, checked against the
-//! paper's `O(Δ* + log n)` degree bound, and persisted as JSON/CSV.
+//! turns the one-shot `mdst_core::Pipeline` session into a campaign engine.
+//! Experiments are described in TOML (or JSON), expanded into a cartesian
+//! product of runs, executed across threads, checked against the paper's
+//! `O(Δ* + log n)` degree bound, and persisted as JSON/CSV.
 //!
 //! ## Module map
 //!
@@ -15,7 +15,7 @@
 //! | [`toml`] | self-contained TOML subset parser feeding [`spec`] (the registry `toml` crate is unavailable offline) |
 //! | [`runner`] | the parallel batch runner: scoped thread pool, campaign-wide [`runner::TopologyCache`] (one shared `Arc<Graph>` per distinct source), per-run records, per-scenario and campaign aggregates |
 //! | [`report`] | JSON / CSV sinks and the human-readable summary |
-//! | [`diff`] | report-vs-report comparison behind `scenario diff` (regression gate for CI) |
+//! | [`diff`] | report-vs-report comparison behind `scenario diff` (regression gate for CI): outcome/bound/degree/error regressions, opt-in wall-time thresholds, text or markdown rendering |
 //!
 //! The `scenario` binary wires these together:
 //!
@@ -26,13 +26,16 @@
 //! scenario expand examples/sweep.toml     # print the resolved run list
 //! scenario validate examples/sweep.toml   # check the spec without running it
 //! scenario diff base.json cand.json       # regression gate between two reports
+//! scenario diff base.json cand.json --wall-ms-tolerance 25 --markdown
 //! ```
 //!
 //! `--jobs N` (alias `--threads`) caps runner parallelism; without it the
 //! spec's `campaign.parallelism` key, then one thread per CPU, applies.
 //! `--shuffle [SEED]` claims runs in a seeded random order so long runs
 //! start early; the seed lands in the report and the records stay in
-//! expansion order.
+//! expansion order. `--progress` attaches a streaming `mdst_core::Observer`
+//! to every run and prints one line per finished run without touching the
+//! records.
 //!
 //! ## Spec format
 //!
@@ -113,7 +116,10 @@
 //!
 //! ## Outcome taxonomy
 //!
-//! Every run is classified by [`runner::RunOutcome`]:
+//! Every run is classified by [`runner::RunOutcome`] — the driver's unified
+//! `mdst_core::Outcome` (`Optimal` / `PartialTree` / `EventLimitAborted`)
+//! plus the runner-level `Failed` state, under the report labels that
+//! predate the unified enum:
 //!
 //! * **`quiesced-correct`** — the network quiesced, every live node
 //!   terminated, and the final tree spans the *survivor component* (the
@@ -162,7 +168,7 @@ pub mod runner;
 pub mod spec;
 pub mod toml;
 
-pub use diff::{diff_reports, DiffFinding, ReportDiff};
+pub use diff::{diff_reports, diff_reports_with, DiffFinding, DiffOptions, ReportDiff};
 pub use io::{load_graph, save_graph, GraphFormat, IoError};
 pub use report::{campaign_to_csv, campaign_to_json};
 pub use runner::{
@@ -172,7 +178,7 @@ pub use spec::{FaultSpec, RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
 
 /// Everything a campaign driver typically needs in scope.
 pub mod prelude {
-    pub use crate::diff::{diff_reports, DiffFinding, ReportDiff};
+    pub use crate::diff::{diff_reports, diff_reports_with, DiffFinding, DiffOptions, ReportDiff};
     pub use crate::io::{load_graph, parse_graph, render_graph, save_graph, GraphFormat, IoError};
     pub use crate::report::{campaign_to_csv, campaign_to_json, summarize, write_csv, write_json};
     pub use crate::runner::{

@@ -10,7 +10,7 @@
 
 use crate::spec::{ResolvedGraph, RunSpec, ScenarioMatrix, SpecError};
 use mdst_core::bounds;
-use mdst_core::{run_pipeline_with_faults, RunStatus};
+use mdst_core::{Observer, Outcome, Pipeline, RunReport};
 use mdst_graph::Graph;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +54,20 @@ impl RunOutcome {
     }
 }
 
+// The campaign taxonomy is the driver's unified `Outcome` plus the
+// runner-level `Failed` state (a run that never started has no driver
+// outcome). The report labels predate the unified enum and stay stable so
+// existing JSON baselines keep diffing cleanly.
+impl From<Outcome> for RunOutcome {
+    fn from(outcome: Outcome) -> Self {
+        match outcome {
+            Outcome::Optimal => RunOutcome::QuiescedCorrect,
+            Outcome::PartialTree => RunOutcome::QuiescedPartial,
+            Outcome::EventLimitAborted => RunOutcome::EventLimitAbort,
+        }
+    }
+}
+
 // Hand-written so the JSON `outcome` field carries the same kebab-case label
 // as the CSV column and the per-scenario `outcomes` histogram keys.
 impl Serialize for RunOutcome {
@@ -86,6 +100,31 @@ pub struct RunnerConfig {
     /// seed is recorded in [`CampaignReport::shuffle_seed`], so a shuffled
     /// campaign reproduces exactly.
     pub shuffle: Option<u64>,
+    /// When set, every run registers a streaming [`mdst_core::Observer`]
+    /// that prints one progress line to stderr as the run finishes (the CLI
+    /// `--progress` flag). Records are unaffected.
+    pub progress: bool,
+}
+
+/// The campaign progress tap: a per-run [`Observer`] streaming one line per
+/// finished run to stderr, keyed by the run's configuration label.
+struct ProgressLine {
+    label: String,
+}
+
+impl Observer for ProgressLine {
+    fn on_finish(&mut self, report: &RunReport) {
+        eprintln!(
+            "  {}: {} degree {} -> {} ({} rounds, {} msgs, {:.1} ms)",
+            self.label,
+            report.outcome,
+            report.initial_degree,
+            report.final_degree,
+            report.rounds,
+            report.improvement_metrics.messages_total,
+            report.wall_ms,
+        );
+    }
 }
 
 /// Campaign-wide topology cache: every distinct graph source is built exactly
@@ -354,12 +393,16 @@ pub fn execute_run(spec: &RunSpec) -> RunRecord {
 
 /// Executes a single run against a shared topology cache.
 ///
-/// Every run — fault-free or not — goes through the fault-tolerant pipeline,
-/// so the outcome taxonomy is uniform. A fault-free run that does not end in
-/// [`RunOutcome::QuiescedCorrect`] is also recorded as an error, preserving
-/// the pre-fault contract that campaigns fail loudly when the protocol
-/// misbehaves on a reliable network.
+/// Every run — fault-free or not — goes through the one unified
+/// [`Pipeline`] session, so the outcome taxonomy is uniform. A fault-free
+/// run that does not end in [`RunOutcome::QuiescedCorrect`] is also recorded
+/// as an error, preserving the pre-fault contract that campaigns fail loudly
+/// when the protocol misbehaves on a reliable network.
 pub fn execute_run_cached(spec: &RunSpec, topologies: &TopologyCache) -> RunRecord {
+    execute_run_inner(spec, topologies, false)
+}
+
+fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool) -> RunRecord {
     let start = Instant::now();
     let mut record = RunRecord {
         scenario: spec.scenario.clone(),
@@ -402,14 +445,25 @@ pub fn execute_run_cached(spec: &RunSpec, topologies: &TopologyCache) -> RunReco
                 graph.node_count()
             ));
         }
-        let report = run_pipeline_with_faults(&graph, &config).map_err(|e| e.to_string())?;
+        // One session whatever the fault axis says: degraded endings are
+        // outcomes of the unified report, not a separate code path.
+        let mut progress_line = ProgressLine {
+            label: format!(
+                "{} / {} / {} / seed {}",
+                spec.scenario,
+                spec.graph.label(),
+                spec.executor,
+                spec.seed
+            ),
+        };
+        let mut session = Pipeline::on(&graph).config(config);
+        if progress {
+            session = session.observer(&mut progress_line);
+        }
+        let report = session.run().map_err(|e| e.to_string())?;
         record.n = report.n;
         record.m = report.m;
-        record.outcome = match report.status {
-            RunStatus::EventLimitExceeded => RunOutcome::EventLimitAbort,
-            RunStatus::Quiesced if report.correct_tree => RunOutcome::QuiescedCorrect,
-            RunStatus::Quiesced => RunOutcome::QuiescedPartial,
-        };
+        record.outcome = RunOutcome::from(report.outcome);
         // Degree bounds are judged on the survivor component (the whole graph
         // when nothing crashed, so fault-free numbers are unchanged). Only
         // crashes can shrink the component; skip the subgraph copy whenever
@@ -524,7 +578,7 @@ pub fn execute_runs(
     if threads <= 1 {
         for &idx in &order {
             *slots[idx].lock().expect("slot poisoned") =
-                Some(execute_run_cached(&runs[idx], &topologies));
+                Some(execute_run_inner(&runs[idx], &topologies, config.progress));
         }
     } else {
         std::thread::scope(|scope| {
@@ -534,7 +588,7 @@ pub fn execute_runs(
                     let Some(&idx) = order.get(claim) else {
                         break;
                     };
-                    let record = execute_run_cached(&runs[idx], &topologies);
+                    let record = execute_run_inner(&runs[idx], &topologies, config.progress);
                     *slots[idx].lock().expect("slot poisoned") = Some(record);
                 });
             }
@@ -724,6 +778,35 @@ mod tests {
         }
         let outcome_sum: usize = a.total.outcomes.values().sum();
         assert_eq!(outcome_sum, a.total.runs);
+    }
+
+    #[test]
+    fn progress_mode_streams_without_changing_records() {
+        let matrix = ScenarioMatrix::from_toml_str(SPEC).unwrap();
+        let plain = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let observed = run_campaign(
+            &matrix,
+            &RunnerConfig {
+                threads: 1,
+                progress: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.runs.len(), observed.runs.len());
+        for (a, b) in plain.runs.iter().zip(&observed.runs) {
+            let mut b = b.clone();
+            b.wall_ms = a.wall_ms;
+            b.exec_wall_ms = a.exec_wall_ms;
+            assert_eq!(a, &b, "observer must not perturb measurements");
+        }
     }
 
     #[test]

@@ -1493,6 +1493,21 @@ mod tests {
     }
 
     #[test]
+    fn unknown_executor_names_are_spec_errors_not_panics() {
+        let spec = r#"
+            [[scenario]]
+            name = "x"
+            graph = { family = "path", n = 4 }
+            executor = ["sim", "quantum"]
+        "#;
+        let err = ScenarioMatrix::from_toml_str(spec).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("scenario `x`"), "{msg}");
+        assert!(msg.contains("unknown executor `quantum`"), "{msg}");
+        assert!(msg.contains("sim, threaded, pool"), "{msg}");
+    }
+
+    #[test]
     fn initial_kinds_cover_all_constructions() {
         for name in ["greedy_hub", "bfs", "dfs", "random", "flooding", "token"] {
             parse_initial_kind(name, 3).unwrap();

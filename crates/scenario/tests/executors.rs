@@ -182,7 +182,7 @@ fn shuffled_campaigns_reproduce_and_keep_expansion_order() {
         &matrix,
         &RunnerConfig {
             threads: 2,
-            shuffle: None,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -191,6 +191,7 @@ fn shuffled_campaigns_reproduce_and_keep_expansion_order() {
         &RunnerConfig {
             threads: 2,
             shuffle: Some(7),
+            ..Default::default()
         },
     )
     .unwrap();

@@ -72,16 +72,14 @@ fn broadcast_load(graph: &Arc<Graph>, tree: &RootedTree) -> (u64, u64) {
 
 fn main() {
     let graph = Arc::new(generators::gnp_connected(80, 0.06, 7).expect("valid parameters"));
-    let config = PipelineConfig {
-        initial: InitialTreeKind::GreedyHub,
-        root: NodeId(0),
-        sim: SimConfig::default(),
-        ..Default::default()
-    };
-    let report = run_pipeline(&graph, &config).expect("pipeline runs");
+    let report = Pipeline::on(&graph)
+        .initial(InitialTreeKind::GreedyHub)
+        .root(NodeId(0))
+        .run()
+        .expect("pipeline runs");
 
     let (total_before, max_before) = broadcast_load(&graph, &report.initial_tree);
-    let (total_after, max_after) = broadcast_load(&graph, &report.final_tree);
+    let (total_after, max_after) = broadcast_load(&graph, report.tree());
 
     println!(
         "broadcast over the initial tree (degree {}):",

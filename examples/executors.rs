@@ -25,30 +25,25 @@ fn main() {
 
     let mut degrees = Vec::new();
     for kind in ExecutorKind::all() {
-        let config = ExecConfig {
-            workers: 8, // pool only; the other backends ignore it
-            ..Default::default()
-        };
-        let run = run_distributed_mdst_on(kind, &graph, &initial, &config).unwrap();
-        let workers = match kind {
-            ExecutorKind::Sim => 1,
-            ExecutorKind::Threaded => graph.node_count(),
-            ExecutorKind::Pool => {
-                PoolRuntime::effective_workers(config.workers, graph.node_count())
-            }
-        };
+        let report = Pipeline::on(&graph)
+            .initial_tree(initial.clone())
+            .executor(kind)
+            .workers(8) // pool only; the other backends ignore it
+            .run()
+            .unwrap();
+        assert_eq!(report.outcome, Outcome::Optimal);
         println!(
             "{:<9} {:>7} {:>9} {:>7} {:>8} {:>9.2}ms",
             kind.label(),
-            run.final_tree.max_degree(),
-            run.metrics.messages_total,
-            run.rounds,
-            workers,
-            run.wall_ms
+            report.final_degree,
+            report.improvement_metrics.messages_total,
+            report.rounds,
+            report.workers,
+            report.wall_ms
         );
-        assert!(run.final_tree.is_spanning_tree_of(&graph));
-        assert!(verify_termination_certificate(&graph, &run.final_tree));
-        degrees.push(run.final_tree.max_degree());
+        assert!(report.tree().is_spanning_tree_of(&graph));
+        assert!(verify_termination_certificate(&graph, report.tree()));
+        degrees.push(report.final_degree);
     }
 
     assert!(

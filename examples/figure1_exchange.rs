@@ -33,30 +33,62 @@ fn main() {
     println!("initial tree (degree {}):", initial.max_degree());
     println!("{}", dot::overlay_to_dot(&graph, &initial, &[]));
 
-    let run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
-    println!("final tree (degree {}):", run.final_tree.max_degree());
+    // Stream the improvement through an observer: every round and every
+    // Delete/Add exchange of the figure arrives as a typed event.
+    struct Narrator;
+    impl Observer for Narrator {
+        fn on_round(&mut self, event: &RoundEvent) {
+            println!(
+                "round {}: {}",
+                event.round,
+                if event.improved == Some(true) {
+                    "found an outgoing edge, exchanging"
+                } else {
+                    "locally optimal, stopping"
+                }
+            );
+        }
+        fn on_exchange(&mut self, event: &ExchangeEvent) {
+            println!(
+                "exchange #{}: Delete at p, Add the cousin edge",
+                event.index
+            );
+        }
+    }
+    let mut narrator = Narrator;
+    let report = Pipeline::on(&graph)
+        .initial_tree(initial.clone())
+        .observer(&mut narrator)
+        .run()
+        .unwrap();
+    assert_eq!(report.outcome, Outcome::Optimal);
+    let final_tree = report.tree();
+    println!("final tree (degree {}):", final_tree.max_degree());
     println!(
         "{}",
-        dot::overlay_to_dot(&graph, &run.final_tree, &[(NodeId(3), NodeId(5))])
+        dot::overlay_to_dot(&graph, final_tree, &[(NodeId(3), NodeId(5))])
     );
 
-    println!("rounds: {}, exchanges: {}", run.rounds, run.improvements);
+    println!(
+        "rounds: {}, exchanges: {}",
+        report.rounds, report.improvements
+    );
     println!("messages by kind:");
-    for (kind, count) in &run.metrics.messages_by_kind {
+    for (kind, count) in &report.improvement_metrics.messages_by_kind {
         println!("  {kind:<14} {count}");
     }
 
     // The figure's claim: the maximum degree drops through delete/add pairs,
     // and the spare leaf-to-leaf edge enters the tree.
     assert_eq!(initial.max_degree(), 4);
-    assert!(run.final_tree.max_degree() < initial.max_degree());
+    assert!(final_tree.max_degree() < initial.max_degree());
     assert!(
-        run.final_tree.has_edge(NodeId(3), NodeId(5)),
+        final_tree.has_edge(NodeId(3), NodeId(5)),
         "the Add edge of the figure enters the tree"
     );
     println!(
         "\nFigure 1 reproduced: degree {} -> {}",
         initial.max_degree(),
-        run.final_tree.max_degree()
+        final_tree.max_degree()
     );
 }

@@ -8,7 +8,6 @@
 //! cargo run --example figure2_bfs_wave
 //! ```
 
-use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
 
 fn main() {
@@ -43,24 +42,26 @@ fn main() {
     println!("initial tree (degree {}):", initial.max_degree());
     println!("{}", dot::overlay_to_dot(&graph, &initial, &[]));
 
-    // Run one full protocol execution with tracing enabled.
-    let nodes = MdstNode::from_tree(&initial);
-    let config = SimConfig {
-        record_trace: true,
-        ..Default::default()
-    };
-    let mut sim =
-        Simulator::new(&graph, config, |id, _| nodes[id.index()].clone()).expect("valid config");
-    sim.run().expect("protocol quiesces");
+    // One full pipeline session with tracing enabled: the recorded trace
+    // comes back on the unified report.
+    let report = Pipeline::on(&graph)
+        .initial_tree(initial.clone())
+        .sim(SimConfig {
+            record_trace: true,
+            ..Default::default()
+        })
+        .run()
+        .expect("protocol quiesces");
+    assert_eq!(report.outcome, Outcome::Optimal);
 
     println!("BFS wave (sends), in causal order:");
-    for event in sim.trace().events_of_kind("BFS") {
+    for event in report.trace.events_of_kind("BFS") {
         if matches!(event.kind, mdst::netsim::TraceEventKind::Send) {
             println!("  t={:<3} {} -> {}", event.time, event.from, event.to);
         }
     }
     println!("\ncousin replies (outgoing-edge discoveries):");
-    for event in sim.trace().events_of_kind("BFSReply") {
+    for event in report.trace.events_of_kind("BFSReply") {
         if matches!(event.kind, mdst::netsim::TraceEventKind::Send) {
             println!(
                 "  t={:<3} {} -> {}  (edge {} -- {})",
@@ -69,14 +70,14 @@ fn main() {
         }
     }
 
-    let final_tree = collect_tree(sim.nodes()).expect("consistent final tree");
+    let final_tree = report.tree();
     println!("\nfinal tree (degree {}):", final_tree.max_degree());
-    println!("{}", dot::overlay_to_dot(&graph, &final_tree, &[]));
+    println!("{}", dot::overlay_to_dot(&graph, final_tree, &[]));
 
     assert!(final_tree.is_spanning_tree_of(&graph));
     assert!(final_tree.max_degree() <= initial.max_degree());
     assert!(
-        sim.trace().events_of_kind("BFSReply").count() > 0,
+        report.trace.events_of_kind("BFSReply").count() > 0,
         "the wave must discover at least one cousin edge"
     );
 }

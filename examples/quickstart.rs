@@ -18,13 +18,12 @@ fn main() {
 
     // The paper assumes some distributed spanning-tree construction ran first;
     // here we use the flooding (PIF) construction and then improve its tree.
-    let config = PipelineConfig {
-        initial: InitialTreeKind::DistributedFlooding,
-        root: NodeId(0),
-        sim: SimConfig::default(),
-        ..Default::default()
-    };
-    let report = run_pipeline(&graph, &config).expect("pipeline runs to completion");
+    let report = Pipeline::on(&graph)
+        .initial(InitialTreeKind::DistributedFlooding)
+        .root(NodeId(0))
+        .run()
+        .expect("pipeline runs to completion");
+    assert_eq!(report.outcome, Outcome::Optimal);
 
     println!(
         "initial spanning tree degree k  = {}",
@@ -66,7 +65,7 @@ fn main() {
     }
 
     // The result is a certified Locally Optimal Tree.
-    assert!(verify_spanning_tree(&graph, &report.final_tree).is_ok());
-    assert!(verify_termination_certificate(&graph, &report.final_tree));
+    assert!(verify_spanning_tree(&graph, report.tree()).is_ok());
+    assert!(verify_termination_certificate(&graph, report.tree()));
     println!("\nfinal tree verified: spanning + locally optimal");
 }

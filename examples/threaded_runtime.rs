@@ -6,7 +6,6 @@
 //! cargo run --example threaded_runtime
 //! ```
 
-use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
 
 fn main() {
@@ -20,32 +19,40 @@ fn main() {
     );
 
     // Simulator run (the complexity-measurement reference).
-    let sim_run = run_distributed_mdst(&graph, &initial, SimConfig::default()).unwrap();
+    let sim_run = Pipeline::on(&graph)
+        .initial_tree(initial.clone())
+        .executor(ExecutorKind::Sim)
+        .run()
+        .unwrap();
     println!(
         "simulator : degree {} in {} rounds, {} messages, causal time {}",
-        sim_run.final_tree.max_degree(),
+        sim_run.final_degree,
         sim_run.rounds,
-        sim_run.metrics.messages_total,
-        sim_run.metrics.causal_time
+        sim_run.improvement_metrics.messages_total,
+        sim_run.improvement_metrics.causal_time
     );
 
-    // Threaded run: one OS thread per node, crossbeam channels as links.
-    let nodes = MdstNode::from_tree(&initial);
-    let threaded = ThreadedRuntime::run(&graph, |id, _| nodes[id.index()].clone());
-    let threaded_tree = collect_tree(&threaded.nodes).expect("consistent final tree");
+    // Threaded run: one OS thread per node, crossbeam channels as links —
+    // the same session chain, one builder call apart.
+    let threaded = Pipeline::on(&graph)
+        .initial_tree(initial)
+        .executor(ExecutorKind::Threaded)
+        .run()
+        .unwrap();
     println!(
-        "threads   : degree {} , {} messages, wall time {:?}",
-        threaded_tree.max_degree(),
-        threaded.metrics.messages_total,
-        threaded.wall_time
+        "threads   : degree {} , {} messages, wall time {:.2}ms on {} threads",
+        threaded.final_degree,
+        threaded.improvement_metrics.messages_total,
+        threaded.wall_ms,
+        threaded.workers
     );
 
+    assert_eq!(threaded.outcome, Outcome::Optimal);
     assert_eq!(
-        threaded_tree.max_degree(),
-        sim_run.final_tree.max_degree(),
+        threaded.final_degree, sim_run.final_degree,
         "the protocol's decisions are schedule independent"
     );
-    assert!(threaded_tree.is_spanning_tree_of(&graph));
-    assert!(verify_termination_certificate(&graph, &threaded_tree));
+    assert!(threaded.tree().is_spanning_tree_of(&graph));
+    assert!(verify_termination_certificate(&graph, threaded.tree()));
     println!("threaded and simulated runs agree");
 }

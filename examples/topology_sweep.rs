@@ -51,13 +51,11 @@ fn main() {
         "topology", "n", "m", "k", "final", "LB", "rounds", "messages", "budget"
     );
     for (name, graph) in workloads {
-        let config = PipelineConfig {
-            initial: InitialTreeKind::GreedyHub,
-            root: NodeId(0),
-            sim: SimConfig::default(),
-            ..Default::default()
-        };
-        let report = run_pipeline(&graph, &config).expect("pipeline runs");
+        let report = Pipeline::on(&graph)
+            .initial(InitialTreeKind::GreedyHub)
+            .root(NodeId(0))
+            .run()
+            .expect("pipeline runs");
         let lb = degree_lower_bound(&graph);
         println!(
             "{:<14} {:>4} {:>5} {:>5} {:>6} {:>4} {:>7} {:>9} {:>9}",
@@ -72,6 +70,6 @@ fn main() {
             report.paper_message_budget()
         );
         assert!(report.final_degree >= lb);
-        assert!(verify_termination_certificate(&graph, &report.final_tree));
+        assert!(verify_termination_certificate(&graph, report.tree()));
     }
 }

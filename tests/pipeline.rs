@@ -39,13 +39,15 @@ fn families(seed: u64) -> Vec<(&'static str, Arc<Graph>)> {
 #[test]
 fn every_family_yields_a_certified_locally_optimal_tree() {
     for (name, graph) in families(3) {
-        let report = run_pipeline(&graph, &PipelineConfig::default())
+        let report = Pipeline::on(&graph)
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
-        assert!(report.final_tree.is_spanning_tree_of(&graph), "{name}");
+        assert_eq!(report.outcome, Outcome::Optimal, "{name}");
+        assert!(report.tree().is_spanning_tree_of(&graph), "{name}");
         assert!(report.final_degree <= report.initial_degree, "{name}");
         assert!(report.final_degree >= degree_lower_bound(&graph), "{name}");
         assert!(
-            verify_termination_certificate(&graph, &report.final_tree),
+            verify_termination_certificate(&graph, report.tree()),
             "{name}: final tree must be blocked at its max-degree node"
         );
     }
@@ -58,13 +60,11 @@ fn all_initial_constructions_agree_on_reachability_of_low_degree() {
     // from the same start.
     let graph = Arc::new(generators::gnp_connected(28, 0.2, 9).unwrap());
     for kind in InitialTreeKind::all(5) {
-        let config = PipelineConfig {
-            initial: kind,
-            root: NodeId(0),
-            sim: SimConfig::default(),
-            ..Default::default()
-        };
-        let report = run_pipeline(&graph, &config).unwrap();
+        let report = Pipeline::on(&graph)
+            .initial(kind)
+            .root(NodeId(0))
+            .run()
+            .unwrap();
         let mirror = paper_local_search(&graph, &report.initial_tree).unwrap();
         assert_eq!(
             report.final_degree,
@@ -101,18 +101,17 @@ fn pipeline_works_under_every_delay_and_start_model() {
     let mut final_degrees = std::collections::BTreeSet::new();
     for delay in &delays {
         for start in &starts {
-            let config = PipelineConfig {
-                initial: InitialTreeKind::GreedyHub,
-                root: NodeId(0),
-                sim: SimConfig {
+            let report = Pipeline::on(&graph)
+                .initial(InitialTreeKind::GreedyHub)
+                .root(NodeId(0))
+                .sim(SimConfig {
                     delay: delay.clone(),
                     start: start.clone(),
                     ..Default::default()
-                },
-                ..Default::default()
-            };
-            let report = run_pipeline(&graph, &config).unwrap();
-            assert!(report.final_tree.is_spanning_tree_of(&graph));
+                })
+                .run()
+                .unwrap();
+            assert!(report.tree().is_spanning_tree_of(&graph));
             final_degrees.insert(report.final_degree);
         }
     }
@@ -126,7 +125,7 @@ fn pipeline_works_under_every_delay_and_start_model() {
 #[test]
 fn message_kinds_match_the_papers_inventory() {
     let graph = Arc::new(generators::star_with_leaf_edges(16).unwrap());
-    let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
+    let report = Pipeline::on(&graph).run().unwrap();
     let metrics = &report.improvement_metrics;
     // Every round performs SearchDegree, MoveRoot (possibly zero hops), Cut,
     // BFS, BFSBack, Update/Child and the run ends with Stop.
@@ -154,8 +153,8 @@ fn message_kinds_match_the_papers_inventory() {
 #[test]
 fn large_sparse_network_completes_with_reasonable_cost() {
     let graph = Arc::new(generators::gnp_connected(150, 0.03, 17).unwrap());
-    let report = run_pipeline(&graph, &PipelineConfig::default()).unwrap();
-    assert!(report.final_tree.is_spanning_tree_of(&graph));
+    let report = Pipeline::on(&graph).run().unwrap();
+    assert!(report.tree().is_spanning_tree_of(&graph));
     // Per-round cost is linear in m + n (§4.2); the serialised implementation
     // runs one round per exchange, so the total budget is rounds · O(m + n)
     // and, because every exchange lowers some node's degree, the number of

@@ -84,18 +84,18 @@ fn pool_runs_the_full_mdst_pipeline_beyond_the_threaded_scale() {
     // thread-per-node would already be painful: the pool executor drives the
     // improvement protocol to the same verdicts the simulator would reach.
     let graph = Arc::new(generators::star_with_leaf_edges(600).unwrap());
-    let config = PipelineConfig {
-        executor: ExecutorKind::Pool,
-        workers: 16,
-        ..Default::default()
-    };
-    let report = run_pipeline(&graph, &config).unwrap();
+    let report = Pipeline::on(&graph)
+        .executor(ExecutorKind::Pool)
+        .workers(16)
+        .run()
+        .unwrap();
+    assert_eq!(report.outcome, Outcome::Optimal);
     assert_eq!(report.initial_degree, 599);
     assert!(
         report.final_degree <= 3,
         "the improvement must dismantle the star, got {}",
         report.final_degree
     );
-    assert!(report.final_tree.is_spanning_tree_of(&graph));
+    assert!(report.tree().is_spanning_tree_of(&graph));
     assert!(within_paper_degree_bound(&graph, report.final_degree));
 }
