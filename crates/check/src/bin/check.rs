@@ -1,0 +1,182 @@
+//! `check` — command-line front end of the `mdst-check` model checker.
+//!
+//! ```text
+//! check sweep  [--min-n N] [--max-n N] [--named N] [--max-states N]
+//!              [--max-depth N] [--crashes N] [--losses N] [--lazy-starts]
+//!              [--json PATH]
+//! check replay <counterexample.json>
+//! ```
+//!
+//! `sweep` exhaustively verifies every connected topology in the size range
+//! (or the named generator suite) and exits nonzero if any property is
+//! violated or any run is incomplete. `replay` re-runs a recorded
+//! counterexample and confirms the violation reproduces.
+
+use mdst_check::{CheckConfig, Counterexample, MdstInvariants, SweepReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  check sweep  [--min-n N] [--max-n N] [--named N] [--max-states N]
+               [--max-depth N] [--crashes N] [--losses N] [--lazy-starts]
+               [--json PATH]
+  check replay <counterexample.json>
+
+sweep   exhaustively model-check every connected topology with min-n..=max-n
+        vertices (default 2..=5, one representative per isomorphism class),
+        or the named generator suite of size N. Exits 1 on violation or
+        incomplete coverage.
+replay  re-run a recorded counterexample schedule and confirm the recorded
+        violation reproduces. Exits 1 if it does (the bug is real), 0 never
+        (a counterexample that fails to reproduce is itself an error, 2).";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_usize(flag: &str, value: Option<&String>) -> Result<usize, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse::<usize>()
+        .map_err(|_| format!("{flag} expects an unsigned integer, got `{raw}`"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("sweep") => run_sweep(&args[1..]),
+        Some("replay") => run_replay(&args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("missing subcommand".to_string()),
+    }
+}
+
+struct SweepArgs {
+    min_n: usize,
+    max_n: usize,
+    named: Option<usize>,
+    config: CheckConfig,
+    json: Option<String>,
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<SweepArgs, String> {
+    let mut out = SweepArgs {
+        min_n: 2,
+        max_n: 5,
+        named: None,
+        config: CheckConfig::default(),
+        json: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--min-n" => out.min_n = parse_usize(flag, it.next())?,
+            "--max-n" => out.max_n = parse_usize(flag, it.next())?,
+            "--named" => out.named = Some(parse_usize(flag, it.next())?),
+            "--max-states" => out.config.max_states = parse_usize(flag, it.next())?,
+            "--max-depth" => out.config.max_depth = parse_usize(flag, it.next())?,
+            "--crashes" => out.config.max_crashes = parse_usize(flag, it.next())?,
+            "--losses" => out.config.max_losses = parse_usize(flag, it.next())?,
+            "--lazy-starts" => out.config.lazy_starts = true,
+            "--json" => {
+                out.json = Some(
+                    it.next()
+                        .ok_or_else(|| "--json needs a path".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if out.named.is_none() && out.max_n > 6 {
+        return Err("--max-n is capped at 6 (exhaustive enumeration)".to_string());
+    }
+    Ok(out)
+}
+
+fn run_sweep(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_sweep_args(args)?;
+    let report: SweepReport = match parsed.named {
+        Some(n) => mdst_check::sweep_named(n, &parsed.config),
+        None => mdst_check::sweep_connected(parsed.min_n, parsed.max_n, &parsed.config),
+    };
+    for entry in &report.entries {
+        let status = if !entry.report.passed() {
+            "VIOLATION"
+        } else if !entry.report.complete {
+            "INCOMPLETE"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<12} n={} m={} states={} pruned={} quiescent={} depth={} {}",
+            entry.label,
+            entry.n,
+            entry.edges,
+            entry.report.stats.states_explored,
+            entry.report.stats.revisits_pruned,
+            entry.report.stats.quiescent_states,
+            entry.report.stats.max_depth_seen,
+            status,
+        );
+    }
+    println!(
+        "swept {} topologies, {} distinct states total",
+        report.entries.len(),
+        report.total_states
+    );
+    if let Some(path) = &parsed.json {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(bad) = report.first_violation() {
+        let cex = bad
+            .report
+            .violation
+            .as_ref()
+            .expect("a failed entry carries its counterexample");
+        eprintln!(
+            "\nviolation on {}: {}\nminimized schedule ({} events):",
+            bad.label,
+            cex.violation,
+            cex.schedule.len()
+        );
+        for event in &cex.schedule {
+            eprintln!("  {event}");
+        }
+        eprintln!("\ncounterexample JSON:\n{}", cex.to_json());
+        return Ok(ExitCode::FAILURE);
+    }
+    if !report.all_complete {
+        eprintln!("\nstate budget exhausted before full coverage — raise --max-states");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("all topologies verified");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_replay(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err("replay takes exactly one counterexample file".to_string());
+    };
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let cex = Counterexample::from_json(&json).map_err(|e| format!("parsing {path}: {e}"))?;
+    match cex.replay(&MdstInvariants) {
+        Ok(violation) => {
+            println!(
+                "violation reproduces after {} events: {violation}",
+                cex.schedule.len()
+            );
+            Ok(ExitCode::FAILURE)
+        }
+        Err(err) => Err(format!("replay failed: {err}")),
+    }
+}

@@ -1,0 +1,485 @@
+//! The exhaustive scheduler: DFS over every enabled-event choice.
+//!
+//! The checker treats the protocol as a transition system whose states are
+//! [`ControlledNet`] snapshots and whose transitions are the enabled
+//! [`ControlledEvent`]s. From a given initial tree it explores *every*
+//! interleaving of message deliveries (and, under a fault budget, every
+//! placement of crash-stop and single-message-loss faults), pruning
+//! revisited states by their canonical 128-bit fingerprint. Because
+//! asynchronous deliveries commute so often, the fingerprint prune is what
+//! turns a factorially-branching schedule tree into a tractable state
+//! graph.
+//!
+//! Safety properties run after every transition; outcome properties run at
+//! quiescent states (no start or delivery enabled). Any violation aborts
+//! the search and is packaged as a [`Counterexample`] carrying the exact
+//! DFS path, then greedily minimized so the reported schedule contains only
+//! the deliveries that matter.
+
+use crate::counterexample::Counterexample;
+use crate::invariant::{InvariantSuite, MdstInvariants, Violation};
+use mdst_core::MdstNode;
+use mdst_graph::{Graph, NodeId, RootedTree};
+use mdst_netsim::{ControlledEvent, ControlledNet, StartDiscipline};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashSet};
+use std::sync::Arc;
+
+/// Budgets and fault switches for one model-checking run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckConfig {
+    /// Abort (incomplete) after this many distinct explored states.
+    pub max_states: usize,
+    /// Flag any schedule longer than this as a liveness violation — the
+    /// protocol is supposed to quiesce within a bounded number of events.
+    pub max_depth: usize,
+    /// How many crash-stop faults the adversary may inject per schedule.
+    pub max_crashes: usize,
+    /// How many single-message losses the adversary may inject per schedule.
+    pub max_losses: usize,
+    /// Branch over start orderings too (explicit `Start` events) instead of
+    /// starting every node eagerly. The MDegST automaton is start-order
+    /// insensitive (only the root acts on start), so this defaults to off.
+    pub lazy_starts: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_states: 2_000_000,
+            max_depth: 10_000,
+            max_crashes: 0,
+            max_losses: 0,
+            lazy_starts: false,
+        }
+    }
+}
+
+/// Exploration statistics of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Distinct states explored (after fingerprint dedup).
+    pub states_explored: usize,
+    /// Transitions that reached an already-visited state.
+    pub revisits_pruned: usize,
+    /// Distinct quiescent states reached.
+    pub quiescent_states: usize,
+    /// Length of the longest schedule explored.
+    pub max_depth_seen: usize,
+    /// Whether the state budget was exhausted (search incomplete).
+    pub state_cap_hit: bool,
+}
+
+/// One distinct protocol outcome: the parent vector and termination status
+/// at a quiescent state. The checker collects the *set* of these — for a
+/// schedule-independent protocol the fault-free set has exactly one element.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QuiescentOutcome {
+    /// Final parent pointer of every node (`None` at the root).
+    pub parents: Vec<Option<usize>>,
+    /// Which nodes had crash-stopped by quiescence.
+    pub crashed: Vec<bool>,
+    /// Whether every live node reported local termination.
+    pub all_live_done: bool,
+    /// Maximum degree of the final parent-edge forest.
+    pub max_degree: usize,
+}
+
+/// The result of one model-checking run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Exploration statistics.
+    pub stats: CheckStats,
+    /// Every distinct quiescent outcome reached (sorted, deduplicated).
+    pub outcomes: Vec<QuiescentOutcome>,
+    /// The first property violation found, minimized — `None` if every
+    /// explored state satisfied the suite.
+    pub violation: Option<Counterexample>,
+    /// Whether the whole reachable space was covered (no state-cap abort,
+    /// no violation short-circuit).
+    pub complete: bool,
+}
+
+impl CheckReport {
+    /// Whether the run proved the property set over the explored space.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+struct Frame {
+    net: ControlledNet<MdstNode>,
+    /// Enabled protocol events plus budget-admitted fault events.
+    options: Vec<ControlledEvent>,
+    next: usize,
+    crashes_used: usize,
+    losses_used: usize,
+}
+
+struct Search<'a> {
+    graph: Arc<Graph>,
+    config: &'a CheckConfig,
+    suite: &'a dyn InvariantSuite,
+    recipe: Counterexample,
+    visited: HashSet<(u128, usize, usize)>,
+    stats: CheckStats,
+    outcomes: BTreeSet<QuiescentOutcome>,
+}
+
+impl Search<'_> {
+    fn options_for(
+        &self,
+        net: &ControlledNet<MdstNode>,
+        crashes: usize,
+        losses: usize,
+    ) -> Vec<ControlledEvent> {
+        let mut options = net.enabled_events();
+        if crashes < self.config.max_crashes || losses < self.config.max_losses {
+            for fault in net.fault_events() {
+                match fault {
+                    ControlledEvent::Crash { .. } if crashes < self.config.max_crashes => {
+                        options.push(fault);
+                    }
+                    ControlledEvent::Drop { .. } if losses < self.config.max_losses => {
+                        options.push(fault);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        options
+    }
+
+    fn record_quiescent(&mut self, net: &ControlledNet<MdstNode>) {
+        self.stats.quiescent_states += 1;
+        let outcome = QuiescentOutcome {
+            parents: net
+                .nodes()
+                .iter()
+                .map(|p| p.parent().map(|v| v.index()))
+                .collect(),
+            crashed: net.crashed().to_vec(),
+            all_live_done: net.all_live_terminated(),
+            max_degree: {
+                let parents: Vec<Option<NodeId>> = net.nodes().iter().map(|p| p.parent()).collect();
+                let crashed = net.crashed();
+                let mut deg = vec![0usize; parents.len()];
+                for (u, p) in parents.iter().enumerate() {
+                    if crashed[u] {
+                        continue;
+                    }
+                    if let Some(v) = p {
+                        if !crashed[v.index()] {
+                            deg[u] += 1;
+                            deg[v.index()] += 1;
+                        }
+                    }
+                }
+                deg.into_iter().max().unwrap_or(0)
+            },
+        };
+        self.outcomes.insert(outcome);
+    }
+
+    fn counterexample(
+        &self,
+        schedule: &[ControlledEvent],
+        violation: Violation,
+        at_quiescence: bool,
+    ) -> Counterexample {
+        let mut cex = self.recipe.clone();
+        cex.schedule = schedule.to_vec();
+        cex.violation = violation;
+        cex.at_quiescence = at_quiescence;
+        cex
+    }
+}
+
+/// Exhaustively model-checks the MDegST protocol on `graph` from the given
+/// initial spanning tree, under the default [`MdstInvariants`] suite.
+pub fn check(graph: &Arc<Graph>, initial: &RootedTree, config: &CheckConfig) -> CheckReport {
+    check_with_suite(graph, initial, config, &MdstInvariants)
+}
+
+/// [`check`] with a caller-supplied property suite (the hook the
+/// broken-invariant tests use).
+pub fn check_with_suite(
+    graph: &Arc<Graph>,
+    initial: &RootedTree,
+    config: &CheckConfig,
+    suite: &dyn InvariantSuite,
+) -> CheckReport {
+    let nodes = MdstNode::from_tree(initial);
+    let discipline = if config.lazy_starts {
+        StartDiscipline::Lazy
+    } else {
+        StartDiscipline::Eager
+    };
+    let root_net = ControlledNet::new(graph, discipline, |id, _| nodes[id.index()].clone());
+    let recipe = Counterexample {
+        n: graph.node_count(),
+        edges: graph.edges().map(|(u, v)| (u.index(), v.index())).collect(),
+        root: initial.root().index(),
+        initial_parents: (0..graph.node_count())
+            .map(|u| initial.parent(NodeId(u)).map(|p| p.index()))
+            .collect(),
+        lazy_starts: config.lazy_starts,
+        schedule: Vec::new(),
+        violation: Violation::new("none", String::new()),
+        at_quiescence: false,
+    };
+
+    let mut search = Search {
+        graph: Arc::clone(graph),
+        config,
+        suite,
+        recipe,
+        visited: HashSet::new(),
+        stats: CheckStats::default(),
+        outcomes: BTreeSet::new(),
+    };
+
+    let finish = |search: Search<'_>, violation: Option<Counterexample>, complete: bool| {
+        let minimized = violation.map(|cex| {
+            if cex.at_quiescence && cex.violation.rule == "stalled" {
+                // Liveness violations depend on the whole schedule; deleting
+                // events cannot un-stall anything, so skip minimization.
+                cex
+            } else {
+                cex.minimize(suite)
+            }
+        });
+        CheckReport {
+            stats: search.stats,
+            outcomes: search.outcomes.into_iter().collect(),
+            violation: minimized,
+            complete,
+        }
+    };
+
+    // The initial state itself must satisfy the suite.
+    if let Some(v) = suite.check_state(&search.graph, &root_net) {
+        let cex = search.counterexample(&[], v, false);
+        return finish(search, Some(cex), false);
+    }
+    search.stats.states_explored = 1;
+    search.visited.insert((root_net.fingerprint(), 0, 0));
+
+    let mut schedule: Vec<ControlledEvent> = Vec::new();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    if root_net.is_quiescent() {
+        search.record_quiescent(&root_net);
+        if let Some(v) = search
+            .suite
+            .check_quiescent(&search.graph, &root_net, false)
+        {
+            let cex = search.counterexample(&[], v, true);
+            return finish(search, Some(cex), false);
+        }
+    } else {
+        let options = search.options_for(&root_net, 0, 0);
+        stack.push(Frame {
+            net: root_net,
+            options,
+            next: 0,
+            crashes_used: 0,
+            losses_used: 0,
+        });
+    }
+
+    while let Some(frame) = stack.last_mut() {
+        if frame.next >= frame.options.len() {
+            stack.pop();
+            schedule.pop();
+            continue;
+        }
+        let event = frame.options[frame.next];
+        frame.next += 1;
+
+        let mut net = frame.net.clone();
+        let crashes_used =
+            frame.crashes_used + usize::from(matches!(event, ControlledEvent::Crash { .. }));
+        let losses_used =
+            frame.losses_used + usize::from(matches!(event, ControlledEvent::Drop { .. }));
+        net.apply(event)
+            .expect("enumerated event is enabled by construction");
+        schedule.push(event);
+        search.stats.max_depth_seen = search.stats.max_depth_seen.max(schedule.len());
+
+        if let Some(v) = search.suite.check_state(&search.graph, &net) {
+            let cex = search.counterexample(&schedule, v, false);
+            return finish(search, Some(cex), false);
+        }
+
+        if schedule.len() > search.config.max_depth {
+            let v = Violation::new(
+                "depth-budget",
+                format!(
+                    "no quiescence within {} events — livelock or runaway protocol",
+                    search.config.max_depth
+                ),
+            );
+            let cex = search.counterexample(&schedule, v, false);
+            return finish(search, Some(cex), false);
+        }
+
+        if !search
+            .visited
+            .insert((net.fingerprint(), crashes_used, losses_used))
+        {
+            search.stats.revisits_pruned += 1;
+            schedule.pop();
+            continue;
+        }
+        search.stats.states_explored += 1;
+        if search.stats.states_explored > search.config.max_states {
+            search.stats.state_cap_hit = true;
+            return finish(search, None, false);
+        }
+
+        if net.is_quiescent() {
+            search.record_quiescent(&net);
+            let faulty = crashes_used > 0 || losses_used > 0;
+            if let Some(v) = search.suite.check_quiescent(&search.graph, &net, faulty) {
+                let cex = search.counterexample(&schedule, v, true);
+                return finish(search, Some(cex), false);
+            }
+            // No fault branching at quiescence: a fault with no messages in
+            // flight cannot enable anything new.
+            schedule.pop();
+            continue;
+        }
+
+        let options = search.options_for(&net, crashes_used, losses_used);
+        stack.push(Frame {
+            net,
+            options,
+            next: 0,
+            crashes_used,
+            losses_used,
+        });
+    }
+
+    finish(search, None, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::{algorithms, generators};
+
+    fn greedy_tree(graph: &Arc<Graph>) -> RootedTree {
+        algorithms::greedy_high_degree_tree(graph, NodeId(0)).unwrap()
+    }
+
+    #[test]
+    fn a_path_has_exactly_one_fault_free_outcome() {
+        let graph = Arc::new(generators::path(3).unwrap());
+        let tree = greedy_tree(&graph);
+        let report = check(&graph, &tree, &CheckConfig::default());
+        assert!(report.passed(), "violation: {:?}", report.violation);
+        assert!(report.complete);
+        assert_eq!(
+            report.outcomes.len(),
+            1,
+            "fault-free outcome must be schedule-independent"
+        );
+        assert!(report.outcomes[0].all_live_done);
+    }
+
+    #[test]
+    fn the_four_cycle_with_chord_passes_exhaustively() {
+        let graph = Arc::new(
+            mdst_graph::graph::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+                .unwrap(),
+        );
+        let tree = greedy_tree(&graph);
+        let report = check(&graph, &tree, &CheckConfig::default());
+        assert!(report.passed(), "violation: {:?}", report.violation);
+        assert!(report.complete);
+        assert_eq!(report.outcomes.len(), 1);
+        let outcome = &report.outcomes[0];
+        assert!(outcome.all_live_done);
+        assert!(outcome.max_degree <= mdst_core::bounds::paper_degree_upper_bound(&graph));
+    }
+
+    #[test]
+    fn fingerprint_pruning_actually_fires() {
+        let graph = Arc::new(generators::complete(4).unwrap());
+        let tree = greedy_tree(&graph);
+        let report = check(&graph, &tree, &CheckConfig::default());
+        assert!(report.passed());
+        assert!(
+            report.stats.revisits_pruned > 0,
+            "commuting deliveries must collapse"
+        );
+        assert!(report.stats.states_explored > 1);
+    }
+
+    #[test]
+    fn the_state_cap_marks_the_run_incomplete() {
+        let graph = Arc::new(generators::complete(4).unwrap());
+        let tree = greedy_tree(&graph);
+        let config = CheckConfig {
+            max_states: 10,
+            ..CheckConfig::default()
+        };
+        let report = check(&graph, &tree, &config);
+        assert!(!report.complete);
+        assert!(report.stats.state_cap_hit);
+        assert!(report.passed(), "a cap abort is not a violation");
+    }
+
+    #[test]
+    fn crash_faults_branch_and_stay_safe() {
+        let graph = Arc::new(generators::cycle(3).unwrap());
+        let tree = greedy_tree(&graph);
+        let config = CheckConfig {
+            max_crashes: 1,
+            ..CheckConfig::default()
+        };
+        let report = check(&graph, &tree, &config);
+        assert!(report.passed(), "violation: {:?}", report.violation);
+        assert!(report.complete);
+        assert!(
+            report.outcomes.iter().any(|o| o.crashed.iter().any(|&c| c)),
+            "some quiescent outcome must include a crash"
+        );
+        assert!(
+            report.outcomes.len() > 1,
+            "crash placement must produce distinct outcomes"
+        );
+    }
+
+    #[test]
+    fn loss_faults_branch_and_stay_safe() {
+        let graph = Arc::new(generators::path(3).unwrap());
+        let tree = greedy_tree(&graph);
+        let config = CheckConfig {
+            max_losses: 1,
+            ..CheckConfig::default()
+        };
+        let report = check(&graph, &tree, &config);
+        assert!(report.passed(), "violation: {:?}", report.violation);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn lazy_starts_reach_the_same_fault_free_outcome() {
+        let graph = Arc::new(generators::cycle(4).unwrap());
+        let tree = greedy_tree(&graph);
+        let eager = check(&graph, &tree, &CheckConfig::default());
+        let lazy = check(
+            &graph,
+            &tree,
+            &CheckConfig {
+                lazy_starts: true,
+                ..CheckConfig::default()
+            },
+        );
+        assert!(eager.passed() && lazy.passed());
+        assert_eq!(eager.outcomes, lazy.outcomes);
+        assert!(lazy.stats.states_explored >= eager.stats.states_explored);
+    }
+}

@@ -1,0 +1,189 @@
+//! The properties the checker asserts, and the hook for swapping them out.
+//!
+//! Safety properties (checked after **every** event) delegate to
+//! [`mdst_core::check_safety_invariants`]: parent pointers form a forest of
+//! graph edges, at most one root, at most one coordinator, per-round
+//! fragment agreement. Quiescent properties (checked when no protocol event
+//! is enabled) assert the paper's outcome guarantees: every live node has
+//! locally terminated, the final parent edges span the survivor component,
+//! and the tree degree respects `2·OPT + ⌈log₂ n⌉`
+//! ([`mdst_core::bounds::paper_degree_upper_bound`]).
+//!
+//! The [`InvariantSuite`] trait exists so tests can inject a deliberately
+//! wrong property and watch the checker produce — and minimize — a
+//! counterexample for it.
+
+use mdst_core::{bounds, check_safety_invariants, survivor_report, MdstNode};
+use mdst_graph::{Graph, NodeId};
+use mdst_netsim::ControlledNet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A property violation, in serializable form. `rule` is a stable
+/// kebab-case identifier (suitable for comparing a replayed violation
+/// against the recorded one); `detail` is human-readable context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Stable kebab-case rule identifier (e.g. `"parent-cycle"`).
+    pub rule: String,
+    /// Human-readable description of what failed and where.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation from a rule label and rendered detail.
+    pub fn new(rule: impl Into<String>, detail: impl Into<String>) -> Self {
+        Violation {
+            rule: rule.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.detail)
+    }
+}
+
+/// The property set a model-checking run enforces.
+///
+/// `check_state` runs after every applied event; `check_quiescent` runs
+/// additionally at states with no enabled protocol event. `faulty` tells
+/// the quiescent check whether the path to this state included injected
+/// faults — outcome guarantees are only promised fault-free, so suites
+/// typically relax quiescent checks on faulty paths.
+pub trait InvariantSuite {
+    /// Safety check of an arbitrary reachable state.
+    fn check_state(&self, graph: &Graph, net: &ControlledNet<MdstNode>) -> Option<Violation>;
+
+    /// Outcome check of a quiescent state.
+    fn check_quiescent(
+        &self,
+        graph: &Graph,
+        net: &ControlledNet<MdstNode>,
+        faulty: bool,
+    ) -> Option<Violation>;
+}
+
+/// The paper's invariants for the MDegST protocol — the default suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MdstInvariants;
+
+fn parents_of(net: &ControlledNet<MdstNode>) -> Vec<Option<NodeId>> {
+    net.nodes().iter().map(|p| p.parent()).collect()
+}
+
+impl InvariantSuite for MdstInvariants {
+    fn check_state(&self, graph: &Graph, net: &ControlledNet<MdstNode>) -> Option<Violation> {
+        let snapshots: Vec<_> = net.nodes().iter().map(MdstNode::snapshot).collect();
+        check_safety_invariants(graph, &snapshots)
+            .err()
+            .map(|v| Violation::new(v.rule(), v.to_string()))
+    }
+
+    fn check_quiescent(
+        &self,
+        graph: &Graph,
+        net: &ControlledNet<MdstNode>,
+        faulty: bool,
+    ) -> Option<Violation> {
+        if faulty {
+            // Crash-stop and message loss legitimately strand the protocol
+            // (e.g. a lost Child leaves an exchange half-installed), so only
+            // the safety properties — already checked — are promised.
+            return None;
+        }
+        if let Some(stalled) = net.nodes().iter().position(|p| !p.is_done()) {
+            return Some(Violation::new(
+                "stalled",
+                format!(
+                    "quiescent without faults but {} has not terminated",
+                    NodeId(stalled)
+                ),
+            ));
+        }
+        let crashed = vec![false; graph.node_count()];
+        let report = survivor_report(graph, &parents_of(net), &crashed);
+        if !report.spans_component {
+            return Some(Violation::new(
+                "not-spanning",
+                format!(
+                    "final parent edges do not span the graph ({} tree edges on {} nodes)",
+                    report.tree_edges,
+                    graph.node_count()
+                ),
+            ));
+        }
+        let bound = bounds::paper_degree_upper_bound(graph);
+        if report.max_degree > bound {
+            return Some(Violation::new(
+                "degree-bound",
+                format!(
+                    "final tree degree {} exceeds the paper bound 2·OPT + ⌈log₂ n⌉ = {}",
+                    report.max_degree, bound
+                ),
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_graph::{algorithms, generators};
+    use mdst_netsim::{ControlledNet, StartDiscipline};
+    use std::sync::Arc;
+
+    fn quiesce(net: &mut ControlledNet<MdstNode>) {
+        let mut budget = 100_000;
+        while let Some(&ev) = net.enabled_events().first() {
+            net.apply(ev).unwrap();
+            budget -= 1;
+            assert!(budget > 0, "protocol failed to quiesce");
+        }
+    }
+
+    fn net_on(graph: &Arc<Graph>) -> ControlledNet<MdstNode> {
+        let tree = algorithms::greedy_high_degree_tree(graph, NodeId(0)).unwrap();
+        let nodes = MdstNode::from_tree(&tree);
+        ControlledNet::new(graph, StartDiscipline::Eager, |id, _| {
+            nodes[id.index()].clone()
+        })
+    }
+
+    #[test]
+    fn the_default_suite_accepts_a_clean_run() {
+        let graph = Arc::new(generators::wheel(5).unwrap());
+        let mut net = net_on(&graph);
+        let suite = MdstInvariants;
+        assert_eq!(suite.check_state(&graph, &net), None);
+        quiesce(&mut net);
+        assert_eq!(suite.check_state(&graph, &net), None);
+        assert_eq!(suite.check_quiescent(&graph, &net, false), None);
+    }
+
+    #[test]
+    fn a_stalled_fault_free_state_is_flagged() {
+        let graph = Arc::new(generators::cycle(4).unwrap());
+        let net = net_on(&graph);
+        // The initial state has work in flight; pretending it is quiescent
+        // must trip the stalled check because nobody has terminated yet.
+        let suite = MdstInvariants;
+        let v = suite.check_quiescent(&graph, &net, false).unwrap();
+        assert_eq!(v.rule, "stalled");
+        // The same state under a faulty history is tolerated.
+        assert_eq!(suite.check_quiescent(&graph, &net, true), None);
+    }
+
+    #[test]
+    fn violations_render_and_round_trip() {
+        let v = Violation::new("degree-bound", "degree 4 exceeds bound 3");
+        assert_eq!(v.to_string(), "[degree-bound] degree 4 exceeds bound 3");
+        let json = serde::Serialize::to_value(&v).to_json();
+        let back: Violation =
+            serde::Deserialize::from_value(&serde::from_json_str(&json).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mdst-check
+//!
+//! An exhaustive small-state model checker for the distributed MDegST
+//! protocol of Blin & Butelle. Where the `mdst-netsim` simulator *samples*
+//! one schedule per seed, this crate *proves* properties over **every**
+//! schedule: it drives the unmodified [`mdst_core::MdstNode`] automaton
+//! through each reachable interleaving of message deliveries on small
+//! topologies (all connected graphs on up to 6 vertices, enumerated up to
+//! isomorphism), optionally branching over crash-stop and message-loss
+//! faults under an adversary budget.
+//!
+//! The pieces:
+//!
+//! * [`enumerate`] — every connected ≤6-vertex topology up to isomorphism
+//!   (OEIS A001349: 1, 1, 2, 6, 21, 112), plus the repo's named generator
+//!   shapes at a given size.
+//! * [`invariant`] — the property suite: safety after every event (forest
+//!   structure, single root, single coordinator, fragment agreement),
+//!   outcome at quiescence (termination, spanning, the paper's
+//!   `2·OPT + ⌈log₂ n⌉` degree bound). Pluggable via
+//!   [`invariant::InvariantSuite`].
+//! * [`checker`] — the DFS over enabled-event choices with canonical
+//!   128-bit state fingerprints pruning revisits, budgets on states and
+//!   depth, and fault branching.
+//! * [`counterexample`] — serializable, replayable, greedily minimized
+//!   violation schedules.
+//!
+//! The `check` binary (and `scenario check`) runs sweeps from the command
+//! line with JSON reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod counterexample;
+pub mod enumerate;
+pub mod invariant;
+pub mod sweep;
+
+pub use checker::{
+    check, check_with_suite, CheckConfig, CheckReport, CheckStats, QuiescentOutcome,
+};
+pub use counterexample::{Counterexample, ReplayError};
+pub use enumerate::{connected_graphs, named_suite};
+pub use invariant::{InvariantSuite, MdstInvariants, Violation};
+pub use sweep::{sweep_connected, sweep_named, SweepEntry, SweepReport};

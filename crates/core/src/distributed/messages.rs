@@ -25,7 +25,7 @@ pub type FragmentId = (NodeId, NodeId);
 /// the endpoint in the other fragment; both tree degrees are carried so the
 /// coordinator can apply the paper's choice rule ("the outgoing edge whose
 /// maximal degree of its extremities is minimal").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Candidate {
     /// Endpoint in the fragment that reports the edge.
     pub u: NodeId,
@@ -71,7 +71,7 @@ impl Candidate {
 /// Every variant carries `n` (the network size) purely so the wire size of the
 /// message can be accounted as `O(log n)` bits without the runtime having to
 /// know the protocol; `n` is never used by the receiving automaton.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MdstMsg {
     /// Round `round`: the root asks the tree for its maximum degree (§3.2.1).
     SearchInit {

@@ -13,7 +13,12 @@ use mdst_spanning::TreeState;
 use std::collections::BTreeSet;
 
 /// Per-node state of the distributed MDegST improvement.
-#[derive(Debug, Clone)]
+///
+/// `Hash` covers the *entire* state, so two nodes hash equally exactly when
+/// they behave identically on every future message — the property the
+/// `mdst-check` model checker's state fingerprinting relies on for sound
+/// revisit pruning.
+#[derive(Debug, Clone, Hash)]
 pub struct MdstNode {
     id: NodeId,
     // ----- spanning-tree structure (mutated by MoveRoot and Update) -----
@@ -135,6 +140,19 @@ impl MdstNode {
     /// Whether this node has received the final Stop.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// The invariant-relevant slice of this node's state, consumed by
+    /// [`crate::verify::check_safety_invariants`] and the `mdst-check`
+    /// model checker.
+    pub fn snapshot(&self) -> crate::verify::NodeSnapshot {
+        crate::verify::NodeSnapshot {
+            parent: self.parent,
+            round: self.round,
+            fragment: self.fragment,
+            coordinator: self.coordinator,
+            done: self.done,
+        }
     }
 
     // ------------------------------------------------------------------

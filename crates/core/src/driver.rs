@@ -194,6 +194,7 @@ impl Deserialize for Outcome {
 /// Result of running the distributed improvement on one initial tree (the
 /// improvement-only slice of a [`RunReport`], used by benches that construct
 /// their initial trees explicitly).
+#[must_use = "an MdstRun carries the improved tree and metrics; inspect or propagate it"]
 #[derive(Debug, Clone, Serialize)]
 pub struct MdstRun {
     /// The improved spanning tree.
@@ -264,6 +265,7 @@ impl PipelineConfig {
 /// survivor grading is always computed (for fault-free runs it degenerates
 /// to the whole graph), so consumers never branch on which of two report
 /// types they got.
+#[must_use = "a RunReport carries the outcome of the session; inspect or propagate it"]
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
     /// Number of nodes of the input graph.
@@ -379,6 +381,7 @@ impl RunReport {
 ///
 /// The lifetime parameter ties registered [`Observer`]s to the builder; a
 /// session without observers is `Pipeline<'static>`.
+#[must_use = "a Pipeline session does nothing until .run() is called"]
 pub struct Pipeline<'obs> {
     graph: Arc<Graph>,
     config: PipelineConfig,
@@ -392,6 +395,7 @@ pub struct Pipeline<'obs> {
 impl<'obs> Pipeline<'obs> {
     /// Starts a session on `graph` with the default configuration
     /// (greedy-hub initial tree, root 0, simulator backend, no faults).
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn on(graph: &Arc<Graph>) -> Self {
         Pipeline {
             graph: Arc::clone(graph),
@@ -404,12 +408,14 @@ impl<'obs> Pipeline<'obs> {
 
     /// Replaces the whole configuration (the campaign runner resolves its
     /// specs into a [`PipelineConfig`] and hands it over here).
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn config(mut self, config: PipelineConfig) -> Self {
         self.config = config;
         self
     }
 
     /// Which initial spanning-tree construction to use.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn initial(mut self, kind: InitialTreeKind) -> Self {
         self.config.initial = kind;
         self
@@ -418,24 +424,28 @@ impl<'obs> Pipeline<'obs> {
     /// Seeds the improvement with an explicit pre-built initial tree instead
     /// of a construction; it must be a spanning tree of the session graph.
     /// Construction metrics are `None` for such runs.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn initial_tree(mut self, tree: RootedTree) -> Self {
         self.seed_tree = Some(tree);
         self
     }
 
     /// The designated root / initiator of the construction.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn root(mut self, root: NodeId) -> Self {
         self.config.root = root;
         self
     }
 
     /// Which backend executes the improvement protocol.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn executor(mut self, kind: ExecutorKind) -> Self {
         self.config.executor = kind;
         self
     }
 
     /// Worker threads for the pool backend (`0` = auto).
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn workers(mut self, workers: usize) -> Self {
         self.config.workers = workers;
         self
@@ -445,6 +455,7 @@ impl<'obs> Pipeline<'obs> {
     /// cap, traces, faults). A plan registered via [`Pipeline::faults`]
     /// wins over the plan inside this configuration, whatever the builder
     /// call order.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn sim(mut self, sim: SimConfig) -> Self {
         self.config.sim = sim;
         self
@@ -454,6 +465,7 @@ impl<'obs> Pipeline<'obs> {
     /// only; the concurrent backends reject non-benign plans). Overrides
     /// the plan carried by [`Pipeline::sim`] / [`Pipeline::config`]
     /// regardless of call order.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = Some(faults);
         self
@@ -461,6 +473,7 @@ impl<'obs> Pipeline<'obs> {
 
     /// Registers a streaming observer. May be called repeatedly; events are
     /// delivered to every registered observer in registration order.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
     pub fn observer(mut self, observer: &'obs mut dyn Observer) -> Self {
         self.observers.push(observer);
         self
@@ -474,6 +487,7 @@ impl<'obs> Pipeline<'obs> {
     /// could not be set up or executed (invalid tree, backend rejection, or
     /// an inconsistent final snapshot on a run with no observed faults —
     /// the latter would be a protocol bug, never a legitimate result).
+    #[must_use = "the session result reports how the run ended; dropping it hides failures"]
     pub fn run(self) -> Result<RunReport, PipelineError> {
         let Pipeline {
             graph,
@@ -651,6 +665,7 @@ impl<'obs> Pipeline<'obs> {
 /// `initial` (which must be a spanning tree of `graph`), on the
 /// discrete-event simulator. Shorthand for [`run_distributed_mdst_on`] with
 /// [`ExecutorKind::Sim`].
+#[must_use = "the run result carries the improved tree and metrics; dropping it hides failures"]
 pub fn run_distributed_mdst(
     graph: &Arc<Graph>,
     initial: &RootedTree,
@@ -677,6 +692,7 @@ pub fn run_distributed_mdst(
 /// skips the session extras (initial-tree clone, survivor grading, observer
 /// replay) so measured bench loops pay exactly the protocol's cost, as they
 /// did before the redesign.
+#[must_use = "the run result carries the improved tree and metrics; dropping it hides failures"]
 pub fn run_distributed_mdst_on(
     executor: ExecutorKind,
     graph: &Arc<Graph>,
@@ -1206,7 +1222,7 @@ mod tests {
         let g = Arc::new(generators::wheel(10).unwrap());
         let mut a = CountingObserver::default();
         let mut b = CountingObserver::default();
-        Pipeline::on(&g)
+        let _report = Pipeline::on(&g)
             .observer(&mut a)
             .observer(&mut b)
             .run()

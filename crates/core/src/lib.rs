@@ -45,4 +45,6 @@ pub use driver::{
 pub use observer::{
     ConstructionEvent, CountingObserver, ExchangeEvent, FaultEvent, Observer, RoundEvent,
 };
-pub use verify::{survivor_report, SurvivorReport};
+pub use verify::{
+    check_safety_invariants, survivor_report, InvariantViolation, NodeSnapshot, SurvivorReport,
+};

@@ -74,6 +74,229 @@ pub fn verify_termination_certificate(graph: &Graph, tree: &RootedTree) -> bool 
     is_locally_optimal_for(graph, tree, p)
 }
 
+/// The invariant-relevant slice of one node's protocol state, as captured
+/// *between* atomic event handlers (message deliveries). Produced by
+/// `MdstNode::snapshot`; consumed by [`check_safety_invariants`] and the
+/// `mdst-check` model checker at every explored state, not only at
+/// quiescence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Current parent pointer (`None` = this node believes it is the root).
+    pub parent: Option<NodeId>,
+    /// Highest round number the node has joined.
+    pub round: u32,
+    /// Fragment identity `(coordinator, fragment root)` the node last
+    /// entered, if any (stale values from finished rounds persist until the
+    /// next `SearchInit` resets them — the consistency check below is
+    /// therefore scoped per round).
+    pub fragment: Option<(NodeId, NodeId)>,
+    /// Whether the node currently acts as the round coordinator `p`.
+    pub coordinator: bool,
+    /// Whether the node has received the final `Stop`.
+    pub done: bool,
+}
+
+/// A violated safety invariant of the distributed protocol, with enough
+/// context to point at the offending nodes. These are *global* invariants
+/// that hold at every reachable state under any message schedule — including
+/// mid-round transients (path reversal in progress, half-installed
+/// exchanges) and crash/loss faults — so a model checker may assert them
+/// after every single delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// A node lists itself as its own parent.
+    SelfParent {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A parent pointer refers to a node that is not a graph neighbour, so
+    /// the claimed tree edge does not exist in the network.
+    ParentNotNeighbor {
+        /// The claiming node.
+        node: NodeId,
+        /// Its (non-adjacent) claimed parent.
+        parent: NodeId,
+    },
+    /// The undirected parent edges contain a cycle. Antiparallel pairs
+    /// (`u.parent = v` and `v.parent = u`, the legitimate transient of a
+    /// path reversal in flight) count as a single undirected edge, so this
+    /// only fires on genuine structural cycles.
+    ParentCycle {
+        /// The edge whose insertion closed the cycle.
+        edge: (NodeId, NodeId),
+    },
+    /// More than one node believes it is the root (`parent = None`). The
+    /// root moves by first re-pointing itself and only then handing the
+    /// rootship over in a message, so at every instant there is at most one
+    /// root — even while `MoveRoot` is in flight (then there are zero).
+    MultipleRoots {
+        /// Two distinct claimed roots.
+        roots: (NodeId, NodeId),
+    },
+    /// More than one node acts as coordinator at the same instant.
+    MultipleCoordinators {
+        /// Two distinct claimed coordinators.
+        coordinators: (NodeId, NodeId),
+    },
+    /// Two nodes that joined the same round disagree on who that round's
+    /// coordinator is (fragment identities are inconsistent).
+    FragmentMismatch {
+        /// The round in question.
+        round: u32,
+        /// A node and the coordinator it recorded.
+        a: (NodeId, NodeId),
+        /// Another same-round node with a different coordinator.
+        b: (NodeId, NodeId),
+    },
+}
+
+impl InvariantViolation {
+    /// Stable kebab-case identifier of the violated rule, used by report
+    /// files and counterexample artifacts.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            InvariantViolation::SelfParent { .. } => "self-parent",
+            InvariantViolation::ParentNotNeighbor { .. } => "parent-not-neighbor",
+            InvariantViolation::ParentCycle { .. } => "parent-cycle",
+            InvariantViolation::MultipleRoots { .. } => "multiple-roots",
+            InvariantViolation::MultipleCoordinators { .. } => "multiple-coordinators",
+            InvariantViolation::FragmentMismatch { .. } => "fragment-mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvariantViolation::SelfParent { node } => {
+                write!(f, "{node} lists itself as its own parent")
+            }
+            InvariantViolation::ParentNotNeighbor { node, parent } => {
+                write!(f, "{node} claims parent {parent}, which is not a neighbour")
+            }
+            InvariantViolation::ParentCycle { edge: (u, v) } => {
+                write!(f, "parent edge {u}-{v} closes a cycle")
+            }
+            InvariantViolation::MultipleRoots { roots: (a, b) } => {
+                write!(f, "both {a} and {b} believe they are the root")
+            }
+            InvariantViolation::MultipleCoordinators {
+                coordinators: (a, b),
+            } => {
+                write!(f, "both {a} and {b} act as coordinator")
+            }
+            InvariantViolation::FragmentMismatch { round, a, b } => {
+                write!(
+                    f,
+                    "round {round}: {} records coordinator {} but {} records {}",
+                    a.0, a.1, b.0, b.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Checks the protocol's global safety invariants on a mid-execution
+/// snapshot of every node's state (crashed nodes included — crash-stop
+/// freezes a node's state, it does not corrupt it):
+///
+/// 1. no node is its own parent;
+/// 2. every parent pointer follows an existing graph edge;
+/// 3. the undirected parent edges form a forest (an exchange deletes one
+///    tree edge and adds one graph edge between two fragments, so the edge
+///    set stays acyclic through every intermediate delivery);
+/// 4. at most one node believes it is the root;
+/// 5. at most one node acts as coordinator;
+/// 6. all nodes that joined the same round agree on that round's
+///    coordinator.
+///
+/// Unlike [`verify_spanning_tree`] this is callable at *every* reachable
+/// state, not only at quiescence — it is the per-state oracle of the
+/// `mdst-check` model checker.
+pub fn check_safety_invariants(
+    graph: &Graph,
+    snapshots: &[NodeSnapshot],
+) -> Result<(), InvariantViolation> {
+    let n = graph.node_count();
+    assert_eq!(snapshots.len(), n, "one snapshot per node");
+
+    // 1 + 2: parent pointers are real graph edges.
+    for (u, snap) in snapshots.iter().enumerate() {
+        let u = NodeId(u);
+        if let Some(p) = snap.parent {
+            if p == u {
+                return Err(InvariantViolation::SelfParent { node: u });
+            }
+            if !graph.has_edge(u, p) {
+                return Err(InvariantViolation::ParentNotNeighbor { node: u, parent: p });
+            }
+        }
+    }
+
+    // 3: the undirected parent-edge set is a forest. Antiparallel pairs are
+    // deduplicated first, so a path reversal in flight is not a 2-cycle.
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (u, snap) in snapshots.iter().enumerate() {
+        if let Some(p) = snap.parent {
+            edges.insert((u.min(p.index()), u.max(p.index())));
+        }
+    }
+    let mut dsu = mdst_graph::algorithms::DisjointSet::new(n);
+    for &(a, b) in &edges {
+        if !dsu.union(a, b) {
+            return Err(InvariantViolation::ParentCycle {
+                edge: (NodeId(a), NodeId(b)),
+            });
+        }
+    }
+
+    // 4 + 5: at most one root, at most one coordinator.
+    let mut root = None;
+    let mut coordinator = None;
+    for (u, snap) in snapshots.iter().enumerate() {
+        let u = NodeId(u);
+        if snap.parent.is_none() {
+            if let Some(r) = root {
+                return Err(InvariantViolation::MultipleRoots { roots: (r, u) });
+            }
+            root = Some(u);
+        }
+        if snap.coordinator {
+            if let Some(c) = coordinator {
+                return Err(InvariantViolation::MultipleCoordinators {
+                    coordinators: (c, u),
+                });
+            }
+            coordinator = Some(u);
+        }
+    }
+
+    // 6: per-round fragment identities agree on the coordinator.
+    let mut per_round: std::collections::BTreeMap<u32, (NodeId, NodeId)> =
+        std::collections::BTreeMap::new();
+    for (u, snap) in snapshots.iter().enumerate() {
+        let u = NodeId(u);
+        if let Some((coord, _)) = snap.fragment {
+            match per_round.get(&snap.round) {
+                None => {
+                    per_round.insert(snap.round, (u, coord));
+                }
+                Some(&(first, recorded)) if recorded != coord => {
+                    return Err(InvariantViolation::FragmentMismatch {
+                        round: snap.round,
+                        a: (first, recorded),
+                        b: (u, coord),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
 /// What is left of a (possibly partial) tree snapshot on the live part of a
 /// network after a faulty run. Produced by [`survivor_report`]; consumed by
 /// the scenario runner's outcome taxonomy.
@@ -398,6 +621,112 @@ mod tests {
         assert!(report.spans_component);
         assert_eq!(report.tree_edges, 1);
         assert_eq!(report.max_degree, 1);
+    }
+
+    fn snap(parent: Option<usize>) -> NodeSnapshot {
+        NodeSnapshot {
+            parent: parent.map(NodeId),
+            round: 1,
+            fragment: None,
+            coordinator: false,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn safety_invariants_accept_a_plain_tree_snapshot() {
+        let g = generators::cycle(4).unwrap();
+        let snaps = vec![snap(None), snap(Some(0)), snap(Some(1)), snap(Some(2))];
+        assert!(check_safety_invariants(&g, &snaps).is_ok());
+    }
+
+    #[test]
+    fn safety_invariants_tolerate_a_path_reversal_in_flight() {
+        // MoveRoot transient: 0.parent = 1 while 1.parent = 0 still. The
+        // antiparallel pair is one undirected edge, not a 2-cycle; note there
+        // is no root at this instant, which is also legal.
+        let g = generators::path(3).unwrap();
+        let snaps = vec![snap(Some(1)), snap(Some(0)), snap(Some(1))];
+        assert!(check_safety_invariants(&g, &snaps).is_ok());
+    }
+
+    #[test]
+    fn safety_invariants_reject_structural_defects() {
+        let g = generators::cycle(4).unwrap();
+        // Self parent.
+        let snaps = vec![snap(Some(0)), snap(Some(0)), snap(Some(1)), snap(Some(2))];
+        assert_eq!(
+            check_safety_invariants(&g, &snaps).unwrap_err().rule(),
+            "self-parent"
+        );
+        // Parent along a non-edge (0-2 is a chord the 4-cycle lacks).
+        let snaps = vec![snap(None), snap(Some(0)), snap(Some(0)), snap(Some(2))];
+        assert_eq!(
+            check_safety_invariants(&g, &snaps).unwrap_err().rule(),
+            "parent-not-neighbor"
+        );
+        // A genuine directed cycle through three nodes.
+        let snaps = vec![snap(Some(1)), snap(Some(2)), snap(Some(3)), snap(Some(0))];
+        let err = check_safety_invariants(&g, &snaps).unwrap_err();
+        assert_eq!(err.rule(), "parent-cycle");
+        assert!(err.to_string().contains("closes a cycle"));
+        // Two roots.
+        let snaps = vec![snap(None), snap(None), snap(Some(1)), snap(Some(2))];
+        assert_eq!(
+            check_safety_invariants(&g, &snaps).unwrap_err().rule(),
+            "multiple-roots"
+        );
+    }
+
+    #[test]
+    fn safety_invariants_scope_fragment_agreement_per_round() {
+        let g = generators::cycle(4).unwrap();
+        let frag = |parent: Option<usize>, round, coord: usize| NodeSnapshot {
+            parent: parent.map(NodeId),
+            round,
+            fragment: Some((NodeId(coord), NodeId(9))),
+            coordinator: false,
+            done: false,
+        };
+        // Same round, different coordinators: inconsistent.
+        let snaps = vec![
+            snap(None),
+            frag(Some(0), 2, 0),
+            frag(Some(1), 2, 3),
+            snap(Some(2)),
+        ];
+        let err = check_safety_invariants(&g, &snaps).unwrap_err();
+        assert_eq!(err.rule(), "fragment-mismatch");
+        // Different rounds may disagree (stale identity from a finished round).
+        let snaps = vec![
+            snap(None),
+            frag(Some(0), 1, 0),
+            frag(Some(1), 2, 3),
+            snap(Some(2)),
+        ];
+        assert!(check_safety_invariants(&g, &snaps).is_ok());
+        // Two simultaneous coordinators are flagged.
+        let coord = |parent: Option<usize>| NodeSnapshot {
+            coordinator: true,
+            ..snap(parent)
+        };
+        let snaps = vec![snap(None), coord(Some(0)), coord(Some(1)), snap(Some(2))];
+        assert_eq!(
+            check_safety_invariants(&g, &snaps).unwrap_err().rule(),
+            "multiple-coordinators"
+        );
+    }
+
+    #[test]
+    fn mdst_node_snapshots_feed_the_safety_checker() {
+        use crate::distributed::MdstNode;
+        let g = generators::star_with_leaf_edges(6).unwrap();
+        let tree = algorithms::greedy_high_degree_tree(&g, NodeId(0)).unwrap();
+        let nodes = MdstNode::from_tree(&tree);
+        let snaps: Vec<NodeSnapshot> = nodes.iter().map(|p| p.snapshot()).collect();
+        assert!(check_safety_invariants(&g, &snaps).is_ok());
+        assert_eq!(snaps[0].parent, None);
+        assert!(!snaps[0].done);
     }
 
     #[test]

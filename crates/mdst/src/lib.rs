@@ -101,11 +101,13 @@
 //! | [`mdst_netsim`] | asynchronous message-passing executors: discrete-event simulator, thread-per-node runtime, work-stealing pool |
 //! | [`mdst_spanning`] | distributed spanning-tree constructions (the startup step) |
 //! | [`mdst_core`] | the distributed MDegST protocol, the `Pipeline` session API, baselines, bounds, verification |
+//! | [`mdst_check`] | exhaustive small-state model checker: every schedule on every ≤6-node topology, minimized counterexamples |
 //! | [`mdst_scenario`] | declarative scenario harness: graph I/O, parallel campaigns, JSON reports, report diffing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mdst_check as check;
 pub use mdst_core as core;
 pub use mdst_graph as graph;
 pub use mdst_netsim as netsim;
@@ -114,6 +116,11 @@ pub use mdst_spanning as spanning;
 
 /// Everything a typical user or experiment needs in scope.
 pub mod prelude {
+    pub use mdst_check::check as model_check;
+    pub use mdst_check::{
+        check_with_suite, sweep_connected, CheckConfig, CheckReport, Counterexample,
+        InvariantSuite, MdstInvariants, QuiescentOutcome, SweepReport, Violation,
+    };
     pub use mdst_core::bounds::{
         degree_lower_bound, kmz_message_lower_bound, kmz_ratio, paper_degree_upper_bound,
         within_paper_degree_bound,
@@ -140,9 +147,10 @@ pub mod prelude {
     pub use mdst_graph::{algorithms, degree::DegreeStats, dot, generators};
     pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
     pub use mdst_netsim::{
-        Context, CrashAt, CutAt, DelayModel, ExecConfig, ExecRun, ExecStatus, Executor,
-        ExecutorKind, FaultPlan, Metrics, NetMessage, PoolConfig, PoolRun, PoolRuntime, Protocol,
-        SimConfig, SimError, Simulator, StartModel, ThreadedRun, ThreadedRuntime, UnknownExecutor,
+        Context, ControlledEvent, ControlledNet, CrashAt, CutAt, DelayModel, ExecConfig, ExecRun,
+        ExecStatus, Executor, ExecutorKind, FaultPlan, Metrics, NetMessage, PoolConfig, PoolRun,
+        PoolRuntime, Protocol, SimConfig, SimError, Simulator, StartDiscipline, StartModel,
+        ThreadedRun, ThreadedRuntime, UnknownExecutor,
     };
     pub use mdst_scenario::{
         diff_reports, diff_reports_with, run_campaign, CampaignReport, DiffOptions, FaultSpec,

@@ -25,6 +25,10 @@
 //!   of nodes over a fixed worker pool (per-node mailboxes, run queues with
 //!   stealing, quiescence via in-flight counters), for campaigns far beyond
 //!   what one OS thread per node can reach.
+//! * [`controlled::ControlledNet`] — a step-controlled execution that exposes
+//!   the enabled-event set and applies one externally chosen event at a time,
+//!   the hook the `mdst-check` model checker uses to explore *every* delivery
+//!   interleaving instead of sampling one.
 //!
 //! Protocols are written once against the [`protocol::Protocol`] trait and run
 //! unchanged on every runtime; the `mdst-spanning` and `mdst-core` crates
@@ -42,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod controlled;
 pub mod delay;
 pub mod exec;
 pub mod fault;
@@ -55,6 +60,7 @@ pub(crate) mod testutil;
 pub mod threaded;
 pub mod trace;
 
+pub use controlled::{ControlledEvent, ControlledNet, NotEnabled, StartDiscipline};
 pub use delay::DelayModel;
 pub use exec::{
     ExecConfig, ExecRun, ExecStatus, Executor, ExecutorKind, PoolExecutor, SimExecutor,

@@ -16,6 +16,12 @@
 //! `run` exits non-zero when any run fails or violates the paper's degree
 //! bound, so campaigns double as large-scale correctness checks in CI.
 //!
+//! `check` hands over to the `mdst-check` model checker: it exhaustively
+//! verifies the protocol invariants on every connected topology up to
+//! `--max-n` vertices (all interleavings, not one sampled schedule) and
+//! exits non-zero on any violation or incomplete coverage, printing the
+//! minimized counterexample schedule when one exists.
+//!
 //! `diff` compares a baseline report (first argument) against a candidate
 //! (second argument) produced by the same spec at a different code revision
 //! and exits non-zero on outcome or degree-bound regressions — or on a run
@@ -33,6 +39,7 @@ const USAGE: &str = "usage:
   scenario run <spec.toml|spec.json> [--out FILE.json] [--csv FILE.csv] [--jobs N] [--shuffle [SEED]] [--progress] [--quiet]
   scenario expand <spec>
   scenario validate <spec>
+  scenario check [--min-n N] [--max-n N] [--max-states N] [--max-depth N] [--crashes N] [--losses N] [--out FILE.json]
   scenario diff <baseline.json> <candidate.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]";
 
 fn main() -> ExitCode {
@@ -45,6 +52,7 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "expand" => cmd_expand(rest),
         "validate" => cmd_validate(rest),
+        "check" => cmd_check(rest),
         "diff" => cmd_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -330,4 +338,85 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let mut min_n = 2usize;
+    let mut max_n = 5usize;
+    let mut out = None;
+    let mut config = mdst_check::CheckConfig::default();
+    let mut it = args.iter();
+    let parse = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        value
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<usize>()
+            .map_err(|_| format!("{flag} needs an unsigned integer"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--min-n" => min_n = parse(arg, it.next())?,
+            "--max-n" => max_n = parse(arg, it.next())?,
+            "--max-states" => config.max_states = parse(arg, it.next())?,
+            "--max-depth" => config.max_depth = parse(arg, it.next())?,
+            "--crashes" => config.max_crashes = parse(arg, it.next())?,
+            "--losses" => config.max_losses = parse(arg, it.next())?,
+            "--out" | "-o" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown check flag `{other}`\n{USAGE}")),
+        }
+    }
+    if max_n > 6 {
+        return Err("--max-n is capped at 6 (exhaustive enumeration)".to_string());
+    }
+    let report = mdst_check::sweep_connected(min_n, max_n, &config);
+    for entry in &report.entries {
+        let status = if !entry.report.passed() {
+            "VIOLATION"
+        } else if !entry.report.complete {
+            "INCOMPLETE"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<10} n={} m={} states={} quiescent-outcomes={} {}",
+            entry.label,
+            entry.n,
+            entry.edges,
+            entry.report.stats.states_explored,
+            entry.report.outcomes.len(),
+            status,
+        );
+    }
+    println!(
+        "checked {} topologies, {} distinct states",
+        report.entries.len(),
+        report.total_states
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(bad) = report.first_violation() {
+        let cex = bad
+            .report
+            .violation
+            .as_ref()
+            .expect("failed entries carry a counterexample");
+        eprintln!("violation on {}: {}", bad.label, cex.violation);
+        for event in &cex.schedule {
+            eprintln!("  {event}");
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    if !report.all_complete {
+        eprintln!("state budget exhausted before full coverage — raise --max-states");
+        return Ok(ExitCode::FAILURE);
+    }
+    println!("all topologies verified");
+    Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,199 @@
+//! Workspace-level model-checking guarantees.
+//!
+//! * The `mdst-check` sweep exhaustively verifies every connected topology
+//!   up to 5 nodes — all interleavings, all isomorphism classes — within
+//!   the default budgets.
+//! * Cross-validation: every quiescent outcome the seeded simulator samples
+//!   on small graphs is a member of the checker's exhaustively enumerated
+//!   outcome set (the sampled world is contained in the proved one).
+//! * A deliberately broken invariant produces a minimized counterexample
+//!   that serializes, parses and replays to the same violation.
+
+use mdst::prelude::*;
+
+/// Parent vector of a rooted tree, in the checker's outcome encoding.
+fn parent_vec(tree: &RootedTree) -> Vec<Option<usize>> {
+    (0..tree.node_count())
+        .map(|u| tree.parent(NodeId(u)).map(|p| p.index()))
+        .collect()
+}
+
+#[test]
+fn the_exhaustive_n4_sweep_verifies_every_topology() {
+    let report = sweep_connected(1, 4, &CheckConfig::default());
+    // 1 + 1 + 2 + 6 isomorphism classes of connected graphs on 1..=4 nodes.
+    assert_eq!(report.entries.len(), 10);
+    assert!(
+        report.all_passed,
+        "violation: {:?}",
+        report.first_violation().map(|e| &e.label)
+    );
+    assert!(
+        report.all_complete,
+        "default budget must cover n <= 4 fully"
+    );
+    for entry in &report.entries {
+        // Fault-free, the protocol's outcome is schedule-independent: the
+        // checker must enumerate exactly one quiescent outcome per topology.
+        assert_eq!(
+            entry.report.outcomes.len(),
+            1,
+            "{}: outcome not schedule-independent",
+            entry.label
+        );
+        assert!(entry.report.outcomes[0].all_live_done);
+    }
+}
+
+#[test]
+fn the_exhaustive_n5_sweep_verifies_every_topology() {
+    // All 21 isomorphism classes on 5 nodes, up to and including K5, within
+    // the default state budget — the crate's headline acceptance claim.
+    let report = sweep_connected(5, 5, &CheckConfig::default());
+    assert_eq!(report.entries.len(), 21);
+    assert!(
+        report.all_passed,
+        "violation: {:?}",
+        report.first_violation().map(|e| &e.label)
+    );
+    assert!(report.all_complete);
+    assert!(
+        report.entries.iter().all(|e| e.report.outcomes.len() == 1),
+        "fault-free outcomes must be schedule-independent"
+    );
+}
+
+#[test]
+fn simulator_outcomes_are_contained_in_the_checked_outcome_set() {
+    // For every connected graph on <= 4 nodes: whatever final tree the
+    // seeded simulator samples under randomized delays, the checker's
+    // exhaustive quiescent-outcome set already contains it.
+    for (gi, graph) in mdst::check::connected_graphs(4).into_iter().enumerate() {
+        let graph = Arc::new(graph);
+        let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+        let checked = model_check(&graph, &initial, &CheckConfig::default());
+        assert!(checked.passed() && checked.complete);
+        let proved: Vec<Vec<Option<usize>>> =
+            checked.outcomes.iter().map(|o| o.parents.clone()).collect();
+
+        for seed in [1u64, 7, 42, 1303] {
+            let report = Pipeline::on(&graph)
+                .initial_tree(initial.clone())
+                .sim(SimConfig {
+                    delay: DelayModel::UniformRandom {
+                        min: 1,
+                        max: 5,
+                        seed,
+                    },
+                    ..SimConfig::default()
+                })
+                .run()
+                .unwrap();
+            assert_eq!(report.outcome, Outcome::Optimal);
+            let sampled = parent_vec(report.tree());
+            assert!(
+                proved.contains(&sampled),
+                "graph #{gi} seed {seed}: sampled outcome {sampled:?} \
+                 not in the exhaustively enumerated set {proved:?}"
+            );
+        }
+    }
+}
+
+/// A deliberately wrong property: "the tree never changes" — the
+/// improvement protocol exists to falsify this.
+struct FrozenTree {
+    initial: Vec<Option<usize>>,
+}
+
+impl InvariantSuite for FrozenTree {
+    fn check_state(&self, _g: &Graph, net: &ControlledNet<MdstNode>) -> Option<Violation> {
+        let now: Vec<Option<usize>> = net
+            .nodes()
+            .iter()
+            .map(|p| p.parent().map(|v| v.index()))
+            .collect();
+        (now != self.initial).then(|| {
+            Violation::new(
+                "bogus-frozen-tree",
+                format!("parents moved from {:?} to {now:?}", self.initial),
+            )
+        })
+    }
+
+    fn check_quiescent(
+        &self,
+        _g: &Graph,
+        _net: &ControlledNet<MdstNode>,
+        _faulty: bool,
+    ) -> Option<Violation> {
+        None
+    }
+}
+
+#[test]
+fn a_broken_invariant_yields_a_minimized_replayable_counterexample() {
+    // C4 plus a chord, seeded with the degree-3 greedy star: the protocol
+    // must improve the tree, falsifying the frozen-tree property.
+    let graph = Arc::new(
+        mdst::graph::graph::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap(),
+    );
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+    let suite = FrozenTree {
+        initial: (0..4)
+            .map(|u| initial.parent(NodeId(u)).map(|p| p.index()))
+            .collect(),
+    };
+    let report = check_with_suite(&graph, &initial, &CheckConfig::default(), &suite);
+    assert!(!report.passed(), "the bogus property must be violated");
+    let cex = report.violation.as_ref().unwrap();
+    assert_eq!(cex.violation.rule, "bogus-frozen-tree");
+
+    // The minimized schedule replays deterministically to the same rule...
+    let replayed = cex.replay(&suite).unwrap();
+    assert_eq!(replayed.rule, "bogus-frozen-tree");
+
+    // ...survives a JSON round trip losslessly...
+    let json = cex.to_json();
+    let parsed = Counterexample::from_json(&json).unwrap();
+    assert_eq!(&parsed, cex);
+
+    // ...and the parsed copy still reproduces the violation.
+    assert_eq!(parsed.replay(&suite).unwrap().rule, "bogus-frozen-tree");
+
+    // Minimization is a fixpoint: no single deletion can shrink it further.
+    let re_minimized = parsed.minimize(&suite);
+    assert_eq!(re_minimized.schedule.len(), cex.schedule.len());
+
+    // The first parent move needs one full exchange (SearchDegree flood,
+    // degree reports, Choose, MoveRoot — about 19 messages here), not the
+    // whole DFS path the checker walked to find it.
+    assert!(
+        !cex.schedule.is_empty() && cex.schedule.len() <= 25,
+        "expected one exchange worth of events, got {}",
+        cex.schedule.len()
+    );
+}
+
+#[test]
+fn fault_branching_preserves_safety_on_the_chorded_cycle() {
+    let graph = Arc::new(
+        mdst::graph::graph::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap(),
+    );
+    let initial = algorithms::greedy_high_degree_tree(&graph, NodeId(0)).unwrap();
+    let report = model_check(
+        &graph,
+        &initial,
+        &CheckConfig {
+            max_crashes: 1,
+            max_losses: 1,
+            ..CheckConfig::default()
+        },
+    );
+    assert!(report.passed(), "violation: {:?}", report.violation);
+    assert!(report.complete);
+    // The adversary's choices genuinely fan the outcomes out.
+    assert!(report.outcomes.len() > 1);
+    // Some outcome still includes a crash with the survivors spanning.
+    assert!(report.outcomes.iter().any(|o| o.crashed.iter().any(|&c| c)));
+}
