@@ -1,0 +1,107 @@
+//! Vector clocks over node indices.
+//!
+//! The auditor reconstructs the happens-before partial order of a recorded
+//! run with the textbook vector-clock algorithm: every node carries one
+//! counter per node, ticks its own component on each local event, and joins
+//! (componentwise max) the sender's snapshot into its own clock when a
+//! message is delivered. Two events are then causally ordered iff their
+//! snapshots are componentwise ordered, and *concurrent* (racing) iff the
+//! snapshots are incomparable.
+
+/// A vector clock over `n` node components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock over `n` components.
+    pub fn new(n: usize) -> Self {
+        VectorClock(vec![0; n])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the clock has no components (a trace with no nodes).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component for node `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advances node `i`'s own component by one (a local event at `i`).
+    pub fn tick(&mut self, i: usize) {
+        if let Some(c) = self.0.get_mut(i) {
+            *c += 1;
+        }
+    }
+
+    /// Joins `other` into `self` (componentwise max) — the receiver's side
+    /// of a delivery.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether the event stamped `self` happens-before the event stamped
+    /// `other`: componentwise `≤` with at least one strict component.
+    pub fn precedes(&self, other: &VectorClock) -> bool {
+        let mut strict = false;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a > b {
+                return false;
+            }
+            if a < b {
+                strict = true;
+            }
+        }
+        strict
+    }
+
+    /// Whether the two stamps are causally incomparable — the events *race*.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        self != other && !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_join_build_the_partial_order() {
+        let mut a = VectorClock::new(3);
+        let mut b = VectorClock::new(3);
+        a.tick(0); // a = [1,0,0]
+        let send = a.clone();
+        b.tick(1); // b = [0,1,0]  — concurrent with the send
+        assert!(send.concurrent(&b));
+        b.join(&send);
+        b.tick(1); // b = [1,2,0]  — now causally after the send
+        assert!(send.precedes(&b));
+        assert!(!b.precedes(&send));
+        assert!(!send.concurrent(&b));
+    }
+
+    #[test]
+    fn equal_clocks_neither_precede_nor_race() {
+        let a = VectorClock::new(2);
+        let b = VectorClock::new(2);
+        assert!(!a.precedes(&b));
+        assert!(!a.concurrent(&b));
+    }
+
+    #[test]
+    fn same_node_events_are_totally_ordered() {
+        let mut c = VectorClock::new(2);
+        c.tick(0);
+        let first = c.clone();
+        c.tick(0);
+        assert!(first.precedes(&c));
+    }
+}

@@ -1,0 +1,102 @@
+//! Live auditing of pipeline sessions.
+//!
+//! [`Auditor`] is an [`Observer`] that waits for the final
+//! [`mdst_core::RunReport`] and, when the session recorded a trace, runs the
+//! happens-before [`audit()`](crate::audit::audit) on it. Register it on a
+//! [`mdst_core::Pipeline`] builder:
+//!
+//! ```
+//! use mdst_analysis::Auditor;
+//! use mdst_core::{Pipeline, PipelineConfig};
+//! use mdst_graph::generators;
+//! use mdst_netsim::SimConfig;
+//! use std::sync::Arc;
+//!
+//! let graph = Arc::new(generators::star_with_leaf_edges(8).unwrap());
+//! let mut auditor = Auditor::new();
+//! let config = PipelineConfig {
+//!     sim: SimConfig { record_trace: true, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let _ = Pipeline::on(&graph)
+//!     .config(config)
+//!     .observer(&mut auditor)
+//!     .run()
+//!     .unwrap();
+//! let report = auditor.report().expect("a trace was recorded");
+//! assert!(report.is_clean());
+//! ```
+
+use crate::audit::{audit, AuditReport};
+use mdst_core::{Observer, RunReport};
+
+/// An [`Observer`] that audits the session's trace at finish.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    report: Option<AuditReport>,
+}
+
+impl Auditor {
+    /// A fresh auditor with no verdict yet.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// The verdict, once the session finished with a recorded trace; `None`
+    /// before `on_finish` or when the session did not record a trace.
+    pub fn report(&self) -> Option<&AuditReport> {
+        self.report.as_ref()
+    }
+
+    /// Consumes the auditor and returns the verdict, if any.
+    pub fn into_report(self) -> Option<AuditReport> {
+        self.report
+    }
+}
+
+impl Observer for Auditor {
+    fn on_finish(&mut self, report: &RunReport) {
+        if report.trace.is_enabled() {
+            self.report = Some(audit(&report.trace));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_core::{Pipeline, PipelineConfig};
+    use mdst_graph::generators;
+    use mdst_netsim::SimConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn auditor_stays_empty_without_a_trace() {
+        let graph = Arc::new(generators::cycle(6).unwrap());
+        let mut auditor = Auditor::new();
+        let _ = Pipeline::on(&graph).observer(&mut auditor).run().unwrap();
+        assert!(auditor.report().is_none());
+    }
+
+    #[test]
+    fn auditor_audits_a_traced_session_clean() {
+        let graph = Arc::new(generators::star_with_leaf_edges(10).unwrap());
+        let mut auditor = Auditor::new();
+        let config = PipelineConfig {
+            sim: SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let _ = Pipeline::on(&graph)
+            .config(config)
+            .observer(&mut auditor)
+            .run()
+            .unwrap();
+        let report = auditor.into_report().expect("trace recorded");
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert!(report.sends > 0);
+        assert_eq!(report.sends, report.delivers + report.drops);
+    }
+}

@@ -319,9 +319,11 @@ pub struct RunReport {
     pub workers: usize,
     /// Which backend executed the improvement.
     pub executor: ExecutorKind,
-    /// Message trace of the improvement phase. Only the simulator records
-    /// one, and only when `sim.record_trace` is set; otherwise this is the
-    /// disabled (empty) recorder.
+    /// Message trace of the improvement phase, recorded by every backend
+    /// when `sim.record_trace` is set (the simulator stamps simulated time;
+    /// the threaded and pool runtimes stamp an atomic global order) and the
+    /// disabled (empty) recorder otherwise. Feed it to the `mdst-analysis`
+    /// happens-before auditor to check causal delivery and FIFO order.
     pub trace: mdst_netsim::TraceRecorder,
 }
 
@@ -1345,11 +1347,17 @@ mod tests {
                 "protocol did not quiesce: event limit of 3 exceeded".to_string()
             )
         );
-        // Executor rejections keep the historical stringly mapping.
+        // Executor rejections keep the historical stringly mapping. (Traces
+        // are recorded on every backend nowadays, so the rejection probe is a
+        // simulated delay model, which the pool genuinely cannot honour.)
         let config = PipelineConfig {
             executor: ExecutorKind::Pool,
             sim: SimConfig {
-                record_trace: true,
+                delay: mdst_netsim::DelayModel::UniformRandom {
+                    min: 1,
+                    max: 4,
+                    seed: 7,
+                },
                 ..Default::default()
             },
             ..Default::default()

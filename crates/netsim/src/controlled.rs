@@ -24,7 +24,9 @@
 //! The event vocabulary is serializable, which is what makes recorded
 //! counterexample schedules replayable artifacts.
 
+use crate::message::NetMessage;
 use crate::protocol::{Context, Protocol};
+use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use mdst_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -143,6 +145,16 @@ impl<M: crate::message::NetMessage> Context<M> for CtlCtx<'_, M> {
     }
 }
 
+/// One in-flight message with its trace identity. The ids are sentinel
+/// zeros when the net is not recording a trace, so untraced explorations
+/// carry no extra bookkeeping beyond two dead `u64`s per message.
+#[derive(Debug, Clone)]
+struct Flight<M> {
+    msg: M,
+    msg_id: u64,
+    seq: u64,
+}
+
 /// A step-controlled network execution. See the module documentation.
 pub struct ControlledNet<P: Protocol> {
     graph: Arc<Graph>,
@@ -151,10 +163,16 @@ pub struct ControlledNet<P: Protocol> {
     crashed: Vec<bool>,
     /// Per-directed-link FIFO queues; only non-empty queues are present, so
     /// the map itself is part of the canonical state.
-    queues: BTreeMap<(NodeId, NodeId), VecDeque<P::Message>>,
+    queues: BTreeMap<(NodeId, NodeId), VecDeque<Flight<P::Message>>>,
     discipline: StartDiscipline,
     delivered: u64,
     dropped: u64,
+    trace: TraceRecorder,
+    /// Logical clock for trace stamps: bumped once per recorded event, so a
+    /// controlled trace is totally ordered by the order events were applied.
+    clock: u64,
+    next_msg_id: u64,
+    link_seq: BTreeMap<(NodeId, NodeId), u64>,
 }
 
 impl<P: Protocol + Clone> Clone for ControlledNet<P>
@@ -171,6 +189,10 @@ where
             discipline: self.discipline,
             delivered: self.delivered,
             dropped: self.dropped,
+            trace: self.trace.clone(),
+            clock: self.clock,
+            next_msg_id: self.next_msg_id,
+            link_seq: self.link_seq.clone(),
         }
     }
 }
@@ -183,6 +205,21 @@ impl<P: Protocol> ControlledNet<P> {
     pub fn new(
         graph: &Arc<Graph>,
         discipline: StartDiscipline,
+        factory: impl FnMut(NodeId, &[NodeId]) -> P,
+    ) -> Self {
+        Self::new_traced(graph, discipline, false, factory)
+    }
+
+    /// Like [`ControlledNet::new`], optionally recording an auditable
+    /// execution trace. When `record_trace` is set every send, delivery,
+    /// drop and crash applied through the net is stamped (logical clock,
+    /// run-unique message id, per-directed-link sequence number) exactly
+    /// like the other backends, so a scheduler-driven interleaving can be
+    /// fed to the `mdst-analysis` happens-before auditor.
+    pub fn new_traced(
+        graph: &Arc<Graph>,
+        discipline: StartDiscipline,
+        record_trace: bool,
         mut factory: impl FnMut(NodeId, &[NodeId]) -> P,
     ) -> Self {
         let n = graph.node_count();
@@ -198,6 +235,14 @@ impl<P: Protocol> ControlledNet<P> {
             discipline,
             delivered: 0,
             dropped: 0,
+            trace: if record_trace {
+                TraceRecorder::enabled()
+            } else {
+                TraceRecorder::disabled()
+            },
+            clock: 0,
+            next_msg_id: 1,
+            link_seq: BTreeMap::new(),
         };
         if discipline == StartDiscipline::Eager {
             for u in 0..n {
@@ -205,6 +250,44 @@ impl<P: Protocol> ControlledNet<P> {
             }
         }
         net
+    }
+
+    /// The execution trace recorded so far (disabled unless the net was
+    /// built with [`ControlledNet::new_traced`]).
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Consumes the net and returns the recorded trace.
+    pub fn into_trace(self) -> TraceRecorder {
+        self.trace
+    }
+
+    /// Draws the next logical stamp and records one trace event (no-op when
+    /// the recorder is disabled; the clock still has to advance only when
+    /// recording, so gate the call on [`TraceRecorder::is_enabled`]).
+    fn record(
+        &mut self,
+        kind: TraceEventKind,
+        from: NodeId,
+        to: NodeId,
+        label: &str,
+        ids: (u64, u64),
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let time = self.clock;
+        self.clock += 1;
+        self.trace.record(TraceEvent {
+            time,
+            kind,
+            from,
+            to,
+            message_kind: label.to_string(),
+            msg_id: ids.0,
+            seq: ids.1,
+        });
     }
 
     /// The shared topology.
@@ -316,7 +399,7 @@ impl<P: Protocol> ControlledNet<P> {
                 Ok(())
             }
             ControlledEvent::Deliver { from, to } => {
-                let msg = self
+                let flight = self
                     .queues
                     .get_mut(&(from, to))
                     .and_then(VecDeque::pop_front)
@@ -325,6 +408,8 @@ impl<P: Protocol> ControlledNet<P> {
                     self.queues.remove(&(from, to));
                 }
                 self.delivered += 1;
+                let Flight { msg, msg_id, seq } = flight;
+                self.record(TraceEventKind::Deliver, from, to, msg.kind(), (msg_id, seq));
                 // A message reaching a never-started node wakes it first,
                 // matching the simulator's convention.
                 if !self.started[to.index()] {
@@ -350,6 +435,7 @@ impl<P: Protocol> ControlledNet<P> {
                     return Err(fail("already crashed"));
                 }
                 self.crashed[u] = true;
+                self.record(TraceEventKind::Crash, node, node, "crash", (0, 0));
                 // Messages to a corpse can never be observed: purge them now
                 // so they do not inflate the state space. Messages *from* the
                 // node stay in flight (they were sent before the crash).
@@ -362,12 +448,22 @@ impl<P: Protocol> ControlledNet<P> {
                 for key in doomed {
                     if let Some(q) = self.queues.remove(&key) {
                         self.dropped += q.len() as u64;
+                        for flight in q {
+                            self.record(
+                                TraceEventKind::Drop,
+                                key.0,
+                                key.1,
+                                flight.msg.kind(),
+                                (flight.msg_id, flight.seq),
+                            );
+                        }
                     }
                 }
                 Ok(())
             }
             ControlledEvent::Drop { from, to } => {
-                self.queues
+                let flight = self
+                    .queues
                     .get_mut(&(from, to))
                     .and_then(VecDeque::pop_front)
                     .ok_or_else(|| fail("no message in flight on this link"))?;
@@ -375,6 +471,13 @@ impl<P: Protocol> ControlledNet<P> {
                     self.queues.remove(&(from, to));
                 }
                 self.dropped += 1;
+                self.record(
+                    TraceEventKind::Drop,
+                    from,
+                    to,
+                    flight.msg.kind(),
+                    (flight.msg_id, flight.seq),
+                );
                 Ok(())
             }
         }
@@ -397,11 +500,26 @@ impl<P: Protocol> ControlledNet<P> {
 
     fn enqueue_outbox(&mut self, from: NodeId, outbox: Vec<(NodeId, P::Message)>) {
         for (to, msg) in outbox {
+            let (msg_id, seq) = if self.trace.is_enabled() {
+                let id = self.next_msg_id;
+                self.next_msg_id += 1;
+                let slot = self.link_seq.entry((from, to)).or_insert(0);
+                let seq = *slot;
+                *slot += 1;
+                (id, seq)
+            } else {
+                (0, 0)
+            };
+            self.record(TraceEventKind::Send, from, to, msg.kind(), (msg_id, seq));
             if self.crashed[to.index()] {
                 self.dropped += 1;
+                self.record(TraceEventKind::Drop, from, to, msg.kind(), (msg_id, seq));
                 continue;
             }
-            self.queues.entry((from, to)).or_default().push_back(msg);
+            self.queues
+                .entry((from, to))
+                .or_default()
+                .push_back(Flight { msg, msg_id, seq });
         }
     }
 }
@@ -435,8 +553,11 @@ where
                 from.hash(h);
                 to.hash(h);
                 q.len().hash(h);
-                for m in q {
-                    m.hash(h);
+                // Only the message content is behavioural state; the trace
+                // identities (msg_id/seq) differ between schedules that reach
+                // the same state and must not split the fingerprint.
+                for flight in q {
+                    flight.msg.hash(h);
                 }
             }
         }
@@ -694,6 +815,56 @@ mod tests {
         b.apply(d01).unwrap();
         assert_ne!(mid_a, mid_b, "intermediate states differ");
         assert_eq!(a.fingerprint(), b.fingerprint(), "final states coincide");
+    }
+
+    #[test]
+    fn traced_controlled_run_records_identified_events() {
+        let graph = Arc::new(generators::cycle(4).unwrap());
+        let mut net =
+            ControlledNet::new_traced(&graph, StartDiscipline::Eager, true, |id, _| Ring {
+                id,
+                n: 4,
+                seen: false,
+            });
+        while let Some(&event) = net.enabled_events().first() {
+            net.apply(event).unwrap();
+        }
+        let trace = net.into_trace();
+        assert!(trace.is_enabled());
+        let sends: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Send)
+            .collect();
+        let delivers: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Deliver)
+            .collect();
+        assert_eq!(sends.len(), 3);
+        assert_eq!(delivers.len(), 3);
+        // Every message id is unique, nonzero, and echoed by its delivery,
+        // which is stamped strictly later.
+        for d in &delivers {
+            let s = sends.iter().find(|s| s.msg_id == d.msg_id).unwrap();
+            assert!(s.msg_id > 0);
+            assert!(s.time < d.time, "send happens before its delivery");
+            assert_eq!(s.seq, d.seq);
+            assert_eq!((s.from, s.to), (d.from, d.to));
+        }
+        // Stamps are unique and increasing in recorded order.
+        let times: Vec<u64> = trace.events().iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn untraced_net_keeps_sentinel_ids_and_a_disabled_recorder() {
+        let (_, mut net) = ring(3);
+        assert!(!net.trace().is_enabled());
+        while let Some(&event) = net.enabled_events().first() {
+            net.apply(event).unwrap();
+        }
+        assert!(net.trace().events().is_empty());
     }
 
     #[test]

@@ -4,11 +4,11 @@
 //! The crate grew three interchangeable executions of the paper's §2 network
 //! model, each with a different fidelity/throughput trade-off:
 //!
-//! | backend | scheduling | faults/delays | scale |
-//! |---|---|---|---|
-//! | [`SimExecutor`] (discrete-event [`crate::sim::Simulator`]) | deterministic | full (`DelayModel`, `FaultPlan`, traces) | ~10³ nodes comfortably |
-//! | [`ThreadedExecutor`] ([`crate::threaded::ThreadedRuntime`]) | real OS threads, one per node | none (the OS *is* the adversary) | ~10² nodes (thread-per-node) |
-//! | [`PoolExecutor`] ([`crate::pool::PoolRuntime`]) | work-stealing worker pool | none | ~10⁴–10⁵ nodes on a fixed pool |
+//! | backend | scheduling | faults/delays | traces | scale |
+//! |---|---|---|---|---|
+//! | [`SimExecutor`] (discrete-event [`crate::sim::Simulator`]) | deterministic | full (`DelayModel`, `FaultPlan`) | yes (simulated clock) | ~10³ nodes comfortably |
+//! | [`ThreadedExecutor`] ([`crate::threaded::ThreadedRuntime`]) | real OS threads, one per node | none (the OS *is* the adversary) | yes (atomic global stamp) | ~10² nodes (thread-per-node) |
+//! | [`PoolExecutor`] ([`crate::pool::PoolRuntime`]) | work-stealing worker pool | none | yes (atomic global stamp) | ~10⁴–10⁵ nodes on a fixed pool |
 //!
 //! All three take the same inputs — a graph, a per-node protocol factory and
 //! an [`ExecConfig`] — and produce the same [`ExecRun`]: final node states,
@@ -19,9 +19,13 @@
 //! [`ExecutorKind`].
 //!
 //! Backends refuse configuration they cannot honor instead of silently
-//! ignoring it: asking the threaded or pool backend for simulated delays,
-//! fault injection or a message trace is an [`SimError::InvalidConfig`], not
-//! a lie in the report.
+//! ignoring it: asking the threaded or pool backend for simulated delays or
+//! fault injection is an [`SimError::InvalidConfig`], not a lie in the
+//! report. `record_trace`, on the other hand, is honored by every backend:
+//! the concurrent runtimes keep lock-free per-worker event buffers stamped
+//! from one atomic counter and merge them at quiescence, so the
+//! `mdst-analysis` happens-before auditor can check per-link FIFO and causal
+//! delivery on the backends a model checker cannot reach.
 
 use crate::delay::DelayModel;
 use crate::metrics::Metrics;
@@ -175,8 +179,10 @@ pub struct ExecRun<P> {
     pub nodes: Vec<P>,
     /// Aggregated metrics (message counts, bits, causal depth, faults).
     pub metrics: Metrics,
-    /// Recorded trace. Only the simulator records one (and only when
-    /// `record_trace` is set); other backends return the disabled recorder.
+    /// Recorded trace (only when `record_trace` is set; the disabled
+    /// recorder otherwise). The simulator stamps events with the simulated
+    /// clock; the threaded and pool backends stamp with an atomic global
+    /// counter, so every backend's trace is totally ordered and auditable.
     pub trace: TraceRecorder,
     /// Whether the run quiesced or hit the event cap.
     pub status: ExecStatus,
@@ -293,12 +299,6 @@ fn validate_concurrent_config(
              cuts need the simulated clock); use executor = \"sim\""
         )));
     }
-    if config.sim.record_trace {
-        return Err(SimError::InvalidConfig(format!(
-            "the `{label}` executor does not record message traces; use \
-             executor = \"sim\""
-        )));
-    }
     match &config.sim.start {
         StartModel::Simultaneous => Ok(()),
         StartModel::Selected(list) if selected_ok => {
@@ -344,13 +344,18 @@ impl Executor for ThreadedExecutor {
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
         validate_concurrent_config(graph, config, self.kind(), false)?;
-        let run = ThreadedRuntime::run_capped(graph, factory, config.sim.max_events);
+        let run = ThreadedRuntime::run_traced(
+            graph,
+            factory,
+            config.sim.max_events,
+            config.sim.record_trace,
+        );
         let n = graph.node_count();
         Ok(ExecRun {
             topology: Arc::clone(graph),
             nodes: run.nodes,
             metrics: run.metrics,
-            trace: TraceRecorder::disabled(),
+            trace: run.trace,
             status: run.status,
             crashed: vec![false; n],
             workers: n,
@@ -382,6 +387,7 @@ impl Executor for PoolExecutor {
             workers: config.workers,
             max_events: config.sim.max_events,
             start: config.sim.start.clone(),
+            record_trace: config.sim.record_trace,
         };
         let run = PoolRuntime::run(graph, factory, &pool_config)?;
         let n = graph.node_count();
@@ -389,7 +395,7 @@ impl Executor for PoolExecutor {
             topology: Arc::clone(graph),
             nodes: run.nodes,
             metrics: run.metrics,
-            trace: TraceRecorder::disabled(),
+            trace: run.trace,
             status: run.status,
             crashed: vec![false; n],
             workers: run.workers,
@@ -469,6 +475,22 @@ mod tests {
             },
             ..Default::default()
         };
+        for kind in [ExecutorKind::Threaded, ExecutorKind::Pool] {
+            for config in [&delayed, &faulty] {
+                let err = kind.run(&g, flood, config).err().expect("must reject");
+                assert!(matches!(err, SimError::InvalidConfig(_)), "{kind}: {err}");
+            }
+        }
+        // The simulator itself accepts both.
+        for config in [&delayed, &faulty] {
+            ExecutorKind::Sim.run(&g, flood, config).unwrap();
+        }
+    }
+
+    #[test]
+    fn every_backend_records_an_auditable_trace_on_request() {
+        use crate::trace::TraceEventKind;
+        let g = Arc::new(generators::gnp_connected(16, 0.25, 5).unwrap());
         let traced = ExecConfig {
             sim: SimConfig {
                 record_trace: true,
@@ -476,15 +498,27 @@ mod tests {
             },
             ..Default::default()
         };
-        for kind in [ExecutorKind::Threaded, ExecutorKind::Pool] {
-            for config in [&delayed, &faulty, &traced] {
-                let err = kind.run(&g, flood, config).err().expect("must reject");
-                assert!(matches!(err, SimError::InvalidConfig(_)), "{kind}: {err}");
-            }
-        }
-        // The simulator itself accepts all three.
-        for config in [&delayed, &faulty, &traced] {
-            ExecutorKind::Sim.run(&g, flood, config).unwrap();
+        for kind in ExecutorKind::all() {
+            let run = kind.run(&g, flood, &traced).unwrap();
+            assert!(run.trace.is_enabled(), "{kind}");
+            let sends = run
+                .trace
+                .events()
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Send)
+                .count();
+            let delivers = run
+                .trace
+                .events()
+                .iter()
+                .filter(|e| e.kind == TraceEventKind::Deliver)
+                .count();
+            assert_eq!(sends, delivers, "{kind}: reliable network");
+            assert_eq!(delivers as u64, run.metrics.messages_total, "{kind}");
+            assert!(
+                run.trace.events().iter().all(|e| e.msg_id > 0),
+                "{kind}: every message event carries a real id"
+            );
         }
     }
 

@@ -33,8 +33,9 @@ use crate::message::NetMessage;
 use crate::metrics::Metrics;
 use crate::protocol::{Context, Protocol};
 use crate::sim::{SimError, StartModel};
+use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use mdst_graph::{Graph, NodeId};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -53,6 +54,10 @@ pub struct PoolConfig {
     /// messages wake the rest. [`StartModel::Staggered`] needs a simulated
     /// clock and is rejected by the executor front door.
     pub start: StartModel,
+    /// Whether to record an auditable message trace. Each worker keeps a
+    /// local event buffer stamped from one atomic global counter; the buffers
+    /// are merged into [`PoolRun::trace`] at quiescence.
+    pub record_trace: bool,
 }
 
 impl Default for PoolConfig {
@@ -61,6 +66,7 @@ impl Default for PoolConfig {
             workers: 0,
             max_events: crate::sim::SimConfig::default().max_events,
             start: StartModel::Simultaneous,
+            record_trace: false,
         }
     }
 }
@@ -77,13 +83,20 @@ pub struct PoolRun<P> {
     pub workers: usize,
     /// Wall-clock duration from the first wake-up to quiescence.
     pub wall_time: Duration,
+    /// Recorded trace: the per-worker event buffers merged at quiescence and
+    /// sorted by the atomic global stamp. The disabled recorder unless
+    /// [`PoolConfig::record_trace`] was set.
+    pub trace: TraceRecorder,
 }
 
-/// A message in flight between two nodes.
+/// A message in flight between two nodes. The trace identities are the zero
+/// sentinels on untraced runs (see [`TraceEvent::msg_id`]).
 struct Envelope<M> {
     from: NodeId,
     msg: M,
     causal_depth: u64,
+    msg_id: u64,
+    link_seq: u64,
 }
 
 /// The mutex-guarded per-node state.
@@ -98,6 +111,18 @@ struct NodeCell<P: Protocol> {
     /// Whether `on_start` has run (a message wakes a node that has not
     /// spontaneously started, same convention as the simulator).
     started: bool,
+    /// Sender-side trace sequence counter per outgoing directed link
+    /// (`self → target`). Only touched while the processing worker owns the
+    /// cell exclusively (the `scheduled` flag), so the send order on each
+    /// link maps one-to-one onto consecutive sequence numbers.
+    link_seq: HashMap<usize, u64>,
+}
+
+/// Counters shared by every worker of one traced run: the global event stamp
+/// (total recording order across workers) and the message-id allocator.
+struct TraceShared {
+    stamp: AtomicU64,
+    next_msg_id: AtomicU64,
 }
 
 struct Shared<P: Protocol> {
@@ -112,6 +137,8 @@ struct Shared<P: Protocol> {
     aborted: AtomicBool,
     max_events: u64,
     n: usize,
+    /// Present exactly when the run records a trace.
+    trace: Option<TraceShared>,
 }
 
 /// Context handed to a protocol while one worker processes its node: sends
@@ -227,6 +254,7 @@ impl PoolRuntime {
                     scheduled: false,
                     pending_start: false,
                     started: false,
+                    link_seq: HashMap::new(),
                 })
             })
             .collect();
@@ -252,10 +280,14 @@ impl PoolRuntime {
             aborted: AtomicBool::new(false),
             max_events: config.max_events,
             n,
+            trace: config.record_trace.then(|| TraceShared {
+                stamp: AtomicU64::new(0),
+                next_msg_id: AtomicU64::new(1),
+            }),
         };
 
         let started_at = Instant::now();
-        let mut per_worker: Vec<Metrics> = Vec::with_capacity(workers);
+        let mut per_worker: Vec<(Metrics, Vec<TraceEvent>)> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for w in 0..workers {
@@ -274,9 +306,19 @@ impl PoolRuntime {
         let wall_time = started_at.elapsed();
 
         let mut metrics = Metrics::new(n);
-        for m in &per_worker {
-            metrics.merge(m);
+        let mut merged_events: Vec<TraceEvent> = Vec::new();
+        for (m, events) in per_worker {
+            metrics.merge(&m);
+            merged_events.extend(events);
         }
+        let trace = if config.record_trace {
+            // The global stamp is unique per event, so sorting by it totally
+            // orders the merged worker buffers by real recording order.
+            merged_events.sort_unstable_by_key(|e| e.time);
+            TraceRecorder::from_events(merged_events)
+        } else {
+            TraceRecorder::disabled()
+        };
         // Like the threaded runtime, there is no simulated clock: the
         // quiescence clock is reported as the maximum causal depth.
         metrics.quiescence_time = metrics.causal_time;
@@ -300,6 +342,7 @@ impl PoolRuntime {
             status,
             workers,
             wall_time,
+            trace,
         })
     }
 }
@@ -326,9 +369,14 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
-fn worker_loop<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Metrics {
+fn worker_loop<P: Protocol>(
+    w: usize,
+    workers: usize,
+    shared: &Shared<P>,
+) -> (Metrics, Vec<TraceEvent>) {
     let _abort_guard = AbortOnPanic(&shared.aborted);
     let mut metrics = Metrics::new(shared.n);
+    let mut events: Vec<TraceEvent> = Vec::new();
     let mut idle_spins = 0u32;
     loop {
         if shared.aborted.load(Ordering::SeqCst) {
@@ -338,7 +386,7 @@ fn worker_loop<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Met
         match next {
             Some(u) => {
                 idle_spins = 0;
-                process_node(u, w, shared, &mut metrics);
+                process_node(u, w, shared, &mut metrics, &mut events);
             }
             None => {
                 if shared.in_flight.load(Ordering::SeqCst) == 0 {
@@ -356,7 +404,7 @@ fn worker_loop<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Met
             }
         }
     }
-    metrics
+    (metrics, events)
 }
 
 fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
@@ -378,9 +426,15 @@ fn steal<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Option<us
 /// Processes one scheduling quantum of node `u`: the pending wake-up (if
 /// any) plus up to [`DRAIN_BATCH`] mailbox messages, then delivers the
 /// buffered sends and settles the node's `scheduled` flag.
-fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &mut Metrics) {
+fn process_node<P: Protocol>(
+    u: usize,
+    w: usize,
+    shared: &Shared<P>,
+    metrics: &mut Metrics,
+    events: &mut Vec<TraceEvent>,
+) {
     let mut outbox: Vec<(NodeId, P::Message, u64)> = Vec::new();
-    let units = {
+    let (units, send_ids) = {
         let mut cell = lock_ignore_poison(&shared.cells[u]);
         let start_unit = cell.pending_start;
         cell.pending_start = false;
@@ -418,6 +472,21 @@ fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &m
                 envelope.causal_depth,
                 envelope.causal_depth,
             );
+            if let Some(tracing) = &shared.trace {
+                // The deliver stamp is drawn after the mailbox drain, which
+                // happens-after the sender's push, which happens-after the
+                // send stamp — so a message's Deliver always outranks its
+                // Send in the merged order.
+                events.push(TraceEvent {
+                    time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                    kind: TraceEventKind::Deliver,
+                    from: envelope.from,
+                    to: NodeId(u),
+                    message_kind: envelope.msg.kind().to_string(),
+                    msg_id: envelope.msg_id,
+                    seq: envelope.link_seq,
+                });
+            }
         }
         let batch_len = batch.len();
         for envelope in batch {
@@ -431,12 +500,39 @@ fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &m
             cell.protocol
                 .on_message(envelope.from, envelope.msg, &mut ctx);
         }
-        start_unit as i64 + batch_len as i64
+        // Assign trace identities to this quantum's sends while the source
+        // cell (and with it the per-link sequence counters) is still
+        // exclusively owned, and before any mailbox push makes the messages
+        // visible to other workers.
+        let send_ids: Vec<(u64, u64)> = match &shared.trace {
+            Some(tracing) => outbox
+                .iter()
+                .map(|(to, msg, _)| {
+                    let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
+                    let slot = cell.link_seq.entry(to.index()).or_insert(0);
+                    let link_seq = *slot;
+                    *slot += 1;
+                    events.push(TraceEvent {
+                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                        kind: TraceEventKind::Send,
+                        from: NodeId(u),
+                        to: *to,
+                        message_kind: msg.kind().to_string(),
+                        msg_id,
+                        seq: link_seq,
+                    });
+                    (msg_id, link_seq)
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        (start_unit as i64 + batch_len as i64, send_ids)
     };
     // Deliver the buffered sends with the source cell unlocked (never two
     // cell locks at once — the lock order between two talking nodes would
     // otherwise deadlock). The source stays exclusively ours via `scheduled`.
-    for (to, msg, causal_depth) in outbox {
+    for (i, (to, msg, causal_depth)) in outbox.into_iter().enumerate() {
+        let (msg_id, link_seq) = send_ids.get(i).copied().unwrap_or((0, 0));
         // Count the message before it becomes visible, so `in_flight` can
         // never transiently read zero while work remains.
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
@@ -446,6 +542,8 @@ fn process_node<P: Protocol>(u: usize, w: usize, shared: &Shared<P>, metrics: &m
                 from: NodeId(u),
                 msg,
                 causal_depth,
+                msg_id,
+                link_seq,
             });
             if cell.scheduled {
                 false
@@ -749,6 +847,65 @@ mod tests {
         };
         let expected: Vec<u64> = (0..500).collect();
         assert_eq!(got, &expected, "per-link FIFO order must survive stealing");
+    }
+
+    #[test]
+    fn traced_run_merges_per_worker_buffers_in_stamp_order() {
+        use crate::trace::TraceEventKind;
+        use std::collections::{HashMap, HashSet};
+        let g = Arc::new(generators::gnp_connected(40, 0.15, 11).unwrap());
+        let run = PoolRuntime::run(
+            &g,
+            flood,
+            &PoolConfig {
+                workers: 4,
+                record_trace: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(run.trace.is_enabled());
+        let events = run.trace.events();
+        let sends = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Send)
+            .count();
+        let delivers = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Deliver)
+            .count();
+        assert_eq!(sends, delivers, "reliable network: every send delivered");
+        assert_eq!(delivers as u64, run.metrics.messages_total);
+        // Unique stamps, send-before-deliver, and per-link FIFO by seq.
+        let mut sent: HashSet<u64> = HashSet::new();
+        let mut last_seq: HashMap<(usize, usize), u64> = HashMap::new();
+        for pair in events.windows(2) {
+            assert!(pair[0].time < pair[1].time, "stamps must be unique");
+        }
+        for event in events {
+            match event.kind {
+                TraceEventKind::Send => {
+                    assert!(sent.insert(event.msg_id), "msg ids are unique");
+                }
+                TraceEventKind::Deliver => {
+                    assert!(sent.contains(&event.msg_id), "deliver after send");
+                    let link = (event.from.index(), event.to.index());
+                    if let Some(&prev) = last_seq.get(&link) {
+                        assert!(event.seq > prev, "per-link FIFO inversion");
+                    }
+                    last_seq.insert(link, event.seq);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_run_returns_the_disabled_recorder() {
+        let g = Arc::new(generators::path(4).unwrap());
+        let run = PoolRuntime::run(&g, flood, &PoolConfig::default()).unwrap();
+        assert!(!run.trace.is_enabled());
+        assert!(run.trace.events().is_empty());
     }
 
     #[test]

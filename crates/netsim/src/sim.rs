@@ -112,6 +112,12 @@ enum EventKind<M> {
         from: NodeId,
         msg: M,
         causal_depth: u64,
+        /// Run-unique message identity assigned at send time (see
+        /// [`crate::trace::TraceEvent::msg_id`]).
+        msg_id: u64,
+        /// Per-sender per-directed-link sequence number assigned at send time
+        /// (see [`crate::trace::TraceEvent::seq`]).
+        link_seq: u64,
     },
     /// Crash-stop of the node (fault injection).
     Crash,
@@ -198,6 +204,12 @@ pub struct Simulator<P: Protocol> {
     /// Last scheduled delivery time per directed link, used to keep links FIFO
     /// even under non-monotone random delays.
     link_last_delivery: HashMap<(usize, usize), u64>,
+    /// Next run-unique message id (ids start at 1; 0 is the "no message"
+    /// sentinel on crash trace events). Only advanced while tracing.
+    next_msg_id: u64,
+    /// Next per-directed-link send sequence number. Only maintained while
+    /// tracing (the FIFO order itself is enforced by `link_last_delivery`).
+    link_seq: HashMap<(usize, usize), u64>,
     metrics: Metrics,
     trace: TraceRecorder,
     config: SimConfig,
@@ -256,6 +268,8 @@ impl<P: Protocol> Simulator<P> {
             loss_rng,
             cut_at,
             link_last_delivery: HashMap::new(),
+            next_msg_id: 1,
+            link_seq: HashMap::new(),
             metrics: Metrics::new(n),
             trace,
             config,
@@ -398,6 +412,8 @@ impl<P: Protocol> Simulator<P> {
                         from: to,
                         to,
                         message_kind: "Crash".to_string(),
+                        msg_id: 0,
+                        seq: 0,
                     });
                 }
             }
@@ -405,7 +421,14 @@ impl<P: Protocol> Simulator<P> {
         }
         // A crashed node processes nothing; messages addressed to it are lost.
         if self.crashed[to.index()] {
-            if let EventKind::Message { from, msg, .. } = &event.kind {
+            if let EventKind::Message {
+                from,
+                msg,
+                msg_id,
+                link_seq,
+                ..
+            } = &event.kind
+            {
                 // The network carried the message until now, so the delivery
                 // attempt still advances the quiescence clock; a start event
                 // of a corpse is a pure no-op and does not.
@@ -418,6 +441,8 @@ impl<P: Protocol> Simulator<P> {
                         from: *from,
                         to,
                         message_kind: msg.kind().to_string(),
+                        msg_id: *msg_id,
+                        seq: *link_seq,
                     });
                 }
             }
@@ -451,6 +476,8 @@ impl<P: Protocol> Simulator<P> {
                     from,
                     msg,
                     causal_depth,
+                    msg_id,
+                    link_seq,
                 } => {
                     // A message wakes up a node that has not spontaneously
                     // started yet (the standard convention for asynchronous
@@ -474,6 +501,8 @@ impl<P: Protocol> Simulator<P> {
                             from,
                             to,
                             message_kind: msg.kind().to_string(),
+                            msg_id,
+                            seq: link_seq,
                         });
                     }
                     node.on_message(from, msg, &mut ctx);
@@ -486,6 +515,19 @@ impl<P: Protocol> Simulator<P> {
         // Schedule the buffered sends, dropping the ones fault injection eats.
         let now = event.time;
         for (target, msg) in sends {
+            let key = (to.index(), target.index());
+            // Message identities only exist for auditable traces: a benign
+            // untraced run allocates nothing and the ids stay at the sentinel.
+            let (msg_id, link_seq) = if self.trace.is_enabled() {
+                let id = self.next_msg_id;
+                self.next_msg_id += 1;
+                let seq_slot = self.link_seq.entry(key).or_insert(0);
+                let seq = *seq_slot;
+                *seq_slot += 1;
+                (id, seq)
+            } else {
+                (0, 0)
+            };
             if self.trace.is_enabled() {
                 self.trace.record(TraceEvent {
                     time: now,
@@ -493,9 +535,10 @@ impl<P: Protocol> Simulator<P> {
                     from: to,
                     to: target,
                     message_kind: msg.kind().to_string(),
+                    msg_id,
+                    seq: link_seq,
                 });
             }
-            let key = (to.index(), target.index());
             // A cut link eats every send at or after the cut time (messages
             // already in flight are still delivered).
             let cut = self
@@ -519,6 +562,8 @@ impl<P: Protocol> Simulator<P> {
                         from: to,
                         to: target,
                         message_kind: msg.kind().to_string(),
+                        msg_id,
+                        seq: link_seq,
                     });
                 }
                 continue;
@@ -536,6 +581,8 @@ impl<P: Protocol> Simulator<P> {
                     from: to,
                     msg,
                     causal_depth: causal_depth + 1,
+                    msg_id,
+                    link_seq,
                 },
             });
         }

@@ -17,17 +17,47 @@ use crate::exec::ExecStatus;
 use crate::message::NetMessage;
 use crate::metrics::Metrics;
 use crate::protocol::{Context, Protocol};
+use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use mdst_graph::{Graph, NodeId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A message in flight between two node threads.
+/// A message in flight between two node threads. The trace identities are the
+/// zero sentinels on untraced runs (see [`TraceEvent::msg_id`]).
 struct Envelope<M> {
     from: NodeId,
     msg: M,
     causal_depth: u64,
+    msg_id: u64,
+    link_seq: u64,
+}
+
+/// Counters shared by every node thread of one traced run: the global event
+/// stamp (total recording order across threads) and the message-id allocator.
+struct TraceShared {
+    stamp: AtomicU64,
+    next_msg_id: AtomicU64,
+}
+
+/// Per-thread trace state: a thread-local event buffer (no lock is ever taken
+/// to record) plus the sender-side per-link sequence counters. Since this
+/// thread is the only sender on every `(self, to)` directed link, the counters
+/// need no synchronisation either — only the stamp and id draws touch the
+/// shared atomics.
+struct ThreadTracer {
+    shared: Arc<TraceShared>,
+    events: Vec<TraceEvent>,
+    /// Next send sequence number per target (`self → target` directed link).
+    link_seq: HashMap<usize, u64>,
+}
+
+impl ThreadTracer {
+    fn stamp(&self) -> u64 {
+        self.shared.stamp.fetch_add(1, Ordering::SeqCst)
+    }
 }
 
 /// Context implementation backed by crossbeam channels.
@@ -38,6 +68,7 @@ struct ThreadCtx<'a, M> {
     senders: &'a [Sender<Envelope<M>>],
     outstanding: &'a AtomicI64,
     current_depth: u64,
+    tracer: Option<&'a mut ThreadTracer>,
 }
 
 impl<M: NetMessage> Context<M> for ThreadCtx<'_, M> {
@@ -55,6 +86,26 @@ impl<M: NetMessage> Context<M> for ThreadCtx<'_, M> {
             msg,
             to
         );
+        let (msg_id, link_seq) = match self.tracer.as_mut() {
+            Some(tracer) => {
+                let msg_id = tracer.shared.next_msg_id.fetch_add(1, Ordering::SeqCst);
+                let slot = tracer.link_seq.entry(to.index()).or_insert(0);
+                let link_seq = *slot;
+                *slot += 1;
+                let time = tracer.stamp();
+                tracer.events.push(TraceEvent {
+                    time,
+                    kind: TraceEventKind::Send,
+                    from: self.id,
+                    to,
+                    message_kind: msg.kind().to_string(),
+                    msg_id,
+                    seq: link_seq,
+                });
+                (msg_id, link_seq)
+            }
+            None => (0, 0),
+        };
         // Count the message as outstanding *before* it becomes visible to the
         // receiver so the termination detector can never observe a false zero.
         // Send/receive statistics are recorded once, by the receiving thread's
@@ -65,6 +116,8 @@ impl<M: NetMessage> Context<M> for ThreadCtx<'_, M> {
                 from: self.id,
                 msg,
                 causal_depth: self.current_depth + 1,
+                msg_id,
+                link_seq,
             })
             .expect("receiver thread lives until shutdown");
     }
@@ -84,6 +137,11 @@ pub struct ThreadedRun<P> {
     /// Whether the run quiesced or hit the event cap (see
     /// [`ThreadedRuntime::run_capped`]).
     pub status: ExecStatus,
+    /// Recorded trace: the per-thread event buffers merged at quiescence and
+    /// sorted by the atomic global stamp. The disabled recorder unless the
+    /// run was started through [`ThreadedRuntime::run_traced`] with
+    /// `record_trace = true`.
+    pub trace: TraceRecorder,
 }
 
 /// Runs protocols on one OS thread per node. See the module documentation.
@@ -107,12 +165,39 @@ impl ThreadedRuntime {
     /// guard as the simulator's `max_events`, reported through
     /// [`ThreadedRun::status`] instead of an error so the partial node states
     /// and metrics survive.
-    pub fn run_capped<P, F>(graph: &Arc<Graph>, mut factory: F, max_events: u64) -> ThreadedRun<P>
+    pub fn run_capped<P, F>(graph: &Arc<Graph>, factory: F, max_events: u64) -> ThreadedRun<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        Self::run_traced(graph, factory, max_events, false)
+    }
+
+    /// Like [`ThreadedRuntime::run_capped`], with optional trace recording.
+    ///
+    /// When `record_trace` is set every node thread keeps a local event
+    /// buffer (recording never takes a lock); sends draw a run-unique message
+    /// id and a per-link sequence number, and every event is stamped from one
+    /// atomic global counter. At quiescence the buffers are merged and sorted
+    /// by that stamp, so [`ThreadedRun::trace`] is totally ordered by real
+    /// recording order and a message's `Send` always precedes its `Deliver`.
+    pub fn run_traced<P, F>(
+        graph: &Arc<Graph>,
+        mut factory: F,
+        max_events: u64,
+        record_trace: bool,
+    ) -> ThreadedRun<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
         let n = graph.node_count();
+        let trace_shared = record_trace.then(|| {
+            Arc::new(TraceShared {
+                stamp: AtomicU64::new(0),
+                next_msg_id: AtomicU64::new(1),
+            })
+        });
         let mut protocols: Vec<Option<P>> = (0..n)
             .map(|u| Some(factory(NodeId(u), graph.neighbor_slice(NodeId(u)))))
             .collect();
@@ -143,10 +228,16 @@ impl ThreadedRuntime {
             // One Arc clone per thread instead of one neighbour-vector clone:
             // each node thread borrows its CSR row from the shared graph.
             let graph = Arc::clone(graph);
+            let trace_shared = trace_shared.clone();
             let mut protocol = protocols[u].take().expect("each node taken once");
             let handle = std::thread::spawn(move || {
                 let my_neighbors = graph.neighbor_slice(NodeId(u));
                 let mut metrics = Metrics::new(n);
+                let mut tracer = trace_shared.map(|shared| ThreadTracer {
+                    shared,
+                    events: Vec::new(),
+                    link_seq: HashMap::new(),
+                });
                 // Counts a processed work unit against the cap; every thread
                 // observing the overflow raises the shared abort.
                 let count_unit = || {
@@ -163,6 +254,7 @@ impl ThreadedRuntime {
                         senders: &senders,
                         outstanding: &outstanding,
                         current_depth: 0,
+                        tracer: tracer.as_mut(),
                     };
                     protocol.on_start(&mut ctx);
                 }
@@ -182,6 +274,20 @@ impl ThreadedRuntime {
                             envelope.causal_depth,
                             envelope.causal_depth,
                         );
+                        if let Some(tracer) = tracer.as_mut() {
+                            // The stamp is drawn after the channel receive, so
+                            // it is strictly greater than the send's stamp.
+                            let time = tracer.stamp();
+                            tracer.events.push(TraceEvent {
+                                time,
+                                kind: TraceEventKind::Deliver,
+                                from: envelope.from,
+                                to: NodeId(u),
+                                message_kind: envelope.msg.kind().to_string(),
+                                msg_id: envelope.msg_id,
+                                seq: envelope.link_seq,
+                            });
+                        }
                         let mut ctx = ThreadCtx {
                             id: NodeId(u),
                             neighbors: my_neighbors,
@@ -189,13 +295,14 @@ impl ThreadedRuntime {
                             senders: &senders,
                             outstanding: &outstanding,
                             current_depth: envelope.causal_depth,
+                            tracer: tracer.as_mut(),
                         };
                         protocol.on_message(envelope.from, envelope.msg, &mut ctx);
                         outstanding.fetch_sub(1, Ordering::SeqCst);
                         count_unit();
                     }
                 }
-                (protocol, metrics)
+                (protocol, metrics, tracer.map(|t| t.events))
             });
             handles.push(handle);
         }
@@ -218,10 +325,14 @@ impl ThreadedRuntime {
 
         let mut nodes = Vec::with_capacity(n);
         let mut metrics = Metrics::new(n);
+        let mut merged_events: Vec<TraceEvent> = Vec::new();
         for handle in handles {
-            let (protocol, m) = handle.join().expect("node thread does not panic");
+            let (protocol, m, events) = handle.join().expect("node thread does not panic");
             nodes.push(protocol);
             metrics.merge(&m);
+            if let Some(events) = events {
+                merged_events.extend(events);
+            }
         }
         metrics.quiescence_time = metrics.causal_time;
         let status = if aborted.load(Ordering::SeqCst) {
@@ -229,11 +340,20 @@ impl ThreadedRuntime {
         } else {
             ExecStatus::Quiesced
         };
+        let trace = if record_trace {
+            // The global stamp is unique per event, so sorting by it totally
+            // orders the merged buffers by real recording order.
+            merged_events.sort_unstable_by_key(|e| e.time);
+            TraceRecorder::from_events(merged_events)
+        } else {
+            TraceRecorder::disabled()
+        };
         ThreadedRun {
             nodes,
             metrics,
             wall_time,
             status,
+            trace,
         }
     }
 }
@@ -326,6 +446,52 @@ mod tests {
         let received: u64 = run.metrics.received_per_node.iter().sum();
         assert_eq!(sent, run.metrics.messages_total);
         assert_eq!(received, run.metrics.messages_total);
+    }
+
+    #[test]
+    fn traced_run_merges_per_thread_buffers_in_stamp_order() {
+        use crate::trace::TraceEventKind;
+        use std::collections::HashSet;
+        let g = Arc::new(generators::gnp_connected(20, 0.2, 7).unwrap());
+        let run =
+            ThreadedRuntime::run_traced(&g, |id, _| Flood { id, seen: false }, u64::MAX, true);
+        let events = run.trace.events();
+        assert!(run.trace.is_enabled());
+        let sends = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Send)
+            .count();
+        let delivers = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::Deliver)
+            .count();
+        assert_eq!(sends, delivers, "reliable network: every send delivered");
+        assert_eq!(delivers as u64, run.metrics.messages_total);
+        // The merged trace is sorted by the unique global stamp, and every
+        // delivery's message id was stamped as sent strictly earlier.
+        let mut sent: HashSet<u64> = HashSet::new();
+        for pair in events.windows(2) {
+            assert!(pair[0].time < pair[1].time, "stamps must be unique");
+        }
+        for event in events {
+            match event.kind {
+                TraceEventKind::Send => {
+                    assert!(sent.insert(event.msg_id), "msg ids are unique");
+                }
+                TraceEventKind::Deliver => {
+                    assert!(sent.contains(&event.msg_id), "deliver after send");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn untraced_run_returns_the_disabled_recorder() {
+        let g = Arc::new(generators::path(4).unwrap());
+        let run = ThreadedRuntime::run(&g, |id, _| Flood { id, seen: false });
+        assert!(!run.trace.is_enabled());
+        assert!(run.trace.events().is_empty());
     }
 
     #[test]

@@ -5,6 +5,18 @@
 //! figure we need the actual sequence of sends and deliveries of a run; the
 //! [`TraceRecorder`] captures it when enabled (it is off by default because
 //! traces of large sweeps would dominate memory).
+//!
+//! Every backend records the same event vocabulary. Each *message* carries a
+//! run-unique [`TraceEvent::msg_id`] and a per-sender per-directed-link
+//! sequence number [`TraceEvent::seq`], stamped at send time and echoed by the
+//! matching `Deliver`/`Drop` event. Those two numbers are what make a trace
+//! *auditable*: the `mdst-analysis` crate reconstructs the happens-before
+//! partial order from them and statically checks per-link FIFO, causal
+//! delivery and protocol-level mutual exclusion — on the discrete-event
+//! simulator, where the trace is totally ordered by simulated time, and on the
+//! threaded and pool backends, where each worker keeps a lock-free local
+//! buffer stamped from one atomic global counter and the buffers are merged
+//! into a single recorder at quiescence.
 
 use mdst_graph::NodeId;
 use serde::{Deserialize, Serialize};
@@ -25,7 +37,11 @@ pub enum TraceEventKind {
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Simulated time of the event.
+    /// When the event happened. The simulator records the simulated clock;
+    /// the threaded and pool backends record a globally unique stamp drawn
+    /// from one atomic counter (so the merged trace is totally ordered by
+    /// real recording order, and a message's `Send` stamp is always smaller
+    /// than its `Deliver` stamp).
     pub time: u64,
     /// What happened.
     pub kind: TraceEventKind,
@@ -35,10 +51,20 @@ pub struct TraceEvent {
     pub to: NodeId,
     /// Message kind label (e.g. `"BFS"`).
     pub message_kind: String,
+    /// Run-unique message identity, assigned at send time starting from 1 and
+    /// echoed by the matching `Deliver`/`Drop` event. `0` on events that carry
+    /// no message ([`TraceEventKind::Crash`]).
+    pub msg_id: u64,
+    /// Position of this message in its directed link's send order: the k-th
+    /// message the sender handed to this `(from, to)` link has `seq == k`
+    /// (counting from 0). FIFO links must deliver strictly increasing `seq`
+    /// per directed link; a lost message consumes its slot, so gaps are legal
+    /// but inversions never are. `0` on [`TraceEventKind::Crash`] events.
+    pub seq: u64,
 }
 
-/// Collects [`TraceEvent`]s during a simulated run.
-#[derive(Debug, Default, Clone, Serialize)]
+/// Collects [`TraceEvent`]s during a run on any backend.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecorder {
     enabled: bool,
     events: Vec<TraceEvent>,
@@ -56,6 +82,17 @@ impl TraceRecorder {
     /// A recorder that drops everything (zero overhead beyond the branch).
     pub fn disabled() -> Self {
         TraceRecorder::default()
+    }
+
+    /// An enabled recorder over pre-recorded events — how the threaded and
+    /// pool backends publish their merged per-worker buffers. The caller is
+    /// responsible for the event order (the concurrent backends sort by the
+    /// atomic global stamp in [`TraceEvent::time`]).
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        TraceRecorder {
+            enabled: true,
+            events,
+        }
     }
 
     /// Whether events are being kept.
@@ -92,6 +129,8 @@ mod tests {
             from: NodeId(0),
             to: NodeId(1),
             message_kind: label.to_string(),
+            msg_id: 1,
+            seq: 0,
         }
     }
 
@@ -113,5 +152,27 @@ mod tests {
         assert_eq!(r.events_of_kind("BFS").count(), 2);
         assert_eq!(r.events_of_kind("Update").count(), 1);
         assert_eq!(r.events_of_kind("Cut").count(), 0);
+    }
+
+    #[test]
+    fn from_events_is_enabled_and_keeps_order() {
+        let r = TraceRecorder::from_events(vec![
+            ev(TraceEventKind::Send, "BFS"),
+            ev(TraceEventKind::Deliver, "BFS"),
+        ]);
+        assert!(r.is_enabled());
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.events()[0].kind, TraceEventKind::Send);
+    }
+
+    #[test]
+    fn trace_round_trips_through_json() {
+        use serde::{Deserialize, Serialize};
+        let mut r = TraceRecorder::enabled();
+        r.record(ev(TraceEventKind::Send, "BFS"));
+        r.record(ev(TraceEventKind::Drop, "Cut"));
+        let json = r.to_value().to_json_pretty();
+        let back = TraceRecorder::from_value(&serde::from_json_str(&json).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -5,6 +5,7 @@
 //!              [--jobs N] [--shuffle [SEED]] [--progress] [--quiet]
 //! scenario expand <spec>      # print the resolved run list as JSON
 //! scenario validate <spec>    # check the spec (graphs buildable, files readable)
+//! scenario audit <trace-or-report.json> [--json] [--out FILE.json] [--quiet]
 //! scenario diff <a.json> <b.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]
 //! ```
 //!
@@ -13,8 +14,17 @@
 //! `--shuffle` claims runs in a seeded random order so long runs start early;
 //! the seed is recorded in the report. `--progress` attaches a streaming
 //! `mdst_core::Observer` to every run and prints one line per finished run.
-//! `run` exits non-zero when any run fails or violates the paper's degree
-//! bound, so campaigns double as large-scale correctness checks in CI.
+//! `run` exits non-zero when any run fails, violates the paper's degree
+//! bound, or (with the `audit` axis) trips the happens-before auditor, so
+//! campaigns double as large-scale correctness checks in CI.
+//!
+//! `audit` replays a recorded message trace through the `mdst-analysis`
+//! happens-before auditor offline. The input may be a serialized
+//! `TraceRecorder` (`{"enabled": ..., "events": [...]}`), a bare event array,
+//! any JSON object embedding a trace under a `"trace"` key (e.g. a pipeline
+//! `RunReport`), or an object with a top-level `"events"` array. Findings
+//! render as Markdown (default) or JSON (`--json` / `--out FILE`); the exit
+//! code is non-zero iff the trace violates the happens-before discipline.
 //!
 //! `check` hands over to the `mdst-check` model checker: it exhaustively
 //! verifies the protocol invariants on every connected topology up to
@@ -40,6 +50,7 @@ const USAGE: &str = "usage:
   scenario expand <spec>
   scenario validate <spec>
   scenario check [--min-n N] [--max-n N] [--max-states N] [--max-depth N] [--crashes N] [--losses N] [--out FILE.json]
+  scenario audit <trace-or-report.json> [--json] [--out FILE.json] [--quiet]
   scenario diff <baseline.json> <candidate.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]";
 
 fn main() -> ExitCode {
@@ -53,6 +64,7 @@ fn main() -> ExitCode {
         "expand" => cmd_expand(rest),
         "validate" => cmd_validate(rest),
         "check" => cmd_check(rest),
+        "audit" => cmd_audit(rest),
         "diff" => cmd_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -179,10 +191,13 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             );
         }
     }
-    if report.total.failures > 0 || report.total.bound_violations > 0 {
+    if report.total.failures > 0
+        || report.total.bound_violations > 0
+        || report.total.audit_violations > 0
+    {
         eprintln!(
-            "scenario: {} failures, {} bound violations",
-            report.total.failures, report.total.bound_violations
+            "scenario: {} failures, {} bound violations, {} audit violations",
+            report.total.failures, report.total.bound_violations, report.total.audit_violations
         );
         return Ok(ExitCode::FAILURE);
     }
@@ -209,6 +224,7 @@ fn cmd_expand(args: &[String]) -> Result<ExitCode, String> {
                     "executor".into(),
                     Value::String(r.executor.label().to_string()),
                 ),
+                ("audit".into(), Value::Bool(r.audit)),
                 ("seed".into(), Value::UInt(r.seed)),
                 ("root".into(), Value::UInt(r.root as u64)),
             ])
@@ -336,6 +352,83 @@ fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
         for p in &problems {
             eprintln!("invalid: {p}");
         }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Pulls a trace event list out of an arbitrary JSON document: a bare event
+/// array, a serialized `TraceRecorder` (or any object with an `events`
+/// array), or any wrapper embedding one under a `trace` key (e.g. a pipeline
+/// `RunReport`).
+fn trace_events_of(value: &Value) -> Option<Vec<mdst_netsim::TraceEvent>> {
+    use serde::Deserialize;
+    if value.as_array().is_some() {
+        return Vec::<mdst_netsim::TraceEvent>::from_value(value).ok();
+    }
+    if let Some(trace) = value.get("trace") {
+        return trace_events_of(trace);
+    }
+    if let Some(events) = value.get("events") {
+        return Vec::<mdst_netsim::TraceEvent>::from_value(events).ok();
+    }
+    None
+}
+
+fn load_trace_events(path: &str) -> Result<Vec<mdst_netsim::TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = serde::from_json_str(&text).map_err(|e| format!("{path}: {e}"))?;
+    trace_events_of(&value).ok_or_else(|| {
+        format!(
+            "{path}: no trace found (expected a serialized trace recorder, an object \
+             with an `events` or `trace` key, or a bare event array)"
+        )
+    })
+}
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    use serde::Serialize;
+    let mut json = false;
+    let mut out = None;
+    let mut quiet = false;
+    let mut path = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--quiet" | "-q" => quiet = true,
+            "--out" | "-o" => {
+                out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out needs a file path".to_string())?
+                        .clone(),
+                )
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let path = path.ok_or_else(|| format!("missing trace file\n{USAGE}"))?;
+    let events = load_trace_events(&path)?;
+    let report = mdst_analysis::audit_events(&events);
+    if let Some(out_path) = &out {
+        let mut doc = report.to_value().to_json_pretty();
+        doc.push('\n');
+        std::fs::write(out_path, doc).map_err(|e| format!("writing {out_path}: {e}"))?;
+    }
+    if !quiet {
+        if json {
+            println!("{}", report.to_value().to_json_pretty());
+        } else {
+            print!("{}", report.to_markdown());
+        }
+    }
+    if report.is_clean() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "scenario: trace violates the happens-before discipline ({} findings)",
+            report.findings.len()
+        );
         Ok(ExitCode::FAILURE)
     }
 }

@@ -25,6 +25,7 @@
 //! scenario run examples/suite.toml        # on-disk benchmark files (graph_files axis)
 //! scenario expand examples/sweep.toml     # print the resolved run list
 //! scenario validate examples/sweep.toml   # check the spec without running it
+//! scenario audit trace.json               # happens-before audit of a recorded trace
 //! scenario diff base.json cand.json       # regression gate between two reports
 //! scenario diff base.json cand.json --wall-ms-tolerance 25 --markdown
 //! ```
@@ -92,6 +93,23 @@
 //! double as agreement checks: the improvement protocol is
 //! message-deterministic and every backend must land inside the paper's
 //! degree bound on the same seed/topology.
+//!
+//! ## Audit axis
+//!
+//! The optional boolean `audit` axis records a message trace on *every*
+//! backend (the simulator stamps simulated time; the threaded and pool
+//! runtimes stamp an atomic global order) and replays it through the
+//! `mdst-analysis` happens-before auditor when the run finishes:
+//!
+//! ```text
+//! audit = true             # or [false, true] to sweep both
+//! ```
+//!
+//! The run record gains `audit_findings` (violation count) and `audit_rules`
+//! (the distinct rule labels that fired); per-scenario stats count `audited`
+//! runs and `audit_violations`, and `scenario run` exits non-zero when any
+//! audited run trips the auditor — races and ordering violations gate CI the
+//! same way degree-bound violations do.
 //!
 //! ## Fault model
 //!

@@ -26,6 +26,7 @@ pub const CSV_COLUMNS: &[&str] = &[
     "start",
     "faults",
     "executor",
+    "audit",
     "seed",
     "n",
     "m",
@@ -46,6 +47,8 @@ pub const CSV_COLUMNS: &[&str] = &[
     "rounds",
     "improvements",
     "exec_wall_ms",
+    "audit_findings",
+    "audit_rules",
     "wall_ms",
     "error",
 ];
@@ -72,6 +75,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             csv_escape(&run.start),
             csv_escape(&run.faults),
             csv_escape(&run.executor),
+            run.audit.to_string(),
             run.seed.to_string(),
             run.n.to_string(),
             run.m.to_string(),
@@ -92,6 +96,8 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             run.rounds.to_string(),
             run.improvements.to_string(),
             format!("{:.3}", run.exec_wall_ms),
+            run.audit_findings.to_string(),
+            csv_escape(&run.audit_rules),
             format!("{:.3}", run.wall_ms),
             csv_escape(run.error.as_deref().unwrap_or("")),
         ];
@@ -118,7 +124,7 @@ pub fn summarize(report: &CampaignReport) -> String {
         "campaign `{}`: {} runs ({} failed) on {} threads in {:.0} ms\n\
          final degree min/median/max = {}/{}/{} (mean {:.2}), \
          approx ratio mean {:.2}, bound violations {}, \
-         {} improvement messages total{}",
+         {} improvement messages total{}{}",
         report.name,
         t.runs,
         t.failures,
@@ -135,6 +141,14 @@ pub fn summarize(report: &CampaignReport) -> String {
             format!(
                 "\nfaults: {} messages dropped, {} nodes crashed, outcomes {:?}",
                 t.dropped_total, t.crashed_total, t.outcomes
+            )
+        } else {
+            String::new()
+        },
+        if t.audited > 0 {
+            format!(
+                "\ntrace audits: {} runs audited, {} with happens-before violations",
+                t.audited, t.audit_violations
             )
         } else {
             String::new()

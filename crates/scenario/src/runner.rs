@@ -216,6 +216,9 @@ pub struct RunRecord {
     pub faults: String,
     /// Executor backend label (`"sim"`, `"threaded"`, `"pool"`).
     pub executor: String,
+    /// Whether the run recorded a trace and replayed it through the
+    /// happens-before auditor (the `audit` axis).
+    pub audit: bool,
     /// Seed of the run.
     pub seed: u64,
     /// Nodes of the input graph.
@@ -264,6 +267,12 @@ pub struct RunRecord {
     /// threaded runtime's first-wake-up-to-quiescence span, the pool's
     /// worker lifetime).
     pub exec_wall_ms: f64,
+    /// Happens-before findings flagged by the auditor; `0` when the run
+    /// audited clean or was not audited.
+    pub audit_findings: u64,
+    /// Distinct audit rule labels that fired, comma-joined (e.g.
+    /// `"duplicate-delivery,fifo-inversion"`); empty when clean or unaudited.
+    pub audit_rules: String,
     /// Wall-clock milliseconds spent on this run end to end (graph build,
     /// construction, improvement, verification).
     pub wall_ms: f64,
@@ -333,6 +342,10 @@ pub struct ScenarioStats {
     pub dropped_total: u64,
     /// Total node crashes injected.
     pub crashed_total: u64,
+    /// Runs that recorded and audited a trace.
+    pub audited: usize,
+    /// Audited runs with at least one happens-before finding.
+    pub audit_violations: usize,
 }
 
 fn stats_over(name: &str, records: &[&RunRecord]) -> ScenarioStats {
@@ -359,6 +372,11 @@ fn stats_over(name: &str, records: &[&RunRecord]) -> ScenarioStats {
         outcomes,
         dropped_total: records.iter().map(|r| r.dropped_messages).sum(),
         crashed_total: records.iter().map(|r| r.crashed_nodes).sum(),
+        audited: records.iter().filter(|r| r.audit).count(),
+        audit_violations: records
+            .iter()
+            .filter(|r| r.audit && r.audit_findings > 0)
+            .count(),
     }
 }
 
@@ -412,6 +430,7 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         start: spec.start.label(),
         faults: spec.faults.label(),
         executor: spec.executor.label().to_string(),
+        audit: spec.audit,
         seed: spec.seed,
         n: 0,
         m: 0,
@@ -432,6 +451,8 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         rounds: 0,
         improvements: 0,
         exec_wall_ms: 0.0,
+        audit_findings: 0,
+        audit_rules: String::new(),
         wall_ms: 0.0,
         error: None,
     };
@@ -456,11 +477,22 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
                 spec.seed
             ),
         };
+        let mut auditor = mdst_analysis::Auditor::new();
         let mut session = Pipeline::on(&graph).config(config);
         if progress {
             session = session.observer(&mut progress_line);
         }
+        if spec.audit {
+            session = session.observer(&mut auditor);
+        }
         let report = session.run().map_err(|e| e.to_string())?;
+        if let Some(verdict) = auditor.into_report() {
+            record.audit_findings = verdict.findings.len() as u64;
+            let mut rules: Vec<&str> = verdict.findings.iter().map(|f| f.rule.label()).collect();
+            rules.sort_unstable();
+            rules.dedup();
+            record.audit_rules = rules.join(",");
+        }
         record.n = report.n;
         record.m = report.m;
         record.outcome = RunOutcome::from(report.outcome);

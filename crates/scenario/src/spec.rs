@@ -69,6 +69,10 @@ pub struct ScenarioSpec {
     pub executor: Vec<ExecutorKind>,
     /// Worker threads for pool-backed runs (`0` = auto).
     pub workers: usize,
+    /// Trace-audit axis (`audit = true` / `audit = [false, true]`). Audited
+    /// runs record a message trace on every backend and replay it through the
+    /// `mdst-analysis` happens-before auditor after the run finishes.
+    pub audit: Vec<bool>,
     /// Seeds to sweep; each seed produces an independent run (and, for seeded
     /// generator families, an independent graph).
     pub seeds: Vec<u64>,
@@ -615,6 +619,9 @@ pub struct RunSpec {
     pub executor: ExecutorKind,
     /// Worker threads for the pool backend (`0` = auto).
     pub workers: usize,
+    /// Whether this run records a trace and feeds it to the happens-before
+    /// auditor.
+    pub audit: bool,
     /// Seed of the run (drives graph generation, delays, start offsets and
     /// the loss coin stream).
     pub seed: u64,
@@ -634,7 +641,7 @@ impl RunSpec {
                 delay: self.delay.to_model(self.seed ^ 0xD1B5_4A32_D192_ED03),
                 start: self.start.to_model(self.seed ^ 0x8CB9_2BA7_2F3D_8DD7),
                 max_events: self.max_events,
-                record_trace: false,
+                record_trace: self.audit,
                 faults: self.faults.to_plan(self.seed ^ 0x1F85_D2F6_0B5E_AD4C),
             },
             executor: self.executor,
@@ -856,6 +863,14 @@ impl ScenarioSpec {
                 ))
             })? as usize,
         };
+        let audit = match value.get("audit") {
+            None => vec![false],
+            Some(v) => bool_list(v).ok_or_else(|| {
+                SpecError(format!(
+                    "scenario `{name}`: `audit` must be a boolean or list of booleans"
+                ))
+            })?,
+        };
         let seeds = match value.get("seeds") {
             None => vec![1],
             Some(v) => u64_list(v).ok_or_else(|| {
@@ -886,6 +901,7 @@ impl ScenarioSpec {
             || start.is_empty()
             || faults.is_empty()
             || executor.is_empty()
+            || audit.is_empty()
         {
             return spec_err(format!("scenario `{name}`: empty sweep axis"));
         }
@@ -898,6 +914,7 @@ impl ScenarioSpec {
             faults,
             executor,
             workers,
+            audit,
             seeds,
             root,
             max_events,
@@ -911,20 +928,23 @@ impl ScenarioSpec {
                     for start in &self.start {
                         for faults in &self.faults {
                             for &executor in &self.executor {
-                                for &seed in &self.seeds {
-                                    runs.push(RunSpec {
-                                        scenario: self.name.clone(),
-                                        graph: graph.clone(),
-                                        initial: initial.clone(),
-                                        delay: *delay,
-                                        start: *start,
-                                        faults: faults.clone(),
-                                        executor,
-                                        workers: self.workers,
-                                        seed,
-                                        root: self.root,
-                                        max_events: self.max_events,
-                                    });
+                                for &audit in &self.audit {
+                                    for &seed in &self.seeds {
+                                        runs.push(RunSpec {
+                                            scenario: self.name.clone(),
+                                            graph: graph.clone(),
+                                            initial: initial.clone(),
+                                            delay: *delay,
+                                            start: *start,
+                                            faults: faults.clone(),
+                                            executor,
+                                            workers: self.workers,
+                                            audit,
+                                            seed,
+                                            root: self.root,
+                                            max_events: self.max_events,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -1118,6 +1138,10 @@ fn string_list(v: &Value) -> Option<Vec<String>> {
 
 fn u64_list(v: &Value) -> Option<Vec<u64>> {
     one_or_many(v).into_iter().map(Value::as_u64).collect()
+}
+
+fn bool_list(v: &Value) -> Option<Vec<bool>> {
+    one_or_many(v).into_iter().map(Value::as_bool).collect()
 }
 
 /// Decodes an array of fixed-width integer tuples, e.g. `[[3, 40], [5, 60]]`.

@@ -1,0 +1,228 @@
+//! End-to-end tests of the `audit` campaign axis and the `scenario audit`
+//! offline subcommand.
+
+use mdst_scenario::prelude::*;
+use std::process::Command;
+
+const AUDITED: &str = r#"
+    [campaign]
+    name = "audited"
+
+    [[scenario]]
+    name = "tri-backend"
+    graph = { family = "gnp_connected", n = 16, p = 0.3 }
+    executor = ["sim", "threaded", "pool"]
+    audit = true
+    seeds = [3]
+"#;
+
+#[test]
+fn audited_runs_are_clean_on_every_backend() {
+    let matrix = ScenarioMatrix::from_toml_str(AUDITED).unwrap();
+    let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+    assert_eq!(report.total.runs, 3);
+    assert_eq!(report.total.failures, 0);
+    assert_eq!(report.total.audited, 3);
+    assert_eq!(report.total.audit_violations, 0);
+    for run in &report.runs {
+        assert!(run.audit);
+        assert_eq!(
+            run.audit_findings, 0,
+            "{}: rules {}",
+            run.executor, run.audit_rules
+        );
+        assert!(run.audit_rules.is_empty());
+    }
+}
+
+#[test]
+fn the_audit_axis_sweeps_both_values() {
+    let spec = r#"
+        [[scenario]]
+        name = "both"
+        graph = { family = "star_with_leaf_edges", n = 10 }
+        audit = [false, true]
+    "#;
+    let matrix = ScenarioMatrix::from_toml_str(spec).unwrap();
+    let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+    assert_eq!(report.total.runs, 2);
+    assert_eq!(report.total.audited, 1);
+    let audited: Vec<bool> = report.runs.iter().map(|r| r.audit).collect();
+    assert!(audited.contains(&true) && audited.contains(&false));
+    // The audit observer must not perturb the measured protocol numbers.
+    let (a, b) = (&report.runs[0], &report.runs[1]);
+    assert_eq!(a.messages, b.messages);
+    assert_eq!(a.final_degree, b.final_degree);
+}
+
+#[test]
+fn audit_fields_survive_json_and_csv_round_trips() {
+    let matrix = ScenarioMatrix::from_toml_str(AUDITED).unwrap();
+    let report = run_campaign(
+        &matrix,
+        &RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let json = campaign_to_json(&report);
+    let value = serde::from_json_str(&json).unwrap();
+    use serde::Deserialize;
+    let back = CampaignReport::from_value(&value).unwrap();
+    assert_eq!(back, report);
+    let csv = campaign_to_csv(&report);
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains(",audit,"), "{header}");
+    assert!(header.contains(",audit_findings,"), "{header}");
+    assert!(header.contains(",audit_rules,"), "{header}");
+    assert!(csv.lines().skip(1).all(|l| l.contains(",true,")));
+}
+
+#[test]
+fn a_non_boolean_audit_axis_is_rejected() {
+    let spec = r#"
+        [[scenario]]
+        name = "bad"
+        graph = { family = "path", n = 4 }
+        audit = [1, 2]
+    "#;
+    let err = ScenarioMatrix::from_toml_str(spec).unwrap_err();
+    assert!(err.to_string().contains("audit"), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// The `scenario audit` subcommand
+// ---------------------------------------------------------------------------
+
+fn scenario_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenario"))
+}
+
+/// Repo-root path of the checked-in FIFO-violation fixture (tests run with
+/// the crate directory as CWD).
+const FIFO_FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../examples/traces/fifo-violation.json"
+);
+
+#[test]
+fn audit_subcommand_rejects_the_fifo_violation_fixture() {
+    let out = scenario_bin()
+        .args(["audit", FIFO_FIXTURE])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a corrupted trace must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fifo-inversion"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("happens-before"), "{stderr}");
+
+    // JSON mode carries the same verdict machine-readably.
+    let out = scenario_bin()
+        .args(["audit", FIFO_FIXTURE, "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let value = serde::from_json_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let findings = value.get("findings").unwrap().as_array().unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("rule").unwrap().as_str(),
+        Some("fifo-inversion")
+    );
+}
+
+#[test]
+fn audit_subcommand_passes_a_large_pool_trace() {
+    use mdst_core::{Pipeline, PipelineConfig};
+    use mdst_graph::generators;
+    use mdst_netsim::{ExecutorKind, SimConfig};
+    use serde::Serialize;
+    use std::sync::Arc;
+
+    // A 1,000-node run on the work-stealing pool: the merged multi-worker
+    // trace must audit clean through the offline CLI path too.
+    let graph = Arc::new(generators::random_connected(1000, 500, 99).unwrap());
+    let config = PipelineConfig {
+        sim: SimConfig {
+            record_trace: true,
+            ..Default::default()
+        },
+        executor: ExecutorKind::Pool,
+        ..Default::default()
+    };
+    let report = Pipeline::on(&graph).config(config).run().unwrap();
+    assert!(report.trace.is_enabled());
+    assert!(!report.trace.events().is_empty());
+    let path = std::env::temp_dir().join("mdst-audit-pool-trace.json");
+    std::fs::write(&path, report.trace.to_value().to_json_pretty()).unwrap();
+
+    let findings_path = std::env::temp_dir().join("mdst-audit-pool-findings.json");
+    let out = scenario_bin()
+        .args([
+            "audit",
+            path.to_str().unwrap(),
+            "--quiet",
+            "--out",
+            findings_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "clean pool trace must exit zero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&findings_path).unwrap();
+    let value = serde::from_json_str(&doc).unwrap();
+    assert_eq!(value.get("findings").unwrap().as_array().unwrap().len(), 0);
+    assert!(value.get("sends").unwrap().as_u64().unwrap() > 0);
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(findings_path);
+}
+
+#[test]
+fn audit_subcommand_reads_a_run_report_with_an_embedded_trace() {
+    use mdst_core::{Pipeline, PipelineConfig};
+    use mdst_graph::generators;
+    use mdst_netsim::SimConfig;
+    use serde::Serialize;
+    use std::sync::Arc;
+
+    let graph = Arc::new(generators::star_with_leaf_edges(12).unwrap());
+    let config = PipelineConfig {
+        sim: SimConfig {
+            record_trace: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let report = Pipeline::on(&graph).config(config).run().unwrap();
+    let path = std::env::temp_dir().join("mdst-audit-run-report.json");
+    std::fs::write(&path, report.to_value().to_json_pretty()).unwrap();
+    let out = scenario_bin()
+        .args(["audit", path.to_str().unwrap(), "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn audit_subcommand_errors_cleanly_on_garbage() {
+    let path = std::env::temp_dir().join("mdst-audit-garbage.json");
+    std::fs::write(&path, "{\"not\": \"a trace\"}").unwrap();
+    let out = scenario_bin()
+        .args(["audit", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no trace found"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
