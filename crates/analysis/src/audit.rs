@@ -285,7 +285,7 @@ pub fn audit_events(events: &[TraceEvent]) -> AuditReport {
             related_index: related,
             from: e.from,
             to: e.to,
-            message_kind: e.message_kind.clone(),
+            message_kind: e.message_kind.to_string(),
             msg_id: e.msg_id,
             detail,
         };
@@ -480,7 +480,7 @@ mod tests {
             kind,
             from: NodeId(from),
             to: NodeId(to),
-            message_kind: label.to_string(),
+            message_kind: label.to_string().into(),
             msg_id,
             seq,
         }

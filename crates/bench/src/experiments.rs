@@ -675,6 +675,73 @@ pub fn e9_graph_substrate() -> Table {
     table
 }
 
+/// E10 — the pool's batched message fabric against the legacy per-message
+/// send path, on the deterministic echo-flood workload at two scales. The
+/// flood's message count is schedule-independent (see [`crate::fabric`]),
+/// so both fabrics move exactly the same load and the throughput ratio
+/// isolates the send path: bucketed per-destination flushes with one
+/// relaxed in-flight bump per quantum versus one destination lock, one
+/// sequentially consistent RMW and one run-queue push per message.
+///
+/// Besides the table, the experiment writes `BENCH_fabric.json` (machine
+/// readable, one record per measured run) to the working directory so CI can
+/// archive the numbers. `BENCH_SMOKE=1` shrinks the workloads to CI-smoke
+/// size; the criterion sibling lives in `benches/message_fabric.rs`.
+pub fn e10_message_fabric() -> Table {
+    use crate::fabric;
+    let mut table = Table::new(
+        "E10: batched message fabric vs legacy per-message sends (pool flood)",
+        &[
+            "workload", "fabric", "messages", "wall ms", "msgs/sec", "speedup",
+        ],
+    );
+    let reps = if fabric::smoke() { 2 } else { 3 };
+    let mut records: Vec<serde::Value> = Vec::new();
+    for n in fabric::e10_nodes() {
+        let graph = fabric::workload(n);
+        let legacy = fabric::best_of(&graph, false, 0, reps);
+        let batched = fabric::best_of(&graph, true, 0, reps);
+        let speedup = legacy.wall.as_secs_f64() / batched.wall.as_secs_f64().max(1e-9);
+        for (name, sample, speedup) in [("legacy", &legacy, 1.0), ("batched", &batched, speedup)] {
+            let wall_ms = sample.wall.as_secs_f64() * 1e3;
+            table.add_row(vec![
+                format!("flood random_connected({n})"),
+                name.to_string(),
+                sample.messages.to_string(),
+                fmt_f(wall_ms),
+                fmt_f(sample.msgs_per_sec()),
+                fmt_f(speedup),
+            ]);
+            records.push(serde::Value::Object(vec![
+                ("n".into(), serde::Value::UInt(n as u64)),
+                ("m".into(), serde::Value::UInt(graph.edge_count() as u64)),
+                ("fabric".into(), serde::Value::String(name.to_string())),
+                ("messages".into(), serde::Value::UInt(sample.messages)),
+                ("wall_ms".into(), serde::Value::Float(wall_ms)),
+                (
+                    "msgs_per_sec".into(),
+                    serde::Value::Float(sample.msgs_per_sec()),
+                ),
+                ("speedup_vs_legacy".into(), serde::Value::Float(speedup)),
+            ]));
+        }
+    }
+    let doc = serde::Value::Object(vec![
+        (
+            "experiment".into(),
+            serde::Value::String("e10_message_fabric".into()),
+        ),
+        ("smoke".into(), serde::Value::Bool(fabric::smoke())),
+        ("runs".into(), serde::Value::Array(records)),
+    ]);
+    // Best effort: the table is the primary artifact; a read-only working
+    // directory must not fail the harness.
+    if let Err(e) = std::fs::write("BENCH_fabric.json", doc.to_json_pretty() + "\n") {
+        eprintln!("e10: could not write BENCH_fabric.json: {e}");
+    }
+    table
+}
+
 /// An experiment: a nullary function producing its table.
 pub type ExperimentFn = fn() -> Table;
 
@@ -691,6 +758,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e6", e6_kmz_comparison),
         ("e7", e7_initial_tree_sensitivity),
         ("e9", e9_graph_substrate),
+        ("e10", e10_message_fabric),
         ("a1", a1_algorithm_comparison),
         ("a2", a2_delay_sensitivity),
         ("a3", a3_improvement_policy),
@@ -724,7 +792,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 15);
         let ids: std::collections::BTreeSet<&str> = all.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.len(), all.len());
     }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fabric;
 pub mod substrate;
 pub mod table;
 

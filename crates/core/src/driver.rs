@@ -233,6 +233,9 @@ pub struct PipelineConfig {
     /// Worker threads for the pool backend (`0` = auto); ignored by the
     /// other backends.
     pub workers: usize,
+    /// Mailbox messages the pool backend drains per scheduling quantum
+    /// (`0` = the backend default); ignored by the other backends.
+    pub batch: usize,
 }
 
 impl Default for PipelineConfig {
@@ -243,6 +246,7 @@ impl Default for PipelineConfig {
             sim: SimConfig::default(),
             executor: ExecutorKind::Sim,
             workers: 0,
+            batch: 0,
         }
     }
 }
@@ -253,6 +257,7 @@ impl PipelineConfig {
         ExecConfig {
             sim: self.sim.clone(),
             workers: self.workers,
+            batch: self.batch,
         }
     }
 }
@@ -453,6 +458,16 @@ impl<'obs> Pipeline<'obs> {
         self
     }
 
+    /// Mailbox messages the pool backend drains per scheduling quantum
+    /// (`0` = the backend default). Larger batches amortise per-quantum
+    /// locking; smaller batches interleave nodes more fairly. Ignored by the
+    /// other backends.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.config.batch = batch;
+        self
+    }
+
     /// Replaces the simulator configuration (delays, start schedule, event
     /// cap, traces, faults). A plan registered via [`Pipeline::faults`]
     /// wins over the plan inside this configuration, whatever the builder
@@ -622,7 +637,7 @@ impl<'obs> Pipeline<'obs> {
                             from: e.from,
                             to: e.to,
                             time: e.time,
-                            message_kind: e.message_kind.clone(),
+                            message_kind: e.message_kind.to_string(),
                         },
                         TraceEventKind::Crash => FaultEvent::NodeCrashed {
                             node: e.from,

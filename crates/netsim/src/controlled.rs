@@ -271,7 +271,7 @@ impl<P: Protocol> ControlledNet<P> {
         kind: TraceEventKind,
         from: NodeId,
         to: NodeId,
-        label: &str,
+        label: &'static str,
         ids: (u64, u64),
     ) {
         if !self.trace.is_enabled() {
@@ -284,7 +284,7 @@ impl<P: Protocol> ControlledNet<P> {
             kind,
             from,
             to,
-            message_kind: label.to_string(),
+            message_kind: label.into(),
             msg_id: ids.0,
             seq: ids.1,
         });

@@ -8,7 +8,7 @@
 //! |---|---|---|---|---|
 //! | [`SimExecutor`] (discrete-event [`crate::sim::Simulator`]) | deterministic | full (`DelayModel`, `FaultPlan`) | yes (simulated clock) | ~10³ nodes comfortably |
 //! | [`ThreadedExecutor`] ([`crate::threaded::ThreadedRuntime`]) | real OS threads, one per node | none (the OS *is* the adversary) | yes (atomic global stamp) | ~10² nodes (thread-per-node) |
-//! | [`PoolExecutor`] ([`crate::pool::PoolRuntime`]) | work-stealing worker pool | none | yes (atomic global stamp) | ~10⁴–10⁵ nodes on a fixed pool |
+//! | [`PoolExecutor`] ([`crate::pool::PoolRuntime`]) | work-stealing worker pool, batched message fabric | none | yes (atomic global stamp) | ~10⁵ nodes on a fixed pool |
 //!
 //! All three take the same inputs — a graph, a per-node protocol factory and
 //! an [`ExecConfig`] — and produce the same [`ExecRun`]: final node states,
@@ -149,12 +149,23 @@ pub struct ExecConfig {
     /// capped at 64). Ignored by the simulator (single-threaded) and the
     /// threaded runtime (structurally one thread per node).
     pub workers: usize,
+    /// Mailbox messages the pool backend drains per scheduling quantum
+    /// (`0` = the default, [`PoolRuntime::DEFAULT_BATCH`]). Larger batches
+    /// amortise per-quantum locking; smaller batches interleave nodes more
+    /// fairly. Ignored by the simulator and the threaded runtime; swept as
+    /// the `batch` axis in `mdst-scenario` campaigns.
+    pub batch: usize,
 }
 
 impl ExecConfig {
-    /// Wraps a simulator configuration with the default worker count.
+    /// Wraps a simulator configuration with the default worker count and
+    /// drain batch.
     pub fn from_sim(sim: SimConfig) -> Self {
-        ExecConfig { sim, workers: 0 }
+        ExecConfig {
+            sim,
+            workers: 0,
+            batch: 0,
+        }
     }
 }
 
@@ -388,6 +399,8 @@ impl Executor for PoolExecutor {
             max_events: config.sim.max_events,
             start: config.sim.start.clone(),
             record_trace: config.sim.record_trace,
+            batch: config.batch,
+            coalesce: true,
         };
         let run = PoolRuntime::run(graph, factory, &pool_config)?;
         let n = graph.node_count();

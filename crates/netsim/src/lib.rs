@@ -73,4 +73,4 @@ pub use pool::{PoolConfig, PoolRun, PoolRuntime};
 pub use protocol::{Context, Protocol};
 pub use sim::{SimConfig, SimError, Simulator, StartModel};
 pub use threaded::{ThreadedRun, ThreadedRuntime};
-pub use trace::{TraceEvent, TraceEventKind, TraceRecorder};
+pub use trace::{KindLabel, TraceEvent, TraceEventKind, TraceRecorder};

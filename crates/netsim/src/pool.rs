@@ -4,23 +4,43 @@
 //! protocols under genuine OS nondeterminism, but one thread per node caps it
 //! far below the `n ≥ 10⁴` regime where the paper's `O(Δ* + log n)` degree
 //! bound becomes interesting. This runtime multiplexes every node over a
-//! fixed pool of workers instead:
+//! fixed pool of workers instead, around a **batched message fabric**:
 //!
 //! * **per-node mailboxes** — each node owns a mutex-guarded cell holding its
 //!   protocol state and a FIFO mailbox of in-flight envelopes. A link `{u,v}`
 //!   stays FIFO because `u`'s handler appends to `v`'s mailbox in send order
 //!   and the mailbox drains in order.
-//! * **run queues with stealing** — each worker owns a deque of runnable node
-//!   ids; it pops locally from the front and, when empty, steals from the
-//!   back of a sibling's queue. A node is enqueued at most once (a
-//!   `scheduled` flag in its cell), so the queues stay small and a node's
-//!   handlers never run on two workers at once.
+//! * **quantum = drain batch** — a scheduled node processes its pending
+//!   wake-up plus up to [`PoolConfig::batch`] mailbox messages per quantum,
+//!   so one flooded hub cannot monopolise a worker while other nodes starve.
+//!   Envelopes are consumed straight out of the mailbox's `VecDeque` (whose
+//!   capacity stays with the cell), so steady-state quanta allocate nothing.
+//! * **bucketed send coalescing** — every send a quantum produces is routed,
+//!   at `send` time, into a worker-local bucket per neighbour slot: the
+//!   binary search that validates neighbourship anyway *is* the routing
+//!   step, so grouping by destination costs no sort and no extra pass. The
+//!   buckets are flushed *after* the source cell unlocks (never two cell
+//!   locks at once): walking the slots in order takes **one**
+//!   destination-cell lock per non-empty bucket and appends the link's
+//!   whole message group in handler send order — per-link FIFO for free.
+//!   The quantum's sends are added to the in-flight counter with **one**
+//!   atomic RMW before any message becomes visible, instead of one RMW per
+//!   message, and a flush that wakes exactly one destination hands it back
+//!   as the worker's immediate continuation, skipping the run queue.
+//! * **striped run queues with stealing** — each worker owns a deque of
+//!   runnable node ids; it pops locally from the front and, when empty,
+//!   steals from the back of a sibling's queue. A node is enqueued at most
+//!   once (a `scheduled` flag in its cell), so the queues stay small and a
+//!   node's handlers never run on two workers at once. All of a flush's
+//!   newly runnable destinations are enqueued under one queue lock.
 //! * **quiescence via in-flight counters** — a shared counter tracks every
 //!   queued-or-processing unit of work (initial wake-ups plus undelivered
-//!   messages). Senders increment *before* a message becomes visible and the
-//!   processing worker decrements only after the handler's own sends are
-//!   counted, so the counter reaching zero really means the network is
-//!   quiescent, never a transient gap.
+//!   messages). Senders increment *before* any message of the flush becomes
+//!   visible and the processing worker decrements only after the handler's
+//!   own sends are counted, so the counter reaching zero really means the
+//!   network is quiescent, never a transient gap. The counter uses
+//!   relaxed/acquire-release orderings; the happens-before argument lives on
+//!   the increment site in `process_node_batched`.
 //!
 //! The runtime reports the same [`Metrics`] as the other backends (message
 //! counts, bits, causal depth) plus the wall-clock duration and honors the
@@ -35,7 +55,7 @@ use crate::protocol::{Context, Protocol};
 use crate::sim::{SimError, StartModel};
 use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use mdst_graph::{Graph, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -58,6 +78,18 @@ pub struct PoolConfig {
     /// local event buffer stamped from one atomic global counter; the buffers
     /// are merged into [`PoolRun::trace`] at quiescence.
     pub record_trace: bool,
+    /// Messages drained from a mailbox per scheduling quantum; `0` means the
+    /// default of [`PoolRuntime::DEFAULT_BATCH`]. Larger batches amortise the
+    /// per-quantum locking over more messages; smaller batches interleave
+    /// nodes more fairly. Resolved by [`PoolRuntime::effective_batch`].
+    pub batch: usize,
+    /// Whether to coalesce the quantum's sends into grouped per-destination
+    /// flushes (the default). `false` selects the legacy pre-batching path —
+    /// one destination-cell lock, one sequentially consistent in-flight RMW
+    /// and one run-queue push *per message* — kept only so the `message_fabric`
+    /// bench can A/B the fabric on a single build. Results are equivalent
+    /// either way; only the locking rhythm differs.
+    pub coalesce: bool,
 }
 
 impl Default for PoolConfig {
@@ -67,6 +99,8 @@ impl Default for PoolConfig {
             max_events: crate::sim::SimConfig::default().max_events,
             start: StartModel::Simultaneous,
             record_trace: false,
+            batch: 0,
+            coalesce: true,
         }
     }
 }
@@ -111,11 +145,14 @@ struct NodeCell<P: Protocol> {
     /// Whether `on_start` has run (a message wakes a node that has not
     /// spontaneously started, same convention as the simulator).
     started: bool,
-    /// Sender-side trace sequence counter per outgoing directed link
-    /// (`self → target`). Only touched while the processing worker owns the
-    /// cell exclusively (the `scheduled` flag), so the send order on each
-    /// link maps one-to-one onto consecutive sequence numbers.
-    link_seq: HashMap<usize, u64>,
+    /// Sender-side trace sequence counter per outgoing directed link, indexed
+    /// by the target's position in this node's sorted CSR neighbour slice
+    /// (dense, unlike the `HashMap` it replaced — no per-send entry churn).
+    /// Empty until the node's first traced send, then sized to the neighbour
+    /// count once. Only touched while the processing worker owns the cell
+    /// exclusively (the `scheduled` flag), so the send order on each link
+    /// maps one-to-one onto consecutive sequence numbers.
+    link_seq: Vec<u64>,
 }
 
 /// Counters shared by every worker of one traced run: the global event stamp
@@ -137,6 +174,10 @@ struct Shared<P: Protocol> {
     aborted: AtomicBool,
     max_events: u64,
     n: usize,
+    /// Resolved drain-batch size (never zero).
+    batch: usize,
+    /// `false` selects the legacy per-message flush path (bench baseline).
+    coalesce: bool,
     /// Present exactly when the run records a trace.
     trace: Option<TraceShared>,
 }
@@ -174,14 +215,68 @@ impl<M: NetMessage> Context<M> for PoolCtx<'_, M> {
     }
 }
 
-/// Messages drained from a mailbox per scheduling quantum. Bounded so one
-/// flooded hub cannot monopolise a worker while other nodes starve.
-const DRAIN_BATCH: usize = 64;
+/// Context of the batched fabric: each send is routed straight into the
+/// per-neighbour bucket the flush later drains, reusing the slot that the
+/// neighbourship check computes anyway — so grouping by destination costs
+/// nothing beyond the validation the legacy path already paid, and the flush
+/// needs no sort.
+struct BatchedCtx<'a, M> {
+    id: NodeId,
+    neighbors: &'a [NodeId],
+    network_size: usize,
+    buckets: &'a mut [Vec<Buffered<M>>],
+    current_depth: u64,
+}
+
+impl<M: NetMessage> Context<M> for BatchedCtx<'_, M> {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+    fn send(&mut self, to: NodeId, msg: M) {
+        // The neighbourship check *is* the routing step: the binary search
+        // that validates the destination also yields its bucket slot.
+        let slot = self.neighbors.binary_search(&to);
+        assert!(
+            slot.is_ok(),
+            "protocol bug: {} tried to send {:?} to non-neighbour {}",
+            self.id,
+            msg,
+            to
+        );
+        // The assert above makes the fallback unreachable.
+        self.buckets[slot.unwrap_or(0)].push(Buffered {
+            msg,
+            causal_depth: self.current_depth + 1,
+            msg_id: 0,
+            link_seq: 0,
+        });
+    }
+    fn network_size(&self) -> usize {
+        self.network_size
+    }
+}
 
 /// Runs protocols on a fixed work-stealing worker pool. See the module docs.
 pub struct PoolRuntime;
 
 impl PoolRuntime {
+    /// Default mailbox drain batch per scheduling quantum ([`PoolConfig::batch`]
+    /// `== 0`). Bounded so one flooded hub cannot monopolise a worker while
+    /// other nodes starve.
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// Resolved drain-batch size: `0` means [`Self::DEFAULT_BATCH`].
+    pub fn effective_batch(requested: usize) -> usize {
+        if requested == 0 {
+            Self::DEFAULT_BATCH
+        } else {
+            requested
+        }
+    }
+
     /// Resolved worker count for a pool over `n` nodes.
     pub fn effective_workers(requested: usize, n: usize) -> usize {
         let hw = std::thread::available_parallelism()
@@ -254,7 +349,7 @@ impl PoolRuntime {
                     scheduled: false,
                     pending_start: false,
                     started: false,
-                    link_seq: HashMap::new(),
+                    link_seq: Vec::new(),
                 })
             })
             .collect();
@@ -280,6 +375,8 @@ impl PoolRuntime {
             aborted: AtomicBool::new(false),
             max_events: config.max_events,
             n,
+            batch: Self::effective_batch(config.batch),
+            coalesce: config.coalesce,
             trace: config.record_trace.then(|| TraceShared {
                 stamp: AtomicU64::new(0),
                 next_msg_id: AtomicU64::new(1),
@@ -369,6 +466,53 @@ impl Drop for AbortOnPanic<'_> {
     }
 }
 
+/// One buffered send sitting in a destination bucket: the payload, its
+/// causal depth, and the trace identity assigned just before the flush
+/// (zeros on untraced runs).
+struct Buffered<M> {
+    msg: M,
+    causal_depth: u64,
+    msg_id: u64,
+    link_seq: u64,
+}
+
+/// Worker-local buffers recycled across scheduling quanta, so the steady
+/// state of a long run allocates nothing per quantum: the destination
+/// buckets and the wake list all reuse the capacity high-watermark of
+/// earlier quanta.
+struct Scratch<P: Protocol> {
+    /// Per-neighbour-slot send buckets: `buckets[slot]` holds this quantum's
+    /// messages down link `slot`, in handler send order. Routing happens at
+    /// `send` time (the neighbourship binary search yields the slot), so the
+    /// flush never sorts — it walks the slots in order, one destination lock
+    /// per non-empty bucket. Grown to the widest degree seen, never shrunk;
+    /// the flush drains every bucket, so they are always empty between
+    /// quanta.
+    buckets: Vec<Vec<Buffered<P::Message>>>,
+    /// Destinations that became runnable during the flush.
+    wake: Vec<usize>,
+    /// Processed units owed to `in_flight` by the current continuation
+    /// chain: one Release decrement per chain instead of one per quantum.
+    /// Deferral is always safe — the counter stays an over-approximation
+    /// until the flush, so the idle zero-test can only fire late, never
+    /// early.
+    in_flight_debt: i64,
+    /// Processed units not yet folded into the shared counter (flushed
+    /// every [`PROCESSED_STRIDE`] units and at every chain end).
+    processed_local: u64,
+}
+
+impl<P: Protocol> Scratch<P> {
+    fn new() -> Self {
+        Scratch {
+            buckets: Vec::new(),
+            wake: Vec::new(),
+            in_flight_debt: 0,
+            processed_local: 0,
+        }
+    }
+}
+
 fn worker_loop<P: Protocol>(
     w: usize,
     workers: usize,
@@ -377,6 +521,7 @@ fn worker_loop<P: Protocol>(
     let _abort_guard = AbortOnPanic(&shared.aborted);
     let mut metrics = Metrics::new(shared.n);
     let mut events: Vec<TraceEvent> = Vec::new();
+    let mut scratch = Scratch::new();
     let mut idle_spins = 0u32;
     loop {
         if shared.aborted.load(Ordering::SeqCst) {
@@ -386,10 +531,34 @@ fn worker_loop<P: Protocol>(
         match next {
             Some(u) => {
                 idle_spins = 0;
-                process_node(u, w, shared, &mut metrics, &mut events);
+                // Chain continuation: a batched quantum hands back one node
+                // its flush just made runnable and the worker runs it
+                // immediately — the common wave pattern (one message in, one
+                // message out) never round-trips through the run queue.
+                let mut next = Some(u);
+                while let Some(u) = next {
+                    if shared.aborted.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    next = process_node(u, w, shared, &mut metrics, &mut events, &mut scratch);
+                }
+                // Settle the chain's deferred accounting: one Release
+                // decrement for the whole chain (see `Scratch::in_flight_debt`)
+                // and any processed units below the flush stride.
+                if scratch.in_flight_debt != 0 {
+                    shared
+                        .in_flight
+                        .fetch_sub(scratch.in_flight_debt, Ordering::Release);
+                    scratch.in_flight_debt = 0;
+                }
+                flush_processed(shared, &mut scratch.processed_local);
             }
             None => {
-                if shared.in_flight.load(Ordering::SeqCst) == 0 {
+                // Acquire pairs with the Release decrement in `process_node`:
+                // a zero read happens-after every worker's final decrement,
+                // and the counter is monotone at zero (see the increment
+                // site), so breaking here never abandons live work.
+                if shared.in_flight.load(Ordering::Acquire) == 0 {
                     break;
                 }
                 // Another worker still holds work; back off politely. The
@@ -408,7 +577,18 @@ fn worker_loop<P: Protocol>(
 }
 
 fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
-    lock_ignore_poison(&shared.queues[w]).pop_front()
+    let mut queue = lock_ignore_poison(&shared.queues[w]);
+    let popped = queue.pop_front();
+    // Batched fabric: start pulling the *next* runnable node's cell line
+    // while the popped one is processed — a whole quantum of latency to
+    // hide the miss behind (node indices are effectively random, so the
+    // line is almost always cold).
+    if shared.coalesce {
+        if let Some(&front) = queue.front() {
+            std::hint::black_box(shared.cells[front].is_poisoned());
+        }
+    }
+    popped
 }
 
 /// Steals from the back of a sibling queue, scanning siblings round-robin
@@ -424,9 +604,32 @@ fn steal<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Option<us
 }
 
 /// Processes one scheduling quantum of node `u`: the pending wake-up (if
-/// any) plus up to [`DRAIN_BATCH`] mailbox messages, then delivers the
-/// buffered sends and settles the node's `scheduled` flag.
+/// any) plus up to [`PoolConfig::batch`] mailbox messages, then flushes the
+/// buffered sends and settles the node's `scheduled` flag. Returns one node
+/// the flush made runnable, for immediate local continuation (batched
+/// fabric only — the legacy path always schedules through the queue).
 fn process_node<P: Protocol>(
+    u: usize,
+    w: usize,
+    shared: &Shared<P>,
+    metrics: &mut Metrics,
+    events: &mut Vec<TraceEvent>,
+    scratch: &mut Scratch<P>,
+) -> Option<usize> {
+    if shared.coalesce {
+        process_node_batched(u, w, shared, metrics, events, scratch)
+    } else {
+        process_node_legacy(u, w, shared, metrics, events);
+        None
+    }
+}
+
+/// The legacy pre-batching quantum, kept as the `message_fabric` bench
+/// baseline (`PoolConfig::coalesce = false`) and faithful to the original
+/// rhythm: fresh buffers every quantum, and one sequentially consistent
+/// in-flight RMW, one destination-cell lock and one run-queue push *per
+/// message*. Results are identical to the batched path either way.
+fn process_node_legacy<P: Protocol>(
     u: usize,
     w: usize,
     shared: &Shared<P>,
@@ -434,21 +637,18 @@ fn process_node<P: Protocol>(
     events: &mut Vec<TraceEvent>,
 ) {
     let mut outbox: Vec<(NodeId, P::Message, u64)> = Vec::new();
+    let neighbors = shared.graph.neighbor_slice(NodeId(u));
     let (units, send_ids) = {
         let mut cell = lock_ignore_poison(&shared.cells[u]);
         let start_unit = cell.pending_start;
         cell.pending_start = false;
         let batch: Vec<Envelope<P::Message>> = {
-            let take = cell.mailbox.len().min(DRAIN_BATCH);
+            let take = cell.mailbox.len().min(shared.batch);
             cell.mailbox.drain(..take).collect()
         };
         let wake = !cell.started && (start_unit || !batch.is_empty());
         if wake {
             cell.started = true;
-            // A spontaneous wake-up starts a causal chain (depth 0). A node
-            // woken by its first message instead inherits that message's
-            // depth, exactly like the simulator, so wake-up sends extend the
-            // chain that caused them and causal_time agrees across backends.
             let wake_depth = if start_unit {
                 0
             } else {
@@ -456,7 +656,7 @@ fn process_node<P: Protocol>(
             };
             let mut ctx = PoolCtx {
                 id: NodeId(u),
-                neighbors: shared.graph.neighbor_slice(NodeId(u)),
+                neighbors,
                 network_size: shared.n,
                 outbox: &mut outbox,
                 current_depth: wake_depth,
@@ -473,16 +673,12 @@ fn process_node<P: Protocol>(
                 envelope.causal_depth,
             );
             if let Some(tracing) = &shared.trace {
-                // The deliver stamp is drawn after the mailbox drain, which
-                // happens-after the sender's push, which happens-after the
-                // send stamp — so a message's Deliver always outranks its
-                // Send in the merged order.
                 events.push(TraceEvent {
                     time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
                     kind: TraceEventKind::Deliver,
                     from: envelope.from,
                     to: NodeId(u),
-                    message_kind: envelope.msg.kind().to_string(),
+                    message_kind: envelope.msg.kind().into(),
                     msg_id: envelope.msg_id,
                     seq: envelope.link_seq,
                 });
@@ -492,7 +688,7 @@ fn process_node<P: Protocol>(
         for envelope in batch {
             let mut ctx = PoolCtx {
                 id: NodeId(u),
-                neighbors: shared.graph.neighbor_slice(NodeId(u)),
+                neighbors,
                 network_size: shared.n,
                 outbox: &mut outbox,
                 current_depth: envelope.causal_depth,
@@ -500,41 +696,40 @@ fn process_node<P: Protocol>(
             cell.protocol
                 .on_message(envelope.from, envelope.msg, &mut ctx);
         }
-        // Assign trace identities to this quantum's sends while the source
-        // cell (and with it the per-link sequence counters) is still
-        // exclusively owned, and before any mailbox push makes the messages
-        // visible to other workers.
         let send_ids: Vec<(u64, u64)> = match &shared.trace {
-            Some(tracing) => outbox
-                .iter()
-                .map(|(to, msg, _)| {
-                    let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
-                    let slot = cell.link_seq.entry(to.index()).or_insert(0);
-                    let link_seq = *slot;
-                    *slot += 1;
-                    events.push(TraceEvent {
-                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
-                        kind: TraceEventKind::Send,
-                        from: NodeId(u),
-                        to: *to,
-                        message_kind: msg.kind().to_string(),
-                        msg_id,
-                        seq: link_seq,
-                    });
-                    (msg_id, link_seq)
-                })
-                .collect(),
+            Some(tracing) => {
+                if cell.link_seq.is_empty() && !outbox.is_empty() {
+                    cell.link_seq.resize(neighbors.len(), 0);
+                }
+                outbox
+                    .iter()
+                    .map(|(to, msg, _)| {
+                        let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
+                        // One neighbour lookup per message — the pre-batching
+                        // rhythm this baseline preserves. `send` already
+                        // asserted neighbourship; the fallback is unreachable.
+                        let slot = neighbors.binary_search(to).unwrap_or(0);
+                        let link_seq = cell.link_seq[slot];
+                        cell.link_seq[slot] += 1;
+                        events.push(TraceEvent {
+                            time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                            kind: TraceEventKind::Send,
+                            from: NodeId(u),
+                            to: *to,
+                            message_kind: msg.kind().into(),
+                            msg_id,
+                            seq: link_seq,
+                        });
+                        (msg_id, link_seq)
+                    })
+                    .collect()
+            }
             None => Vec::new(),
         };
         (start_unit as i64 + batch_len as i64, send_ids)
     };
-    // Deliver the buffered sends with the source cell unlocked (never two
-    // cell locks at once — the lock order between two talking nodes would
-    // otherwise deadlock). The source stays exclusively ours via `scheduled`.
     for (i, (to, msg, causal_depth)) in outbox.into_iter().enumerate() {
         let (msg_id, link_seq) = send_ids.get(i).copied().unwrap_or((0, 0));
-        // Count the message before it becomes visible, so `in_flight` can
-        // never transiently read zero while work remains.
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let needs_enqueue = {
             let mut cell = lock_ignore_poison(&shared.cells[to.index()]);
@@ -569,10 +764,287 @@ fn process_node<P: Protocol>(
     if requeue {
         lock_ignore_poison(&shared.queues[w]).push_back(u);
     }
-    // Only now give the processed units back: every send above is already
-    // counted, so the counter never dips to zero early.
-    shared.in_flight.fetch_sub(units, Ordering::SeqCst);
+    shared.in_flight.fetch_sub(units, Ordering::Release);
     let processed = shared.processed.fetch_add(units as u64, Ordering::SeqCst) + units as u64;
+    if processed > shared.max_events {
+        shared.aborted.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The batched quantum: drains into the recycled [`Scratch`], flushes the
+/// buffered sends per destination group and settles the node. Returns one
+/// continuation node when the flush produced any wake-ups.
+fn process_node_batched<P: Protocol>(
+    u: usize,
+    w: usize,
+    shared: &Shared<P>,
+    metrics: &mut Metrics,
+    events: &mut Vec<TraceEvent>,
+    scratch: &mut Scratch<P>,
+) -> Option<usize> {
+    scratch.wake.clear();
+    let neighbors = shared.graph.neighbor_slice(NodeId(u));
+    if scratch.buckets.len() < neighbors.len() {
+        // Grow to this node's degree, never shrink: slots beyond a later
+        // node's degree sit empty and cost one `is_empty` test each.
+        scratch.buckets.resize_with(neighbors.len(), Vec::new);
+    }
+    let units = {
+        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        let start_unit = cell.pending_start;
+        cell.pending_start = false;
+        let take = cell.mailbox.len().min(shared.batch);
+        // Split the cell borrow so the mailbox drain and the protocol
+        // handlers can overlap: envelopes are consumed straight out of the
+        // mailbox in one pass — no intermediate buffer, no second copy —
+        // while the `VecDeque` keeps its capacity inside the cell, so no
+        // quantum reallocates anything.
+        let NodeCell {
+            protocol,
+            mailbox,
+            started,
+            ..
+        } = &mut *cell;
+        let wake = !*started && (start_unit || take > 0);
+        if wake {
+            *started = true;
+            // A spontaneous wake-up starts a causal chain (depth 0). A node
+            // woken by its first message instead inherits that message's
+            // depth, exactly like the simulator, so wake-up sends extend the
+            // chain that caused them and causal_time agrees across backends.
+            let wake_depth = if start_unit {
+                0
+            } else {
+                mailbox.front().map(|e| e.causal_depth).unwrap_or(0)
+            };
+            let mut ctx = BatchedCtx {
+                id: NodeId(u),
+                neighbors,
+                network_size: shared.n,
+                buckets: &mut scratch.buckets,
+                current_depth: wake_depth,
+            };
+            protocol.on_start(&mut ctx);
+        }
+        // Endpoint columns are charged in batch below (`record_received_batch`
+        // after the drain, `record_sent_batch` at the flush); the per-message
+        // loop only records what varies per message.
+        for envelope in mailbox.drain(..take) {
+            metrics.record_payload(
+                envelope.msg.kind(),
+                envelope.msg.encoded_bits(),
+                envelope.causal_depth,
+            );
+            if let Some(tracing) = &shared.trace {
+                // The deliver stamp is drawn after the mailbox drain, which
+                // happens-after the sender's push, which happens-after the
+                // send stamp — so a message's Deliver always outranks its
+                // Send in the merged order. Handlers only append to the
+                // worker-local buckets (Send stamps are assigned after this
+                // loop), so every Deliver of the batch still stamps before
+                // any Send of the batch.
+                events.push(TraceEvent {
+                    time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                    kind: TraceEventKind::Deliver,
+                    from: envelope.from,
+                    to: NodeId(u),
+                    message_kind: envelope.msg.kind().into(),
+                    msg_id: envelope.msg_id,
+                    seq: envelope.link_seq,
+                });
+            }
+            let mut ctx = BatchedCtx {
+                id: NodeId(u),
+                neighbors,
+                network_size: shared.n,
+                buckets: &mut scratch.buckets,
+                current_depth: envelope.causal_depth,
+            };
+            protocol.on_message(envelope.from, envelope.msg, &mut ctx);
+        }
+        let batch_len = take;
+        if batch_len > 0 {
+            metrics.record_received_batch(u, batch_len as u64);
+        }
+        // Assign trace identities to this quantum's sends while the source
+        // cell (and with it the per-link sequence counters) is still
+        // exclusively owned, and before any mailbox push makes the messages
+        // visible to other workers. Each bucket holds its link's messages in
+        // handler send order, so walking the slots hands out per-link
+        // sequence numbers that stay FIFO-faithful — no sort was ever
+        // needed, `send` routed by slot already.
+        if let Some(tracing) = &shared.trace {
+            let slots = &mut scratch.buckets[..neighbors.len()];
+            if cell.link_seq.is_empty() && slots.iter().any(|b| !b.is_empty()) {
+                cell.link_seq.resize(neighbors.len(), 0);
+            }
+            for (slot, bucket) in slots.iter_mut().enumerate() {
+                for entry in bucket.iter_mut() {
+                    let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
+                    let link_seq = cell.link_seq[slot];
+                    cell.link_seq[slot] += 1;
+                    events.push(TraceEvent {
+                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                        kind: TraceEventKind::Send,
+                        from: NodeId(u),
+                        to: neighbors[slot],
+                        message_kind: entry.msg.kind().into(),
+                        msg_id,
+                        seq: link_seq,
+                    });
+                    entry.msg_id = msg_id;
+                    entry.link_seq = link_seq;
+                }
+            }
+        }
+        // Untraced runs settle here, before the flush and inside this same
+        // guard: a mailbox residue keeps the node scheduled (it wakes
+        // itself); otherwise `scheduled` drops now and a concurrent sender
+        // re-enqueues the node the normal way — no lost wake-up, because
+        // senders observe the flag under this very lock. Skipping the
+        // post-flush relock is safe because nothing below touches the
+        // source cell again: a sibling worker claiming `u` mid-flush only
+        // interleaves whole mailbox appends elsewhere, a reordering the
+        // delivery model already allows (the simulator's random delay
+        // models reorder links too). Traced runs settle *after* the flush
+        // instead — a concurrent quantum of `u` could otherwise push later
+        // link sequence numbers ahead of this quantum's unflushed ones and
+        // fail the auditor's per-link FIFO rule.
+        if shared.trace.is_none() {
+            if cell.mailbox.is_empty() {
+                cell.scheduled = false;
+            } else {
+                scratch.wake.push(u);
+            }
+        }
+        start_unit as i64 + batch_len as i64
+    };
+    // Flush the buckets with the source cell unlocked (never two cell locks
+    // at once — the lock order between two talking nodes would otherwise
+    // deadlock). On traced runs the source stays exclusively ours via
+    // `scheduled` until the post-flush settle below.
+    {
+        let slots = &mut scratch.buckets[..neighbors.len()];
+        let total: usize = slots.iter().map(Vec::len).sum();
+        if total > 0 {
+            // Count the whole flush before any of its messages becomes
+            // visible — one RMW per quantum instead of one per message.
+            //
+            // Relaxed suffices here: `in_flight` is only *read* for the
+            // zero-test in `worker_loop`, and zero is reliable on its own
+            // modification order. Every message's increment precedes its
+            // consumer's decrement in that order (the increment precedes the
+            // mailbox push in the sender's program order; the consumer's
+            // decrement follows draining that push, which the dest-cell mutex
+            // orders after it), and the final decrement of each quantum
+            // (Release, below) follows the increments of every message that
+            // quantum produced. So the counter's value only touches zero when
+            // no undelivered message and no unfinished quantum exists — at
+            // which point nothing can ever increment it again, because new
+            // work is only created from inside quanta. A zero read is
+            // therefore never transient, whatever its ordering.
+            shared.in_flight.fetch_add(total as i64, Ordering::Relaxed);
+            metrics.record_sent_batch(u, total as u64);
+            // Warm every destination cell before taking any lock: the
+            // indices are effectively random, so each bucket's first touch
+            // would otherwise stall on a cold cache line inside the critical
+            // section. The relaxed poison-flag load shares its line with the
+            // cell's lock word, and issuing all of them back-to-back lets
+            // the misses overlap instead of serialising one per bucket.
+            for (slot, bucket) in slots.iter().enumerate() {
+                if !bucket.is_empty() {
+                    std::hint::black_box(shared.cells[neighbors[slot].index()].is_poisoned());
+                }
+            }
+            for (slot, bucket) in slots.iter_mut().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let dest = neighbors[slot].index();
+                let needs_enqueue = {
+                    // One destination-cell lock per *bucket*: everything this
+                    // quantum sent down the link lands under one guard.
+                    let mut cell = lock_ignore_poison(&shared.cells[dest]);
+                    for entry in bucket.drain(..) {
+                        cell.mailbox.push_back(Envelope {
+                            from: NodeId(u),
+                            msg: entry.msg,
+                            causal_depth: entry.causal_depth,
+                            msg_id: entry.msg_id,
+                            link_seq: entry.link_seq,
+                        });
+                    }
+                    if cell.scheduled {
+                        false
+                    } else {
+                        cell.scheduled = true;
+                        true
+                    }
+                };
+                if needs_enqueue {
+                    scratch.wake.push(dest);
+                }
+            }
+        }
+    }
+    // Traced runs settle here, after the flush (see the pre-flush comment):
+    // keep the node runnable if messages arrived meanwhile.
+    if shared.trace.is_some() {
+        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        if cell.mailbox.is_empty() {
+            cell.scheduled = false;
+        } else {
+            scratch.wake.push(u);
+        }
+    }
+    // A single wake-up is the wave pattern (one message in, one message
+    // out): hand it straight back as the worker's continuation — the flush
+    // already owns it exclusively (`scheduled` is set and it sits in no
+    // queue), skipping the queue round-trip. Several wake-ups are the flood
+    // pattern instead: publish them all under one run-queue lock and let the
+    // queue interleave destinations, so their mailboxes accumulate into
+    // fatter quanta than chasing any one of them immediately would find.
+    let next = if scratch.wake.len() == 1 {
+        scratch.wake.pop()
+    } else {
+        None
+    };
+    if !scratch.wake.is_empty() {
+        lock_ignore_poison(&shared.queues[w]).extend(scratch.wake.drain(..));
+    }
+    // Only now give the processed units back — every send above is already
+    // counted (and the continuation's mailbox still holds its counted
+    // messages), so the counter never dips to zero early. The give-back is
+    // deferred to the chain's single Release `fetch_sub` in `worker_loop`:
+    // deferral only keeps `in_flight` elevated longer, which can delay the
+    // idle zero-test but never satisfy it spuriously.
+    scratch.in_flight_debt += units;
+    scratch.processed_local += units as u64;
+    if scratch.processed_local >= PROCESSED_STRIDE {
+        flush_processed(shared, &mut scratch.processed_local);
+    }
+    next
+}
+
+/// How many locally-counted processed units a worker accumulates before
+/// folding them into the shared `processed` counter. The event cap must
+/// still fire *inside* a continuation chain — a ping-pong pair is one
+/// endless chain, so a chain-end-only flush would never run — hence the
+/// small bound: the cap overshoots by at most `PROCESSED_STRIDE` units per
+/// worker instead of firing on the exact unit, which the cap (a safety
+/// valve, not an accounting figure) tolerates.
+const PROCESSED_STRIDE: u64 = 64;
+
+/// Folds a worker's locally-accumulated processed units into the shared
+/// counter and trips the abort flag when the event cap is crossed. Relaxed
+/// suffices for the counter: it is monotone and only compared against a
+/// threshold, and the `aborted` flag carries its own SeqCst ordering.
+fn flush_processed<P: Protocol>(shared: &Shared<P>, local: &mut u64) {
+    if *local == 0 {
+        return;
+    }
+    let processed = shared.processed.fetch_add(*local, Ordering::Relaxed) + *local;
+    *local = 0;
     if processed > shared.max_events {
         shared.aborted.store(true, Ordering::SeqCst);
     }

@@ -411,7 +411,7 @@ impl<P: Protocol> Simulator<P> {
                         kind: TraceEventKind::Crash,
                         from: to,
                         to,
-                        message_kind: "Crash".to_string(),
+                        message_kind: "Crash".into(),
                         msg_id: 0,
                         seq: 0,
                     });
@@ -440,7 +440,7 @@ impl<P: Protocol> Simulator<P> {
                         kind: TraceEventKind::Drop,
                         from: *from,
                         to,
-                        message_kind: msg.kind().to_string(),
+                        message_kind: msg.kind().into(),
                         msg_id: *msg_id,
                         seq: *link_seq,
                     });
@@ -500,7 +500,7 @@ impl<P: Protocol> Simulator<P> {
                             kind: TraceEventKind::Deliver,
                             from,
                             to,
-                            message_kind: msg.kind().to_string(),
+                            message_kind: msg.kind().into(),
                             msg_id,
                             seq: link_seq,
                         });
@@ -534,7 +534,7 @@ impl<P: Protocol> Simulator<P> {
                     kind: TraceEventKind::Send,
                     from: to,
                     to: target,
-                    message_kind: msg.kind().to_string(),
+                    message_kind: msg.kind().into(),
                     msg_id,
                     seq: link_seq,
                 });
@@ -561,7 +561,7 @@ impl<P: Protocol> Simulator<P> {
                         kind: TraceEventKind::Drop,
                         from: to,
                         to: target,
-                        message_kind: msg.kind().to_string(),
+                        message_kind: msg.kind().into(),
                         msg_id,
                         seq: link_seq,
                     });

@@ -20,7 +20,6 @@ use crate::protocol::{Context, Protocol};
 use crate::trace::{TraceEvent, TraceEventKind, TraceRecorder};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use mdst_graph::{Graph, NodeId};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -50,8 +49,11 @@ struct TraceShared {
 struct ThreadTracer {
     shared: Arc<TraceShared>,
     events: Vec<TraceEvent>,
-    /// Next send sequence number per target (`self → target` directed link).
-    link_seq: HashMap<usize, u64>,
+    /// Next send sequence number per target (`self → target` directed link),
+    /// indexed by the target's position in this node's sorted CSR neighbour
+    /// slice — a dense array instead of the per-send `HashMap` entry churn it
+    /// replaced.
+    link_seq: Vec<u64>,
 }
 
 impl ThreadTracer {
@@ -89,16 +91,21 @@ impl<M: NetMessage> Context<M> for ThreadCtx<'_, M> {
         let (msg_id, link_seq) = match self.tracer.as_mut() {
             Some(tracer) => {
                 let msg_id = tracer.shared.next_msg_id.fetch_add(1, Ordering::SeqCst);
-                let slot = tracer.link_seq.entry(to.index()).or_insert(0);
-                let link_seq = *slot;
-                *slot += 1;
+                // `binary_search` cannot fail: the assert above already
+                // established neighbourship.
+                let slot = self.neighbors.binary_search(&to).unwrap_or(0);
+                if tracer.link_seq.is_empty() {
+                    tracer.link_seq.resize(self.neighbors.len(), 0);
+                }
+                let link_seq = tracer.link_seq[slot];
+                tracer.link_seq[slot] += 1;
                 let time = tracer.stamp();
                 tracer.events.push(TraceEvent {
                     time,
                     kind: TraceEventKind::Send,
                     from: self.id,
                     to,
-                    message_kind: msg.kind().to_string(),
+                    message_kind: msg.kind().into(),
                     msg_id,
                     seq: link_seq,
                 });
@@ -236,7 +243,7 @@ impl ThreadedRuntime {
                 let mut tracer = trace_shared.map(|shared| ThreadTracer {
                     shared,
                     events: Vec::new(),
-                    link_seq: HashMap::new(),
+                    link_seq: Vec::new(),
                 });
                 // Counts a processed work unit against the cap; every thread
                 // observing the overflow raises the shared abort.
@@ -283,7 +290,7 @@ impl ThreadedRuntime {
                                 kind: TraceEventKind::Deliver,
                                 from: envelope.from,
                                 to: NodeId(u),
-                                message_kind: envelope.msg.kind().to_string(),
+                                message_kind: envelope.msg.kind().into(),
                                 msg_id: envelope.msg_id,
                                 seq: envelope.link_seq,
                             });

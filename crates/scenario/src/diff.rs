@@ -4,8 +4,8 @@
 //! code revisions and classifies every matched run pair, so CI can gate on
 //! quality regressions the way it already gates on absolute bound violations.
 //! Runs are matched on their full configuration key — scenario, graph,
-//! initial tree, delay, start, faults, executor and seed — which is exactly
-//! the identity of one cell of the sweep matrix.
+//! initial tree, delay, start, faults, executor, batch (when swept) and seed
+//! — which is exactly the identity of one cell of the sweep matrix.
 //!
 //! A **regression** (candidate worse than baseline) is any of:
 //!
@@ -239,8 +239,18 @@ fn outcome_rank(outcome: RunOutcome) -> u8 {
 }
 
 fn run_key(run: &RunRecord) -> String {
+    // The batch axis joined the sweep matrix after reports already existed in
+    // the wild; a missing `batch` field deserializes as 0 (see
+    // [`crate::runner::BatchSize`]) and the default-batch segment is omitted
+    // here, so pre-batch baselines keep producing byte-identical keys and
+    // still diff against fresh reports.
+    let batch = if run.batch.0 == 0 {
+        String::new()
+    } else {
+        format!(" / batch {}", run.batch)
+    };
     format!(
-        "{} / {} / {} / {} / {} / {} / {} / seed {}",
+        "{} / {} / {} / {} / {} / {} / {}{} / seed {}",
         run.scenario,
         run.graph,
         run.initial,
@@ -248,6 +258,7 @@ fn run_key(run: &RunRecord) -> String {
         run.start,
         run.faults,
         run.executor,
+        batch,
         run.seed
     )
 }

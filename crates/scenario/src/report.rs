@@ -26,6 +26,7 @@ pub const CSV_COLUMNS: &[&str] = &[
     "start",
     "faults",
     "executor",
+    "batch",
     "audit",
     "seed",
     "n",
@@ -75,6 +76,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             csv_escape(&run.start),
             csv_escape(&run.faults),
             csv_escape(&run.executor),
+            run.batch.to_string(),
             run.audit.to_string(),
             run.seed.to_string(),
             run.n.to_string(),

@@ -88,6 +88,41 @@ impl Deserialize for RunOutcome {
     }
 }
 
+/// Drain-batch size of a run (`0` = backend default; only the pool backend
+/// reads it).
+///
+/// A transparent wrapper over `usize` whose deserialization tolerates the
+/// field being absent: reports written before the batch axis existed have no
+/// `batch` key, which reaches [`Deserialize::from_value`] as `Value::Null`
+/// and decodes as `0` — so pre-batch campaign reports still load and diff
+/// against new ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct BatchSize(pub usize);
+
+impl Serialize for BatchSize {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(self.0 as u64)
+    }
+}
+
+impl Deserialize for BatchSize {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(BatchSize(0)),
+            other => other
+                .as_u64()
+                .map(|b| BatchSize(b as usize))
+                .ok_or_else(|| serde::Error::custom("expected a batch size")),
+        }
+    }
+}
+
+impl std::fmt::Display for BatchSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 /// Runner configuration.
 #[derive(Debug, Clone, Default)]
 pub struct RunnerConfig {
@@ -216,6 +251,10 @@ pub struct RunRecord {
     pub faults: String,
     /// Executor backend label (`"sim"`, `"threaded"`, `"pool"`).
     pub executor: String,
+    /// Drain-batch size swept by the `batch` axis (`0` = backend default;
+    /// Null-tolerant so pre-batch reports still deserialize — see
+    /// [`BatchSize`]).
+    pub batch: BatchSize,
     /// Whether the run recorded a trace and replayed it through the
     /// happens-before auditor (the `audit` axis).
     pub audit: bool,
@@ -430,6 +469,7 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         start: spec.start.label(),
         faults: spec.faults.label(),
         executor: spec.executor.label().to_string(),
+        batch: BatchSize(spec.batch),
         audit: spec.audit,
         seed: spec.seed,
         n: 0,

@@ -69,6 +69,10 @@ pub struct ScenarioSpec {
     pub executor: Vec<ExecutorKind>,
     /// Worker threads for pool-backed runs (`0` = auto).
     pub workers: usize,
+    /// Drain-batch axis for pool-backed runs (`batch = 128` /
+    /// `batch = [0, 16, 256]`; `0` = the backend default). Swept like any
+    /// other axis so campaigns can chart throughput against batch size.
+    pub batch: Vec<usize>,
     /// Trace-audit axis (`audit = true` / `audit = [false, true]`). Audited
     /// runs record a message trace on every backend and replay it through the
     /// `mdst-analysis` happens-before auditor after the run finishes.
@@ -619,6 +623,8 @@ pub struct RunSpec {
     pub executor: ExecutorKind,
     /// Worker threads for the pool backend (`0` = auto).
     pub workers: usize,
+    /// Drain-batch size for the pool backend (`0` = backend default).
+    pub batch: usize,
     /// Whether this run records a trace and feeds it to the happens-before
     /// auditor.
     pub audit: bool,
@@ -646,6 +652,7 @@ impl RunSpec {
             },
             executor: self.executor,
             workers: self.workers,
+            batch: self.batch,
         })
     }
 }
@@ -863,6 +870,17 @@ impl ScenarioSpec {
                 ))
             })? as usize,
         };
+        let batch = match value.get("batch") {
+            None => vec![0],
+            Some(v) => u64_list(v)
+                .map(|l| l.into_iter().map(|b| b as usize).collect::<Vec<_>>())
+                .ok_or_else(|| {
+                    SpecError(format!(
+                        "scenario `{name}`: `batch` must be a non-negative integer \
+                         or list of non-negative integers"
+                    ))
+                })?,
+        };
         let audit = match value.get("audit") {
             None => vec![false],
             Some(v) => bool_list(v).ok_or_else(|| {
@@ -901,6 +919,7 @@ impl ScenarioSpec {
             || start.is_empty()
             || faults.is_empty()
             || executor.is_empty()
+            || batch.is_empty()
             || audit.is_empty()
         {
             return spec_err(format!("scenario `{name}`: empty sweep axis"));
@@ -914,6 +933,7 @@ impl ScenarioSpec {
             faults,
             executor,
             workers,
+            batch,
             audit,
             seeds,
             root,
@@ -928,22 +948,25 @@ impl ScenarioSpec {
                     for start in &self.start {
                         for faults in &self.faults {
                             for &executor in &self.executor {
-                                for &audit in &self.audit {
-                                    for &seed in &self.seeds {
-                                        runs.push(RunSpec {
-                                            scenario: self.name.clone(),
-                                            graph: graph.clone(),
-                                            initial: initial.clone(),
-                                            delay: *delay,
-                                            start: *start,
-                                            faults: faults.clone(),
-                                            executor,
-                                            workers: self.workers,
-                                            audit,
-                                            seed,
-                                            root: self.root,
-                                            max_events: self.max_events,
-                                        });
+                                for &batch in &self.batch {
+                                    for &audit in &self.audit {
+                                        for &seed in &self.seeds {
+                                            runs.push(RunSpec {
+                                                scenario: self.name.clone(),
+                                                graph: graph.clone(),
+                                                initial: initial.clone(),
+                                                delay: *delay,
+                                                start: *start,
+                                                faults: faults.clone(),
+                                                executor,
+                                                workers: self.workers,
+                                                batch,
+                                                audit,
+                                                seed,
+                                                root: self.root,
+                                                max_events: self.max_events,
+                                            });
+                                        }
                                     }
                                 }
                             }

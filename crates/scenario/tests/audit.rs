@@ -91,6 +91,91 @@ fn a_non_boolean_audit_axis_is_rejected() {
     assert!(err.to_string().contains("audit"), "{err}");
 }
 
+#[test]
+fn batched_pool_traces_audit_clean_and_match_sim_link_counts_across_batch_sizes() {
+    use mdst_analysis::audit::audit;
+    use mdst_graph::{generators, NodeId};
+    use mdst_netsim::{
+        Context, ExecStatus, NetMessage, PoolConfig, PoolRuntime, Protocol, SimConfig, Simulator,
+    };
+    use std::sync::Arc;
+
+    /// Hop-bounded echo flood: every delivery's fan-out is a local function
+    /// of the arriving token, so the multiset of `from → to` messages — and
+    /// with it every per-link count — is schedule independent. That makes
+    /// the per-link audit statistics comparable *exactly* between the
+    /// simulator and the pool, whatever the worker interleaving.
+    #[derive(Debug, Clone)]
+    struct Echo(u8);
+    impl NetMessage for Echo {
+        fn kind(&self) -> &'static str {
+            "Echo"
+        }
+        fn encoded_bits(&self) -> usize {
+            8
+        }
+    }
+    struct EchoSt(NodeId);
+    impl Protocol for EchoSt {
+        type Message = Echo;
+        fn on_start(&mut self, ctx: &mut dyn Context<Echo>) {
+            if self.0 == NodeId(0) {
+                for i in 0..ctx.neighbors().len() {
+                    let to = ctx.neighbors()[i];
+                    ctx.send(to, Echo(3));
+                }
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: Echo, ctx: &mut dyn Context<Echo>) {
+            if msg.0 > 0 {
+                for i in 0..ctx.neighbors().len() {
+                    let to = ctx.neighbors()[i];
+                    if to != from {
+                        ctx.send(to, Echo(msg.0 - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    let graph = Arc::new(generators::random_connected(60, 120, 13).unwrap());
+    let sim_config = SimConfig {
+        record_trace: true,
+        ..Default::default()
+    };
+    let mut sim = Simulator::new(&graph, sim_config, |id, _| EchoSt(id)).unwrap();
+    sim.run().unwrap();
+    let sim_audit = audit(sim.trace());
+    assert!(sim_audit.is_clean(), "{}", sim_audit.to_markdown());
+    assert!(sim_audit.sends > 0);
+
+    // Every swept batch size must audit clean *and* agree with the simulator
+    // link by link — the coalesced flush regroups sends per destination, but
+    // the messages each directed link carries are invariant.
+    for batch in [1usize, 2, 7, 64, 256] {
+        let run = PoolRuntime::run(
+            &graph,
+            |id, _| EchoSt(id),
+            &PoolConfig {
+                record_trace: true,
+                batch,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(run.status, ExecStatus::Quiesced, "batch {batch}");
+        let pool_audit = audit(&run.trace);
+        assert!(
+            pool_audit.is_clean(),
+            "batch {batch}:\n{}",
+            pool_audit.to_markdown()
+        );
+        assert_eq!(pool_audit.sends, sim_audit.sends, "batch {batch}");
+        assert_eq!(pool_audit.delivers, sim_audit.delivers, "batch {batch}");
+        assert_eq!(pool_audit.links, sim_audit.links, "batch {batch}");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The `scenario audit` subcommand
 // ---------------------------------------------------------------------------

@@ -52,6 +52,7 @@ fn case() -> impl Strategy<Value = (Arc<Graph>, PipelineConfig)> {
                 },
                 executor,
                 workers: 2,
+                batch: 0,
             };
             (graph, config)
         })

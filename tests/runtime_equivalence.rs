@@ -6,6 +6,7 @@
 
 use mdst::core::distributed::MdstNode;
 use mdst::prelude::*;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn run_both(
@@ -86,6 +87,59 @@ fn pool_and_simulated_runs_produce_the_same_tree() {
         assert_eq!(
             sim_run.metrics.messages_by_kind, pool_run.metrics.messages_by_kind,
             "seed {seed}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The batched fabric must agree with the simulator for *every* graph
+    /// seed and every drain-batch size, not just the default: the batch knob
+    /// only reshapes scheduling quanta, never the message flow. Small batch
+    /// sizes are the adversarial end — a batch of 1 maximises flush count
+    /// and continuation churn.
+    #[test]
+    fn batched_pool_matches_the_simulator_for_any_seed_and_batch(
+        seed in any::<u64>(),
+        batch in 1usize..96,
+        workers in 1usize..6,
+    ) {
+        let graph = Arc::new(generators::gnp_connected(18, 0.25, seed).expect("valid"));
+        let initial =
+            algorithms::greedy_high_degree_tree(&graph, NodeId(0)).expect("connected");
+        let sim_run =
+            run_distributed_mdst(&graph, &initial, SimConfig::default()).expect("sim");
+        let pool_run = run_distributed_mdst_on(
+            ExecutorKind::Pool,
+            &graph,
+            &initial,
+            &ExecConfig {
+                workers,
+                batch,
+                ..Default::default()
+            },
+        )
+        .expect("pool");
+        let a: std::collections::BTreeSet<_> = sim_run
+            .final_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        let b: std::collections::BTreeSet<_> = pool_run
+            .final_tree
+            .edges()
+            .map(|(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(
+            &sim_run.metrics.messages_by_kind,
+            &pool_run.metrics.messages_by_kind
+        );
+        prop_assert_eq!(sim_run.metrics.bits_total, pool_run.metrics.bits_total);
+        prop_assert_eq!(
+            sim_run.metrics.messages_total,
+            pool_run.metrics.messages_total
         );
     }
 }
