@@ -478,8 +478,8 @@ mod tests {
         TraceEvent {
             time,
             kind,
-            from: NodeId(from),
-            to: NodeId(to),
+            from: NodeId::new(from),
+            to: NodeId::new(to),
             message_kind: label.to_string().into(),
             msg_id,
             seq,

@@ -88,7 +88,7 @@ fn bench_per_run_topology_cost(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("rematerialize", n), &n, |b, _| {
         b.iter(|| {
             let neighbors: Vec<Vec<NodeId>> = (0..n)
-                .map(|u| graph.neighbors(NodeId(u)).collect())
+                .map(|u| graph.neighbors(NodeId::new(u)).collect())
                 .collect();
             std::hint::black_box(neighbors)
         })

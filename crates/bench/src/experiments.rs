@@ -662,7 +662,7 @@ pub fn e9_graph_substrate() -> Table {
     });
     let remat = time_us(&|| {
         let neighbors: Vec<Vec<NodeId>> = (0..n)
-            .map(|u| shared.neighbors(NodeId(u)).collect())
+            .map(|u| shared.neighbors(NodeId::new(u)).collect())
             .collect();
         std::hint::black_box(neighbors);
     });
@@ -742,6 +742,118 @@ pub fn e10_message_fabric() -> Table {
     table
 }
 
+/// E11 — streaming two-pass CSR ingestion against the legacy whole-file
+/// parse, at three scales, on a serialised `random_connected` workload. Wall
+/// time and an accounted peak-bytes model per path (see [`crate::ingest`]
+/// for the model and why a counting allocator is off the table), plus the
+/// gzip twin through the chunked decoder with its buffering high-water mark
+/// *asserted* under [`crate::ingest::DECODER_HIGH_WATER_CAP`] — the machine-checked
+/// form of "streaming gzip ingestion never materialises the edge stream".
+///
+/// Besides the table, the experiment writes `BENCH_ingest.json` (one record
+/// per measured run) for CI to archive. `BENCH_SMOKE=1` shrinks the sweep.
+pub fn e11_graph_ingest() -> Table {
+    use crate::ingest;
+    let mut table = Table::new(
+        "E11: streaming CSR ingestion vs legacy whole-file parse (edge list)",
+        &[
+            "workload",
+            "path",
+            "edges",
+            "wall ms",
+            "peak bytes",
+            "peak vs legacy",
+        ],
+    );
+    let dir = std::env::temp_dir().join(format!("mdst_e11_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("e11: could not create {}: {e}", dir.display());
+        return table;
+    }
+    let mut records: Vec<serde::Value> = Vec::new();
+    for n in ingest::e11_nodes() {
+        let (plain, gz, file_bytes) = ingest::write_workload(n, &dir).unwrap();
+        let (legacy_graph, legacy) = ingest::legacy_ingest(&plain).unwrap();
+        let (stream_graph, streaming) = ingest::streaming_ingest(&plain).unwrap();
+        let (gz_graph, gz_sample) = ingest::streaming_gz_ingest(&gz).unwrap();
+        // All three paths must agree on the graph before any timing counts.
+        assert_eq!(legacy.edges, streaming.edges, "paths disagree at n={n}");
+        assert_eq!(
+            legacy.edges, gz_sample.edges,
+            "gzip path disagrees at n={n}"
+        );
+        assert_eq!(legacy_graph.max_degree(), stream_graph.max_degree());
+        assert_eq!(stream_graph.memory_bytes(), gz_graph.memory_bytes());
+        // The memory-diet regression gates: the streaming path must undercut
+        // the legacy peak, and the decoder's buffering must stay bounded no
+        // matter how many edges flow through it.
+        assert!(
+            streaming.peak_bytes < legacy.peak_bytes,
+            "streaming peak {} must undercut legacy {} at n={n}",
+            streaming.peak_bytes,
+            legacy.peak_bytes
+        );
+        let high_water = gz_sample.decoder_high_water.unwrap_or(usize::MAX);
+        assert!(
+            high_water <= ingest::DECODER_HIGH_WATER_CAP,
+            "gzip decoder buffered {high_water} bytes at n={n} (cap {}): \
+             the chunked inflate must never materialise the stream",
+            ingest::DECODER_HIGH_WATER_CAP
+        );
+        for (name, sample) in [
+            ("legacy", &legacy),
+            ("streaming", &streaming),
+            ("streaming .gz", &gz_sample),
+        ] {
+            let wall_ms = sample.wall.as_secs_f64() * 1e3;
+            let ratio = sample.peak_bytes as f64 / legacy.peak_bytes as f64;
+            table.add_row(vec![
+                format!("random_connected({n}), {file_bytes} B file"),
+                name.to_string(),
+                sample.edges.to_string(),
+                fmt_f(wall_ms),
+                sample.peak_bytes.to_string(),
+                fmt_f(ratio),
+            ]);
+            records.push(serde::Value::Object(vec![
+                ("n".into(), serde::Value::UInt(n as u64)),
+                ("m".into(), serde::Value::UInt(sample.edges as u64)),
+                ("file_bytes".into(), serde::Value::UInt(file_bytes as u64)),
+                ("path".into(), serde::Value::String(name.to_string())),
+                ("wall_ms".into(), serde::Value::Float(wall_ms)),
+                (
+                    "peak_bytes".into(),
+                    serde::Value::UInt(sample.peak_bytes as u64),
+                ),
+                (
+                    "decoder_high_water".into(),
+                    match sample.decoder_high_water {
+                        Some(hw) => serde::Value::UInt(hw as u64),
+                        None => serde::Value::Null,
+                    },
+                ),
+                ("peak_vs_legacy".into(), serde::Value::Float(ratio)),
+            ]));
+        }
+        let _ = std::fs::remove_file(&plain);
+        let _ = std::fs::remove_file(&gz);
+    }
+    let _ = std::fs::remove_dir(&dir);
+    let doc = serde::Value::Object(vec![
+        (
+            "experiment".into(),
+            serde::Value::String("e11_graph_ingest".into()),
+        ),
+        ("smoke".into(), serde::Value::Bool(crate::fabric::smoke())),
+        ("runs".into(), serde::Value::Array(records)),
+    ]);
+    // Best effort, same policy as E10: the table is the primary artifact.
+    if let Err(e) = std::fs::write("BENCH_ingest.json", doc.to_json_pretty() + "\n") {
+        eprintln!("e11: could not write BENCH_ingest.json: {e}");
+    }
+    table
+}
+
 /// An experiment: a nullary function producing its table.
 pub type ExperimentFn = fn() -> Table;
 
@@ -759,6 +871,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("e7", e7_initial_tree_sensitivity),
         ("e9", e9_graph_substrate),
         ("e10", e10_message_fabric),
+        ("e11", e11_graph_ingest),
         ("a1", a1_algorithm_comparison),
         ("a2", a2_delay_sensitivity),
         ("a3", a3_improvement_policy),
@@ -792,7 +905,7 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete_and_unique() {
         let all = all_experiments();
-        assert_eq!(all.len(), 15);
+        assert_eq!(all.len(), 16);
         let ids: std::collections::BTreeSet<&str> = all.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids.len(), all.len());
     }

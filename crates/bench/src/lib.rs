@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod fabric;
+pub mod ingest;
 pub mod substrate;
 pub mod table;
 

@@ -32,8 +32,8 @@ pub fn build_baseline_adjacency(
     }
     let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
     for (i, (u, v)) in set.into_iter().enumerate() {
-        adj[u.index()].push((v, EdgeId(i)));
-        adj[v.index()].push((u, EdgeId(i)));
+        adj[u.index()].push((v, EdgeId::new(i)));
+        adj[v.index()].push((u, EdgeId::new(i)));
     }
     for row in &mut adj {
         row.sort_unstable_by_key(|&(v, _)| v);

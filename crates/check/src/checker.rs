@@ -221,7 +221,7 @@ pub fn check_with_suite(
         edges: graph.edges().map(|(u, v)| (u.index(), v.index())).collect(),
         root: initial.root().index(),
         initial_parents: (0..graph.node_count())
-            .map(|u| initial.parent(NodeId(u)).map(|p| p.index()))
+            .map(|u| initial.parent(NodeId::new(u)).map(|p| p.index()))
             .collect(),
         lazy_starts: config.lazy_starts,
         schedule: Vec::new(),

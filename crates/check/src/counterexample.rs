@@ -75,16 +75,17 @@ impl Counterexample {
         let bad = |e: &dyn fmt::Display| ReplayError::BadRecipe(e.to_string());
         let mut b = GraphBuilder::new(self.n);
         for &(u, v) in &self.edges {
-            b.add_edge_idempotent(NodeId(u), NodeId(v))
+            b.add_edge_idempotent(NodeId::new(u), NodeId::new(v))
                 .map_err(|e| bad(&e))?;
         }
         let graph = Arc::new(b.build());
         let parents = self
             .initial_parents
             .iter()
-            .map(|p| p.map(NodeId))
+            .map(|p| p.map(NodeId::new))
             .collect::<Vec<_>>();
-        let tree = RootedTree::from_parents(NodeId(self.root), parents).map_err(|e| bad(&e))?;
+        let tree =
+            RootedTree::from_parents(NodeId::new(self.root), parents).map_err(|e| bad(&e))?;
         tree.validate_against(&graph).map_err(|e| bad(&e))?;
         let nodes = MdstNode::from_tree(&tree);
         let discipline = if self.lazy_starts {

@@ -137,7 +137,7 @@ pub fn connected_graphs(n: usize) -> Vec<Graph> {
             let mut b = GraphBuilder::new(n);
             for (bit, &(u, v)) in slots.iter().enumerate() {
                 if mask & (1 << bit) != 0 {
-                    b.add_edge(NodeId(u), NodeId(v))
+                    b.add_edge(NodeId::new(u), NodeId::new(v))
                         .expect("enumerated edge is simple");
                 }
             }

@@ -99,7 +99,7 @@ impl InvariantSuite for MdstInvariants {
                 "stalled",
                 format!(
                     "quiescent without faults but {} has not terminated",
-                    NodeId(stalled)
+                    NodeId::new(stalled)
                 ),
             ));
         }

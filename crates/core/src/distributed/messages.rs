@@ -257,8 +257,8 @@ mod tests {
 
     fn cand(u: usize, v: usize, du: usize, dv: usize) -> Candidate {
         Candidate {
-            u: NodeId(u),
-            v: NodeId(v),
+            u: NodeId::new(u),
+            v: NodeId::new(v),
             deg_u: du,
             deg_v: dv,
         }

@@ -96,7 +96,7 @@ impl MdstNode {
     pub fn from_tree(tree: &RootedTree) -> Vec<MdstNode> {
         (0..tree.node_count())
             .map(|u| {
-                let id = NodeId(u);
+                let id = NodeId::new(u);
                 MdstNode::new(
                     id,
                     tree.parent(id),

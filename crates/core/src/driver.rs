@@ -653,7 +653,7 @@ impl<'obs> Pipeline<'obs> {
                 for (index, &dead) in run.crashed.iter().enumerate() {
                     if dead {
                         let event = FaultEvent::NodeCrashed {
-                            node: NodeId(index),
+                            node: NodeId::new(index),
                             time: None,
                         };
                         for obs in observers.iter_mut() {

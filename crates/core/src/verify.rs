@@ -224,7 +224,7 @@ pub fn check_safety_invariants(
 
     // 1 + 2: parent pointers are real graph edges.
     for (u, snap) in snapshots.iter().enumerate() {
-        let u = NodeId(u);
+        let u = NodeId::new(u);
         if let Some(p) = snap.parent {
             if p == u {
                 return Err(InvariantViolation::SelfParent { node: u });
@@ -247,7 +247,7 @@ pub fn check_safety_invariants(
     for &(a, b) in &edges {
         if !dsu.union(a, b) {
             return Err(InvariantViolation::ParentCycle {
-                edge: (NodeId(a), NodeId(b)),
+                edge: (NodeId::new(a), NodeId::new(b)),
             });
         }
     }
@@ -256,7 +256,7 @@ pub fn check_safety_invariants(
     let mut root = None;
     let mut coordinator = None;
     for (u, snap) in snapshots.iter().enumerate() {
-        let u = NodeId(u);
+        let u = NodeId::new(u);
         if snap.parent.is_none() {
             if let Some(r) = root {
                 return Err(InvariantViolation::MultipleRoots { roots: (r, u) });
@@ -277,7 +277,7 @@ pub fn check_safety_invariants(
     let mut per_round: std::collections::BTreeMap<u32, (NodeId, NodeId)> =
         std::collections::BTreeMap::new();
     for (u, snap) in snapshots.iter().enumerate() {
-        let u = NodeId(u);
+        let u = NodeId::new(u);
         if let Some((coord, _)) = snap.fragment {
             match per_round.get(&snap.round) {
                 None => {
@@ -337,7 +337,7 @@ impl SurvivorReport {
             let (iu, iv) = (index_of[u.index()], index_of[v.index()]);
             if iu != usize::MAX && iv != usize::MAX {
                 builder
-                    .add_edge_idempotent(NodeId(iu), NodeId(iv))
+                    .add_edge_idempotent(NodeId::new(iu), NodeId::new(iv))
                     .expect("renumbered endpoints are in range and distinct");
             }
         }
@@ -375,7 +375,7 @@ pub fn survivor_report(
         if visited[start] || crashed[start] {
             continue;
         }
-        let mut queue = vec![NodeId(start)];
+        let mut queue = vec![NodeId::new(start)];
         visited[start] = true;
         let mut members = Vec::new();
         while let Some(u) = queue.pop() {
@@ -402,7 +402,7 @@ pub fn survivor_report(
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     for (u, parent) in parents.iter().enumerate() {
         let Some(p) = *parent else { continue };
-        let u = NodeId(u);
+        let u = NodeId::new(u);
         if u == p || !live(u) || !live(p) {
             continue;
         }
@@ -494,7 +494,7 @@ mod tests {
 
     fn parents_of(tree: &RootedTree) -> Vec<Option<NodeId>> {
         (0..tree.node_count())
-            .map(|u| tree.parent(NodeId(u)))
+            .map(|u| tree.parent(NodeId::new(u)))
             .collect()
     }
 
@@ -625,7 +625,7 @@ mod tests {
 
     fn snap(parent: Option<usize>) -> NodeSnapshot {
         NodeSnapshot {
-            parent: parent.map(NodeId),
+            parent: parent.map(NodeId::new),
             round: 1,
             fragment: None,
             coordinator: false,
@@ -682,9 +682,9 @@ mod tests {
     fn safety_invariants_scope_fragment_agreement_per_round() {
         let g = generators::cycle(4).unwrap();
         let frag = |parent: Option<usize>, round, coord: usize| NodeSnapshot {
-            parent: parent.map(NodeId),
+            parent: parent.map(NodeId::new),
             round,
-            fragment: Some((NodeId(coord), NodeId(9))),
+            fragment: Some((NodeId::new(coord), NodeId(9))),
             coordinator: false,
             done: false,
         };

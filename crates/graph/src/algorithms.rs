@@ -102,7 +102,7 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
         }
         let id = components.len();
         let mut members = Vec::new();
-        let mut queue = VecDeque::from([NodeId(start)]);
+        let mut queue = VecDeque::from([NodeId::new(start)]);
         comp[start] = id;
         while let Some(u) = queue.pop_front() {
             members.push(u);
@@ -178,7 +178,7 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
 
         while let Some(frame) = stack.last_mut() {
             let u = frame.node;
-            let neighbors: Vec<NodeId> = g.neighbors(NodeId(u)).collect();
+            let neighbors: Vec<NodeId> = g.neighbors(NodeId::new(u)).collect();
             if frame.next_neighbor < neighbors.len() {
                 let v = neighbors[frame.next_neighbor].index();
                 frame.next_neighbor += 1;
@@ -226,7 +226,7 @@ pub fn articulation_points(g: &Graph) -> Vec<NodeId> {
             }
         }
     }
-    (0..n).filter(|&u| is_art[u]).map(NodeId).collect()
+    (0..n).filter(|&u| is_art[u]).map(NodeId::new).collect()
 }
 
 /// Bridges of the graph (edges whose removal disconnects their component),
@@ -261,7 +261,7 @@ pub fn bridges(g: &Graph) -> Vec<(NodeId, NodeId)> {
         }];
         while let Some(frame) = stack.last_mut() {
             let u = frame.node;
-            let neighbors: Vec<NodeId> = g.neighbors(NodeId(u)).collect();
+            let neighbors: Vec<NodeId> = g.neighbors(NodeId::new(u)).collect();
             if frame.next_neighbor < neighbors.len() {
                 let v = neighbors[frame.next_neighbor].index();
                 frame.next_neighbor += 1;
@@ -288,7 +288,7 @@ pub fn bridges(g: &Graph) -> Vec<(NodeId, NodeId)> {
                     low[p] = low[p].min(low[c]);
                     if low[c] > tin[p] {
                         let (a, b) = if p < c { (p, c) } else { (c, p) };
-                        out.push((NodeId(a), NodeId(b)));
+                        out.push((NodeId::new(a), NodeId::new(b)));
                     }
                 }
             }

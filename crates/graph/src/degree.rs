@@ -57,7 +57,9 @@ impl DegreeStats {
 
     /// Tree-degree statistics of a rooted tree.
     pub fn of_tree(t: &RootedTree) -> Self {
-        let degrees: Vec<usize> = (0..t.node_count()).map(|u| t.degree(NodeId(u))).collect();
+        let degrees: Vec<usize> = (0..t.node_count())
+            .map(|u| t.degree(NodeId::new(u)))
+            .collect();
         Self::from_degrees(&degrees)
     }
 }

@@ -27,6 +27,21 @@ pub enum GraphError {
     NotASpanningTree(String),
     /// A generator was asked for parameters outside its valid domain.
     InvalidParameter(String),
+    /// The graph exceeds what the compact 32-bit CSR layout can address.
+    TooLarge {
+        /// What overflowed (`"nodes"`, `"edges"`, `"incidence slots"`).
+        what: &'static str,
+        /// The offending count.
+        count: u64,
+        /// The layout's limit for that quantity.
+        limit: u64,
+    },
+    /// The two passes of a streaming build disagreed (or the phase protocol
+    /// was violated): the counted and placed incidences do not line up.
+    StreamingMismatch(String),
+    /// A directed adjacency stream mentioned `(u, v)` without the reciprocal
+    /// `(v, u)`; undirected graphs require symmetric mentions.
+    AsymmetricAdjacency(NodeId, NodeId),
 }
 
 impl fmt::Display for GraphError {
@@ -42,6 +57,17 @@ impl fmt::Display for GraphError {
             GraphError::EmptyGraph => write!(f, "graph has no nodes"),
             GraphError::NotASpanningTree(why) => write!(f, "not a spanning tree: {why}"),
             GraphError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+            GraphError::TooLarge { what, count, limit } => write!(
+                f,
+                "graph too large for the 32-bit CSR layout: {count} {what} (limit {limit})"
+            ),
+            GraphError::StreamingMismatch(why) => {
+                write!(f, "streaming build passes disagree: {why}")
+            }
+            GraphError::AsymmetricAdjacency(u, v) => write!(
+                f,
+                "adjacency stream mentions ({u}, {v}) but not the reciprocal ({v}, {u})"
+            ),
         }
     }
 }

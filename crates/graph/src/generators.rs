@@ -31,7 +31,7 @@ pub fn complete(n: usize) -> Result<Graph> {
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
         for v in (u + 1)..n {
-            b.add_edge(NodeId(u), NodeId(v))?;
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
         }
     }
     Ok(b.build())
@@ -42,7 +42,7 @@ pub fn path(n: usize) -> Result<Graph> {
     require(n >= 1, "path needs at least one node")?;
     let mut b = GraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge(NodeId(u - 1), NodeId(u))?;
+        b.add_edge(NodeId::new(u - 1), NodeId::new(u))?;
     }
     Ok(b.build())
 }
@@ -52,7 +52,7 @@ pub fn cycle(n: usize) -> Result<Graph> {
     require(n >= 3, "cycle needs at least three nodes")?;
     let mut b = GraphBuilder::new(n);
     for u in 0..n {
-        b.add_edge(NodeId(u), NodeId((u + 1) % n))?;
+        b.add_edge(NodeId::new(u), NodeId::new((u + 1) % n))?;
     }
     Ok(b.build())
 }
@@ -62,7 +62,7 @@ pub fn star(n: usize) -> Result<Graph> {
     require(n >= 2, "star needs at least two nodes")?;
     let mut b = GraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge(NodeId(0), NodeId(u))?;
+        b.add_edge(NodeId(0), NodeId::new(u))?;
     }
     Ok(b.build())
 }
@@ -75,8 +75,8 @@ pub fn wheel(n: usize) -> Result<Graph> {
     for i in 0..rim {
         let u = 1 + i;
         let v = 1 + (i + 1) % rim;
-        b.add_edge_idempotent(NodeId(u), NodeId(v))?;
-        b.add_edge(NodeId(0), NodeId(u))?;
+        b.add_edge_idempotent(NodeId::new(u), NodeId::new(v))?;
+        b.add_edge(NodeId(0), NodeId::new(u))?;
     }
     Ok(b.build())
 }
@@ -91,10 +91,10 @@ pub fn star_with_leaf_edges(n: usize) -> Result<Graph> {
     require(n >= 4, "star with leaf edges needs at least four nodes")?;
     let mut b = GraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge(NodeId(0), NodeId(u))?;
+        b.add_edge(NodeId(0), NodeId::new(u))?;
     }
     for u in 1..n - 1 {
-        b.add_edge(NodeId(u), NodeId(u + 1))?;
+        b.add_edge(NodeId::new(u), NodeId::new(u + 1))?;
     }
     Ok(b.build())
 }
@@ -102,7 +102,7 @@ pub fn star_with_leaf_edges(n: usize) -> Result<Graph> {
 /// The `rows × cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph> {
     require(rows >= 1 && cols >= 1, "grid needs positive dimensions")?;
-    let idx = |r: usize, c: usize| NodeId(r * cols + c);
+    let idx = |r: usize, c: usize| NodeId::new(r * cols + c);
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
@@ -129,7 +129,7 @@ pub fn hypercube(d: usize) -> Result<Graph> {
         for bit in 0..d {
             let v = u ^ (1 << bit);
             if u < v {
-                b.add_edge(NodeId(u), NodeId(v))?;
+                b.add_edge(NodeId::new(u), NodeId::new(v))?;
             }
         }
     }
@@ -142,7 +142,7 @@ pub fn complete_bipartite(a: usize, b_: usize) -> Result<Graph> {
     let mut b = GraphBuilder::new(a + b_);
     for u in 0..a {
         for v in 0..b_ {
-            b.add_edge(NodeId(u), NodeId(a + v))?;
+            b.add_edge(NodeId::new(u), NodeId::new(a + v))?;
         }
     }
     Ok(b.build())
@@ -168,7 +168,7 @@ pub fn binary_tree_plus(n: usize, extra: usize, seed: u64) -> Result<Graph> {
     require(n >= 1, "binary tree needs at least one node")?;
     let mut b = GraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge(NodeId(u), NodeId((u - 1) / 2))?;
+        b.add_edge(NodeId::new(u), NodeId::new((u - 1) / 2))?;
     }
     add_random_extra_edges(&mut b, extra, seed)?;
     Ok(b.build())
@@ -181,11 +181,11 @@ pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph> {
     let n = spine + spine * legs;
     let mut b = GraphBuilder::new(n);
     for s in 1..spine {
-        b.add_edge(NodeId(s - 1), NodeId(s))?;
+        b.add_edge(NodeId::new(s - 1), NodeId::new(s))?;
     }
     for s in 0..spine {
         for l in 0..legs {
-            b.add_edge(NodeId(s), NodeId(spine + s * legs + l))?;
+            b.add_edge(NodeId::new(s), NodeId::new(spine + s * legs + l))?;
         }
     }
     Ok(b.build())
@@ -198,18 +198,18 @@ pub fn barbell(k: usize, bridge: usize) -> Result<Graph> {
     let mut b = GraphBuilder::new(n);
     for u in 0..k {
         for v in (u + 1)..k {
-            b.add_edge(NodeId(u), NodeId(v))?;
-            b.add_edge(NodeId(k + bridge + u), NodeId(k + bridge + v))?;
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
+            b.add_edge(NodeId::new(k + bridge + u), NodeId::new(k + bridge + v))?;
         }
     }
     // Path through the bridge nodes, attached to one node of each clique.
-    let mut prev = NodeId(k - 1);
+    let mut prev = NodeId::new(k - 1);
     for i in 0..bridge {
-        let cur = NodeId(k + i);
+        let cur = NodeId::new(k + i);
         b.add_edge(prev, cur)?;
         prev = cur;
     }
-    b.add_edge(prev, NodeId(k + bridge))?;
+    b.add_edge(prev, NodeId::new(k + bridge))?;
     Ok(b.build())
 }
 
@@ -220,12 +220,12 @@ pub fn lollipop(k: usize, tail: usize) -> Result<Graph> {
     let mut b = GraphBuilder::new(n);
     for u in 0..k {
         for v in (u + 1)..k {
-            b.add_edge(NodeId(u), NodeId(v))?;
+            b.add_edge(NodeId::new(u), NodeId::new(v))?;
         }
     }
-    let mut prev = NodeId(k - 1);
+    let mut prev = NodeId::new(k - 1);
     for i in 0..tail {
-        let cur = NodeId(k + i);
+        let cur = NodeId::new(k + i);
         b.add_edge(prev, cur)?;
         prev = cur;
     }
@@ -246,7 +246,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph> {
     for u in 0..n {
         for v in (u + 1)..n {
             if rng.gen::<f64>() < p {
-                b.add_edge(NodeId(u), NodeId(v))?;
+                b.add_edge(NodeId::new(u), NodeId::new(v))?;
             }
         }
     }
@@ -267,8 +267,8 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Result<Graph> {
     insert_random_spanning_tree(&mut b, &mut rng)?;
     for u in 0..n {
         for v in (u + 1)..n {
-            if !b.has_edge(NodeId(u), NodeId(v)) && rng.gen::<f64>() < p {
-                b.add_edge(NodeId(u), NodeId(v))?;
+            if !b.has_edge(NodeId::new(u), NodeId::new(v)) && rng.gen::<f64>() < p {
+                b.add_edge(NodeId::new(u), NodeId::new(v))?;
             }
         }
     }
@@ -289,7 +289,7 @@ pub fn random_geometric_connected(n: usize, radius: f64, seed: u64) -> Result<Gr
             let dx = points[u].0 - points[v].0;
             let dy = points[u].1 - points[v].1;
             if (dx * dx + dy * dy).sqrt() <= radius {
-                b.add_edge(NodeId(u), NodeId(v))?;
+                b.add_edge(NodeId::new(u), NodeId::new(v))?;
             }
         }
     }
@@ -297,7 +297,7 @@ pub fn random_geometric_connected(n: usize, radius: f64, seed: u64) -> Result<Gr
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &c| points[a].0.partial_cmp(&points[c].0).unwrap());
     for w in order.windows(2) {
-        b.add_edge_idempotent(NodeId(w[0]), NodeId(w[1]))?;
+        b.add_edge_idempotent(NodeId::new(w[0]), NodeId::new(w[1]))?;
     }
     Ok(b.build())
 }
@@ -324,9 +324,9 @@ pub fn high_optimum(branches: usize, branch_len: usize) -> Result<Graph> {
     let mut b = GraphBuilder::new(n);
     for br in 0..branches {
         let base = 1 + br * branch_len;
-        b.add_edge(NodeId(0), NodeId(base))?;
+        b.add_edge(NodeId(0), NodeId::new(base))?;
         for i in 1..branch_len {
-            b.add_edge(NodeId(base + i - 1), NodeId(base + i))?;
+            b.add_edge(NodeId::new(base + i - 1), NodeId::new(base + i))?;
         }
     }
     Ok(b.build())
@@ -351,7 +351,7 @@ fn insert_random_spanning_tree(b: &mut GraphBuilder, rng: &mut SmallRng) -> Resu
     order.shuffle(rng);
     for i in 1..n {
         let j = rng.gen_range(0..i);
-        b.add_edge_idempotent(NodeId(order[i]), NodeId(order[j]))?;
+        b.add_edge_idempotent(NodeId::new(order[i]), NodeId::new(order[j]))?;
     }
     Ok(())
 }
@@ -374,7 +374,7 @@ fn add_random_extra_edges(b: &mut GraphBuilder, extra: usize, seed: u64) -> Resu
         if u == v {
             continue;
         }
-        if b.add_edge_idempotent(NodeId(u), NodeId(v))? {
+        if b.add_edge_idempotent(NodeId::new(u), NodeId::new(v))? {
             added += 1;
         }
     }

@@ -6,6 +6,13 @@
 //! index into the graph's node table, which keeps the simulator's routing
 //! tables simple, while the ordering of the underlying integer provides the
 //! total order the protocol needs.
+//!
+//! The identity is deliberately 32 bits wide: node identities appear in every
+//! CSR target slot, every in-flight message envelope and every parent pointer,
+//! so halving the identity width halves the dominant arrays of a run. The
+//! dense-range invariant makes `u32` lossless for any graph this workspace can
+//! hold (a graph would need more than 4 × 10⁹ nodes to overflow, two orders of
+//! magnitude past the million-node scale target).
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -14,15 +21,31 @@ use std::fmt;
 ///
 /// Identities are dense indices `0..n`, totally ordered; the distributed
 /// algorithm only ever uses the ordering (minimum-identity tie breaking) and
-/// equality, never arithmetic on identities.
+/// equality, never arithmetic on identities. Stored as `u32` so identity
+/// arrays (CSR targets, mailboxes, parent tables) stay at four bytes per
+/// entry; use [`NodeId::new`] to construct one from a `usize` index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct NodeId(pub usize);
+pub struct NodeId(pub u32);
 
 impl NodeId {
+    /// Constructs an identity from a dense `usize` index.
+    ///
+    /// The dense-range invariant (identities are `0..n` with `n` bounded by
+    /// the graph builders) keeps the narrowing cast lossless; a debug assert
+    /// guards the invariant during development.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "node index {index} overflows u32"
+        );
+        NodeId(index as u32)
+    }
+
     /// Returns the underlying dense index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -34,13 +57,19 @@ impl fmt::Display for NodeId {
 
 impl From<usize> for NodeId {
     fn from(value: usize) -> Self {
+        NodeId::new(value)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
         NodeId(value)
     }
 }
 
 impl From<NodeId> for usize {
     fn from(value: NodeId) -> Self {
-        value.0
+        value.index()
     }
 }
 
@@ -61,6 +90,13 @@ mod tests {
         assert_eq!(id.index(), 7);
         let back: usize = id.into();
         assert_eq!(back, 7);
+        assert_eq!(NodeId::new(9), NodeId(9));
+    }
+
+    #[test]
+    fn identity_is_four_bytes() {
+        // The whole point of the diet: identities are half the former width.
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
     }
 
     #[test]

@@ -55,9 +55,9 @@ impl RootedTree {
                     });
                 }
                 if p.index() == u {
-                    return Err(GraphError::SelfLoop(NodeId(u)));
+                    return Err(GraphError::SelfLoop(NodeId::new(u)));
                 }
-                children[p.index()].push(NodeId(u));
+                children[p.index()].push(NodeId::new(u));
             } else if u != root.index() {
                 return Err(GraphError::NotASpanningTree(format!(
                     "node v{u} has no parent but is not the root"
@@ -186,7 +186,7 @@ impl RootedTree {
     /// Maximum tree degree (the quantity the algorithm minimises).
     pub fn max_degree(&self) -> usize {
         (0..self.node_count())
-            .map(|u| self.degree(NodeId(u)))
+            .map(|u| self.degree(NodeId::new(u)))
             .max()
             .unwrap_or(0)
     }
@@ -195,7 +195,7 @@ impl RootedTree {
     pub fn max_degree_nodes(&self) -> Vec<NodeId> {
         let k = self.max_degree();
         (0..self.node_count())
-            .map(NodeId)
+            .map(NodeId::new)
             .filter(|&u| self.degree(u) == k)
             .collect()
     }
@@ -210,14 +210,14 @@ impl RootedTree {
     pub fn degree_histogram(&self) -> Vec<usize> {
         let mut hist = vec![0usize; self.max_degree() + 1];
         for u in 0..self.node_count() {
-            hist[self.degree(NodeId(u))] += 1;
+            hist[self.degree(NodeId::new(u))] += 1;
         }
         hist
     }
 
     /// Iterator over the `n − 1` undirected tree edges as `(child, parent)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count()).filter_map(move |u| self.parent[u].map(|p| (NodeId(u), p)))
+        (0..self.node_count()).filter_map(move |u| self.parent[u].map(|p| (NodeId::new(u), p)))
     }
 
     /// Whether the undirected edge `(u, v)` is a tree edge.
@@ -278,7 +278,7 @@ impl RootedTree {
     /// Height of the tree: maximum depth over all nodes.
     pub fn height(&self) -> usize {
         (0..self.node_count())
-            .map(|u| self.depth(NodeId(u)))
+            .map(|u| self.depth(NodeId::new(u)))
             .max()
             .unwrap_or(0)
     }
@@ -422,7 +422,7 @@ impl RootedTree {
         if let Some(par) = self.parent(p) {
             let below: BTreeSet<NodeId> = self.subtree(p).into_iter().collect();
             let rest: BTreeSet<NodeId> = (0..self.node_count())
-                .map(NodeId)
+                .map(NodeId::new)
                 .filter(|x| !below.contains(x))
                 .collect();
             fragments.push((par, rest));
@@ -438,7 +438,13 @@ mod tests {
 
     fn chain(n: usize) -> RootedTree {
         let parents = (0..n)
-            .map(|u| if u == 0 { None } else { Some(NodeId(u - 1)) })
+            .map(|u| {
+                if u == 0 {
+                    None
+                } else {
+                    Some(NodeId::new(u - 1))
+                }
+            })
             .collect();
         RootedTree::from_parents(NodeId(0), parents).unwrap()
     }

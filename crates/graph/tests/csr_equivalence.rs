@@ -43,8 +43,8 @@ fn reference_adjacency(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<(NodeId, E
     normalised.sort_unstable();
     let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); n];
     for (i, &(u, v)) in normalised.iter().enumerate() {
-        adj[u].push((NodeId(v), EdgeId(i)));
-        adj[v].push((NodeId(u), EdgeId(i)));
+        adj[u].push((NodeId::new(v), EdgeId::new(i)));
+        adj[v].push((NodeId::new(u), EdgeId::new(i)));
     }
     for row in &mut adj {
         row.sort_unstable_by_key(|&(v, _)| v);
@@ -56,7 +56,7 @@ fn build(n: usize, edges: &[(usize, usize)]) -> Graph {
     let mut builder = GraphBuilder::new(n);
     for &(u, v) in edges {
         builder
-            .add_edge(NodeId(u), NodeId(v))
+            .add_edge(NodeId::new(u), NodeId::new(v))
             .expect("unique simple edge");
     }
     builder.build()
@@ -72,12 +72,12 @@ proptest! {
         prop_assert_eq!(graph.node_count(), n);
         prop_assert_eq!(graph.edge_count(), edges.len());
         for (u, expected) in reference.iter().enumerate() {
-            let row: Vec<(NodeId, EdgeId)> = graph.neighbors_with_edges(NodeId(u)).collect();
+            let row: Vec<(NodeId, EdgeId)> = graph.neighbors_with_edges(NodeId::new(u)).collect();
             prop_assert_eq!(&row, expected, "row of node {}", u);
-            let slice: Vec<NodeId> = graph.neighbor_slice(NodeId(u)).to_vec();
-            let iter: Vec<NodeId> = graph.neighbors(NodeId(u)).collect();
+            let slice: Vec<NodeId> = graph.neighbor_slice(NodeId::new(u)).to_vec();
+            let iter: Vec<NodeId> = graph.neighbors(NodeId::new(u)).collect();
             prop_assert_eq!(&slice, &iter);
-            prop_assert_eq!(graph.degree(NodeId(u)), reference[u].len());
+            prop_assert_eq!(graph.degree(NodeId::new(u)), reference[u].len());
         }
     }
 
@@ -101,7 +101,7 @@ proptest! {
         let listed: Vec<(EdgeId, NodeId, NodeId)> = graph.edges_with_ids().collect();
         // Ids are dense 0..m in lexicographic endpoint order, u < v.
         for (i, &(id, u, v)) in listed.iter().enumerate() {
-            prop_assert_eq!(id, EdgeId(i));
+            prop_assert_eq!(id, EdgeId::new(i));
             prop_assert!(u < v);
             prop_assert_eq!(graph.endpoints(id), (u, v));
             prop_assert_eq!(graph.edge_id(u, v), Some(id));

@@ -145,7 +145,7 @@ pub mod prelude {
         verify_termination_certificate, SurvivorReport,
     };
     pub use mdst_graph::{algorithms, degree::DegreeStats, dot, generators};
-    pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree};
+    pub use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, RootedTree, StreamingBuilder};
     pub use mdst_netsim::{
         Context, ControlledEvent, ControlledNet, CrashAt, CutAt, DelayModel, ExecConfig, ExecRun,
         ExecStatus, Executor, ExecutorKind, FaultPlan, Metrics, NetMessage, PoolConfig, PoolRun,

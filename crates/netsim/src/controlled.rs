@@ -224,7 +224,7 @@ impl<P: Protocol> ControlledNet<P> {
     ) -> Self {
         let n = graph.node_count();
         let nodes = (0..n)
-            .map(|u| factory(NodeId(u), graph.neighbor_slice(NodeId(u))))
+            .map(|u| factory(NodeId::new(u), graph.neighbor_slice(NodeId::new(u))))
             .collect();
         let mut net = ControlledNet {
             graph: Arc::clone(graph),
@@ -246,7 +246,7 @@ impl<P: Protocol> ControlledNet<P> {
         };
         if discipline == StartDiscipline::Eager {
             for u in 0..n {
-                net.start_node(NodeId(u));
+                net.start_node(NodeId::new(u));
             }
         }
         net
@@ -334,7 +334,9 @@ impl<P: Protocol> ControlledNet<P> {
         if self.discipline == StartDiscipline::Lazy {
             for u in 0..self.nodes.len() {
                 if !self.started[u] && !self.crashed[u] {
-                    events.push(ControlledEvent::Start { node: NodeId(u) });
+                    events.push(ControlledEvent::Start {
+                        node: NodeId::new(u),
+                    });
                 }
             }
         }
@@ -352,7 +354,9 @@ impl<P: Protocol> ControlledNet<P> {
         let mut events = Vec::new();
         for u in 0..self.nodes.len() {
             if !self.crashed[u] {
-                events.push(ControlledEvent::Crash { node: NodeId(u) });
+                events.push(ControlledEvent::Crash {
+                    node: NodeId::new(u),
+                });
             }
         }
         for &(from, to) in self.queues.keys() {
@@ -596,7 +600,7 @@ mod tests {
 
     impl Ring {
         fn next(&self) -> NodeId {
-            NodeId((self.id.index() + 1) % self.n)
+            NodeId::new((self.id.index() + 1) % self.n)
         }
     }
 

@@ -41,6 +41,16 @@
 //!   network is quiescent, never a transient gap. The counter uses
 //!   relaxed/acquire-release orderings; the happens-before argument lives on
 //!   the increment site in `process_node_batched`.
+//! * **per-node memory diet** — the runtime is monomorphised over a
+//!   compile-time `TraceMode`: on untraced runs the per-envelope message
+//!   identity and the per-cell link sequence counters are zero-sized *types*,
+//!   not zeroed fields, so the no-trace hot path never stores or copies
+//!   trace bookkeeping at all. Run queues and wake lists hold `u32` node ids
+//!   (the graph caps node ids at 2³²), and drained mailbox buffers are
+//!   recycled through a worker-local `MailboxPool` bucketed by capacity
+//!   class, so retained mailbox capacity scales with the active frontier
+//!   instead of parking one high-water buffer in every one of a million
+//!   cells.
 //!
 //! The runtime reports the same [`Metrics`] as the other backends (message
 //! counts, bits, causal depth) plus the wall-clock duration and honors the
@@ -123,20 +133,100 @@ pub struct PoolRun<P> {
     pub trace: TraceRecorder,
 }
 
-/// A message in flight between two nodes. The trace identities are the zero
-/// sentinels on untraced runs (see [`TraceEvent::msg_id`]).
-struct Envelope<M> {
-    from: NodeId,
-    msg: M,
-    causal_depth: u64,
+/// Compile-time selector for the pool's trace bookkeeping. The runtime is
+/// monomorphised twice: [`Traced`] carries a `(msg_id, link_seq)` identity in
+/// every envelope and a per-link sequence counter vector in every cell, while
+/// [`Untraced`] replaces both with zero-sized types — the no-trace path does
+/// not merely skip the bookkeeping, it never stores, copies, or branches on
+/// it (every trace site tests [`TraceMode::ENABLED`], a constant, first).
+trait TraceMode: Send + Sync + 'static {
+    /// Per-envelope trace identity: `(msg_id, link_seq)` or nothing.
+    type Meta: Copy + Default + Send;
+    /// Per-cell sender-side link sequence counters, indexed by the target's
+    /// slot in the sorted CSR neighbour row: a lazily-sized vector or
+    /// nothing.
+    type LinkSeqs: Default + Send;
+    /// `true` exactly when [`Shared::trace`] is populated.
+    const ENABLED: bool;
+    fn meta(msg_id: u64, link_seq: u64) -> Self::Meta;
+    fn msg_id(meta: Self::Meta) -> u64;
+    fn link_seq(meta: Self::Meta) -> u64;
+    /// Hands out the next sequence number on `slot`, lazily sizing the
+    /// counter vector to `degree` on the cell's first traced send. Only
+    /// called while the processing worker owns the cell exclusively (the
+    /// `scheduled` flag), so the send order on each link maps one-to-one
+    /// onto consecutive sequence numbers.
+    fn next_link_seq(seqs: &mut Self::LinkSeqs, slot: usize, degree: usize) -> u64;
+}
+
+/// The no-trace instantiation: all trace bookkeeping is zero-sized.
+enum Untraced {}
+
+impl TraceMode for Untraced {
+    type Meta = ();
+    type LinkSeqs = ();
+    const ENABLED: bool = false;
+    fn meta(_: u64, _: u64) -> Self::Meta {}
+    fn msg_id(_: Self::Meta) -> u64 {
+        0
+    }
+    fn link_seq(_: Self::Meta) -> u64 {
+        0
+    }
+    fn next_link_seq(_: &mut Self::LinkSeqs, _: usize, _: usize) -> u64 {
+        0
+    }
+}
+
+/// The traced instantiation: envelopes carry their identity, cells their
+/// per-link counters (dense by neighbour slot, unlike the `HashMap` this
+/// replaced — no per-send entry churn).
+enum Traced {}
+
+/// Trace identity of one in-flight message (see [`TraceEvent::msg_id`]).
+#[derive(Copy, Clone, Default)]
+struct MsgIdentity {
     msg_id: u64,
     link_seq: u64,
 }
 
+impl TraceMode for Traced {
+    type Meta = MsgIdentity;
+    type LinkSeqs = Vec<u64>;
+    const ENABLED: bool = true;
+    fn meta(msg_id: u64, link_seq: u64) -> Self::Meta {
+        MsgIdentity { msg_id, link_seq }
+    }
+    fn msg_id(meta: Self::Meta) -> u64 {
+        meta.msg_id
+    }
+    fn link_seq(meta: Self::Meta) -> u64 {
+        meta.link_seq
+    }
+    fn next_link_seq(seqs: &mut Self::LinkSeqs, slot: usize, degree: usize) -> u64 {
+        if seqs.is_empty() {
+            seqs.resize(degree, 0);
+        }
+        let seq = seqs[slot];
+        seqs[slot] += 1;
+        seq
+    }
+}
+
+/// A message in flight between two nodes. The trace identity is a zero-sized
+/// blank on untraced runs (see [`TraceMode`]), shrinking the envelope by 16
+/// bytes exactly where a million-node flood holds millions of them.
+struct Envelope<M, T: TraceMode> {
+    from: NodeId,
+    msg: M,
+    causal_depth: u64,
+    meta: T::Meta,
+}
+
 /// The mutex-guarded per-node state.
-struct NodeCell<P: Protocol> {
+struct NodeCell<P: Protocol, T: TraceMode> {
     protocol: P,
-    mailbox: VecDeque<Envelope<P::Message>>,
+    mailbox: VecDeque<Envelope<P::Message, T>>,
     /// Whether the node currently sits in some run queue or is being
     /// processed. Guarantees single-worker ownership of the protocol state.
     scheduled: bool,
@@ -145,14 +235,9 @@ struct NodeCell<P: Protocol> {
     /// Whether `on_start` has run (a message wakes a node that has not
     /// spontaneously started, same convention as the simulator).
     started: bool,
-    /// Sender-side trace sequence counter per outgoing directed link, indexed
-    /// by the target's position in this node's sorted CSR neighbour slice
-    /// (dense, unlike the `HashMap` it replaced — no per-send entry churn).
-    /// Empty until the node's first traced send, then sized to the neighbour
-    /// count once. Only touched while the processing worker owns the cell
-    /// exclusively (the `scheduled` flag), so the send order on each link
-    /// maps one-to-one onto consecutive sequence numbers.
-    link_seq: Vec<u64>,
+    /// Sender-side trace sequence counters (see [`TraceMode::next_link_seq`]);
+    /// zero-sized on untraced runs.
+    link_seq: T::LinkSeqs,
 }
 
 /// Counters shared by every worker of one traced run: the global event stamp
@@ -162,9 +247,11 @@ struct TraceShared {
     next_msg_id: AtomicU64,
 }
 
-struct Shared<P: Protocol> {
-    cells: Vec<Mutex<NodeCell<P>>>,
-    queues: Vec<Mutex<VecDeque<usize>>>,
+struct Shared<P: Protocol, T: TraceMode> {
+    cells: Vec<Mutex<NodeCell<P, T>>>,
+    /// Striped run queues of runnable node ids — `u32`, half the queue
+    /// traffic of `usize` ids (the graph caps node ids at 2³²).
+    queues: Vec<Mutex<VecDeque<u32>>>,
     /// Shared topology; workers borrow neighbour slices from its CSR rows,
     /// so the pool allocates no per-run adjacency at all.
     graph: Arc<Graph>,
@@ -220,15 +307,15 @@ impl<M: NetMessage> Context<M> for PoolCtx<'_, M> {
 /// neighbourship check computes anyway — so grouping by destination costs
 /// nothing beyond the validation the legacy path already paid, and the flush
 /// needs no sort.
-struct BatchedCtx<'a, M> {
+struct BatchedCtx<'a, M, T: TraceMode> {
     id: NodeId,
     neighbors: &'a [NodeId],
     network_size: usize,
-    buckets: &'a mut [Vec<Buffered<M>>],
+    buckets: &'a mut [Vec<Buffered<M, T>>],
     current_depth: u64,
 }
 
-impl<M: NetMessage> Context<M> for BatchedCtx<'_, M> {
+impl<M: NetMessage, T: TraceMode> Context<M> for BatchedCtx<'_, M, T> {
     fn id(&self) -> NodeId {
         self.id
     }
@@ -250,8 +337,7 @@ impl<M: NetMessage> Context<M> for BatchedCtx<'_, M> {
         self.buckets[slot.unwrap_or(0)].push(Buffered {
             msg,
             causal_depth: self.current_depth + 1,
-            msg_id: 0,
-            link_seq: 0,
+            meta: T::Meta::default(),
         });
     }
     fn network_size(&self) -> usize {
@@ -301,12 +387,32 @@ impl PoolRuntime {
     /// of panicking (or silently succeeding) inside a worker.
     pub fn run<P, F>(
         graph: &Arc<Graph>,
+        factory: F,
+        config: &PoolConfig,
+    ) -> Result<PoolRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        // Monomorphise the whole runtime over the trace switch: the untraced
+        // instantiation carries no trace bookkeeping in its envelopes or
+        // cells (see [`TraceMode`]).
+        if config.record_trace {
+            Self::run_mode::<P, F, Traced>(graph, factory, config)
+        } else {
+            Self::run_mode::<P, F, Untraced>(graph, factory, config)
+        }
+    }
+
+    fn run_mode<P, F, T>(
+        graph: &Arc<Graph>,
         mut factory: F,
         config: &PoolConfig,
     ) -> Result<PoolRun<P>, SimError>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
+        T: TraceMode,
     {
         let n = graph.node_count();
         let workers = Self::effective_workers(config.workers, n);
@@ -341,15 +447,15 @@ impl PoolRuntime {
             }
             StartModel::Simultaneous => (0..n).collect(),
         };
-        let cells: Vec<Mutex<NodeCell<P>>> = (0..n)
+        let cells: Vec<Mutex<NodeCell<P, T>>> = (0..n)
             .map(|u| {
                 Mutex::new(NodeCell {
-                    protocol: factory(NodeId(u), graph.neighbor_slice(NodeId(u))),
+                    protocol: factory(NodeId::new(u), graph.neighbor_slice(NodeId::new(u))),
                     mailbox: VecDeque::new(),
                     scheduled: false,
                     pending_start: false,
                     started: false,
-                    link_seq: Vec::new(),
+                    link_seq: T::LinkSeqs::default(),
                 })
             })
             .collect();
@@ -358,13 +464,13 @@ impl PoolRuntime {
             cell.pending_start = true;
             cell.scheduled = true;
         }
-        let mut queues: Vec<Mutex<VecDeque<usize>>> =
+        let mut queues: Vec<Mutex<VecDeque<u32>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         for (i, &u) in starters.iter().enumerate() {
             queues[i % workers]
                 .get_mut()
                 .expect("queue poisoned")
-                .push_back(u);
+                .push_back(u as u32);
         }
         let shared = Shared {
             cells,
@@ -468,19 +574,86 @@ impl Drop for AbortOnPanic<'_> {
 
 /// One buffered send sitting in a destination bucket: the payload, its
 /// causal depth, and the trace identity assigned just before the flush
-/// (zeros on untraced runs).
-struct Buffered<M> {
+/// (zero-sized on untraced runs).
+struct Buffered<M, T: TraceMode> {
     msg: M,
     causal_depth: u64,
-    msg_id: u64,
-    link_seq: u64,
+    meta: T::Meta,
+}
+
+/// Mailbox capacity classes `2⁰ ..= 2^(MAILBOX_CLASSES−1)`; larger drained
+/// buffers go back to the allocator instead of the pool.
+const MAILBOX_CLASSES: usize = 17;
+
+/// Drained buffers kept per class per worker; beyond that, the allocator
+/// takes them back.
+const MAILBOX_POOL_PER_CLASS: usize = 32;
+
+/// Worker-local pool of drained mailbox buffers, bucketed by power-of-two
+/// capacity class (≈ the receiver's degree class under flooding: a mailbox's
+/// high-water mark tracks how many neighbours talk to the node per wave).
+/// Settling a fully drained node donates its buffer here instead of letting
+/// the capacity rot in the cell forever; waking an empty mailbox takes one
+/// back, sized to the incoming burst. Retained mailbox capacity then scales
+/// with the active frontier, not the node count — the difference between a
+/// million idle high-water deques and a few dozen live ones.
+struct MailboxPool<E> {
+    classes: Vec<Vec<VecDeque<E>>>,
+}
+
+impl<E> MailboxPool<E> {
+    fn new() -> Self {
+        MailboxPool {
+            classes: (0..MAILBOX_CLASSES).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Class of a capacity: `floor(log2(cap))`, so class `c` holds buffers
+    /// of capacity `2^c .. 2^(c+1)`.
+    fn class_of(cap: usize) -> usize {
+        (usize::BITS - 1 - cap.leading_zeros()) as usize
+    }
+
+    /// Returns a drained buffer to the pool (or to the allocator, when the
+    /// class bucket is full or the buffer is outsized).
+    fn donate(&mut self, deque: VecDeque<E>) {
+        debug_assert!(deque.is_empty(), "only drained mailboxes are donated");
+        let cap = deque.capacity();
+        if cap == 0 {
+            return;
+        }
+        if let Some(bucket) = self.classes.get_mut(Self::class_of(cap)) {
+            if bucket.len() < MAILBOX_POOL_PER_CLASS {
+                bucket.push(deque);
+            }
+        }
+    }
+
+    /// Takes a buffer of capacity ≥ `at_least` if the pool has one (scanning
+    /// upward from the smallest sufficient class), else an unallocated deque
+    /// that will size itself on first push.
+    fn take(&mut self, at_least: usize) -> VecDeque<E> {
+        // Smallest class whose *every* member has capacity ≥ `at_least`:
+        // ceil(log2(at_least)).
+        let from = if at_least <= 1 {
+            0
+        } else {
+            Self::class_of(at_least - 1) + 1
+        };
+        for class in from.min(MAILBOX_CLASSES)..MAILBOX_CLASSES {
+            if let Some(deque) = self.classes[class].pop() {
+                return deque;
+            }
+        }
+        VecDeque::new()
+    }
 }
 
 /// Worker-local buffers recycled across scheduling quanta, so the steady
 /// state of a long run allocates nothing per quantum: the destination
 /// buckets and the wake list all reuse the capacity high-watermark of
 /// earlier quanta.
-struct Scratch<P: Protocol> {
+struct Scratch<P: Protocol, T: TraceMode> {
     /// Per-neighbour-slot send buckets: `buckets[slot]` holds this quantum's
     /// messages down link `slot`, in handler send order. Routing happens at
     /// `send` time (the neighbourship binary search yields the slot), so the
@@ -488,9 +661,9 @@ struct Scratch<P: Protocol> {
     /// per non-empty bucket. Grown to the widest degree seen, never shrunk;
     /// the flush drains every bucket, so they are always empty between
     /// quanta.
-    buckets: Vec<Vec<Buffered<P::Message>>>,
+    buckets: Vec<Vec<Buffered<P::Message, T>>>,
     /// Destinations that became runnable during the flush.
-    wake: Vec<usize>,
+    wake: Vec<u32>,
     /// Processed units owed to `in_flight` by the current continuation
     /// chain: one Release decrement per chain instead of one per quantum.
     /// Deferral is always safe — the counter stays an over-approximation
@@ -500,23 +673,27 @@ struct Scratch<P: Protocol> {
     /// Processed units not yet folded into the shared counter (flushed
     /// every [`PROCESSED_STRIDE`] units and at every chain end).
     processed_local: u64,
+    /// Recycled mailbox buffers, bucketed by capacity class (see
+    /// [`MailboxPool`]).
+    mailboxes: MailboxPool<Envelope<P::Message, T>>,
 }
 
-impl<P: Protocol> Scratch<P> {
+impl<P: Protocol, T: TraceMode> Scratch<P, T> {
     fn new() -> Self {
         Scratch {
             buckets: Vec::new(),
             wake: Vec::new(),
             in_flight_debt: 0,
             processed_local: 0,
+            mailboxes: MailboxPool::new(),
         }
     }
 }
 
-fn worker_loop<P: Protocol>(
+fn worker_loop<P: Protocol, T: TraceMode>(
     w: usize,
     workers: usize,
-    shared: &Shared<P>,
+    shared: &Shared<P, T>,
 ) -> (Metrics, Vec<TraceEvent>) {
     let _abort_guard = AbortOnPanic(&shared.aborted);
     let mut metrics = Metrics::new(shared.n);
@@ -576,7 +753,7 @@ fn worker_loop<P: Protocol>(
     (metrics, events)
 }
 
-fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
+fn pop_local<P: Protocol, T: TraceMode>(w: usize, shared: &Shared<P, T>) -> Option<u32> {
     let mut queue = lock_ignore_poison(&shared.queues[w]);
     let popped = queue.pop_front();
     // Batched fabric: start pulling the *next* runnable node's cell line
@@ -585,7 +762,7 @@ fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
     // line is almost always cold).
     if shared.coalesce {
         if let Some(&front) = queue.front() {
-            std::hint::black_box(shared.cells[front].is_poisoned());
+            std::hint::black_box(shared.cells[front as usize].is_poisoned());
         }
     }
     popped
@@ -593,7 +770,11 @@ fn pop_local<P: Protocol>(w: usize, shared: &Shared<P>) -> Option<usize> {
 
 /// Steals from the back of a sibling queue, scanning siblings round-robin
 /// from the worker's own position so thieves spread out.
-fn steal<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Option<usize> {
+fn steal<P: Protocol, T: TraceMode>(
+    w: usize,
+    workers: usize,
+    shared: &Shared<P, T>,
+) -> Option<u32> {
     for offset in 1..workers {
         let victim = (w + offset) % workers;
         if let Some(u) = lock_ignore_poison(&shared.queues[victim]).pop_back() {
@@ -608,14 +789,14 @@ fn steal<P: Protocol>(w: usize, workers: usize, shared: &Shared<P>) -> Option<us
 /// buffered sends and settles the node's `scheduled` flag. Returns one node
 /// the flush made runnable, for immediate local continuation (batched
 /// fabric only — the legacy path always schedules through the queue).
-fn process_node<P: Protocol>(
-    u: usize,
+fn process_node<P: Protocol, T: TraceMode>(
+    u: u32,
     w: usize,
-    shared: &Shared<P>,
+    shared: &Shared<P, T>,
     metrics: &mut Metrics,
     events: &mut Vec<TraceEvent>,
-    scratch: &mut Scratch<P>,
-) -> Option<usize> {
+    scratch: &mut Scratch<P, T>,
+) -> Option<u32> {
     if shared.coalesce {
         process_node_batched(u, w, shared, metrics, events, scratch)
     } else {
@@ -629,20 +810,21 @@ fn process_node<P: Protocol>(
 /// rhythm: fresh buffers every quantum, and one sequentially consistent
 /// in-flight RMW, one destination-cell lock and one run-queue push *per
 /// message*. Results are identical to the batched path either way.
-fn process_node_legacy<P: Protocol>(
-    u: usize,
+fn process_node_legacy<P: Protocol, T: TraceMode>(
+    u: u32,
     w: usize,
-    shared: &Shared<P>,
+    shared: &Shared<P, T>,
     metrics: &mut Metrics,
     events: &mut Vec<TraceEvent>,
 ) {
+    let node = u as usize;
     let mut outbox: Vec<(NodeId, P::Message, u64)> = Vec::new();
     let neighbors = shared.graph.neighbor_slice(NodeId(u));
     let (units, send_ids) = {
-        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        let mut cell = lock_ignore_poison(&shared.cells[node]);
         let start_unit = cell.pending_start;
         cell.pending_start = false;
-        let batch: Vec<Envelope<P::Message>> = {
+        let batch: Vec<Envelope<P::Message, T>> = {
             let take = cell.mailbox.len().min(shared.batch);
             cell.mailbox.drain(..take).collect()
         };
@@ -666,22 +848,24 @@ fn process_node_legacy<P: Protocol>(
         for envelope in batch.iter() {
             metrics.record_delivery(
                 envelope.from.index(),
-                u,
+                node,
                 envelope.msg.kind(),
                 envelope.msg.encoded_bits(),
                 envelope.causal_depth,
                 envelope.causal_depth,
             );
-            if let Some(tracing) = &shared.trace {
-                events.push(TraceEvent {
-                    time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
-                    kind: TraceEventKind::Deliver,
-                    from: envelope.from,
-                    to: NodeId(u),
-                    message_kind: envelope.msg.kind().into(),
-                    msg_id: envelope.msg_id,
-                    seq: envelope.link_seq,
-                });
+            if T::ENABLED {
+                if let Some(tracing) = &shared.trace {
+                    events.push(TraceEvent {
+                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                        kind: TraceEventKind::Deliver,
+                        from: envelope.from,
+                        to: NodeId(u),
+                        message_kind: envelope.msg.kind().into(),
+                        msg_id: T::msg_id(envelope.meta),
+                        seq: T::link_seq(envelope.meta),
+                    });
+                }
             }
         }
         let batch_len = batch.len();
@@ -697,10 +881,8 @@ fn process_node_legacy<P: Protocol>(
                 .on_message(envelope.from, envelope.msg, &mut ctx);
         }
         let send_ids: Vec<(u64, u64)> = match &shared.trace {
-            Some(tracing) => {
-                if cell.link_seq.is_empty() && !outbox.is_empty() {
-                    cell.link_seq.resize(neighbors.len(), 0);
-                }
+            Some(tracing) if T::ENABLED => {
+                let cell = &mut *cell;
                 outbox
                     .iter()
                     .map(|(to, msg, _)| {
@@ -709,8 +891,7 @@ fn process_node_legacy<P: Protocol>(
                         // rhythm this baseline preserves. `send` already
                         // asserted neighbourship; the fallback is unreachable.
                         let slot = neighbors.binary_search(to).unwrap_or(0);
-                        let link_seq = cell.link_seq[slot];
-                        cell.link_seq[slot] += 1;
+                        let link_seq = T::next_link_seq(&mut cell.link_seq, slot, neighbors.len());
                         events.push(TraceEvent {
                             time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
                             kind: TraceEventKind::Send,
@@ -724,12 +905,15 @@ fn process_node_legacy<P: Protocol>(
                     })
                     .collect()
             }
-            None => Vec::new(),
+            _ => Vec::new(),
         };
         (start_unit as i64 + batch_len as i64, send_ids)
     };
     for (i, (to, msg, causal_depth)) in outbox.into_iter().enumerate() {
-        let (msg_id, link_seq) = send_ids.get(i).copied().unwrap_or((0, 0));
+        let meta = send_ids
+            .get(i)
+            .map(|&(msg_id, link_seq)| T::meta(msg_id, link_seq))
+            .unwrap_or_default();
         shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let needs_enqueue = {
             let mut cell = lock_ignore_poison(&shared.cells[to.index()]);
@@ -737,8 +921,7 @@ fn process_node_legacy<P: Protocol>(
                 from: NodeId(u),
                 msg,
                 causal_depth,
-                msg_id,
-                link_seq,
+                meta,
             });
             if cell.scheduled {
                 false
@@ -748,12 +931,12 @@ fn process_node_legacy<P: Protocol>(
             }
         };
         if needs_enqueue {
-            lock_ignore_poison(&shared.queues[w]).push_back(to.index());
+            lock_ignore_poison(&shared.queues[w]).push_back(to.0);
         }
     }
     // Settle the node: keep it runnable if messages arrived meanwhile.
     let requeue = {
-        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        let mut cell = lock_ignore_poison(&shared.cells[node]);
         if cell.mailbox.is_empty() {
             cell.scheduled = false;
             false
@@ -774,14 +957,15 @@ fn process_node_legacy<P: Protocol>(
 /// The batched quantum: drains into the recycled [`Scratch`], flushes the
 /// buffered sends per destination group and settles the node. Returns one
 /// continuation node when the flush produced any wake-ups.
-fn process_node_batched<P: Protocol>(
-    u: usize,
+fn process_node_batched<P: Protocol, T: TraceMode>(
+    u: u32,
     w: usize,
-    shared: &Shared<P>,
+    shared: &Shared<P, T>,
     metrics: &mut Metrics,
     events: &mut Vec<TraceEvent>,
-    scratch: &mut Scratch<P>,
-) -> Option<usize> {
+    scratch: &mut Scratch<P, T>,
+) -> Option<u32> {
+    let node = u as usize;
     scratch.wake.clear();
     let neighbors = shared.graph.neighbor_slice(NodeId(u));
     if scratch.buckets.len() < neighbors.len() {
@@ -790,7 +974,7 @@ fn process_node_batched<P: Protocol>(
         scratch.buckets.resize_with(neighbors.len(), Vec::new);
     }
     let units = {
-        let mut cell = lock_ignore_poison(&shared.cells[u]);
+        let mut cell = lock_ignore_poison(&shared.cells[node]);
         let start_unit = cell.pending_start;
         cell.pending_start = false;
         let take = cell.mailbox.len().min(shared.batch);
@@ -835,23 +1019,25 @@ fn process_node_batched<P: Protocol>(
                 envelope.msg.encoded_bits(),
                 envelope.causal_depth,
             );
-            if let Some(tracing) = &shared.trace {
-                // The deliver stamp is drawn after the mailbox drain, which
-                // happens-after the sender's push, which happens-after the
-                // send stamp — so a message's Deliver always outranks its
-                // Send in the merged order. Handlers only append to the
-                // worker-local buckets (Send stamps are assigned after this
-                // loop), so every Deliver of the batch still stamps before
-                // any Send of the batch.
-                events.push(TraceEvent {
-                    time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
-                    kind: TraceEventKind::Deliver,
-                    from: envelope.from,
-                    to: NodeId(u),
-                    message_kind: envelope.msg.kind().into(),
-                    msg_id: envelope.msg_id,
-                    seq: envelope.link_seq,
-                });
+            if T::ENABLED {
+                if let Some(tracing) = &shared.trace {
+                    // The deliver stamp is drawn after the mailbox drain, which
+                    // happens-after the sender's push, which happens-after the
+                    // send stamp — so a message's Deliver always outranks its
+                    // Send in the merged order. Handlers only append to the
+                    // worker-local buckets (Send stamps are assigned after this
+                    // loop), so every Deliver of the batch still stamps before
+                    // any Send of the batch.
+                    events.push(TraceEvent {
+                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                        kind: TraceEventKind::Deliver,
+                        from: envelope.from,
+                        to: NodeId(u),
+                        message_kind: envelope.msg.kind().into(),
+                        msg_id: T::msg_id(envelope.meta),
+                        seq: T::link_seq(envelope.meta),
+                    });
+                }
             }
             let mut ctx = BatchedCtx {
                 id: NodeId(u),
@@ -864,7 +1050,7 @@ fn process_node_batched<P: Protocol>(
         }
         let batch_len = take;
         if batch_len > 0 {
-            metrics.record_received_batch(u, batch_len as u64);
+            metrics.record_received_batch(node, batch_len as u64);
         }
         // Assign trace identities to this quantum's sends while the source
         // cell (and with it the per-link sequence counters) is still
@@ -873,27 +1059,24 @@ fn process_node_batched<P: Protocol>(
         // handler send order, so walking the slots hands out per-link
         // sequence numbers that stay FIFO-faithful — no sort was ever
         // needed, `send` routed by slot already.
-        if let Some(tracing) = &shared.trace {
-            let slots = &mut scratch.buckets[..neighbors.len()];
-            if cell.link_seq.is_empty() && slots.iter().any(|b| !b.is_empty()) {
-                cell.link_seq.resize(neighbors.len(), 0);
-            }
-            for (slot, bucket) in slots.iter_mut().enumerate() {
-                for entry in bucket.iter_mut() {
-                    let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
-                    let link_seq = cell.link_seq[slot];
-                    cell.link_seq[slot] += 1;
-                    events.push(TraceEvent {
-                        time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
-                        kind: TraceEventKind::Send,
-                        from: NodeId(u),
-                        to: neighbors[slot],
-                        message_kind: entry.msg.kind().into(),
-                        msg_id,
-                        seq: link_seq,
-                    });
-                    entry.msg_id = msg_id;
-                    entry.link_seq = link_seq;
+        if T::ENABLED {
+            if let Some(tracing) = &shared.trace {
+                let slots = &mut scratch.buckets[..neighbors.len()];
+                for (slot, bucket) in slots.iter_mut().enumerate() {
+                    for entry in bucket.iter_mut() {
+                        let msg_id = tracing.next_msg_id.fetch_add(1, Ordering::SeqCst);
+                        let link_seq = T::next_link_seq(&mut cell.link_seq, slot, neighbors.len());
+                        events.push(TraceEvent {
+                            time: tracing.stamp.fetch_add(1, Ordering::SeqCst),
+                            kind: TraceEventKind::Send,
+                            from: NodeId(u),
+                            to: neighbors[slot],
+                            message_kind: entry.msg.kind().into(),
+                            msg_id,
+                            seq: link_seq,
+                        });
+                        entry.meta = T::meta(msg_id, link_seq);
+                    }
                 }
             }
         }
@@ -910,9 +1093,15 @@ fn process_node_batched<P: Protocol>(
         // instead — a concurrent quantum of `u` could otherwise push later
         // link sequence numbers ahead of this quantum's unflushed ones and
         // fail the auditor's per-link FIFO rule.
-        if shared.trace.is_none() {
+        if !T::ENABLED {
             if cell.mailbox.is_empty() {
                 cell.scheduled = false;
+                // Donate the drained buffer to the worker-local pool instead
+                // of parking its high-water capacity in the cell forever; a
+                // later sender takes one back sized to its burst.
+                if cell.mailbox.capacity() > 0 {
+                    scratch.mailboxes.donate(std::mem::take(&mut cell.mailbox));
+                }
             } else {
                 scratch.wake.push(u);
             }
@@ -944,7 +1133,7 @@ fn process_node_batched<P: Protocol>(
             // work is only created from inside quanta. A zero read is
             // therefore never transient, whatever its ordering.
             shared.in_flight.fetch_add(total as i64, Ordering::Relaxed);
-            metrics.record_sent_batch(u, total as u64);
+            metrics.record_sent_batch(node, total as u64);
             // Warm every destination cell before taking any lock: the
             // indices are effectively random, so each bucket's first touch
             // would otherwise stall on a cold cache line inside the critical
@@ -960,18 +1149,22 @@ fn process_node_batched<P: Protocol>(
                 if bucket.is_empty() {
                     continue;
                 }
-                let dest = neighbors[slot].index();
+                let dest = neighbors[slot];
                 let needs_enqueue = {
                     // One destination-cell lock per *bucket*: everything this
                     // quantum sent down the link lands under one guard.
-                    let mut cell = lock_ignore_poison(&shared.cells[dest]);
+                    let mut cell = lock_ignore_poison(&shared.cells[dest.index()]);
+                    // Waking an unallocated mailbox: reuse a recycled buffer
+                    // sized to this burst rather than growing a fresh one.
+                    if cell.mailbox.capacity() == 0 {
+                        cell.mailbox = scratch.mailboxes.take(bucket.len());
+                    }
                     for entry in bucket.drain(..) {
                         cell.mailbox.push_back(Envelope {
                             from: NodeId(u),
                             msg: entry.msg,
                             causal_depth: entry.causal_depth,
-                            msg_id: entry.msg_id,
-                            link_seq: entry.link_seq,
+                            meta: entry.meta,
                         });
                     }
                     if cell.scheduled {
@@ -982,17 +1175,20 @@ fn process_node_batched<P: Protocol>(
                     }
                 };
                 if needs_enqueue {
-                    scratch.wake.push(dest);
+                    scratch.wake.push(dest.0);
                 }
             }
         }
     }
     // Traced runs settle here, after the flush (see the pre-flush comment):
     // keep the node runnable if messages arrived meanwhile.
-    if shared.trace.is_some() {
-        let mut cell = lock_ignore_poison(&shared.cells[u]);
+    if T::ENABLED {
+        let mut cell = lock_ignore_poison(&shared.cells[node]);
         if cell.mailbox.is_empty() {
             cell.scheduled = false;
+            if cell.mailbox.capacity() > 0 {
+                scratch.mailboxes.donate(std::mem::take(&mut cell.mailbox));
+            }
         } else {
             scratch.wake.push(u);
         }
@@ -1039,7 +1235,7 @@ const PROCESSED_STRIDE: u64 = 64;
 /// counter and trips the abort flag when the event cap is crossed. Relaxed
 /// suffices for the counter: it is monotone and only compared against a
 /// threshold, and the `aborted` flag carries its own SeqCst ordering.
-fn flush_processed<P: Protocol>(shared: &Shared<P>, local: &mut u64) {
+fn flush_processed<P: Protocol, T: TraceMode>(shared: &Shared<P, T>, local: &mut u64) {
     if *local == 0 {
         return;
     }

@@ -234,7 +234,7 @@ impl<P: Protocol> Simulator<P> {
         Self::validate_config(graph, &config)?;
         let n = graph.node_count();
         let nodes: Vec<P> = (0..n)
-            .map(|u| factory(NodeId(u), graph.neighbor_slice(NodeId(u))))
+            .map(|u| factory(NodeId::new(u), graph.neighbor_slice(NodeId::new(u))))
             .collect();
         let trace = if config.record_trace {
             TraceRecorder::enabled()
@@ -323,11 +323,11 @@ impl<P: Protocol> Simulator<P> {
     fn schedule_starts(&mut self) {
         let n = self.nodes.len();
         let starts: Vec<(NodeId, u64)> = match &self.config.start {
-            StartModel::Simultaneous => (0..n).map(|u| (NodeId(u), 0)).collect(),
+            StartModel::Simultaneous => (0..n).map(|u| (NodeId::new(u), 0)).collect(),
             StartModel::Staggered { max_offset, seed } => {
                 let mut rng = SmallRng::seed_from_u64(*seed);
                 (0..n)
-                    .map(|u| (NodeId(u), rng.gen_range(0..=*max_offset)))
+                    .map(|u| (NodeId::new(u), rng.gen_range(0..=*max_offset)))
                     .collect()
             }
             StartModel::Selected(list) => list.iter().map(|&u| (u, 0)).collect(),

@@ -206,7 +206,12 @@ impl ThreadedRuntime {
             })
         });
         let mut protocols: Vec<Option<P>> = (0..n)
-            .map(|u| Some(factory(NodeId(u), graph.neighbor_slice(NodeId(u)))))
+            .map(|u| {
+                Some(factory(
+                    NodeId::new(u),
+                    graph.neighbor_slice(NodeId::new(u)),
+                ))
+            })
             .collect();
 
         let mut senders: Vec<Sender<Envelope<P::Message>>> = Vec::with_capacity(n);
@@ -238,7 +243,7 @@ impl ThreadedRuntime {
             let trace_shared = trace_shared.clone();
             let mut protocol = protocols[u].take().expect("each node taken once");
             let handle = std::thread::spawn(move || {
-                let my_neighbors = graph.neighbor_slice(NodeId(u));
+                let my_neighbors = graph.neighbor_slice(NodeId::new(u));
                 let mut metrics = Metrics::new(n);
                 let mut tracer = trace_shared.map(|shared| ThreadTracer {
                     shared,
@@ -255,7 +260,7 @@ impl ThreadedRuntime {
                 };
                 {
                     let mut ctx = ThreadCtx {
-                        id: NodeId(u),
+                        id: NodeId::new(u),
                         neighbors: my_neighbors,
                         network_size: n,
                         senders: &senders,
@@ -289,14 +294,14 @@ impl ThreadedRuntime {
                                 time,
                                 kind: TraceEventKind::Deliver,
                                 from: envelope.from,
-                                to: NodeId(u),
+                                to: NodeId::new(u),
                                 message_kind: envelope.msg.kind().into(),
                                 msg_id: envelope.msg_id,
                                 seq: envelope.link_seq,
                             });
                         }
                         let mut ctx = ThreadCtx {
-                            id: NodeId(u),
+                            id: NodeId::new(u),
                             neighbors: my_neighbors,
                             network_size: n,
                             senders: &senders,

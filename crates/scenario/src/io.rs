@@ -28,9 +28,17 @@
 //! the name) are decompressed transparently by [`load_graph`]; the format is
 //! inferred from the extension *under* the `.gz`, so `web.mtx.gz` is a
 //! gzipped MatrixMarket file.
+//!
+//! The edge-list, METIS and MatrixMarket readers **stream**: two passes over
+//! the input (count degrees, then place edges into exactly-sized CSR rows)
+//! build the compact layout without ever materialising an intermediate edge
+//! vector — and gzipped inputs inflate chunk by chunk through the
+//! incremental decoder, so a million-edge `.el.gz` costs its finished graph
+//! plus fixed-size buffers, not its inflated text.
 
-use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId};
+use mdst_graph::{Graph, GraphBuilder, GraphError, NodeId, StreamingBuilder};
 use std::fmt;
+use std::io::BufRead;
 use std::path::Path;
 
 /// Supported on-disk graph formats.
@@ -151,52 +159,106 @@ fn strip_line(raw: &str) -> &str {
     no_comment.trim()
 }
 
+/// Drives `f` over `reader`'s lines with 1-based numbers, reusing one buffer
+/// so million-line files do not allocate per line.
+fn for_each_line<R: BufRead>(
+    mut reader: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        line_no += 1;
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| IoError::Io(e.to_string()))?;
+        if n == 0 {
+            return Ok(());
+        }
+        if line.ends_with('\n') {
+            line.pop();
+            if line.ends_with('\r') {
+                line.pop();
+            }
+        }
+        f(line_no, &line)?;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Edge list
 // ---------------------------------------------------------------------------
 
-/// Parses an edge list (`u v` per line, 0-based).
-pub fn parse_edge_list(input: &str) -> Result<Graph, IoError> {
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    let mut max_node = 0usize;
-    for (idx, raw) in input.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = strip_line(raw);
-        if line.is_empty() {
-            continue;
-        }
-        let mut parts = line.split_whitespace();
-        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
-            return parse_err(line_no, format!("expected `u v`, got `{line}`"));
-        };
-        if parts.next().is_some() {
-            return parse_err(
-                line_no,
-                format!("expected exactly two endpoints on `{line}`"),
-            );
-        }
-        let u: usize = a.parse().map_err(|_| IoError::Parse {
-            line: line_no,
-            message: format!("`{a}` is not a node index"),
-        })?;
-        let v: usize = b.parse().map_err(|_| IoError::Parse {
-            line: line_no,
-            message: format!("`{b}` is not a node index"),
-        })?;
-        if u == v {
-            return parse_err(line_no, format!("self loop `{u} {v}` is not allowed"));
-        }
-        max_node = max_node.max(u).max(v);
-        edges.push((u, v));
+/// Parses one edge-list line; `Ok(None)` for blanks and comments.
+fn edge_list_line(line_no: usize, raw: &str) -> Result<Option<(usize, usize)>, IoError> {
+    let line = strip_line(raw);
+    if line.is_empty() {
+        return Ok(None);
     }
-    if edges.is_empty() {
+    let mut parts = line.split_whitespace();
+    let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+        return parse_err(line_no, format!("expected `u v`, got `{line}`"));
+    };
+    if parts.next().is_some() {
+        return parse_err(
+            line_no,
+            format!("expected exactly two endpoints on `{line}`"),
+        );
+    }
+    let u: usize = a.parse().map_err(|_| IoError::Parse {
+        line: line_no,
+        message: format!("`{a}` is not a node index"),
+    })?;
+    let v: usize = b.parse().map_err(|_| IoError::Parse {
+        line: line_no,
+        message: format!("`{b}` is not a node index"),
+    })?;
+    if u == v {
+        return parse_err(line_no, format!("self loop `{u} {v}` is not allowed"));
+    }
+    Ok(Some((u, v)))
+}
+
+/// Streams an edge list straight into the compact CSR layout: pass 1 counts
+/// degrees (discovering the node count as `max(endpoint) + 1`), pass 2 places
+/// edges into exactly-sized rows. No intermediate edge vector is ever
+/// materialised, so peak memory is the finished graph plus one line buffer.
+/// `open` reopens the input for each pass.
+pub fn stream_edge_list<R: BufRead>(
+    mut open: impl FnMut() -> Result<R, IoError>,
+) -> Result<Graph, IoError> {
+    let mut builder = StreamingBuilder::new(0)?;
+    let mut edges = 0u64;
+    for_each_line(open()?, |line_no, raw| {
+        if let Some((u, v)) = edge_list_line(line_no, raw)? {
+            let n = u.max(v).checked_add(1).ok_or(GraphError::TooLarge {
+                what: "nodes",
+                count: u64::MAX,
+                limit: u32::MAX as u64 + 1,
+            })?;
+            builder.ensure_nodes(n)?;
+            builder.count_edge(NodeId::new(u), NodeId::new(v))?;
+            edges += 1;
+        }
+        Ok(())
+    })?;
+    if edges == 0 {
         return Err(IoError::Empty { what: "edge list" });
     }
-    let mut builder = GraphBuilder::new(max_node + 1);
-    for (u, v) in edges {
-        builder.add_edge_idempotent(NodeId(u), NodeId(v))?;
-    }
-    Ok(builder.build())
+    builder.start_placement()?;
+    for_each_line(open()?, |line_no, raw| {
+        if let Some((u, v)) = edge_list_line(line_no, raw)? {
+            builder.place_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(())
+    })?;
+    Ok(builder.finish()?)
+}
+
+/// Parses an edge list (`u v` per line, 0-based).
+pub fn parse_edge_list(input: &str) -> Result<Graph, IoError> {
+    stream_edge_list(|| Ok(input.as_bytes()))
 }
 
 /// Renders a graph as a canonical edge list.
@@ -282,7 +344,7 @@ pub fn parse_dimacs(input: &str) -> Result<Graph, IoError> {
                 if u == v {
                     return parse_err(line_no, format!("self loop `e {u} {v}` is not allowed"));
                 }
-                b.add_edge_idempotent(NodeId(u - 1), NodeId(v - 1))?;
+                b.add_edge_idempotent(NodeId::new(u - 1), NodeId::new(v - 1))?;
                 seen_edges += 1;
             }
             Some(other) => {
@@ -344,92 +406,134 @@ pub fn to_dimacs(graph: &Graph) -> String {
 /// structure, not an edge list), which the parser enforces by requiring
 /// exactly `2·m` neighbour entries and `m` distinct edges.
 pub fn parse_metis(input: &str) -> Result<Graph, IoError> {
-    // Comments vanish; empty lines are *kept* for the data section, because a
-    // METIS file is positional — an isolated vertex is exactly one blank
-    // adjacency line.
-    let mut lines = input
-        .lines()
-        .enumerate()
-        .map(|(idx, raw)| (idx + 1, raw.trim()))
-        .filter(|(_, line)| !line.starts_with('%'));
-    let (header_no, header) = loop {
-        match lines.next() {
-            None => {
-                return Err(IoError::Empty {
-                    what: "METIS file (no header line)",
-                })
-            }
-            Some((_, "")) => continue,
-            Some(found) => break found,
-        }
-    };
-    let fields: Vec<&str> = header.split_whitespace().collect();
-    if !(2..=4).contains(&fields.len()) {
-        return parse_err(header_no, "METIS header must be `n m [fmt [ncon]]`");
-    }
-    let n: usize = fields[0].parse().map_err(|_| IoError::Parse {
-        line: header_no,
-        message: format!("`{}` is not a node count", fields[0]),
-    })?;
-    let m: usize = fields[1].parse().map_err(|_| IoError::Parse {
-        line: header_no,
-        message: format!("`{}` is not an edge count", fields[1]),
-    })?;
-    if n == 0 {
-        return parse_err(header_no, "METIS graph must have at least one vertex");
-    }
-    let fmt = fields.get(2).copied().unwrap_or("0");
-    if fmt.len() > 3 || !fmt.bytes().all(|b| b == b'0' || b == b'1') {
-        return parse_err(header_no, format!("invalid METIS fmt field `{fmt}`"));
-    }
-    let fmt_bits = usize::from_str_radix(fmt, 2).expect("validated as binary");
-    let has_edge_weights = fmt_bits & 0b001 != 0;
-    let has_vertex_weights = fmt_bits & 0b010 != 0;
-    let has_vertex_sizes = fmt_bits & 0b100 != 0;
-    let ncon: usize = match fields.get(3) {
-        None => usize::from(has_vertex_weights),
-        Some(t) => t.parse().map_err(|_| IoError::Parse {
-            line: header_no,
-            message: format!("`{t}` is not an ncon count"),
-        })?,
-    };
+    stream_metis(|| Ok(input.as_bytes()))
+}
 
-    let mut builder = GraphBuilder::new(n);
-    // Every directed neighbour mention `(u, v)`, used to enforce symmetry.
-    let mut mentions: std::collections::BTreeSet<(usize, usize)> =
-        std::collections::BTreeSet::new();
+/// One event of a METIS scan, in file order.
+enum MetisEvent {
+    /// The header line was parsed; `n` vertex lines follow.
+    Header {
+        /// Declared vertex count.
+        n: usize,
+    },
+    /// Vertex `u` lists neighbour `v` (both 0-based).
+    Mention {
+        /// The vertex whose adjacency line this is.
+        u: usize,
+        /// The listed neighbour.
+        v: usize,
+    },
+}
+
+/// What a METIS scan learns beyond the mentions themselves.
+struct MetisScan {
+    /// Undirected edge count the header declares.
+    m: usize,
+    /// Total directed neighbour mentions across all data lines.
+    mentions: u64,
+}
+
+fn skip_metis_number(
+    tokens: &mut std::str::SplitWhitespace<'_>,
+    line_no: usize,
+    what: &str,
+) -> Result<(), IoError> {
+    let token = tokens.next().ok_or_else(|| IoError::Parse {
+        line: line_no,
+        message: format!("vertex line ends before its {what}"),
+    })?;
+    token.parse::<f64>().map_err(|_| IoError::Parse {
+        line: line_no,
+        message: format!("`{token}` is not a numeric {what}"),
+    })?;
+    Ok(())
+}
+
+/// Parses a METIS file, driving `f` with the header and every directed
+/// neighbour mention. All per-line validation (header shape, weights,
+/// ranges, self loops, duplicated mentions, vertex-line count) lives here so
+/// the two streaming passes agree exactly and every parse error carries its
+/// line number. Duplicate mentions are detectable per line because a mention
+/// `(u, v)` can only ever appear on `u`'s own adjacency line.
+fn scan_metis<R: BufRead>(
+    reader: R,
+    f: &mut dyn FnMut(MetisEvent) -> Result<(), IoError>,
+) -> Result<MetisScan, IoError> {
+    // Header fields once parsed: (n, m, edge weights?, vertex weights?,
+    // vertex sizes?, ncon).
+    let mut header: Option<(usize, usize, bool, bool, bool, usize)> = None;
     let mut vertex = 0usize;
-    for (line_no, line) in lines.by_ref() {
+    let mut mentions = 0u64;
+    let mut line_neighbors: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for_each_line(reader, |line_no, raw| {
+        // Comments vanish; empty lines are *kept* for the data section,
+        // because a METIS file is positional — an isolated vertex is exactly
+        // one blank adjacency line.
+        let line = raw.trim();
+        if line.starts_with('%') {
+            return Ok(());
+        }
+        let Some((n, _, has_edge_weights, has_vertex_weights, has_vertex_sizes, ncon)) = header
+        else {
+            if line.is_empty() {
+                return Ok(()); // blank lines before the header are tolerated
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if !(2..=4).contains(&fields.len()) {
+                return parse_err(line_no, "METIS header must be `n m [fmt [ncon]]`");
+            }
+            let n: usize = fields[0].parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: format!("`{}` is not a node count", fields[0]),
+            })?;
+            let m: usize = fields[1].parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                message: format!("`{}` is not an edge count", fields[1]),
+            })?;
+            if n == 0 {
+                return parse_err(line_no, "METIS graph must have at least one vertex");
+            }
+            let fmt = fields.get(2).copied().unwrap_or("0");
+            if fmt.len() > 3 || !fmt.bytes().all(|b| b == b'0' || b == b'1') {
+                return parse_err(line_no, format!("invalid METIS fmt field `{fmt}`"));
+            }
+            let fmt_bits = usize::from_str_radix(fmt, 2).map_err(|_| IoError::Parse {
+                line: line_no,
+                message: format!("invalid METIS fmt field `{fmt}`"),
+            })?;
+            let ncon: usize = match fields.get(3) {
+                None => usize::from(fmt_bits & 0b010 != 0),
+                Some(t) => t.parse().map_err(|_| IoError::Parse {
+                    line: line_no,
+                    message: format!("`{t}` is not an ncon count"),
+                })?,
+            };
+            header = Some((
+                n,
+                m,
+                fmt_bits & 0b001 != 0,
+                fmt_bits & 0b010 != 0,
+                fmt_bits & 0b100 != 0,
+                ncon,
+            ));
+            return f(MetisEvent::Header { n });
+        };
         if vertex >= n {
             if line.is_empty() {
-                continue; // tolerate trailing blank lines after the last vertex
+                return Ok(()); // tolerate trailing blank lines after the last vertex
             }
             return parse_err(line_no, format!("more than {n} vertex lines"));
         }
         let u = vertex;
         vertex += 1;
         let mut tokens = line.split_whitespace();
-        fn skip_number(
-            tokens: &mut std::str::SplitWhitespace<'_>,
-            line_no: usize,
-            what: &str,
-        ) -> Result<(), IoError> {
-            let token = tokens.next().ok_or_else(|| IoError::Parse {
-                line: line_no,
-                message: format!("vertex line ends before its {what}"),
-            })?;
-            token.parse::<f64>().map_err(|_| IoError::Parse {
-                line: line_no,
-                message: format!("`{token}` is not a numeric {what}"),
-            })?;
-            Ok(())
-        }
         if has_vertex_sizes {
-            skip_number(&mut tokens, line_no, "vertex size")?;
+            skip_metis_number(&mut tokens, line_no, "vertex size")?;
         }
         for _ in 0..if has_vertex_weights { ncon } else { 0 } {
-            skip_number(&mut tokens, line_no, "vertex weight")?;
+            skip_metis_number(&mut tokens, line_no, "vertex weight")?;
         }
+        line_neighbors.clear();
         while let Some(token) = tokens.next() {
             let v: usize = token.parse().map_err(|_| IoError::Parse {
                 line: line_no,
@@ -441,38 +545,94 @@ pub fn parse_metis(input: &str) -> Result<Graph, IoError> {
             if v - 1 == u {
                 return parse_err(line_no, format!("self loop on vertex {}", u + 1));
             }
-            if !mentions.insert((u, v - 1)) {
+            if !line_neighbors.insert(v - 1) {
                 return parse_err(
                     line_no,
                     format!("vertex {} lists neighbour {v} twice", u + 1),
                 );
             }
-            builder.add_edge_idempotent(NodeId(u), NodeId(v - 1))?;
+            mentions += 1;
+            f(MetisEvent::Mention { u, v: v - 1 })?;
             if has_edge_weights {
-                skip_number(&mut tokens, line_no, "edge weight")?;
+                skip_metis_number(&mut tokens, line_no, "edge weight")?;
             }
         }
-    }
+        Ok(())
+    })?;
+    let Some((n, m, ..)) = header else {
+        return Err(IoError::Empty {
+            what: "METIS file (no header line)",
+        });
+    };
     if vertex != n {
         return Err(IoError::Inconsistent {
             message: format!("header declares {n} vertices but the file has {vertex} data lines"),
         });
     }
-    // With duplicate directed mentions rejected above, `2·m` distinct
-    // directed mentions over `m` distinct undirected edges pigeonholes to
-    // exactly both orientations of every edge — the symmetry METIS requires.
-    if builder.edge_count() != m || mentions.len() != 2 * m {
+    Ok(MetisScan { m, mentions })
+}
+
+/// Streams a METIS file into the compact CSR layout in two passes (count,
+/// place); `open` reopens the input for each pass. Global adjacency symmetry
+/// — every mention must have its reciprocal on the other endpoint's line —
+/// is enforced by [`StreamingBuilder::finish_symmetric`] without any
+/// per-mention bookkeeping.
+pub fn stream_metis<R: BufRead>(
+    mut open: impl FnMut() -> Result<R, IoError>,
+) -> Result<Graph, IoError> {
+    let mut started: Option<StreamingBuilder> = None;
+    let info = scan_metis(open()?, &mut |event| {
+        match event {
+            MetisEvent::Header { n } => started = Some(StreamingBuilder::new(n)?),
+            MetisEvent::Mention { u, v } => {
+                let Some(b) = started.as_mut() else {
+                    return Err(GraphError::StreamingMismatch(
+                        "mention before the METIS header".to_string(),
+                    )
+                    .into());
+                };
+                b.count_arc(NodeId::new(u), NodeId::new(v))?;
+            }
+        }
+        Ok(())
+    })?;
+    let Some(mut builder) = started.take() else {
+        return Err(IoError::Empty {
+            what: "METIS file (no header line)",
+        });
+    };
+    builder.start_placement()?;
+    scan_metis(open()?, &mut |event| {
+        if let MetisEvent::Mention { u, v } = event {
+            builder.place_arc(NodeId::new(u), NodeId::new(v))?;
+        }
+        Ok(())
+    })?;
+    let graph = builder.finish_symmetric().map_err(|e| match e {
+        // Which line is missing a mention is a file-level question, so these
+        // surface as inconsistencies, not line-numbered parse errors.
+        GraphError::AsymmetricAdjacency(..) | GraphError::DuplicateEdge(..) => {
+            IoError::Inconsistent {
+                message: e.to_string(),
+            }
+        }
+        other => IoError::Graph(other),
+    })?;
+    // With symmetry established, `2·m` mentions over `m` distinct edges
+    // pigeonholes to exactly both orientations of every edge.
+    if graph.edge_count() != info.m || info.mentions != 2 * info.m as u64 {
         return Err(IoError::Inconsistent {
             message: format!(
-                "header declares {m} edges but the adjacency lists carry {} \
+                "header declares {} edges but the adjacency lists carry {} \
                  neighbour entries ({} distinct edges); every edge must appear in \
                  both endpoint lists",
-                mentions.len(),
-                builder.edge_count()
+                info.m,
+                info.mentions,
+                graph.edge_count()
             ),
         });
     }
-    Ok(builder.build())
+    Ok(graph)
 }
 
 /// Renders a graph as a canonical METIS adjacency file.
@@ -506,88 +666,111 @@ pub fn to_metis(graph: &Graph) -> String {
 /// when sparse-matrix benchmarks are read as graphs, and both orientations
 /// of an off-diagonal entry collapse onto one undirected edge.
 pub fn parse_matrix_market(input: &str) -> Result<Graph, IoError> {
-    let mut lines = input.lines().enumerate();
-    let Some((_, banner)) = lines.next() else {
-        return Err(IoError::Empty {
-            what: "MatrixMarket file",
-        });
-    };
-    let banner_fields: Vec<String> = banner
-        .split_whitespace()
-        .map(str::to_ascii_lowercase)
-        .collect();
-    if banner_fields.first().map(String::as_str) != Some("%%matrixmarket") {
-        return parse_err(1, "missing `%%MatrixMarket` banner");
-    }
-    if banner_fields.len() != 5 {
-        return parse_err(
-            1,
-            "banner must be `%%MatrixMarket matrix coordinate <field> <symmetry>`",
-        );
-    }
-    if banner_fields[1] != "matrix" {
-        return parse_err(1, format!("unsupported object `{}`", banner_fields[1]));
-    }
-    if banner_fields[2] != "coordinate" {
-        return parse_err(
-            1,
-            format!(
-                "unsupported format `{}` (only sparse `coordinate` matrices describe graphs)",
-                banner_fields[2]
-            ),
-        );
-    }
-    if !matches!(
-        banner_fields[3].as_str(),
-        "pattern" | "real" | "integer" | "double" | "complex"
-    ) {
-        return parse_err(1, format!("unsupported field type `{}`", banner_fields[3]));
-    }
-    if !matches!(
-        banner_fields[4].as_str(),
-        "general" | "symmetric" | "skew-symmetric" | "hermitian"
-    ) {
-        return parse_err(1, format!("unsupported symmetry `{}`", banner_fields[4]));
-    }
+    stream_matrix_market(|| Ok(input.as_bytes()))
+}
 
-    let mut data = lines.filter_map(|(idx, raw)| {
+/// One event of a MatrixMarket scan, in file order.
+enum MmEvent {
+    /// The size line was parsed; the matrix is `rows × rows`.
+    Size {
+        /// Matrix dimension (= node count).
+        rows: usize,
+    },
+    /// An off-diagonal entry at 0-based `(i, j)` (diagonals are dropped
+    /// before the events fire).
+    Entry {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+    },
+}
+
+/// Parses a MatrixMarket coordinate file, driving `f` with the size line and
+/// every off-diagonal entry. Banner, size-line and entry validation (and the
+/// entry-count-vs-`nnz` check) all live here so the two streaming passes
+/// agree exactly and every parse error carries its line number.
+fn scan_matrix_market<R: BufRead>(
+    reader: R,
+    f: &mut dyn FnMut(MmEvent) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut banner_seen = false;
+    let mut size: Option<usize> = None;
+    let mut nnz = 0usize;
+    let mut entries = 0usize;
+    for_each_line(reader, |line_no, raw| {
+        if line_no == 1 {
+            let banner_fields: Vec<String> = raw
+                .split_whitespace()
+                .map(str::to_ascii_lowercase)
+                .collect();
+            if banner_fields.first().map(String::as_str) != Some("%%matrixmarket") {
+                return parse_err(1, "missing `%%MatrixMarket` banner");
+            }
+            if banner_fields.len() != 5 {
+                return parse_err(
+                    1,
+                    "banner must be `%%MatrixMarket matrix coordinate <field> <symmetry>`",
+                );
+            }
+            if banner_fields[1] != "matrix" {
+                return parse_err(1, format!("unsupported object `{}`", banner_fields[1]));
+            }
+            if banner_fields[2] != "coordinate" {
+                return parse_err(
+                    1,
+                    format!(
+                        "unsupported format `{}` (only sparse `coordinate` matrices describe graphs)",
+                        banner_fields[2]
+                    ),
+                );
+            }
+            if !matches!(
+                banner_fields[3].as_str(),
+                "pattern" | "real" | "integer" | "double" | "complex"
+            ) {
+                return parse_err(1, format!("unsupported field type `{}`", banner_fields[3]));
+            }
+            if !matches!(
+                banner_fields[4].as_str(),
+                "general" | "symmetric" | "skew-symmetric" | "hermitian"
+            ) {
+                return parse_err(1, format!("unsupported symmetry `{}`", banner_fields[4]));
+            }
+            banner_seen = true;
+            return Ok(());
+        }
         let line = raw.trim();
         if line.is_empty() || line.starts_with('%') {
-            None
-        } else {
-            Some((idx + 1, line))
+            return Ok(());
         }
-    });
-    let Some((size_no, size_line)) = data.next() else {
-        return Err(IoError::Empty {
-            what: "MatrixMarket file (banner but no size line)",
-        });
-    };
-    let dims: Vec<&str> = size_line.split_whitespace().collect();
-    if dims.len() != 3 {
-        return parse_err(size_no, "size line must be `rows cols nnz`");
-    }
-    let parse_dim = |token: &str| -> Result<usize, IoError> {
-        token.parse().map_err(|_| IoError::Parse {
-            line: size_no,
-            message: format!("`{token}` is not a matrix dimension"),
-        })
-    };
-    let rows = parse_dim(dims[0])?;
-    let cols = parse_dim(dims[1])?;
-    let nnz = parse_dim(dims[2])?;
-    if rows != cols {
-        return Err(IoError::Inconsistent {
-            message: format!("matrix is {rows}×{cols}; only square matrices describe graphs"),
-        });
-    }
-    if rows == 0 {
-        return parse_err(size_no, "matrix must have at least one row");
-    }
-
-    let mut builder = GraphBuilder::new(rows);
-    let mut entries = 0usize;
-    for (line_no, line) in data {
+        let Some(rows) = size else {
+            let dims: Vec<&str> = line.split_whitespace().collect();
+            if dims.len() != 3 {
+                return parse_err(line_no, "size line must be `rows cols nnz`");
+            }
+            let parse_dim = |token: &str| -> Result<usize, IoError> {
+                token.parse().map_err(|_| IoError::Parse {
+                    line: line_no,
+                    message: format!("`{token}` is not a matrix dimension"),
+                })
+            };
+            let rows = parse_dim(dims[0])?;
+            let cols = parse_dim(dims[1])?;
+            nnz = parse_dim(dims[2])?;
+            if rows != cols {
+                return Err(IoError::Inconsistent {
+                    message: format!(
+                        "matrix is {rows}×{cols}; only square matrices describe graphs"
+                    ),
+                });
+            }
+            if rows == 0 {
+                return parse_err(line_no, "matrix must have at least one row");
+            }
+            size = Some(rows);
+            return f(MmEvent::Size { rows });
+        };
         let mut fields = line.split_whitespace();
         let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
             return parse_err(line_no, format!("expected `i j [value]`, got `{line}`"));
@@ -608,15 +791,64 @@ pub fn parse_matrix_market(input: &str) -> Result<Graph, IoError> {
         }
         entries += 1;
         if i != j {
-            builder.add_edge_idempotent(NodeId(i - 1), NodeId(j - 1))?;
+            return f(MmEvent::Entry { i: i - 1, j: j - 1 });
         }
+        Ok(())
+    })?;
+    if !banner_seen {
+        return Err(IoError::Empty {
+            what: "MatrixMarket file",
+        });
+    }
+    if size.is_none() {
+        return Err(IoError::Empty {
+            what: "MatrixMarket file (banner but no size line)",
+        });
     }
     if entries != nnz {
         return Err(IoError::Inconsistent {
             message: format!("size line declares {nnz} entries but the file has {entries}"),
         });
     }
-    Ok(builder.build())
+    Ok(())
+}
+
+/// Streams a MatrixMarket coordinate file into the compact CSR layout in two
+/// passes (count, place); `open` reopens the input for each pass. Both
+/// orientations of an entry collapse onto one undirected edge, matching
+/// [`GraphBuilder::add_edge_idempotent`].
+pub fn stream_matrix_market<R: BufRead>(
+    mut open: impl FnMut() -> Result<R, IoError>,
+) -> Result<Graph, IoError> {
+    let mut started: Option<StreamingBuilder> = None;
+    scan_matrix_market(open()?, &mut |event| {
+        match event {
+            MmEvent::Size { rows } => started = Some(StreamingBuilder::new(rows)?),
+            MmEvent::Entry { i, j } => {
+                let Some(b) = started.as_mut() else {
+                    return Err(GraphError::StreamingMismatch(
+                        "entry before the MatrixMarket size line".to_string(),
+                    )
+                    .into());
+                };
+                b.count_edge(NodeId::new(i), NodeId::new(j))?;
+            }
+        }
+        Ok(())
+    })?;
+    let Some(mut builder) = started.take() else {
+        return Err(IoError::Empty {
+            what: "MatrixMarket file (banner but no size line)",
+        });
+    };
+    builder.start_placement()?;
+    scan_matrix_market(open()?, &mut |event| {
+        if let MmEvent::Entry { i, j } = event {
+            builder.place_edge(NodeId::new(i), NodeId::new(j))?;
+        }
+        Ok(())
+    })?;
+    Ok(builder.finish()?)
 }
 
 /// Renders a graph as a canonical MatrixMarket file (`pattern symmetric`,
@@ -664,28 +896,52 @@ pub fn render_graph(graph: &Graph, format: GraphFormat) -> String {
 /// The two magic bytes every gzip member starts with.
 const GZIP_MAGIC: [u8; 2] = [0x1f, 0x8b];
 
+/// Opens `path` as a buffered line source, transparently layering the
+/// streaming gzip decoder when the content starts with the gzip magic —
+/// whatever the file is called, so benchmark suites work whether or not
+/// their compression shows in the name. The decompressed stream is never
+/// materialised: the decoder inflates chunk by chunk as lines are pulled.
+fn open_lines(path: &Path) -> Result<Box<dyn BufRead>, IoError> {
+    let file =
+        std::fs::File::open(path).map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    let mut reader = std::io::BufReader::new(file);
+    let head = reader
+        .fill_buf()
+        .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+    if head.starts_with(&GZIP_MAGIC) {
+        Ok(Box::new(std::io::BufReader::new(
+            flate2::read::GzDecoder::new(reader),
+        )))
+    } else {
+        Ok(Box::new(reader))
+    }
+}
+
 /// Loads a graph from a file, inferring the format from the extension when
-/// none is given and gunzipping transparently: content starting with the
-/// gzip magic is decompressed whatever the file is called, so benchmark
-/// suites work whether or not their compression shows in the name.
+/// none is given and gunzipping transparently (by content magic, not name).
+///
+/// Edge-list, METIS and MatrixMarket files are **streamed** into the compact
+/// CSR layout in two passes over the file — the file content, inflated or
+/// not, is never held in memory, so peak usage is the finished graph plus
+/// fixed-size decode buffers. Gzipped inputs are decompressed twice (once
+/// per pass), trading CPU for the memory bound. DIMACS still loads through
+/// the buffered parser (its gzip layer streams all the same).
 pub fn load_graph(path: impl AsRef<Path>, format: Option<GraphFormat>) -> Result<Graph, IoError> {
     let path = path.as_ref();
     let format = format.unwrap_or_else(|| GraphFormat::from_path(path));
-    let raw = std::fs::read(path).map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
-    let bytes = if raw.starts_with(&GZIP_MAGIC) {
-        use std::io::Read;
-        let mut decoder = flate2::read::GzDecoder::new(&raw[..]);
-        let mut out = Vec::new();
-        decoder
-            .read_to_end(&mut out)
-            .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
-        out
-    } else {
-        raw
-    };
-    let content = String::from_utf8(bytes)
-        .map_err(|e| IoError::Io(format!("{}: not valid UTF-8: {e}", path.display())))?;
-    parse_graph(&content, format)
+    match format {
+        GraphFormat::EdgeList => stream_edge_list(|| open_lines(path)),
+        GraphFormat::Metis => stream_metis(|| open_lines(path)),
+        GraphFormat::MatrixMarket => stream_matrix_market(|| open_lines(path)),
+        GraphFormat::Dimacs => {
+            use std::io::Read;
+            let mut content = String::new();
+            open_lines(path)?
+                .read_to_string(&mut content)
+                .map_err(|e| IoError::Io(format!("{}: {e}", path.display())))?;
+            parse_dimacs(&content)
+        }
+    }
 }
 
 /// Writes a graph to a file in the given (or extension-inferred) format,

@@ -247,7 +247,7 @@ impl FaultSpec {
                 .crashes
                 .iter()
                 .map(|&(node, at)| CrashAt {
-                    node: NodeId(node),
+                    node: NodeId::new(node),
                     at,
                 })
                 .collect(),
@@ -255,8 +255,8 @@ impl FaultSpec {
                 .cuts
                 .iter()
                 .map(|&(a, b, at)| CutAt {
-                    a: NodeId(a),
-                    b: NodeId(b),
+                    a: NodeId::new(a),
+                    b: NodeId::new(b),
                     at,
                 })
                 .collect(),
@@ -642,7 +642,7 @@ impl RunSpec {
     pub fn pipeline_config(&self) -> Result<mdst_core::PipelineConfig, SpecError> {
         Ok(mdst_core::PipelineConfig {
             initial: parse_initial_kind(&self.initial, self.seed)?,
-            root: NodeId(self.root),
+            root: NodeId::new(self.root),
             sim: SimConfig {
                 delay: self.delay.to_model(self.seed ^ 0xD1B5_4A32_D192_ED03),
                 start: self.start.to_model(self.seed ^ 0x8CB9_2BA7_2F3D_8DD7),

@@ -1,0 +1,207 @@
+//! Property tests pinning the streaming two-pass loader to the legacy
+//! in-memory [`GraphBuilder`] semantics: for generated edge-list, METIS and
+//! MatrixMarket files — plain and gzipped, with comments, blank lines,
+//! isolated nodes, duplicate entries and shuffled edge order — `load_graph`
+//! must produce exactly the graph a `GraphBuilder` fed the same edges would.
+
+use mdst_graph::{Graph, GraphBuilder, NodeId};
+use mdst_scenario::io::{load_graph, GraphFormat};
+use proptest::prelude::*;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// SplitMix64, so edge sets, shuffles and comment placement are all
+/// seed-deterministic (the vendored proptest shim has no collection
+/// strategies — the seed carries the randomness instead).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seeded Fisher–Yates.
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed;
+    for i in (1..items.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+/// A raw workload: a declared node count, an edge-multiset size and a seed
+/// driving edge endpoints, shuffles and comment injection.
+fn workload() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..40, 1usize..80, any::<u64>())
+}
+
+/// The seeded edge multiset: `count` loop-free pairs with endpoints below
+/// `n`, duplicates welcome, and nothing forcing every node to appear — so
+/// interior (and, for header-declared formats, trailing) nodes stay isolated.
+fn gen_edges(n: usize, count: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut state = seed;
+    let mut edges = Vec::with_capacity(count);
+    while edges.len() < count {
+        let u = (splitmix64(&mut state) % n as u64) as usize;
+        let v = (splitmix64(&mut state) % n as u64) as usize;
+        if u != v {
+            edges.push((u.min(v), u.max(v)));
+        }
+    }
+    edges
+}
+
+/// The reference semantics: every edge through
+/// [`GraphBuilder::add_edge_idempotent`] on an `n`-node builder.
+fn reference(n: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge_idempotent(NodeId::new(u), NodeId::new(v))
+            .expect("generated edges are in range and loop-free");
+    }
+    b.build()
+}
+
+/// Removes the twin files when the case ends — pass or panic alike.
+struct Cleanup(PathBuf, PathBuf);
+
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+        let _ = std::fs::remove_file(&self.1);
+    }
+}
+
+/// Writes `text` under a case-unique name plus a gzip twin and returns both
+/// paths with a cleanup guard.
+fn write_twins(text: &str, ext: &str) -> (PathBuf, PathBuf, Cleanup) {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let plain = std::env::temp_dir().join(format!(
+        "mdst_stream_eq_{}_{case}.{ext}",
+        std::process::id()
+    ));
+    let gz = plain.with_extension(format!("{ext}.gz"));
+    std::fs::write(&plain, text).expect("temp dir is writable");
+    let mut enc = flate2::write::GzEncoder::new(Vec::new(), flate2::Compression::fast());
+    enc.write_all(text.as_bytes()).expect("in-memory gzip");
+    std::fs::write(&gz, enc.finish().expect("in-memory gzip")).expect("temp dir is writable");
+    let guard = Cleanup(plain.clone(), gz.clone());
+    (plain, gz, guard)
+}
+
+/// Renders the edge multiset as a hostile edge-list file: shuffled order,
+/// interleaved `#`/`%` comment lines, blank lines and inline comments.
+fn render_edge_list(edges: &[(usize, usize)], seed: u64) -> String {
+    let mut order: Vec<(usize, usize)> = edges.to_vec();
+    shuffle(&mut order, seed);
+    let mut state = seed ^ 0xdead_beef;
+    let mut out = String::from("# generated workload\n");
+    for (u, v) in order {
+        match splitmix64(&mut state) % 5 {
+            0 => out.push_str("% interleaved comment\n"),
+            1 => out.push('\n'),
+            _ => {}
+        }
+        if splitmix64(&mut state).is_multiple_of(4) {
+            out.push_str(&format!("{u} {v} # inline note\n"));
+        } else {
+            out.push_str(&format!("{u} {v}\n"));
+        }
+    }
+    out
+}
+
+/// Renders the reference graph as a METIS file with shuffled neighbour order
+/// inside each adjacency line and `%` comment lines sprinkled between lines
+/// (comments vanish; blank data lines are positional, so isolated nodes show
+/// up as exactly that — empty adjacency lines).
+fn render_metis_shuffled(graph: &Graph, seed: u64) -> String {
+    let mut state = seed;
+    let mut out = String::from("% generated workload\n");
+    out.push_str(&format!("{} {}\n", graph.node_count(), graph.edge_count()));
+    for u in graph.nodes() {
+        if splitmix64(&mut state).is_multiple_of(4) {
+            out.push_str("% between vertex lines\n");
+        }
+        let mut row: Vec<usize> = graph.neighbors(u).map(|v| v.index() + 1).collect();
+        shuffle(&mut row, splitmix64(&mut state));
+        let row: Vec<String> = row.iter().map(usize::to_string).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the edge multiset as a MatrixMarket coordinate file: shuffled
+/// entry order, random orientation per entry, duplicate entries kept (the
+/// declared `nnz` counts data lines, and duplicates collapse onto one
+/// undirected edge exactly like `add_edge_idempotent`), `%` comments and
+/// blank lines.
+fn render_matrix_market(n: usize, edges: &[(usize, usize)], seed: u64) -> String {
+    let mut order: Vec<(usize, usize)> = edges.to_vec();
+    shuffle(&mut order, seed);
+    let mut state = seed ^ 0x5eed;
+    let mut out = String::from("%%MatrixMarket matrix coordinate pattern symmetric\n");
+    out.push_str("% generated workload\n");
+    out.push_str(&format!("{n} {n} {}\n", order.len()));
+    for (u, v) in order {
+        match splitmix64(&mut state) % 6 {
+            0 => out.push_str("% interleaved comment\n"),
+            1 => out.push('\n'),
+            _ => {}
+        }
+        if splitmix64(&mut state).is_multiple_of(2) {
+            out.push_str(&format!("{} {}\n", u + 1, v + 1));
+        } else {
+            out.push_str(&format!("{} {}\n", v + 1, u + 1));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn streaming_edge_list_matches_graph_builder((n, count, seed) in workload()) {
+        let edges = gen_edges(n, count, seed);
+        // An edge list cannot declare trailing isolated nodes: the loader
+        // discovers `max(endpoint) + 1`, so the reference builder must too.
+        let top = edges.iter().map(|&(u, v)| u.max(v)).max().unwrap();
+        let expected = reference(top + 1, &edges);
+        let text = render_edge_list(&edges, seed);
+        let (plain, gz, _guard) = write_twins(&text, "el");
+        let streamed = load_graph(&plain, Some(GraphFormat::EdgeList)).expect("plain file loads");
+        prop_assert_eq!(&streamed, &expected);
+        let inflated = load_graph(&gz, Some(GraphFormat::EdgeList)).expect("gzip twin loads");
+        prop_assert_eq!(&inflated, &expected);
+    }
+
+    #[test]
+    fn streaming_metis_matches_graph_builder((n, count, seed) in workload()) {
+        let edges = gen_edges(n, count, seed);
+        let expected = reference(n, &edges);
+        let text = render_metis_shuffled(&expected, seed);
+        let (plain, gz, _guard) = write_twins(&text, "graph");
+        let streamed = load_graph(&plain, Some(GraphFormat::Metis)).expect("plain file loads");
+        prop_assert_eq!(&streamed, &expected);
+        let inflated = load_graph(&gz, Some(GraphFormat::Metis)).expect("gzip twin loads");
+        prop_assert_eq!(&inflated, &expected);
+    }
+
+    #[test]
+    fn streaming_matrix_market_matches_graph_builder((n, count, seed) in workload()) {
+        let edges = gen_edges(n, count, seed);
+        let expected = reference(n, &edges);
+        let text = render_matrix_market(n, &edges, seed);
+        let (plain, gz, _guard) = write_twins(&text, "mtx");
+        let streamed =
+            load_graph(&plain, Some(GraphFormat::MatrixMarket)).expect("plain file loads");
+        prop_assert_eq!(&streamed, &expected);
+        let inflated = load_graph(&gz, Some(GraphFormat::MatrixMarket)).expect("gzip twin loads");
+        prop_assert_eq!(&inflated, &expected);
+    }
+}

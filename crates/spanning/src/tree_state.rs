@@ -49,10 +49,10 @@ pub fn collect_tree<S: TreeState>(states: &[S]) -> Result<RootedTree, GraphError
                         "two roots: {r} and v{u}"
                     )));
                 }
-                root = Some(NodeId(u));
+                root = Some(NodeId::new(u));
             }
             Some(p) => {
-                if !states[p.index()].tree_children().contains(&NodeId(u)) {
+                if !states[p.index()].tree_children().contains(&NodeId::new(u)) {
                     return Err(GraphError::NotASpanningTree(format!(
                         "v{u} claims parent {p} but {p} does not list it as a child"
                     )));
@@ -61,7 +61,7 @@ pub fn collect_tree<S: TreeState>(states: &[S]) -> Result<RootedTree, GraphError
             }
         }
         for &c in state.tree_children() {
-            if states[c.index()].tree_parent() != Some(NodeId(u)) {
+            if states[c.index()].tree_parent() != Some(NodeId::new(u)) {
                 return Err(GraphError::NotASpanningTree(format!(
                     "v{u} lists child {c} but {c} points elsewhere"
                 )));
@@ -96,8 +96,8 @@ mod tests {
 
     fn node(parent: Option<usize>, children: &[usize], done: bool) -> Fake {
         Fake {
-            parent: parent.map(NodeId),
-            children: children.iter().map(|&c| NodeId(c)).collect(),
+            parent: parent.map(NodeId::new),
+            children: children.iter().map(|&c| NodeId::new(c)).collect(),
             done,
         }
     }

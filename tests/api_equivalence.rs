@@ -128,7 +128,7 @@ proptest! {
         };
         if crash {
             faults.crashes.push(CrashAt {
-                node: NodeId((seed % n as u64) as usize),
+                node: NodeId::new((seed % n as u64) as usize),
                 at: 3,
             });
         }
@@ -208,7 +208,7 @@ proptest! {
             sim: SimConfig {
                 faults: FaultPlan {
                     crashes: vec![CrashAt {
-                        node: NodeId((crash_node % n as u64) as usize),
+                        node: NodeId::new((crash_node % n as u64) as usize),
                         at: crash_at,
                     }],
                     ..Default::default()

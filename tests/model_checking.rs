@@ -14,7 +14,7 @@ use mdst::prelude::*;
 /// Parent vector of a rooted tree, in the checker's outcome encoding.
 fn parent_vec(tree: &RootedTree) -> Vec<Option<usize>> {
     (0..tree.node_count())
-        .map(|u| tree.parent(NodeId(u)).map(|p| p.index()))
+        .map(|u| tree.parent(NodeId::new(u)).map(|p| p.index()))
         .collect()
 }
 

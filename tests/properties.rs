@@ -16,7 +16,7 @@ fn connected_graph() -> impl Strategy<Value = Graph> {
 /// Strategy: a graph plus a random spanning tree of it.
 fn graph_with_tree() -> impl Strategy<Value = (Arc<Graph>, RootedTree)> {
     (connected_graph(), any::<u64>()).prop_map(|(graph, seed)| {
-        let root = NodeId((seed % graph.node_count() as u64) as usize);
+        let root = NodeId::new((seed % graph.node_count() as u64) as usize);
         let tree = algorithms::random_spanning_tree(&graph, root, seed).expect("connected");
         (Arc::new(graph), tree)
     })

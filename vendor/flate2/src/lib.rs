@@ -7,6 +7,12 @@
 //!   RFC 1951 DEFLATE inflater (stored, fixed-Huffman and dynamic-Huffman
 //!   blocks), with CRC32 and size verification of the trailer. Files
 //!   produced by the real `gzip`/`zlib` toolchain decode byte-exactly.
+//!   The decoder is **incremental**: it pulls compressed bytes through a
+//!   fixed 8 KiB input buffer and keeps only the 32 KiB DEFLATE back-
+//!   reference window plus a bounded pending-output buffer, so decoding an
+//!   arbitrarily large stream is O(chunk) memory — never the whole inflated
+//!   payload. [`read::GzDecoder::buffer_high_water`] exposes the observed
+//!   peak buffering so ingestion tests can pin the bound.
 //! * [`write::GzEncoder`] — a gzip *writer* that emits stored (uncompressed)
 //!   DEFLATE blocks only. Compression ratio 1, but the output is a fully
 //!   valid gzip member that any inflater (including this one) accepts, which
@@ -16,7 +22,8 @@
 //!
 //! Like every `vendor/` shim, swapping back to the real crate is a
 //! Cargo.toml-only change: the types, module paths and method signatures
-//! match the crates.io `flate2` surface.
+//! match the crates.io `flate2` surface (`buffer_high_water` is a shim-only
+//! observability extension used by the ingestion regression tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -65,58 +72,99 @@ fn corrupt(msg: &str) -> io::Error {
 // CRC32 (IEEE, the gzip checksum)
 // ---------------------------------------------------------------------------
 
-fn crc32(data: &[u8]) -> u32 {
-    let mut table = [0u32; 256];
-    for (n, slot) in table.iter_mut().enumerate() {
-        let mut c = n as u32;
-        for _ in 0..8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
+/// Precomputed CRC32 (IEEE) lookup table supporting incremental updates.
+struct Crc32Table([u32; 256]);
+
+impl Crc32Table {
+    fn new() -> Crc32Table {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
         }
-        *slot = c;
+        Crc32Table(table)
     }
+
+    /// Advances the running (pre-inverted) CRC state by one byte. Start from
+    /// `0xFFFF_FFFF`, finish with `state ^ 0xFFFF_FFFF`.
+    #[inline]
+    fn step(&self, state: u32, byte: u8) -> u32 {
+        self.0[((state ^ byte as u32) & 0xFF) as usize] ^ (state >> 8)
+    }
+}
+
+fn crc32(data: &[u8]) -> u32 {
+    let table = Crc32Table::new();
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = table.step(crc, b);
     }
     crc ^ 0xFFFF_FFFF
 }
 
 // ---------------------------------------------------------------------------
-// DEFLATE inflate (RFC 1951)
+// Streaming input: LSB-first bit reader over a fixed-size refill buffer
 // ---------------------------------------------------------------------------
 
-/// LSB-first bit reader over a byte slice.
-struct BitReader<'a> {
-    data: &'a [u8],
-    /// Next byte index.
-    pos: usize,
-    /// Bit position inside `data[pos]` (0 = least significant).
+/// Compressed bytes held in memory at once.
+const IN_CHUNK: usize = 8 * 1024;
+
+/// LSB-first bit reader pulling from an inner reader through a fixed-size
+/// buffer — the input half of the O(chunk) memory guarantee.
+struct ByteSource<R> {
+    inner: R,
+    buf: Box<[u8]>,
+    start: usize,
+    end: usize,
+    /// Bit position inside `buf[start]` (0 = least significant).
     bit: u32,
 }
 
-impl<'a> BitReader<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        BitReader {
-            data,
-            pos: 0,
+impl<R: io::Read> ByteSource<R> {
+    fn new(inner: R) -> ByteSource<R> {
+        ByteSource {
+            inner,
+            buf: vec![0u8; IN_CHUNK].into_boxed_slice(),
+            start: 0,
+            end: 0,
             bit: 0,
         }
     }
 
+    /// Unconsumed compressed bytes currently buffered.
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Ensures at least one unread byte is buffered; `false` at clean EOF.
+    fn ensure_byte(&mut self) -> io::Result<bool> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = self.inner.read(&mut self.buf)?;
+            if self.end == 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
     fn take_bit(&mut self) -> io::Result<u32> {
-        let byte = *self
-            .data
-            .get(self.pos)
-            .ok_or_else(|| corrupt("unexpected end of deflate stream"))?;
+        if !self.ensure_byte()? {
+            return Err(corrupt("unexpected end of deflate stream"));
+        }
+        let byte = self.buf[self.start];
         let bit = (byte >> self.bit) & 1;
         self.bit += 1;
         if self.bit == 8 {
             self.bit = 0;
-            self.pos += 1;
+            self.start += 1;
         }
         Ok(bit as u32)
     }
@@ -133,25 +181,106 @@ impl<'a> BitReader<'a> {
     fn align_to_byte(&mut self) {
         if self.bit != 0 {
             self.bit = 0;
-            self.pos += 1;
+            self.start += 1;
         }
     }
 
     fn take_byte(&mut self) -> io::Result<u8> {
         debug_assert_eq!(self.bit, 0, "byte reads only after alignment");
-        let byte = *self
-            .data
-            .get(self.pos)
-            .ok_or_else(|| corrupt("unexpected end of deflate stream"))?;
-        self.pos += 1;
+        if !self.ensure_byte()? {
+            return Err(corrupt("unexpected end of deflate stream"));
+        }
+        let byte = self.buf[self.start];
+        self.start += 1;
         Ok(byte)
     }
 
-    /// Byte offset of the next unread byte (after alignment).
-    fn byte_pos(&self) -> usize {
-        self.pos + usize::from(self.bit != 0)
+    /// Whether the (byte-aligned) stream is at EOF.
+    fn at_eof(&mut self) -> io::Result<bool> {
+        debug_assert_eq!(self.bit, 0, "EOF checks only after alignment");
+        Ok(!self.ensure_byte()?)
     }
 }
+
+// ---------------------------------------------------------------------------
+// Streaming output: 32 KiB back-reference window + bounded pending bytes
+// ---------------------------------------------------------------------------
+
+/// DEFLATE's maximum back-reference distance.
+const WINDOW: usize = 32 * 1024;
+
+/// Decoded bytes awaiting the caller, plus the ring of the last [`WINDOW`]
+/// bytes that back-references may copy from — the output half of the
+/// O(chunk) memory guarantee.
+struct OutWindow {
+    window: Box<[u8]>,
+    /// Next write slot in the ring.
+    pos: usize,
+    /// Valid history length, saturating at [`WINDOW`].
+    filled: usize,
+    pending: Vec<u8>,
+    pending_off: usize,
+}
+
+impl OutWindow {
+    fn new() -> OutWindow {
+        OutWindow {
+            window: vec![0u8; WINDOW].into_boxed_slice(),
+            pos: 0,
+            filled: 0,
+            pending: Vec::new(),
+            pending_off: 0,
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, byte: u8) {
+        self.window[self.pos] = byte;
+        self.pos = (self.pos + 1) % WINDOW;
+        if self.filled < WINDOW {
+            self.filled += 1;
+        }
+        self.pending.push(byte);
+    }
+
+    /// Copies `length` bytes from `distance` back in the history, byte by
+    /// byte so overlapping matches (distance < length) repeat the
+    /// just-written bytes, exactly as DEFLATE requires.
+    fn copy_back(&mut self, distance: usize, length: usize) -> io::Result<()> {
+        if distance == 0 || distance > self.filled {
+            return Err(corrupt("distance beyond output start"));
+        }
+        let mut from = (self.pos + WINDOW - distance) % WINDOW;
+        for _ in 0..length {
+            let byte = self.window[from];
+            from = (from + 1) % WINDOW;
+            self.emit(byte);
+        }
+        Ok(())
+    }
+
+    fn pending_len(&self) -> usize {
+        self.pending.len() - self.pending_off
+    }
+
+    /// Moves pending bytes into `buf`, releasing the backing storage once
+    /// fully drained.
+    fn drain(&mut self, buf: &mut [u8]) -> usize {
+        let avail = &self.pending[self.pending_off..];
+        let n = avail.len().min(buf.len());
+        buf[..n].copy_from_slice(&avail[..n]);
+        self.pending_off += n;
+        if self.pending_off == self.pending.len() {
+            self.pending.clear();
+            self.pending_off = 0;
+        }
+        n
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DEFLATE inflate (RFC 1951), resumable between symbols
+// ---------------------------------------------------------------------------
 
 /// Canonical Huffman decoding table: symbol counts per code length plus the
 /// symbols sorted by (length, symbol) — the classic zlib `puff` layout.
@@ -193,7 +322,7 @@ impl Huffman {
         Ok(Huffman { counts, symbols })
     }
 
-    fn decode(&self, bits: &mut BitReader<'_>) -> io::Result<u16> {
+    fn decode<R: io::Read>(&self, bits: &mut ByteSource<R>) -> io::Result<u16> {
         let mut code = 0i32;
         let mut first = 0i32;
         let mut index = 0i32;
@@ -238,132 +367,67 @@ fn fixed_literal_lengths() -> Vec<u8> {
     lengths
 }
 
-fn inflate_codes(
-    bits: &mut BitReader<'_>,
-    literals: &Huffman,
-    distances: &Huffman,
-    out: &mut Vec<u8>,
-) -> io::Result<()> {
-    loop {
-        let symbol = literals.decode(bits)?;
+/// Parses the code-length preamble of a dynamic block and builds the
+/// literal/length and distance tables.
+fn read_dynamic_tables<R: io::Read>(src: &mut ByteSource<R>) -> io::Result<(Huffman, Huffman)> {
+    let hlit = src.take_bits(5)? as usize + 257;
+    let hdist = src.take_bits(5)? as usize + 1;
+    let hclen = src.take_bits(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err(corrupt("dynamic block declares too many codes"));
+    }
+    let mut clc_lengths = [0u8; 19];
+    for &slot in CLC_ORDER.iter().take(hclen) {
+        clc_lengths[slot] = src.take_bits(3)? as u8;
+    }
+    let clc = Huffman::build(&clc_lengths)?;
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let symbol = clc.decode(src)?;
         match symbol {
-            0..=255 => out.push(symbol as u8),
-            256 => return Ok(()),
-            257..=285 => {
-                let idx = (symbol - 257) as usize;
-                let length =
-                    LENGTH_BASE[idx] as usize + bits.take_bits(LENGTH_EXTRA[idx])? as usize;
-                let dist_symbol = distances.decode(bits)? as usize;
-                if dist_symbol >= 30 {
-                    return Err(corrupt("invalid distance symbol"));
-                }
-                let distance = DIST_BASE[dist_symbol] as usize
-                    + bits.take_bits(DIST_EXTRA[dist_symbol])? as usize;
-                if distance > out.len() {
-                    return Err(corrupt("distance beyond output start"));
-                }
-                // Byte-by-byte copy: overlapping matches (distance < length)
-                // repeat the just-written bytes, exactly as DEFLATE requires.
-                let start = out.len() - distance;
-                for i in 0..length {
-                    let byte = out[start + i];
-                    out.push(byte);
-                }
+            0..=15 => {
+                lengths[i] = symbol as u8;
+                i += 1;
             }
-            _ => return Err(corrupt("invalid literal/length symbol")),
-        }
-    }
-}
-
-/// Inflates one complete DEFLATE stream starting at `bits`. Returns the
-/// decoded bytes; the reader is left positioned after the final block.
-fn inflate(bits: &mut BitReader<'_>) -> io::Result<Vec<u8>> {
-    let mut out = Vec::new();
-    loop {
-        let bfinal = bits.take_bit()?;
-        let btype = bits.take_bits(2)?;
-        match btype {
-            0 => {
-                bits.align_to_byte();
-                let len = bits.take_byte()? as u16 | ((bits.take_byte()? as u16) << 8);
-                let nlen = bits.take_byte()? as u16 | ((bits.take_byte()? as u16) << 8);
-                if len != !nlen {
-                    return Err(corrupt("stored block LEN/NLEN mismatch"));
+            16 => {
+                if i == 0 {
+                    return Err(corrupt("repeat with no previous length"));
                 }
-                for _ in 0..len {
-                    out.push(bits.take_byte()?);
-                }
-            }
-            1 => {
-                let literals = Huffman::build(&fixed_literal_lengths())?;
-                let distances = Huffman::build(&[5u8; 30])?;
-                inflate_codes(bits, &literals, &distances, &mut out)?;
-            }
-            2 => {
-                let hlit = bits.take_bits(5)? as usize + 257;
-                let hdist = bits.take_bits(5)? as usize + 1;
-                let hclen = bits.take_bits(4)? as usize + 4;
-                if hlit > 286 || hdist > 30 {
-                    return Err(corrupt("dynamic block declares too many codes"));
-                }
-                let mut clc_lengths = [0u8; 19];
-                for &slot in CLC_ORDER.iter().take(hclen) {
-                    clc_lengths[slot] = bits.take_bits(3)? as u8;
-                }
-                let clc = Huffman::build(&clc_lengths)?;
-                let mut lengths = vec![0u8; hlit + hdist];
-                let mut i = 0;
-                while i < lengths.len() {
-                    let symbol = clc.decode(bits)?;
-                    match symbol {
-                        0..=15 => {
-                            lengths[i] = symbol as u8;
-                            i += 1;
-                        }
-                        16 => {
-                            if i == 0 {
-                                return Err(corrupt("repeat with no previous length"));
-                            }
-                            let prev = lengths[i - 1];
-                            let repeat = 3 + bits.take_bits(2)? as usize;
-                            for _ in 0..repeat {
-                                if i >= lengths.len() {
-                                    return Err(corrupt("length repeat overflows table"));
-                                }
-                                lengths[i] = prev;
-                                i += 1;
-                            }
-                        }
-                        17 | 18 => {
-                            let repeat = if symbol == 17 {
-                                3 + bits.take_bits(3)? as usize
-                            } else {
-                                11 + bits.take_bits(7)? as usize
-                            };
-                            for _ in 0..repeat {
-                                if i >= lengths.len() {
-                                    return Err(corrupt("zero repeat overflows table"));
-                                }
-                                lengths[i] = 0;
-                                i += 1;
-                            }
-                        }
-                        _ => return Err(corrupt("invalid code-length symbol")),
+                let prev = lengths[i - 1];
+                let repeat = 3 + src.take_bits(2)? as usize;
+                for _ in 0..repeat {
+                    if i >= lengths.len() {
+                        return Err(corrupt("length repeat overflows table"));
                     }
+                    lengths[i] = prev;
+                    i += 1;
                 }
-                if lengths[256] == 0 {
-                    return Err(corrupt("dynamic block has no end-of-block code"));
-                }
-                let literals = Huffman::build(&lengths[..hlit])?;
-                let distances = Huffman::build(&lengths[hlit..])?;
-                inflate_codes(bits, &literals, &distances, &mut out)?;
             }
-            _ => return Err(corrupt("reserved block type 3")),
-        }
-        if bfinal == 1 {
-            return Ok(out);
+            17 | 18 => {
+                let repeat = if symbol == 17 {
+                    3 + src.take_bits(3)? as usize
+                } else {
+                    11 + src.take_bits(7)? as usize
+                };
+                for _ in 0..repeat {
+                    if i >= lengths.len() {
+                        return Err(corrupt("zero repeat overflows table"));
+                    }
+                    lengths[i] = 0;
+                    i += 1;
+                }
+            }
+            _ => return Err(corrupt("invalid code-length symbol")),
         }
     }
+    if lengths[256] == 0 {
+        return Err(corrupt("dynamic block has no end-of-block code"));
+    }
+    Ok((
+        Huffman::build(&lengths[..hlit])?,
+        Huffman::build(&lengths[hlit..])?,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -375,139 +439,309 @@ const FEXTRA: u8 = 1 << 2;
 const FNAME: u8 = 1 << 3;
 const FCOMMENT: u8 = 1 << 4;
 
-/// Decodes the first gzip member of `input`, verifying the CRC32 and size
-/// trailer. Returns the decompressed payload.
-/// Decodes one gzip member starting at the beginning of `input`, returning
-/// the payload and the number of input bytes the member occupied (header,
-/// deflate stream and trailer).
-fn decode_gzip_member(input: &[u8]) -> io::Result<(Vec<u8>, usize)> {
-    if input.len() < 18 {
-        return Err(corrupt("input shorter than the smallest gzip member"));
-    }
-    if input[0] != 0x1f || input[1] != 0x8b {
-        return Err(corrupt("bad magic number (not a gzip file)"));
-    }
-    if input[2] != 8 {
-        return Err(corrupt("unsupported compression method (only deflate)"));
-    }
-    let flags = input[3];
-    // input[4..8] mtime, input[8] xfl, input[9] os: all ignored.
-    let mut pos = 10usize;
-    let need = |pos: usize, n: usize| -> io::Result<()> {
-        if pos + n > input.len() {
-            Err(corrupt("truncated gzip header"))
-        } else {
-            Ok(())
-        }
-    };
-    if flags & FEXTRA != 0 {
-        need(pos, 2)?;
-        let xlen = input[pos] as usize | ((input[pos + 1] as usize) << 8);
-        pos += 2;
-        need(pos, xlen)?;
-        pos += xlen;
-    }
-    for flag in [FNAME, FCOMMENT] {
-        if flags & flag != 0 {
-            let end = input[pos..]
-                .iter()
-                .position(|&b| b == 0)
-                .ok_or_else(|| corrupt("unterminated header string"))?;
-            pos += end + 1;
-        }
-    }
-    if flags & FHCRC != 0 {
-        need(pos, 2)?;
-        pos += 2;
-    }
-    let mut bits = BitReader::new(&input[pos..]);
-    let payload = inflate(&mut bits)?;
-    bits.align_to_byte();
-    let trailer_at = pos + bits.byte_pos();
-    if trailer_at + 8 > input.len() {
-        return Err(corrupt("missing CRC32/ISIZE trailer"));
-    }
-    let t = &input[trailer_at..trailer_at + 8];
-    let expected_crc =
-        t[0] as u32 | ((t[1] as u32) << 8) | ((t[2] as u32) << 16) | ((t[3] as u32) << 24);
-    let expected_size =
-        t[4] as u32 | ((t[5] as u32) << 8) | ((t[6] as u32) << 16) | ((t[7] as u32) << 24);
-    if crc32(&payload) != expected_crc {
-        return Err(corrupt("CRC32 mismatch"));
-    }
-    if payload.len() as u32 != expected_size {
-        return Err(corrupt("ISIZE mismatch"));
-    }
-    Ok((payload, trailer_at + 8))
-}
-
-/// Decodes a whole gzip file: one member, or several concatenated members
-/// (`cat a.gz b.gz`, pigz/bgzip output — all valid gzip), with the payloads
-/// appended in order. Trailing bytes that are not another member are an
-/// error, never silent truncation.
-fn decode_gzip(input: &[u8]) -> io::Result<Vec<u8>> {
-    let mut out = Vec::new();
-    let mut remaining = input;
-    loop {
-        let (payload, consumed) = decode_gzip_member(remaining)?;
-        out.extend_from_slice(&payload);
-        remaining = &remaining[consumed..];
-        if remaining.is_empty() {
-            return Ok(out);
-        }
-        if !remaining.starts_with(&[0x1f, 0x8b]) {
-            return Err(corrupt("trailing garbage after the last gzip member"));
-        }
-    }
-}
-
 /// Reader types.
 pub mod read {
     use super::*;
     use std::io::Read;
 
+    /// Where the decoder stands inside the gzip member / DEFLATE block
+    /// structure. Decoding suspends only *between* DEFLATE symbols, so every
+    /// state carries at most the current block's Huffman tables.
+    enum Stage {
+        /// Before a member header: expects magic bytes, or EOF if at least
+        /// one member was decoded.
+        Header,
+        /// Before a DEFLATE block header (`bfinal`/`btype`).
+        BlockHeader,
+        /// Inside a stored block with `remaining` bytes to copy.
+        Stored { remaining: u16 },
+        /// Inside a fixed- or dynamic-Huffman block.
+        Codes {
+            literals: Huffman,
+            distances: Huffman,
+        },
+        /// Before the CRC32/ISIZE member trailer.
+        Trailer,
+        /// All members decoded, clean EOF seen.
+        Done,
+        /// A previous read returned an error; the stream is unusable.
+        Failed,
+    }
+
     /// A gzip decoder wrapping an underlying reader, mirroring
     /// `flate2::read::GzDecoder` — except that, like the real crate's
     /// `MultiGzDecoder`, it also decodes concatenated multi-member files
     /// (silently truncating them at member one would corrupt headerless
-    /// formats like edge lists). The whole input is decoded on first read
-    /// (the shim favours simplicity over streaming; benchmark graphs are
-    /// megabytes, not terabytes).
+    /// formats like edge lists).
+    ///
+    /// Decoding is incremental: compressed input is pulled through a fixed
+    /// 8 KiB buffer and decoded on demand, retaining only the 32 KiB
+    /// back-reference window plus a bounded pending-output buffer. Peak
+    /// buffering is therefore independent of the stream size — the property
+    /// [`GzDecoder::buffer_high_water`] lets tests assert.
     pub struct GzDecoder<R> {
-        inner: R,
-        decoded: Option<Vec<u8>>,
-        offset: usize,
+        src: ByteSource<R>,
+        out: OutWindow,
+        table: Crc32Table,
+        /// Running pre-inverted CRC of the current member's payload.
+        crc: u32,
+        /// Payload bytes decoded in the current member (ISIZE is mod 2³²).
+        member_len: u64,
+        stage: Stage,
+        /// Whether the current block is the member's last.
+        bfinal: bool,
+        /// Whether at least one member decoded fully (EOF is then clean).
+        member_done: bool,
+        high_water: usize,
     }
 
     impl<R: Read> GzDecoder<R> {
         /// Wraps `inner`, which must yield a gzip member.
         pub fn new(inner: R) -> GzDecoder<R> {
             GzDecoder {
-                inner,
-                decoded: None,
-                offset: 0,
+                src: ByteSource::new(inner),
+                out: OutWindow::new(),
+                table: Crc32Table::new(),
+                crc: 0xFFFF_FFFF,
+                member_len: 0,
+                stage: Stage::Header,
+                bfinal: false,
+                member_done: false,
+                high_water: 0,
             }
         }
 
         /// Consumes the decoder, returning the underlying reader.
         pub fn into_inner(self) -> R {
-            self.inner
+            self.src.inner
+        }
+
+        /// Peak bytes the decoder ever buffered at once (compressed input
+        /// chunk + back-reference window + pending output). Stays O(chunk)
+        /// regardless of how large the inflated stream is; ingestion
+        /// regression tests pin this. Shim-only extension.
+        pub fn buffer_high_water(&self) -> usize {
+            self.high_water
+        }
+
+        #[inline]
+        fn emit_byte(&mut self, byte: u8) {
+            self.crc = self.table.step(self.crc, byte);
+            self.member_len += 1;
+            self.out.emit(byte);
+        }
+
+        fn emit_copy(&mut self, distance: usize, length: usize) -> io::Result<()> {
+            let before = self.out.pending.len();
+            self.out.copy_back(distance, length)?;
+            for i in before..self.out.pending.len() {
+                self.crc = self.table.step(self.crc, self.out.pending[i]);
+            }
+            self.member_len += length as u64;
+            Ok(())
+        }
+
+        /// Finishes the current DEFLATE block: on the final block, moves to
+        /// the member trailer, otherwise to the next block header.
+        fn end_block(&mut self) {
+            if self.bfinal {
+                self.src.align_to_byte();
+                self.stage = Stage::Trailer;
+            } else {
+                self.stage = Stage::BlockHeader;
+            }
+        }
+
+        fn read_header(&mut self) -> io::Result<()> {
+            if self.src.at_eof()? {
+                if self.member_done {
+                    self.stage = Stage::Done;
+                } else {
+                    return Err(corrupt("input shorter than the smallest gzip member"));
+                }
+                return Ok(());
+            }
+            let magic = [self.src.take_byte()?, self.src.take_byte()?];
+            if magic != [0x1f, 0x8b] {
+                return Err(if self.member_done {
+                    corrupt("trailing garbage after the last gzip member")
+                } else {
+                    corrupt("bad magic number (not a gzip file)")
+                });
+            }
+            if self.src.take_byte()? != 8 {
+                return Err(corrupt("unsupported compression method (only deflate)"));
+            }
+            let flags = self.src.take_byte()?;
+            // mtime (4), xfl, os: all ignored.
+            for _ in 0..6 {
+                self.src.take_byte()?;
+            }
+            if flags & FEXTRA != 0 {
+                let xlen = self.src.take_byte()? as usize | ((self.src.take_byte()? as usize) << 8);
+                for _ in 0..xlen {
+                    self.src.take_byte()?;
+                }
+            }
+            for flag in [FNAME, FCOMMENT] {
+                if flags & flag != 0 {
+                    while self.src.take_byte()? != 0 {}
+                }
+            }
+            if flags & FHCRC != 0 {
+                self.src.take_byte()?;
+                self.src.take_byte()?;
+            }
+            self.crc = 0xFFFF_FFFF;
+            self.member_len = 0;
+            self.bfinal = false;
+            self.stage = Stage::BlockHeader;
+            Ok(())
+        }
+
+        fn read_block_header(&mut self) -> io::Result<()> {
+            self.bfinal = self.src.take_bit()? == 1;
+            match self.src.take_bits(2)? {
+                0 => {
+                    self.src.align_to_byte();
+                    let len = self.src.take_byte()? as u16 | ((self.src.take_byte()? as u16) << 8);
+                    let nlen = self.src.take_byte()? as u16 | ((self.src.take_byte()? as u16) << 8);
+                    if len != !nlen {
+                        return Err(corrupt("stored block LEN/NLEN mismatch"));
+                    }
+                    self.stage = Stage::Stored { remaining: len };
+                }
+                1 => {
+                    self.stage = Stage::Codes {
+                        literals: Huffman::build(&fixed_literal_lengths())?,
+                        distances: Huffman::build(&[5u8; 30])?,
+                    };
+                }
+                2 => {
+                    let (literals, distances) = read_dynamic_tables(&mut self.src)?;
+                    self.stage = Stage::Codes {
+                        literals,
+                        distances,
+                    };
+                }
+                _ => return Err(corrupt("reserved block type 3")),
+            }
+            Ok(())
+        }
+
+        fn read_trailer(&mut self) -> io::Result<()> {
+            let mut t = [0u8; 8];
+            for slot in &mut t {
+                *slot = self.src.take_byte()?;
+            }
+            let expected_crc = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
+            let expected_size = u32::from_le_bytes([t[4], t[5], t[6], t[7]]);
+            if self.crc ^ 0xFFFF_FFFF != expected_crc {
+                return Err(corrupt("CRC32 mismatch"));
+            }
+            if self.member_len as u32 != expected_size {
+                return Err(corrupt("ISIZE mismatch"));
+            }
+            self.member_done = true;
+            self.stage = Stage::Header;
+            Ok(())
+        }
+
+        /// Decodes until at least `target` pending bytes are available, a
+        /// stage boundary is crossed, or the stream ends. Suspends only
+        /// between DEFLATE symbols, so `target` bounds the pending buffer
+        /// (plus one match length).
+        fn step(&mut self, target: usize) -> io::Result<()> {
+            match &mut self.stage {
+                Stage::Header => self.read_header()?,
+                Stage::BlockHeader => self.read_block_header()?,
+                Stage::Stored { remaining } => {
+                    let take = (*remaining as usize).min(target.max(1));
+                    *remaining -= take as u16;
+                    let block_done = *remaining == 0;
+                    for _ in 0..take {
+                        let byte = self.src.take_byte()?;
+                        self.emit_byte(byte);
+                    }
+                    if block_done {
+                        self.end_block();
+                    }
+                }
+                Stage::Codes { .. } => {
+                    // Move the tables out of the stage so symbol decoding can
+                    // borrow `self` mutably; they come back unless the block
+                    // ends. (The swap is cheap: two small structs.)
+                    let Stage::Codes {
+                        literals,
+                        distances,
+                    } = std::mem::replace(&mut self.stage, Stage::BlockHeader)
+                    else {
+                        return Err(corrupt("decoder state corrupted"));
+                    };
+                    let mut ended = false;
+                    while self.out.pending_len() < target.max(1) {
+                        let symbol = literals.decode(&mut self.src)?;
+                        match symbol {
+                            0..=255 => self.emit_byte(symbol as u8),
+                            256 => {
+                                ended = true;
+                                break;
+                            }
+                            257..=285 => {
+                                let idx = (symbol - 257) as usize;
+                                let length = LENGTH_BASE[idx] as usize
+                                    + self.src.take_bits(LENGTH_EXTRA[idx])? as usize;
+                                let dist_symbol = distances.decode(&mut self.src)? as usize;
+                                if dist_symbol >= 30 {
+                                    return Err(corrupt("invalid distance symbol"));
+                                }
+                                let distance = DIST_BASE[dist_symbol] as usize
+                                    + self.src.take_bits(DIST_EXTRA[dist_symbol])? as usize;
+                                self.emit_copy(distance, length)?;
+                            }
+                            _ => return Err(corrupt("invalid literal/length symbol")),
+                        }
+                    }
+                    if ended {
+                        self.end_block();
+                    } else {
+                        self.stage = Stage::Codes {
+                            literals,
+                            distances,
+                        };
+                    }
+                }
+                Stage::Trailer => self.read_trailer()?,
+                Stage::Done => {}
+                Stage::Failed => return Err(corrupt("decoder poisoned by an earlier error")),
+            }
+            let occupancy = self.src.buffered() + self.out.filled + self.out.pending_len();
+            self.high_water = self.high_water.max(occupancy);
+            Ok(())
         }
     }
 
     impl<R: Read> Read for GzDecoder<R> {
         fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            if self.decoded.is_none() {
-                let mut raw = Vec::new();
-                self.inner.read_to_end(&mut raw)?;
-                self.decoded = Some(decode_gzip(&raw)?);
+            if buf.is_empty() {
+                return Ok(0);
             }
-            let decoded = self.decoded.as_ref().expect("decoded above");
-            let remaining = &decoded[self.offset.min(decoded.len())..];
-            let n = remaining.len().min(buf.len());
-            buf[..n].copy_from_slice(&remaining[..n]);
-            self.offset += n;
-            Ok(n)
+            // Cap the per-call decode goal so pending stays bounded even
+            // when the caller hands in a huge buffer (read_to_end doubles
+            // its slices up to the payload size).
+            let target = buf.len().min(16 * 1024);
+            loop {
+                if self.out.pending_len() > 0 {
+                    return Ok(self.out.drain(buf));
+                }
+                if matches!(self.stage, Stage::Done) {
+                    return Ok(0);
+                }
+                if let Err(e) = self.step(target) {
+                    self.stage = Stage::Failed;
+                    return Err(e);
+                }
+            }
         }
     }
 }
@@ -617,6 +851,22 @@ mod tests {
     }
 
     #[test]
+    fn decodes_across_tiny_reads() {
+        // Single-byte reads exercise every suspension point of the state
+        // machine: mid-header, mid-block, before the trailer.
+        let mut decoder = read::GzDecoder::new(REAL_GZIP_FIXED);
+        let mut out = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            match decoder.read(&mut byte).unwrap() {
+                0 => break,
+                n => out.extend_from_slice(&byte[..n]),
+            }
+        }
+        assert_eq!(out, b"hello hello hello hello\n");
+    }
+
+    #[test]
     fn concatenated_members_decode_in_full() {
         // `cat a.gz b.gz` is valid gzip; truncating at member one would
         // silently corrupt headerless formats like edge lists.
@@ -643,7 +893,7 @@ mod tests {
     #[test]
     fn trailer_corruption_is_detected() {
         let mut member = REAL_GZIP_FIXED.to_vec();
-        let last = member.len() - 9; // inside the CRC32
+        let last = member.len() - 8; // first byte of the CRC32 field
         member[last] ^= 0xFF;
         let mut decoder = read::GzDecoder::new(&member[..]);
         let mut out = Vec::new();
@@ -658,6 +908,36 @@ mod tests {
             let mut out = Vec::new();
             assert!(decoder.read_to_end(&mut out).is_err());
         }
+    }
+
+    #[test]
+    fn buffer_high_water_stays_bounded_on_large_streams() {
+        // The regression pin for streaming ingestion: inflating a multi-
+        // megabyte stream must buffer O(chunk) bytes — input chunk (8 KiB) +
+        // back-reference window (32 KiB) + bounded pending output — never
+        // the inflated payload. Before the incremental rewrite the decoder
+        // slurped and inflated everything up front, so its transient
+        // footprint here would have been > 4 MiB.
+        let payload: Vec<u8> = (0..4_000_000u32).map(|i| (i % 251) as u8).collect();
+        let mut encoder = write::GzEncoder::new(Vec::new(), Compression::default());
+        encoder.write_all(&payload).unwrap();
+        let compressed = encoder.finish().unwrap();
+        let mut decoder = read::GzDecoder::new(&compressed[..]);
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match decoder.read(&mut chunk).unwrap() {
+                0 => break,
+                n => out.extend_from_slice(&chunk[..n]),
+            }
+        }
+        assert_eq!(out, payload);
+        assert!(
+            decoder.buffer_high_water() <= 128 * 1024,
+            "decoder buffered {} bytes for a {} byte stream",
+            decoder.buffer_high_water(),
+            payload.len()
+        );
     }
 
     #[test]
