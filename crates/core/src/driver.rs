@@ -40,7 +40,8 @@ use crate::verify::{survivor_report, SurvivorReport};
 use mdst_graph::Graph;
 use mdst_graph::{GraphError, NodeId, RootedTree};
 use mdst_netsim::{
-    ExecConfig, ExecStatus, ExecutorKind, FaultPlan, Metrics, SimConfig, SimError, TraceEventKind,
+    CancelToken, ExecConfig, ExecStatus, ExecutorKind, FaultPlan, Metrics, SimConfig, SimError,
+    TraceEventKind,
 };
 use mdst_spanning::{build_initial_tree, collect_tree, InitialTreeKind};
 use serde::{Deserialize, Serialize};
@@ -147,6 +148,11 @@ pub enum Outcome {
     PartialTree,
     /// The event cap was hit before quiescence (livelock guard).
     EventLimitAborted,
+    /// A [`CancelToken`] registered via [`Pipeline::cancel`] was raised
+    /// mid-run (operator cancellation or a scheduler's early-abort policy);
+    /// the backend wound down cooperatively and the report carries the
+    /// partial snapshot. A decision, not an error.
+    Aborted,
 }
 
 impl Outcome {
@@ -156,6 +162,7 @@ impl Outcome {
             Outcome::Optimal => "optimal",
             Outcome::PartialTree => "partial-tree",
             Outcome::EventLimitAborted => "event-limit-aborted",
+            Outcome::Aborted => "aborted",
         }
     }
 
@@ -186,6 +193,7 @@ impl Deserialize for Outcome {
             Some("optimal") => Ok(Outcome::Optimal),
             Some("partial-tree") => Ok(Outcome::PartialTree),
             Some("event-limit-aborted") => Ok(Outcome::EventLimitAborted),
+            Some("aborted") => Ok(Outcome::Aborted),
             _ => Err(serde::Error::custom("expected an outcome label")),
         }
     }
@@ -397,6 +405,7 @@ pub struct Pipeline<'obs> {
     faults: Option<FaultPlan>,
     seed_tree: Option<RootedTree>,
     observers: Vec<&'obs mut dyn Observer>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'obs> Pipeline<'obs> {
@@ -410,6 +419,7 @@ impl<'obs> Pipeline<'obs> {
             faults: None,
             seed_tree: None,
             observers: Vec::new(),
+            cancel: None,
         }
     }
 
@@ -496,6 +506,17 @@ impl<'obs> Pipeline<'obs> {
         self
     }
 
+    /// Registers a cooperative cancellation token: raising it from another
+    /// thread while [`Pipeline::run`] executes winds the backend down at its
+    /// next safe point and grades the run [`Outcome::Aborted`] (with the
+    /// partial snapshot in the report) instead of erroring. This is how the
+    /// `scenario serve` early-abort watchdog reins in over-budget runs.
+    #[must_use = "builder methods return the updated session; chain or reassign it"]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Runs the session: builds (or validates) the initial tree, executes
     /// the improvement protocol on the configured backend, grades the result
     /// and streams events to the registered observers.
@@ -512,6 +533,7 @@ impl<'obs> Pipeline<'obs> {
             faults,
             seed_tree,
             mut observers,
+            cancel,
         } = self;
         if let Some(plan) = faults {
             config.sim.faults = plan;
@@ -538,10 +560,11 @@ impl<'obs> Pipeline<'obs> {
 
         // Phase 2: the improvement protocol on the configured backend.
         let nodes = MdstNode::from_tree(&initial_tree);
-        let run = config.executor.run(
+        let run = config.executor.run_with_cancel(
             &graph,
             |id, _| nodes[id.index()].clone(),
             &config.exec_config(),
+            &cancel.unwrap_or_default(),
         )?;
 
         // Grading: always on the survivor component, which is the whole
@@ -551,12 +574,13 @@ impl<'obs> Pipeline<'obs> {
         let all_live_terminated = run.all_live_terminated();
         let parents: Vec<Option<NodeId>> = run.nodes.iter().map(|p| p.parent()).collect();
         let survivor = survivor_report(&graph, &parents, &run.crashed);
-        let outcome = if !quiesced {
-            Outcome::EventLimitAborted
-        } else if all_live_terminated && survivor.spans_component {
-            Outcome::Optimal
-        } else {
-            Outcome::PartialTree
+        let outcome = match run.status {
+            ExecStatus::Cancelled => Outcome::Aborted,
+            ExecStatus::EventLimitExceeded => Outcome::EventLimitAborted,
+            ExecStatus::Quiesced if all_live_terminated && survivor.spans_component => {
+                Outcome::Optimal
+            }
+            ExecStatus::Quiesced => Outcome::PartialTree,
         };
 
         let nothing_crashed = run.crashed.iter().all(|&dead| !dead);
@@ -905,7 +929,10 @@ mod compat {
             .run()
             .map_err(PipelineError::into_graph_error)?;
         let status = match report.outcome {
-            Outcome::EventLimitAborted => RunStatus::EventLimitExceeded,
+            // The historical shape predates cancellation; the deprecated
+            // wrappers never install a token, so `Aborted` is unreachable
+            // here and folds into the only non-quiescent status available.
+            Outcome::EventLimitAborted | Outcome::Aborted => RunStatus::EventLimitExceeded,
             Outcome::Optimal | Outcome::PartialTree => RunStatus::Quiesced,
         };
         Ok(FaultPipelineReport {
@@ -1235,6 +1262,20 @@ mod tests {
     }
 
     #[test]
+    fn raised_cancel_token_grades_the_run_aborted() {
+        let g = Arc::new(generators::gnp_connected(24, 0.3, 9).unwrap());
+        let token = CancelToken::new();
+        token.cancel();
+        let report = Pipeline::on(&g).cancel(token).run().unwrap();
+        assert_eq!(report.outcome, Outcome::Aborted);
+        assert_eq!(report.outcome.label(), "aborted");
+        assert!(report.final_tree.is_none(), "partial snapshot, no tree");
+        // An inert token leaves the session untouched.
+        let report = Pipeline::on(&g).cancel(CancelToken::new()).run().unwrap();
+        assert_eq!(report.outcome, Outcome::Optimal);
+    }
+
+    #[test]
     fn multiple_observers_all_receive_the_stream() {
         let g = Arc::new(generators::wheel(10).unwrap());
         let mut a = CountingObserver::default();
@@ -1254,6 +1295,7 @@ mod tests {
             Outcome::Optimal,
             Outcome::PartialTree,
             Outcome::EventLimitAborted,
+            Outcome::Aborted,
         ] {
             let v = outcome.to_value();
             assert_eq!(v.as_str(), Some(outcome.label()));

@@ -43,7 +43,8 @@ pub use driver::{
     run_pipeline, run_pipeline_with_faults, FaultPipelineReport, PipelineReport, RunStatus,
 };
 pub use observer::{
-    ConstructionEvent, CountingObserver, ExchangeEvent, FaultEvent, Observer, RoundEvent,
+    ChannelObserver, ConstructionEvent, CountingObserver, ExchangeEvent, FaultEvent, FinishSummary,
+    Observer, RoundEvent, SessionEvent,
 };
 pub use verify::{
     check_safety_invariants, survivor_report, InvariantViolation, NodeSnapshot, SurvivorReport,

@@ -27,6 +27,7 @@
 //! `mdst-analysis` happens-before auditor can check per-link FIFO and causal
 //! delivery on the backends a model checker cannot reach.
 
+use crate::cancel::CancelToken;
 use crate::delay::DelayModel;
 use crate::metrics::Metrics;
 use crate::pool::{PoolConfig, PoolRuntime};
@@ -91,10 +92,29 @@ impl ExecutorKind {
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
+        self.run_with_cancel(graph, factory, config, &CancelToken::new())
+    }
+
+    /// Like [`ExecutorKind::run`], observing `cancel` cooperatively: when the
+    /// token is raised mid-run the backend winds down at its next safe point
+    /// and the returned [`ExecRun::status`] is [`ExecStatus::Cancelled`].
+    pub fn run_with_cancel<P, F>(
+        self,
+        graph: &Arc<Graph>,
+        factory: F,
+        config: &ExecConfig,
+        cancel: &CancelToken,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
         match self {
-            ExecutorKind::Sim => SimExecutor.run(graph, factory, config),
-            ExecutorKind::Threaded => ThreadedExecutor.run(graph, factory, config),
-            ExecutorKind::Pool => PoolExecutor.run(graph, factory, config),
+            ExecutorKind::Sim => SimExecutor.run_with_cancel(graph, factory, config, cancel),
+            ExecutorKind::Threaded => {
+                ThreadedExecutor.run_with_cancel(graph, factory, config, cancel)
+            }
+            ExecutorKind::Pool => PoolExecutor.run_with_cancel(graph, factory, config, cancel),
         }
     }
 }
@@ -177,6 +197,10 @@ pub enum ExecStatus {
     /// The event cap (`ExecConfig::sim.max_events`) was hit first; the
     /// returned node states and metrics are the partial snapshot at abort.
     EventLimitExceeded,
+    /// A [`CancelToken`] was raised mid-run; the backend wound down at its
+    /// next safe point and the returned node states and metrics are the
+    /// partial snapshot at cancellation.
+    Cancelled,
 }
 
 /// The uniform result of one execution, whichever backend produced it.
@@ -243,6 +267,23 @@ pub trait Executor {
     ) -> Result<ExecRun<P>, SimError>
     where
         P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        self.run_with_cancel(graph, factory, config, &CancelToken::new())
+    }
+
+    /// Like [`Executor::run`], polling `cancel` between work units: a raised
+    /// token ends the run at the backend's next safe point with
+    /// [`ExecStatus::Cancelled`] and the partial snapshot accumulated so far.
+    fn run_with_cancel<P, F>(
+        &self,
+        graph: &Arc<Graph>,
+        factory: F,
+        config: &ExecConfig,
+        cancel: &CancelToken,
+    ) -> Result<ExecRun<P>, SimError>
+    where
+        P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P;
 }
 
@@ -254,21 +295,24 @@ impl Executor for SimExecutor {
         ExecutorKind::Sim
     }
 
-    fn run<P, F>(
+    fn run_with_cancel<P, F>(
         &self,
         graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
+        cancel: &CancelToken,
     ) -> Result<ExecRun<P>, SimError>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
         let mut sim = Simulator::new(graph, config.sim.clone(), factory)?;
+        sim.set_cancel(cancel.clone());
         let started = std::time::Instant::now();
         let status = match sim.run() {
             Ok(()) => ExecStatus::Quiesced,
             Err(SimError::EventLimitExceeded { .. }) => ExecStatus::EventLimitExceeded,
+            Err(SimError::Cancelled) => ExecStatus::Cancelled,
             Err(e) => return Err(e),
         };
         let wall_time = started.elapsed();
@@ -344,22 +388,24 @@ impl Executor for ThreadedExecutor {
         ExecutorKind::Threaded
     }
 
-    fn run<P, F>(
+    fn run_with_cancel<P, F>(
         &self,
         graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
+        cancel: &CancelToken,
     ) -> Result<ExecRun<P>, SimError>
     where
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
         validate_concurrent_config(graph, config, self.kind(), false)?;
-        let run = ThreadedRuntime::run_traced(
+        let run = ThreadedRuntime::run_cancellable(
             graph,
             factory,
             config.sim.max_events,
             config.sim.record_trace,
+            cancel,
         );
         let n = graph.node_count();
         Ok(ExecRun {
@@ -383,11 +429,12 @@ impl Executor for PoolExecutor {
         ExecutorKind::Pool
     }
 
-    fn run<P, F>(
+    fn run_with_cancel<P, F>(
         &self,
         graph: &Arc<Graph>,
         factory: F,
         config: &ExecConfig,
+        cancel: &CancelToken,
     ) -> Result<ExecRun<P>, SimError>
     where
         P: Protocol,
@@ -402,7 +449,7 @@ impl Executor for PoolExecutor {
             batch: config.batch,
             coalesce: true,
         };
-        let run = PoolRuntime::run(graph, factory, &pool_config)?;
+        let run = PoolRuntime::run_with_cancel(graph, factory, &pool_config, cancel)?;
         let n = graph.node_count();
         Ok(ExecRun {
             topology: Arc::clone(graph),
@@ -567,6 +614,26 @@ mod tests {
         for kind in ExecutorKind::all() {
             let run = kind.run(&g, flood, &config).unwrap();
             assert_eq!(run.status, ExecStatus::EventLimitExceeded, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pre_raised_cancel_token_is_uniform_across_backends() {
+        use crate::cancel::CancelToken;
+        let g = Arc::new(generators::complete(8).unwrap());
+        let config = ExecConfig::default();
+        let token = CancelToken::new();
+        token.cancel();
+        for kind in ExecutorKind::all() {
+            let run = kind.run_with_cancel(&g, flood, &config, &token).unwrap();
+            assert_eq!(run.status, ExecStatus::Cancelled, "{kind}");
+        }
+        // An inert token changes nothing.
+        for kind in ExecutorKind::all() {
+            let run = kind
+                .run_with_cancel(&g, flood, &config, &CancelToken::new())
+                .unwrap();
+            assert_eq!(run.status, ExecStatus::Quiesced, "{kind}");
         }
     }
 

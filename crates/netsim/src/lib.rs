@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod controlled;
 pub mod delay;
 pub mod exec;
@@ -60,6 +61,7 @@ pub(crate) mod testutil;
 pub mod threaded;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use controlled::{ControlledEvent, ControlledNet, NotEnabled, StartDiscipline};
 pub use delay::DelayModel;
 pub use exec::{

@@ -58,6 +58,7 @@
 //! runtime it cannot honor simulated delays or fault plans; the
 //! [`crate::exec::PoolExecutor`] front door rejects such configurations.
 
+use crate::cancel::CancelToken;
 use crate::exec::ExecStatus;
 use crate::message::NetMessage;
 use crate::metrics::Metrics;
@@ -259,6 +260,11 @@ struct Shared<P: Protocol, T: TraceMode> {
     in_flight: AtomicI64,
     processed: AtomicU64,
     aborted: AtomicBool,
+    /// Cooperative cancellation flag, polled by every worker at the top of
+    /// its scheduling loop. A raised token also raises `aborted`, reusing
+    /// the event-cap drain-out path; `cancelled` remembers which it was.
+    cancel: CancelToken,
+    cancelled: AtomicBool,
     max_events: u64,
     n: usize,
     /// Resolved drain-batch size (never zero).
@@ -394,13 +400,30 @@ impl PoolRuntime {
         P: Protocol,
         F: FnMut(NodeId, &[NodeId]) -> P,
     {
+        Self::run_with_cancel(graph, factory, config, &CancelToken::new())
+    }
+
+    /// Like [`PoolRuntime::run`], observing `cancel` cooperatively: every
+    /// worker polls the token at the top of its scheduling loop and a raised
+    /// token drains the pool exactly like an event-cap abort, reported as
+    /// [`ExecStatus::Cancelled`] with the partial states and metrics.
+    pub fn run_with_cancel<P, F>(
+        graph: &Arc<Graph>,
+        factory: F,
+        config: &PoolConfig,
+        cancel: &CancelToken,
+    ) -> Result<PoolRun<P>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
         // Monomorphise the whole runtime over the trace switch: the untraced
         // instantiation carries no trace bookkeeping in its envelopes or
         // cells (see [`TraceMode`]).
         if config.record_trace {
-            Self::run_mode::<P, F, Traced>(graph, factory, config)
+            Self::run_mode::<P, F, Traced>(graph, factory, config, cancel)
         } else {
-            Self::run_mode::<P, F, Untraced>(graph, factory, config)
+            Self::run_mode::<P, F, Untraced>(graph, factory, config, cancel)
         }
     }
 
@@ -408,6 +431,7 @@ impl PoolRuntime {
         graph: &Arc<Graph>,
         mut factory: F,
         config: &PoolConfig,
+        cancel: &CancelToken,
     ) -> Result<PoolRun<P>, SimError>
     where
         P: Protocol,
@@ -479,6 +503,8 @@ impl PoolRuntime {
             in_flight: AtomicI64::new(starters.len() as i64),
             processed: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
+            cancel: cancel.clone(),
+            cancelled: AtomicBool::new(false),
             max_events: config.max_events,
             n,
             batch: Self::effective_batch(config.batch),
@@ -525,7 +551,9 @@ impl PoolRuntime {
         // Like the threaded runtime, there is no simulated clock: the
         // quiescence clock is reported as the maximum causal depth.
         metrics.quiescence_time = metrics.causal_time;
-        let status = if shared.aborted.load(Ordering::SeqCst) {
+        let status = if shared.cancelled.load(Ordering::SeqCst) {
+            ExecStatus::Cancelled
+        } else if shared.aborted.load(Ordering::SeqCst) {
             ExecStatus::EventLimitExceeded
         } else {
             ExecStatus::Quiesced
@@ -701,6 +729,10 @@ fn worker_loop<P: Protocol, T: TraceMode>(
     let mut scratch = Scratch::new();
     let mut idle_spins = 0u32;
     loop {
+        if shared.cancel.is_cancelled() {
+            shared.cancelled.store(true, Ordering::SeqCst);
+            shared.aborted.store(true, Ordering::SeqCst);
+        }
         if shared.aborted.load(Ordering::SeqCst) {
             break;
         }

@@ -13,6 +13,7 @@
 //! clock and the delay-independent causal-chain length the paper calls "time
 //! complexity".
 
+use crate::cancel::CancelToken;
 use crate::delay::{DelayModel, DelaySampler};
 use crate::fault::FaultPlan;
 use crate::message::NetMessage;
@@ -87,6 +88,9 @@ pub enum SimError {
     /// The configuration is inconsistent with the simulated graph (start list
     /// out of range or empty, degenerate delay range, bad fault plan, …).
     InvalidConfig(String),
+    /// A [`CancelToken`] installed via [`Simulator::set_cancel`] was raised;
+    /// the run stopped at an event boundary with its state intact.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -96,6 +100,7 @@ impl fmt::Display for SimError {
                 write!(f, "event limit of {limit} exceeded before quiescence")
             }
             SimError::InvalidConfig(why) => write!(f, "invalid simulator config: {why}"),
+            SimError::Cancelled => write!(f, "run cancelled before quiescence"),
         }
     }
 }
@@ -213,6 +218,9 @@ pub struct Simulator<P: Protocol> {
     metrics: Metrics,
     trace: TraceRecorder,
     config: SimConfig,
+    /// Cooperative cancellation flag, polled between events in [`Simulator::run`]
+    /// (absent on uncontrolled runs, which then pay no atomic loads at all).
+    cancel: Option<CancelToken>,
 }
 
 impl<P: Protocol> Simulator<P> {
@@ -273,6 +281,7 @@ impl<P: Protocol> Simulator<P> {
             metrics: Metrics::new(n),
             trace,
             config,
+            cancel: None,
         };
         sim.schedule_crashes();
         sim.schedule_starts();
@@ -589,9 +598,26 @@ impl<P: Protocol> Simulator<P> {
         true
     }
 
+    /// Installs a cooperative cancellation token: [`Simulator::run`] polls it
+    /// every [`Self::CANCEL_POLL_STRIDE`] events and returns
+    /// [`SimError::Cancelled`] at the next boundary once it is raised.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
+    }
+
+    /// Events between cancellation polls in [`Simulator::run`]: frequent
+    /// enough that cancellation lands within microseconds, sparse enough
+    /// that uncancelled runs pay about one atomic load per thousand events.
+    pub const CANCEL_POLL_STRIDE: u64 = 1024;
+
     /// Runs the simulation to quiescence (empty event queue).
     pub fn run(&mut self) -> Result<(), SimError> {
         while self.processed_events < self.config.max_events {
+            if self.processed_events.is_multiple_of(Self::CANCEL_POLL_STRIDE)
+                && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
+                return Err(SimError::Cancelled);
+            }
             if !self.step() {
                 return Ok(());
             }

@@ -13,6 +13,7 @@
 //! bits, causal depth) plus the wall-clock duration; the quiescence clock is
 //! not meaningful here and is left at the maximum causal depth.
 
+use crate::cancel::CancelToken;
 use crate::exec::ExecStatus;
 use crate::message::NetMessage;
 use crate::metrics::Metrics;
@@ -190,9 +191,34 @@ impl ThreadedRuntime {
     /// recording order and a message's `Send` always precedes its `Deliver`.
     pub fn run_traced<P, F>(
         graph: &Arc<Graph>,
+        factory: F,
+        max_events: u64,
+        record_trace: bool,
+    ) -> ThreadedRun<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &[NodeId]) -> P,
+    {
+        Self::run_cancellable(
+            graph,
+            factory,
+            max_events,
+            record_trace,
+            &CancelToken::new(),
+        )
+    }
+
+    /// Like [`ThreadedRuntime::run_traced`], observing `cancel` cooperatively:
+    /// the termination detector polls the token and, once raised, flips the
+    /// same shutdown flag an event-cap abort uses, so every node thread winds
+    /// down at its next receive timeout and the run reports
+    /// [`ExecStatus::Cancelled`] with the partial states and metrics.
+    pub fn run_cancellable<P, F>(
+        graph: &Arc<Graph>,
         mut factory: F,
         max_events: u64,
         record_trace: bool,
+        cancel: &CancelToken,
     ) -> ThreadedRun<P>
     where
         P: Protocol,
@@ -322,8 +348,15 @@ impl ThreadedRuntime {
         // Termination detector: once nothing is outstanding, the network is
         // quiescent forever (messages are only created while processing one).
         // The cap abort arrives through the same shutdown flag, raised by the
-        // node threads themselves.
+        // node threads themselves; cancellation is checked here first, so a
+        // token raised before the run even starts always wins.
+        let mut cancelled = false;
         loop {
+            if cancel.is_cancelled() {
+                cancelled = true;
+                shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
             if outstanding.load(Ordering::SeqCst) == 0 {
                 shutdown.store(true, Ordering::SeqCst);
                 break;
@@ -347,7 +380,9 @@ impl ThreadedRuntime {
             }
         }
         metrics.quiescence_time = metrics.causal_time;
-        let status = if aborted.load(Ordering::SeqCst) {
+        let status = if cancelled {
+            ExecStatus::Cancelled
+        } else if aborted.load(Ordering::SeqCst) {
             ExecStatus::EventLimitExceeded
         } else {
             ExecStatus::Quiesced

@@ -10,7 +10,7 @@
 //! A **regression** (candidate worse than baseline) is any of:
 //!
 //! * the outcome degrades along `quiesced-correct → quiesced-partial →
-//!   event-limit-abort → failed`;
+//!   event-limit-abort / aborted → failed`;
 //! * the paper degree-bound verdict flips from respected to violated;
 //! * the final tree degree increases;
 //! * a run that used to succeed now records an error.
@@ -40,6 +40,13 @@ pub struct DiffOptions {
     /// cannot trip it) is a regression; the mirror direction is an
     /// improvement. `None` (the default) ignores wall time entirely.
     pub wall_ms_tolerance: Option<f64>,
+    /// Cost-model accuracy threshold in percent: when both matched runs
+    /// carry a scheduler prediction (`predicted_wall_ms` set by `scenario
+    /// serve`), a run whose relative prediction error grew by more than this
+    /// many percentage points over the baseline is reported as **drift** —
+    /// the cost model got worse at predicting this cell, worth a line but
+    /// never an exit code. `None` (the default) ignores predictions.
+    pub prediction_tolerance: Option<f64>,
 }
 
 /// Absolute wall-time slack (milliseconds) under which timing changes are
@@ -228,39 +235,25 @@ fn md_escape(text: &str) -> String {
     text.replace('|', "\\|")
 }
 
-/// Severity rank of an outcome: higher is worse.
+/// Severity rank of an outcome: higher is worse. An operator-cancelled run
+/// ([`RunOutcome::Aborted`]) ranks with the event-limit abort — both ended
+/// before quiescence by external decision, which is worse than any finished
+/// tree but better than a setup failure.
 fn outcome_rank(outcome: RunOutcome) -> u8 {
     match outcome {
         RunOutcome::QuiescedCorrect => 0,
         RunOutcome::QuiescedPartial => 1,
-        RunOutcome::EventLimitAbort => 2,
+        RunOutcome::EventLimitAbort | RunOutcome::Aborted => 2,
         RunOutcome::Failed => 3,
     }
 }
 
 fn run_key(run: &RunRecord) -> String {
-    // The batch axis joined the sweep matrix after reports already existed in
-    // the wild; a missing `batch` field deserializes as 0 (see
-    // [`crate::runner::BatchSize`]) and the default-batch segment is omitted
-    // here, so pre-batch baselines keep producing byte-identical keys and
-    // still diff against fresh reports.
-    let batch = if run.batch.0 == 0 {
-        String::new()
-    } else {
-        format!(" / batch {}", run.batch)
-    };
-    format!(
-        "{} / {} / {} / {} / {} / {} / {}{} / seed {}",
-        run.scenario,
-        run.graph,
-        run.initial,
-        run.delay,
-        run.start,
-        run.faults,
-        run.executor,
-        batch,
-        run.seed
-    )
+    // Delegates to the shared [`crate::runner::run_key`] so diff matching,
+    // progress lines and the serve event stream all agree on one identity
+    // per sweep-matrix cell (including the omitted default-batch segment
+    // that keeps pre-batch baselines byte-identical).
+    run.key()
 }
 
 /// Diffs `candidate` against `baseline` with the default options (wall time
@@ -412,6 +405,29 @@ fn compare_pair(
             ));
         }
     }
+    // Cost-model accuracy: only when both sides were scheduled under a
+    // prediction and measured comparable work. A growing relative error
+    // means the serve scheduler's model regressed on this cell — that is a
+    // scheduling-quality signal, not a protocol verdict, so it lands in
+    // drift.
+    if let Some(pts) = options.prediction_tolerance.filter(|_| wall_comparable) {
+        let err = |run: &RunRecord| -> Option<f64> {
+            if !run.predicted_wall_ms.is_set() || run.exec_wall_ms <= WALL_MS_FLOOR {
+                return None;
+            }
+            Some(((run.exec_wall_ms - run.predicted_wall_ms.0) / run.exec_wall_ms).abs() * 100.0)
+        };
+        if let (Some(base_err), Some(cand_err)) = (err(base), err(cand)) {
+            if cand_err > base_err + pts.max(0.0) {
+                diff.drift.push(DiffFinding::new(
+                    key,
+                    format!("prediction error (+{pts} pt tolerance)"),
+                    format!("{base_err:.1}%"),
+                    format!("{cand_err:.1}%"),
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +537,7 @@ mod tests {
         // With a 20% tolerance: a regression.
         let opts = DiffOptions {
             wall_ms_tolerance: Some(20.0),
+            ..Default::default()
         };
         let diff = diff_reports_with(&base, &cand, &opts);
         assert!(diff.has_regressions());
@@ -538,6 +555,7 @@ mod tests {
             &jitter,
             &DiffOptions {
                 wall_ms_tolerance: Some(0.0),
+                ..Default::default()
             },
         );
         assert!(!diff.has_regressions(), "{:?}", diff.regressions);
@@ -557,6 +575,7 @@ mod tests {
             &cand,
             &DiffOptions {
                 wall_ms_tolerance: Some(50.0),
+                ..Default::default()
             },
         );
         assert!(!diff.has_regressions(), "{:?}", diff.regressions);
@@ -567,6 +586,59 @@ mod tests {
         );
         // Outcome improvements are still reported as such.
         assert!(diff.improvements.iter().any(|f| f.what == "outcome"));
+    }
+
+    #[test]
+    fn prediction_error_drift_is_gated_by_tolerance() {
+        use crate::runner::PredictedMs;
+        let seed = report();
+        let mut base = seed.clone();
+        let mut cand = seed.clone();
+        // Same execution time on both sides; the baseline predicted within
+        // 10%, the candidate missed by 100%.
+        base.runs[0].exec_wall_ms = 100.0;
+        base.runs[0].predicted_wall_ms = PredictedMs(90.0);
+        cand.runs[0].exec_wall_ms = 100.0;
+        cand.runs[0].predicted_wall_ms = PredictedMs(200.0);
+        // Default: the knob is off and prediction error is invisible.
+        let diff = diff_reports(&base, &cand);
+        assert!(diff.drift.iter().all(|f| !f.what.contains("prediction")));
+        // +90 points of error against a 20-point tolerance: drift, never a
+        // regression (a worse model is telemetry, not a protocol bug).
+        let opts = DiffOptions {
+            prediction_tolerance: Some(20.0),
+            ..Default::default()
+        };
+        let diff = diff_reports_with(&base, &cand, &opts);
+        assert!(!diff.has_regressions(), "{:?}", diff.regressions);
+        assert!(
+            diff.drift
+                .iter()
+                .any(|f| f.what.contains("prediction error")),
+            "{:?}",
+            diff.drift
+        );
+        // A tolerance wider than the delta stays quiet.
+        let opts = DiffOptions {
+            prediction_tolerance: Some(95.0),
+            ..Default::default()
+        };
+        let diff = diff_reports_with(&base, &cand, &opts);
+        assert!(diff.drift.iter().all(|f| !f.what.contains("prediction")));
+        // Unset predictions (pre-serve baselines deserialize to 0) are
+        // never compared, whatever the candidate recorded.
+        let mut unset = base.clone();
+        unset.runs[0].predicted_wall_ms = PredictedMs(0.0);
+        let opts = DiffOptions {
+            prediction_tolerance: Some(0.0),
+            ..Default::default()
+        };
+        let diff = diff_reports_with(&unset, &cand, &opts);
+        assert!(
+            diff.drift.iter().all(|f| !f.what.contains("prediction")),
+            "{:?}",
+            diff.drift
+        );
     }
 
     #[test]

@@ -190,7 +190,8 @@ pub use diff::{diff_reports, diff_reports_with, DiffFinding, DiffOptions, Report
 pub use io::{load_graph, save_graph, GraphFormat, IoError};
 pub use report::{campaign_to_csv, campaign_to_json};
 pub use runner::{
-    execute_run, run_campaign, CampaignReport, RunOutcome, RunRecord, RunnerConfig, TopologyCache,
+    aggregate_records, execute_run, execute_run_controlled, run_campaign, run_key, CampaignReport,
+    PredictedMs, RunControls, RunOutcome, RunRecord, RunnerConfig, TopologyCache,
 };
 pub use spec::{FaultSpec, RunSpec, ScenarioMatrix, ScenarioSpec, SpecError};
 
@@ -200,8 +201,9 @@ pub mod prelude {
     pub use crate::io::{load_graph, parse_graph, render_graph, save_graph, GraphFormat, IoError};
     pub use crate::report::{campaign_to_csv, campaign_to_json, summarize, write_csv, write_json};
     pub use crate::runner::{
-        execute_run, execute_run_cached, execute_runs, run_campaign, CampaignReport, RunOutcome,
-        RunRecord, RunnerConfig, ScenarioStats, TopologyCache,
+        aggregate_records, execute_run, execute_run_cached, execute_run_controlled, execute_runs,
+        run_campaign, run_key, CampaignReport, PredictedMs, RunControls, RunOutcome, RunRecord,
+        RunnerConfig, ScenarioStats, TopologyCache,
     };
     pub use crate::spec::{
         parse_initial_kind, FaultSpec, GraphSpec, ResolvedGraph, RunSpec, ScenarioMatrix,

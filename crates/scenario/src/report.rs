@@ -48,6 +48,7 @@ pub const CSV_COLUMNS: &[&str] = &[
     "rounds",
     "improvements",
     "exec_wall_ms",
+    "predicted_wall_ms",
     "audit_findings",
     "audit_rules",
     "wall_ms",
@@ -98,6 +99,7 @@ pub fn campaign_to_csv(report: &CampaignReport) -> String {
             run.rounds.to_string(),
             run.improvements.to_string(),
             format!("{:.3}", run.exec_wall_ms),
+            format!("{:.3}", run.predicted_wall_ms.0),
             run.audit_findings.to_string(),
             csv_escape(&run.audit_rules),
             format!("{:.3}", run.wall_ms),

@@ -12,11 +12,12 @@ use crate::spec::{ResolvedGraph, RunSpec, ScenarioMatrix, SpecError};
 use mdst_core::bounds;
 use mdst_core::{Observer, Outcome, Pipeline, RunReport};
 use mdst_graph::Graph;
+use mdst_netsim::CancelToken;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -37,6 +38,10 @@ pub enum RunOutcome {
     QuiescedPartial,
     /// The event cap was hit before quiescence.
     EventLimitAbort,
+    /// The run was cooperatively cancelled mid-flight (an operator `cancel`
+    /// or the serve scheduler's early-abort watchdog); the record keeps the
+    /// partial measurements. A decision, never recorded as an error.
+    Aborted,
     /// The run could not start (graph build, spec or config error); see the
     /// record's `error` field.
     Failed,
@@ -49,6 +54,7 @@ impl RunOutcome {
             RunOutcome::QuiescedCorrect => "quiesced-correct",
             RunOutcome::QuiescedPartial => "quiesced-partial",
             RunOutcome::EventLimitAbort => "event-limit-abort",
+            RunOutcome::Aborted => "aborted",
             RunOutcome::Failed => "failed",
         }
     }
@@ -64,6 +70,7 @@ impl From<Outcome> for RunOutcome {
             Outcome::Optimal => RunOutcome::QuiescedCorrect,
             Outcome::PartialTree => RunOutcome::QuiescedPartial,
             Outcome::EventLimitAborted => RunOutcome::EventLimitAbort,
+            Outcome::Aborted => RunOutcome::Aborted,
         }
     }
 }
@@ -82,6 +89,7 @@ impl Deserialize for RunOutcome {
             Some("quiesced-correct") => Ok(RunOutcome::QuiescedCorrect),
             Some("quiesced-partial") => Ok(RunOutcome::QuiescedPartial),
             Some("event-limit-abort") => Ok(RunOutcome::EventLimitAbort),
+            Some("aborted") => Ok(RunOutcome::Aborted),
             Some("failed") => Ok(RunOutcome::Failed),
             _ => Err(serde::Error::custom("expected a run outcome label")),
         }
@@ -123,6 +131,74 @@ impl std::fmt::Display for BatchSize {
     }
 }
 
+/// Predicted wall-clock milliseconds of a run (`0.0` = no prediction: the
+/// run was executed outside a cost-aware scheduler, or the cost model had
+/// nothing to say yet).
+///
+/// Like [`BatchSize`], a transparent Null-tolerant wrapper: reports written
+/// before the serve scheduler existed have no `predicted_wall_ms` key, which
+/// reaches [`Deserialize::from_value`] as `Value::Null` and decodes as `0.0`
+/// — so historical campaign reports still load and diff against new ones.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PredictedMs(pub f64);
+
+impl PredictedMs {
+    /// Whether a prediction was actually recorded.
+    pub fn is_set(&self) -> bool {
+        self.0 > 0.0
+    }
+}
+
+impl Serialize for PredictedMs {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Float(self.0)
+    }
+}
+
+impl Deserialize for PredictedMs {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(PredictedMs(0.0)),
+            other => other
+                .as_f64()
+                .map(PredictedMs)
+                .ok_or_else(|| serde::Error::custom("expected a predicted wall time")),
+        }
+    }
+}
+
+impl std::fmt::Display for PredictedMs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// The full configuration key of one sweep-matrix cell, shared by report
+/// diffing, progress lines and the serve event stream so a run carries one
+/// identity everywhere. The default-batch segment is omitted so pre-batch
+/// baselines keep producing byte-identical keys.
+#[allow(clippy::too_many_arguments)]
+pub fn run_key(
+    scenario: &str,
+    graph: &str,
+    initial: &str,
+    delay: &str,
+    start: &str,
+    faults: &str,
+    executor: &str,
+    batch: usize,
+    seed: u64,
+) -> String {
+    let batch = if batch == 0 {
+        String::new()
+    } else {
+        format!(" / batch {batch}")
+    };
+    format!(
+        "{scenario} / {graph} / {initial} / {delay} / {start} / {faults} / {executor}{batch} / seed {seed}"
+    )
+}
+
 /// Runner configuration.
 #[derive(Debug, Clone, Default)]
 pub struct RunnerConfig {
@@ -142,7 +218,9 @@ pub struct RunnerConfig {
 }
 
 /// The campaign progress tap: a per-run [`Observer`] streaming one line per
-/// finished run to stderr, keyed by the run's configuration label.
+/// finished run to stderr, prefixed with the run's full configuration key
+/// (see [`run_key`]) so interleaved output under `--jobs > 1` — or under the
+/// serve scheduler's multiplexing — stays attributable to its run.
 struct ProgressLine {
     label: String,
 }
@@ -176,6 +254,10 @@ impl Observer for ProgressLine {
 /// over one benchmark file parses it once.
 pub struct TopologyCache {
     map: Mutex<BTreeMap<TopologyKey, TopologySlot>>,
+    /// Lookups that found the topology already built.
+    hits: AtomicU64,
+    /// Lookups that had to build (or re-report the build error).
+    misses: AtomicU64,
 }
 
 /// Cache key: graph label plus the effective generation seed.
@@ -188,6 +270,8 @@ impl TopologyCache {
     pub fn new() -> Self {
         TopologyCache {
             map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -208,8 +292,10 @@ impl TopologyCache {
     pub fn get(&self, graph: &ResolvedGraph, seed: u64) -> Result<Arc<Graph>, String> {
         let key = Self::key(graph, seed);
         if let Some(hit) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         // Build outside the lock so a slow parse (a big gzipped benchmark
         // file) does not serialise unrelated builds.
         let built = graph.build(seed).map(Arc::new).map_err(|e| e.to_string());
@@ -225,6 +311,17 @@ impl TopologyCache {
     /// Whether nothing has been built yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` counters of this cache: a hit found the
+    /// topology already built, a miss built it (or re-reported its build
+    /// error). Surfaced by `scenario status` when one cache is shared across
+    /// concurrently scheduled campaigns.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -306,6 +403,13 @@ pub struct RunRecord {
     /// threaded runtime's first-wake-up-to-quiescence span, the pool's
     /// worker lifetime).
     pub exec_wall_ms: f64,
+    /// Wall-clock milliseconds the cost-aware scheduler predicted for this
+    /// run before executing it (`0` when the run was not scheduled by a cost
+    /// model — direct `scenario run` campaigns — or the model was still
+    /// unseeded; Null-tolerant so pre-serve reports still deserialize — see
+    /// [`PredictedMs`]). Recorded next to `exec_wall_ms` so prediction
+    /// accuracy is measurable from any report.
+    pub predicted_wall_ms: PredictedMs,
     /// Happens-before findings flagged by the auditor; `0` when the run
     /// audited clean or was not audited.
     pub audit_findings: u64,
@@ -319,6 +423,24 @@ pub struct RunRecord {
     /// numeric fields zero; a fault-free run with a degraded outcome keeps
     /// its measured numbers and records why it still counts as a failure.
     pub error: Option<String>,
+}
+
+impl RunRecord {
+    /// The run's full configuration key — the identity of one cell of the
+    /// sweep matrix (see [`run_key`]).
+    pub fn key(&self) -> String {
+        run_key(
+            &self.scenario,
+            &self.graph,
+            &self.initial,
+            &self.delay,
+            &self.start,
+            &self.faults,
+            &self.executor,
+            self.batch.0,
+            self.seed,
+        )
+    }
 }
 
 /// Five-number-ish summary of final tree degrees.
@@ -459,7 +581,43 @@ pub fn execute_run_cached(spec: &RunSpec, topologies: &TopologyCache) -> RunReco
     execute_run_inner(spec, topologies, false)
 }
 
+/// Per-run controls of [`execute_run_controlled`] — everything a scheduler
+/// (or the plain campaign runner) can attach to one run beyond its spec.
+#[derive(Default)]
+pub struct RunControls<'a> {
+    /// Stream a per-run progress line to stderr (the `--progress` flag).
+    pub progress: bool,
+    /// Cooperative cancellation token; raising it mid-run ends the run with
+    /// [`RunOutcome::Aborted`] and the partial measurements.
+    pub cancel: Option<CancelToken>,
+    /// Predicted wall-clock milliseconds from a cost model (`0.0` = none);
+    /// recorded verbatim in [`RunRecord::predicted_wall_ms`].
+    pub predicted_wall_ms: f64,
+    /// An extra streaming observer registered on the session (the serve
+    /// event fabric plugs a channel sink in here).
+    pub observer: Option<&'a mut dyn Observer>,
+}
+
 fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool) -> RunRecord {
+    execute_run_controlled(
+        spec,
+        topologies,
+        RunControls {
+            progress,
+            ..Default::default()
+        },
+    )
+}
+
+/// Executes a single run against a shared topology cache under explicit
+/// [`RunControls`] — the entry the `scenario serve` scheduler drives, with a
+/// cancellation token, a cost prediction to record, and a streaming observer
+/// per run. [`execute_run_cached`] is this with all controls inert.
+pub fn execute_run_controlled(
+    spec: &RunSpec,
+    topologies: &TopologyCache,
+    controls: RunControls<'_>,
+) -> RunRecord {
     let start = Instant::now();
     let mut record = RunRecord {
         scenario: spec.scenario.clone(),
@@ -491,6 +649,7 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         rounds: 0,
         improvements: 0,
         exec_wall_ms: 0.0,
+        predicted_wall_ms: PredictedMs(controls.predicted_wall_ms),
         audit_findings: 0,
         audit_rules: String::new(),
         wall_ms: 0.0,
@@ -509,21 +668,31 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         // One session whatever the fault axis says: degraded endings are
         // outcomes of the unified report, not a separate code path.
         let mut progress_line = ProgressLine {
-            label: format!(
-                "{} / {} / {} / seed {}",
-                spec.scenario,
-                spec.graph.label(),
-                spec.executor,
-                spec.seed
+            label: run_key(
+                &spec.scenario,
+                &spec.graph.label(),
+                &spec.initial,
+                &spec.delay.label(),
+                &spec.start.label(),
+                &spec.faults.label(),
+                spec.executor.label(),
+                spec.batch,
+                spec.seed,
             ),
         };
         let mut auditor = mdst_analysis::Auditor::new();
         let mut session = Pipeline::on(&graph).config(config);
-        if progress {
+        if controls.progress {
             session = session.observer(&mut progress_line);
         }
         if spec.audit {
             session = session.observer(&mut auditor);
+        }
+        if let Some(observer) = controls.observer {
+            session = session.observer(observer);
+        }
+        if let Some(token) = controls.cancel {
+            session = session.cancel(token);
         }
         let report = session.run().map_err(|e| e.to_string())?;
         if let Some(verdict) = auditor.into_report() {
@@ -578,7 +747,13 @@ fn execute_run_inner(spec: &RunSpec, topologies: &TopologyCache, progress: bool)
         record.rounds = report.rounds;
         record.improvements = report.improvements;
         record.exec_wall_ms = report.wall_ms;
-        if spec.faults.is_none() && record.outcome != RunOutcome::QuiescedCorrect {
+        // A cancellation is an operator (or scheduler) decision, not a
+        // protocol failure — only spontaneous degradations break the
+        // reliable-network contract.
+        if spec.faults.is_none()
+            && record.outcome != RunOutcome::QuiescedCorrect
+            && record.outcome != RunOutcome::Aborted
+        {
             return Err(format!(
                 "fault-free run ended {}: the protocol must terminate with a \
                  spanning tree on a reliable network",
@@ -676,6 +851,28 @@ pub fn execute_runs(
         })
         .collect();
 
+    aggregate_records(
+        name,
+        scenario_order,
+        records,
+        threads,
+        config.shuffle,
+        started.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// Folds finished run records into a [`CampaignReport`] — the aggregation
+/// tail of [`execute_runs`], exposed so external schedulers (the `scenario
+/// serve` campaign service) can produce byte-identical reports from records
+/// they executed themselves.
+pub fn aggregate_records(
+    name: &str,
+    scenario_order: &[String],
+    records: Vec<RunRecord>,
+    threads: usize,
+    shuffle_seed: Option<u64>,
+    wall_ms: f64,
+) -> CampaignReport {
     // Per-scenario aggregates in spec order, plus any unknown names appended
     // (defensive: execute_runs accepts arbitrary run lists).
     let mut order: Vec<String> = scenario_order.to_vec();
@@ -695,8 +892,8 @@ pub fn execute_runs(
     CampaignReport {
         name: name.to_string(),
         threads,
-        shuffle_seed: config.shuffle,
-        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        shuffle_seed,
+        wall_ms,
         total: stats_over("TOTAL", &all),
         scenarios,
         runs: records,

@@ -426,6 +426,14 @@ impl ResolvedGraph {
         }
     }
 
+    /// Declared node-count hint of the source, readable before any build:
+    /// the `n` parameter of a generator family. `None` for file sources and
+    /// parameterless families (the serve cost model then falls back to
+    /// observed sizes, or to no prediction at all).
+    pub fn n_hint(&self) -> Option<usize> {
+        self.param("n").and_then(|v| v.as_usize().ok())
+    }
+
     fn usize_param(&self, name: &str, family: &str) -> Result<usize, SpecError> {
         self.param(name)
             .ok_or_else(|| SpecError(format!("family `{family}` needs parameter `{name}`")))?

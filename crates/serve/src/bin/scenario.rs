@@ -6,8 +6,24 @@
 //! scenario expand <spec>      # print the resolved run list as JSON
 //! scenario validate <spec>    # check the spec (graphs buildable, files readable)
 //! scenario audit <trace-or-report.json> [--json] [--out FILE.json] [--quiet]
-//! scenario diff <a.json> <b.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]
+//! scenario diff <a.json> <b.json> [--wall-ms-tolerance PCT]
+//!               [--prediction-tolerance PTS] [--markdown] [--quiet]
+//! scenario serve [--socket PATH] [--workers N] [--abort-multiplier X]
+//!                [--abort-floor-ms MS] [--seed-report FILE.json] [--quiet]
+//! scenario submit <spec> [--socket PATH] [--watch] [--out FILE.json]
+//! scenario watch <campaign-id> [--socket PATH] [--from-seq N] [--out FILE.json]
+//! scenario status [--socket PATH]
+//! scenario cancel <campaign-id> [--socket PATH]
+//! scenario shutdown [--socket PATH]
 //! ```
+//!
+//! The `serve` family turns the harness into a resident service (see the
+//! `mdst_serve` crate docs): `serve` runs the server in the foreground,
+//! `submit` sends a campaign spec over the Unix socket, `watch` streams the
+//! campaign's JSONL event log (and, with `--out`, writes the final report —
+//! the same JSON `scenario run --out` produces), `status` prints scheduler
+//! and cache counters, `cancel` aborts a campaign, `shutdown` drains and
+//! stops the server.
 //!
 //! `--jobs` (alias `--threads`) caps runner parallelism; when omitted, the
 //! spec's `campaign.parallelism` key (or one thread per CPU) applies.
@@ -42,7 +58,9 @@
 //! PR comments.
 
 use mdst_scenario::prelude::*;
+use mdst_serve::proto::SpecFormat;
 use serde::Value;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -51,7 +69,13 @@ const USAGE: &str = "usage:
   scenario validate <spec>
   scenario check [--min-n N] [--max-n N] [--max-states N] [--max-depth N] [--crashes N] [--losses N] [--out FILE.json]
   scenario audit <trace-or-report.json> [--json] [--out FILE.json] [--quiet]
-  scenario diff <baseline.json> <candidate.json> [--wall-ms-tolerance PCT] [--markdown] [--quiet]";
+  scenario diff <baseline.json> <candidate.json> [--wall-ms-tolerance PCT] [--prediction-tolerance PTS] [--markdown] [--quiet]
+  scenario serve [--socket PATH] [--workers N] [--abort-multiplier X] [--abort-floor-ms MS] [--seed-report FILE.json] [--quiet]
+  scenario submit <spec.toml|spec.json> [--socket PATH] [--watch] [--out FILE.json]
+  scenario watch <campaign-id> [--socket PATH] [--from-seq N] [--out FILE.json]
+  scenario status [--socket PATH]
+  scenario cancel <campaign-id> [--socket PATH]
+  scenario shutdown [--socket PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +90,12 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "audit" => cmd_audit(rest),
         "diff" => cmd_diff(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "watch" => cmd_watch(rest),
+        "status" => cmd_status(rest),
+        "cancel" => cmd_cancel(rest),
+        "shutdown" => cmd_shutdown(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -79,6 +109,199 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Shared `--socket` handling of the serve-family subcommands: flag wins,
+/// then the `SCENARIO_SOCKET` environment variable, then the temp-dir
+/// default.
+fn resolve_socket(flag: Option<String>) -> PathBuf {
+    flag.map(PathBuf::from)
+        .or_else(|| std::env::var_os("SCENARIO_SOCKET").map(PathBuf::from))
+        .unwrap_or_else(mdst_serve::default_socket)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = mdst_serve::ServeConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            "--workers" => {
+                config.workers = next_value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number".to_string())?
+            }
+            "--abort-multiplier" => {
+                config.abort_multiplier = next_value(&mut it, "--abort-multiplier")?
+                    .parse()
+                    .map_err(|_| "--abort-multiplier needs a number".to_string())?
+            }
+            "--abort-floor-ms" => {
+                config.abort_floor_ms = next_value(&mut it, "--abort-floor-ms")?
+                    .parse()
+                    .map_err(|_| "--abort-floor-ms needs a number".to_string())?
+            }
+            "--seed-report" => config
+                .seed_reports
+                .push(PathBuf::from(next_value(&mut it, "--seed-report")?)),
+            "--quiet" | "-q" => config.quiet = true,
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    config.socket = resolve_socket(socket);
+    mdst_serve::serve(&config)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Loads a spec file as text, dispatching format on the `.json` extension
+/// like `ScenarioMatrix::from_path` does.
+fn read_spec(path: &str) -> Result<(String, SpecFormat), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let format = if path.to_ascii_lowercase().ends_with(".json") {
+        SpecFormat::Json
+    } else {
+        SpecFormat::Toml
+    };
+    Ok((text, format))
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = None;
+    let mut spec = None;
+    let mut watch = false;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            "--watch" => watch = true,
+            "--out" | "-o" => out = Some(next_value(&mut it, "--out")?),
+            other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let spec = spec.ok_or_else(|| format!("missing spec file\n{USAGE}"))?;
+    let socket = resolve_socket(socket);
+    let (text, format) = read_spec(&spec)?;
+    let (campaign, runs) = mdst_serve::client::submit(&socket, text, format)?;
+    eprintln!("submitted campaign {campaign} ({runs} runs)");
+    if !watch {
+        println!("{campaign}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    stream_campaign(&socket, campaign, 0, out.as_deref())
+}
+
+/// Watches `campaign` from `from_seq`, forwarding JSONL to stdout; the final
+/// report lands in `--out` (when given) and drives the exit code with the
+/// same failure gates as `scenario run`.
+fn stream_campaign(
+    socket: &std::path::Path,
+    campaign: u64,
+    from_seq: u64,
+    out: Option<&str>,
+) -> Result<ExitCode, String> {
+    let mut stdout = std::io::stdout();
+    let report = mdst_serve::client::watch(socket, campaign, from_seq, &mut stdout)?;
+    if let Some(path) = out {
+        write_json(&report, path).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    eprintln!("{}", summarize(&report));
+    if report.total.failures > 0
+        || report.total.bound_violations > 0
+        || report.total.audit_violations > 0
+    {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = None;
+    let mut campaign = None;
+    let mut from_seq = 0u64;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            "--from-seq" => {
+                from_seq = next_value(&mut it, "--from-seq")?
+                    .parse()
+                    .map_err(|_| "--from-seq needs a number".to_string())?
+            }
+            "--out" | "-o" => out = Some(next_value(&mut it, "--out")?),
+            other if !other.starts_with('-') && campaign.is_none() => {
+                campaign = Some(
+                    other
+                        .parse::<u64>()
+                        .map_err(|_| format!("campaign id must be a number, got `{other}`"))?,
+                )
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let campaign = campaign.ok_or_else(|| format!("missing campaign id\n{USAGE}"))?;
+    stream_campaign(&resolve_socket(socket), campaign, from_seq, out.as_deref())
+}
+
+fn cmd_status(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let status = mdst_serve::client::status(&resolve_socket(socket))?;
+    use serde::Serialize;
+    println!("{}", status.to_value().to_json_pretty());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_cancel(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = None;
+    let mut campaign = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            other if !other.starts_with('-') && campaign.is_none() => {
+                campaign = Some(
+                    other
+                        .parse::<u64>()
+                        .map_err(|_| format!("campaign id must be a number, got `{other}`"))?,
+                )
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let campaign = campaign.ok_or_else(|| format!("missing campaign id\n{USAGE}"))?;
+    let skipped = mdst_serve::client::cancel(&resolve_socket(socket), campaign)?;
+    eprintln!("campaign {campaign} cancelled ({skipped} pending runs skipped)");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<ExitCode, String> {
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => socket = Some(next_value(&mut it, "--socket")?),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    mdst_serve::client::shutdown(&resolve_socket(socket))?;
+    eprintln!("server draining");
+    Ok(ExitCode::SUCCESS)
 }
 
 struct RunArgs {
@@ -268,6 +491,21 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
                     ));
                 }
                 options.wall_ms_tolerance = Some(pct);
+            }
+            "--prediction-tolerance" => {
+                let pts: f64 = it
+                    .next()
+                    .ok_or_else(|| "--prediction-tolerance needs percentage points".to_string())?
+                    .parse()
+                    .map_err(|_| {
+                        "--prediction-tolerance needs a number (percentage points)".to_string()
+                    })?;
+                if !pts.is_finite() || pts < 0.0 {
+                    return Err(format!(
+                        "--prediction-tolerance must be non-negative, got {pts}"
+                    ));
+                }
+                options.prediction_tolerance = Some(pts);
             }
             other if !other.starts_with('-') => paths.push(other.to_string()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),

@@ -1,0 +1,99 @@
+//! Client side of the campaign service: one Unix-socket connection per
+//! command, speaking the [`crate::proto`] line protocol. These functions
+//! back the `scenario submit|watch|status|cancel|shutdown` subcommands and
+//! double as the programmatic API the integration tests drive.
+
+use crate::proto::{read_line, write_line, Event, Request, Response, SpecFormat};
+use mdst_scenario::CampaignReport;
+use std::io::{BufReader, BufWriter, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Sends one request, returns the server's single response line.
+pub fn request(socket: &Path, request: &Request) -> Result<Response, String> {
+    let stream =
+        UnixStream::connect(socket).map_err(|e| format!("connecting {}: {e}", socket.display()))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    write_line(&mut writer, request).map_err(|e| e.to_string())?;
+    read_line(&mut reader)?.ok_or_else(|| "server closed the connection".to_string())
+}
+
+/// Submits a campaign spec; returns `(campaign id, run count)`.
+pub fn submit(socket: &Path, spec: String, format: SpecFormat) -> Result<(u64, u64), String> {
+    match request(socket, &Request::Submit { spec, format })? {
+        Response::Submitted { campaign, runs } => Ok((campaign, runs)),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Watches a campaign: streams every event line (raw JSONL) to `sink` and
+/// returns the aggregated [`CampaignReport`] once the campaign finishes.
+/// Pass `from_seq = 0` for the full history.
+pub fn watch(
+    socket: &Path,
+    campaign: u64,
+    from_seq: u64,
+    sink: &mut dyn Write,
+) -> Result<CampaignReport, String> {
+    let stream =
+        UnixStream::connect(socket).map_err(|e| format!("connecting {}: {e}", socket.display()))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("cloning stream: {e}"))?,
+    );
+    let mut writer = BufWriter::new(stream);
+    write_line(&mut writer, &Request::Watch { campaign, from_seq }).map_err(|e| e.to_string())?;
+    match read_line::<Response>(&mut reader)?
+        .ok_or_else(|| "server closed the connection".to_string())?
+    {
+        Response::Watching { .. } => {}
+        Response::Error { message } => return Err(message),
+        other => return Err(format!("unexpected response: {other:?}")),
+    }
+    loop {
+        let Some(event) = read_line::<Event>(&mut reader)? else {
+            return Err(format!(
+                "event stream for campaign {campaign} ended before the campaign finished"
+            ));
+        };
+        use serde::Serialize;
+        writeln!(sink, "{}", event.to_value().to_json()).map_err(|e| e.to_string())?;
+        if let Event::CampaignFinished { report, .. } = event {
+            return Ok(report);
+        }
+    }
+}
+
+/// Fetches the service status snapshot.
+pub fn status(socket: &Path) -> Result<crate::proto::ServeStatus, String> {
+    match request(socket, &Request::Status)? {
+        Response::Status(status) => Ok(status),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Cancels a campaign; returns the number of pending runs skipped.
+pub fn cancel(socket: &Path, campaign: u64) -> Result<u64, String> {
+    match request(socket, &Request::Cancel { campaign })? {
+        Response::Cancelled { skipped_runs, .. } => Ok(skipped_runs),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// Requests a graceful shutdown (drain, then exit).
+pub fn shutdown(socket: &Path) -> Result<(), String> {
+    match request(socket, &Request::Shutdown)? {
+        Response::ShuttingDown => Ok(()),
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}

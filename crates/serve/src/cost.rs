@@ -1,0 +1,216 @@
+//! Online cost model of the campaign scheduler.
+//!
+//! The scheduler wants to know, before executing a run, roughly how many
+//! wall-clock milliseconds it will take — cheap runs first empties the queue
+//! fastest, and a prediction gives the watchdog a budget to kill runaway
+//! runs against. The model here is deliberately simple and robust: per
+//! `(executor, batch)` bucket it fits one coefficient, *milliseconds per
+//! unit of work*, where work is `n + m` of the input graph — the quantity
+//! every phase of the protocol is at least linear in. The fit is an
+//! exponentially weighted moving average over observed
+//! [`RunRecord::exec_wall_ms`], so the model tracks the machine it runs on
+//! and sharpens as campaigns flow through the server.
+//!
+//! Seeding: [`CostModel::seed_from_report`] folds a past `scenario run`
+//! report (JSON) in before the first campaign, so the very first schedule is
+//! already informed. Unseeded buckets predict `0.0` (no claim); the
+//! scheduler then falls back to work-proportional ordering via
+//! [`CostModel::work_hint`], which reads the spec's declared `n` before the
+//! graph even exists.
+
+use crate::proto::CostBucketStatus;
+use mdst_scenario::{CampaignReport, RunOutcome, RunRecord, RunSpec};
+use std::collections::BTreeMap;
+
+/// Weight of a fresh observation against the running average.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Assumed edges-per-node ratio when only the declared `n` is known: the
+/// sweep families in this workspace hover around average degree 4, so
+/// `n + m ≈ 3n`.
+const DEFAULT_WORK_PER_NODE: f64 = 3.0;
+
+/// One fitted `(executor, batch)` bucket.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Bucket {
+    ms_per_work: f64,
+    samples: u64,
+}
+
+/// Per-bucket online cost model. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    buckets: BTreeMap<String, Bucket>,
+    /// Observed `n + m` per graph label, so later runs on the same topology
+    /// predict from the real size instead of the declared hint.
+    graph_work: BTreeMap<String, f64>,
+}
+
+/// Bucket key of a run: executor label plus pool batch size (batch changes
+/// the pool's drain cadence enough to deserve its own coefficient).
+pub fn bucket_key(executor: &str, batch: usize) -> String {
+    format!("{executor}/batch{batch}")
+}
+
+impl CostModel {
+    /// An empty (fully unseeded) model.
+    pub fn new() -> Self {
+        CostModel::default()
+    }
+
+    /// Folds one finished run into the fit. Aborted, failed and zero-time
+    /// runs are skipped — a run the watchdog killed measures the budget, not
+    /// the work, and feeding it back would teach the model to kill more.
+    pub fn observe(&mut self, record: &RunRecord) {
+        let work = (record.n + record.m) as f64;
+        if work >= 1.0 {
+            self.graph_work.insert(record.graph.clone(), work);
+        }
+        let finished = matches!(
+            record.outcome,
+            RunOutcome::QuiescedCorrect | RunOutcome::QuiescedPartial
+        );
+        if !finished || record.exec_wall_ms <= 0.0 || work < 1.0 {
+            return;
+        }
+        let rate = record.exec_wall_ms / work;
+        let key = bucket_key(&record.executor, record.batch.0);
+        self.buckets
+            .entry(key)
+            .and_modify(|b| {
+                b.ms_per_work = (1.0 - EWMA_ALPHA) * b.ms_per_work + EWMA_ALPHA * rate;
+                b.samples += 1;
+            })
+            .or_insert(Bucket {
+                ms_per_work: rate,
+                samples: 1,
+            });
+    }
+
+    /// Seeds the model from a recorded campaign report, as if every run in
+    /// it had just executed here.
+    pub fn seed_from_report(&mut self, report: &CampaignReport) {
+        for run in &report.runs {
+            self.observe(run);
+        }
+    }
+
+    /// Work estimate (`n + m`) for a spec: the observed size of its graph
+    /// label when a run on it already finished, else the declared `n` hint
+    /// scaled by an average-degree guess, else `0.0` (unknown).
+    pub fn work_hint(&self, spec: &RunSpec) -> f64 {
+        if let Some(&work) = self.graph_work.get(&spec.graph.label()) {
+            return work;
+        }
+        match spec.graph.n_hint() {
+            Some(n) => n as f64 * DEFAULT_WORK_PER_NODE,
+            None => 0.0,
+        }
+    }
+
+    /// Predicted wall milliseconds for a spec; `0.0` when the model has no
+    /// fitted bucket or no size estimate (an unseeded prediction is no
+    /// prediction — the watchdog must not kill on a guess).
+    pub fn predict(&self, spec: &RunSpec) -> f64 {
+        let work = self.work_hint(spec);
+        if work <= 0.0 {
+            return 0.0;
+        }
+        match self
+            .buckets
+            .get(&bucket_key(spec.executor.label(), spec.batch))
+        {
+            Some(bucket) => bucket.ms_per_work * work,
+            None => 0.0,
+        }
+    }
+
+    /// Scheduling cost of a spec: the prediction when seeded, else raw work
+    /// so shortest-first still orders sensibly before any run completed
+    /// (milliseconds and work units never compare against each other — the
+    /// scheduler only ranks runs, it never mixes the scales across
+    /// campaigns with different seeding... and even when it does, both
+    /// scales are monotone in run size, which is all shortest-first needs).
+    pub fn scheduling_cost(&self, spec: &RunSpec) -> f64 {
+        let predicted = self.predict(spec);
+        if predicted > 0.0 {
+            predicted
+        } else {
+            self.work_hint(spec)
+        }
+    }
+
+    /// Snapshot of every fitted bucket, for `scenario status`.
+    pub fn status(&self) -> Vec<CostBucketStatus> {
+        self.buckets
+            .iter()
+            .map(|(bucket, fit)| CostBucketStatus {
+                bucket: bucket.clone(),
+                ms_per_work: fit.ms_per_work,
+                samples: fit.samples,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdst_scenario::prelude::{RunnerConfig, ScenarioMatrix};
+    use mdst_scenario::run_campaign;
+
+    fn sample_spec() -> Vec<RunSpec> {
+        let matrix = ScenarioMatrix::from_toml_str(
+            r#"
+            [[scenario]]
+            name = "s"
+            graph = { family = "path", n = [8, 64] }
+            seeds = [1]
+            "#,
+        )
+        .unwrap();
+        matrix.expand().unwrap()
+    }
+
+    #[test]
+    fn unseeded_model_predicts_zero_but_still_orders_by_work() {
+        let model = CostModel::new();
+        let runs = sample_spec();
+        assert_eq!(model.predict(&runs[0]), 0.0);
+        assert!(model.scheduling_cost(&runs[0]) > 0.0, "declared-n fallback");
+        assert!(
+            model.scheduling_cost(&runs[1]) > model.scheduling_cost(&runs[0]),
+            "bigger n must cost more even unseeded"
+        );
+    }
+
+    #[test]
+    fn observing_a_report_seeds_predictions_and_skips_aborted_runs() {
+        let matrix = ScenarioMatrix::from_toml_str(
+            r#"
+            [[scenario]]
+            name = "s"
+            graph = { family = "path", n = 16 }
+            seeds = [1, 2]
+            "#,
+        )
+        .unwrap();
+        let report = run_campaign(&matrix, &RunnerConfig::default()).unwrap();
+        let mut model = CostModel::new();
+        model.seed_from_report(&report);
+        let runs = matrix.expand().unwrap();
+        // Observed graph size now backs the prediction, and the bucket is
+        // fitted, so the prediction is a real (positive) claim.
+        assert!(model.predict(&runs[0]) > 0.0);
+        let seeded = model.status();
+        assert_eq!(seeded.len(), 1);
+        assert_eq!(seeded[0].samples, 2);
+        assert!(seeded[0].bucket.starts_with("sim/"));
+        // An aborted rerun of the same cell must not move the fit.
+        let mut aborted = report.runs[0].clone();
+        aborted.outcome = RunOutcome::Aborted;
+        aborted.exec_wall_ms = 1e6;
+        model.observe(&aborted);
+        assert_eq!(model.status()[0].samples, 2);
+    }
+}
